@@ -1,0 +1,515 @@
+//! Ablations for the design choices DESIGN.md §4 calls out.
+//!
+//! * **A1** eager vs lazy timestamping — the §2.2 argument: eager delays
+//!   commit and logs every stamping; lazy pays one PTT write per txn.
+//! * **A2** TSB-tree vs page-chain scan for AS OF queries (§7.2): see
+//!   [`crate::ablations::tsb_index`].
+//! * **A3** storage utilization vs key-split threshold *T* (§3.3's
+//!   T·ln 2 claim).
+//! * **A4** PTT growth with vs without incremental GC (§2.2).
+//! * **A5** snapshot-read cost vs version age (§3.4: recent versions are
+//!   found in the current page).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use immortaldb::Value;
+use immortaldb_mobgen::Generator;
+
+use crate::harness::{print_table, time, BenchDb, Mode};
+
+// ---------------------------------------------------------------------
+// A1: eager vs lazy timestamping
+// ---------------------------------------------------------------------
+
+pub struct EagerLazyResult {
+    pub txns: u32,
+    pub records_per_txn: u32,
+    pub lazy_s: f64,
+    pub eager_s: f64,
+    pub lazy_log_bytes: u64,
+    pub eager_log_bytes: u64,
+}
+
+pub fn eager_vs_lazy(quick: bool) -> Vec<EagerLazyResult> {
+    let txns: u32 = if quick { 1_000 } else { 4_000 };
+    [1u32, 8, 32]
+        .iter()
+        .map(|&records_per_txn| {
+            let objects = 500u32;
+            let rounds = txns * records_per_txn / objects;
+            let events = Generator::events_exact(0xA1, objects, rounds.max(1));
+
+            let run = |mode: Mode| {
+                let bench = BenchDb::new("a1", mode);
+                let base = bench.db.log_bytes();
+                let secs = time(|| {
+                    for chunk in events.chunks(records_per_txn as usize) {
+                        bench.apply_batch(chunk);
+                    }
+                });
+                (secs, bench.db.log_bytes() - base)
+            };
+            let (lazy_s, lazy_log_bytes) = run(Mode::Immortal);
+            let (eager_s, eager_log_bytes) = run(Mode::ImmortalEager);
+            EagerLazyResult {
+                txns: events.len() as u32 / records_per_txn,
+                records_per_txn,
+                lazy_s,
+                eager_s,
+                lazy_log_bytes,
+                eager_log_bytes,
+            }
+        })
+        .collect()
+}
+
+pub fn report_eager_vs_lazy(rows: &[EagerLazyResult]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.txns),
+                format!("{}", r.records_per_txn),
+                format!("{:.3}", r.lazy_s),
+                format!("{:.3}", r.eager_s),
+                format!("{:.1}", r.lazy_log_bytes as f64 / 1024.0),
+                format!("{:.1}", r.eager_log_bytes as f64 / 1024.0),
+                format!(
+                    "{:+.1}%",
+                    (r.eager_log_bytes as f64 / r.lazy_log_bytes as f64 - 1.0) * 100.0
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "A1: eager vs lazy timestamping (same workload, per-record stamping \
+         logged vs one PTT row per txn)",
+        &[
+            "txns",
+            "rec/txn",
+            "lazy (s)",
+            "eager (s)",
+            "lazy log KiB",
+            "eager log KiB",
+            "log overhead",
+        ],
+        &table,
+    );
+}
+
+// ---------------------------------------------------------------------
+// A3: utilization vs split threshold T
+// ---------------------------------------------------------------------
+
+pub struct UtilResult {
+    pub threshold: f64,
+    pub leaves: usize,
+    pub slice_utilization: f64,
+    pub history_pages: usize,
+}
+
+pub fn utilization_vs_threshold(quick: bool) -> Vec<UtilResult> {
+    use immortaldb_btree::{BTree, SplitTimeSource};
+    use immortaldb_common::{Timestamp, Tid, TreeId, NULL_LSN};
+    use immortaldb_storage::buffer::BufferPool;
+    use immortaldb_storage::disk::DiskManager;
+    use immortaldb_storage::wal::Wal;
+    use immortaldb_storage::TimestampResolver;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// Commit registry doubling as resolver + split-time source.
+    #[derive(Default)]
+    struct SimAuthority {
+        committed: Mutex<HashMap<Tid, Timestamp>>,
+        max: Mutex<Timestamp>,
+    }
+    impl SimAuthority {
+        fn commit(&self, tid: Tid, ts: Timestamp) {
+            self.committed.lock().insert(tid, ts);
+            let mut m = self.max.lock();
+            if ts > *m {
+                *m = ts;
+            }
+        }
+    }
+    impl TimestampResolver for SimAuthority {
+        fn resolve(&self, tid: Tid) -> Option<Timestamp> {
+            self.committed.lock().get(&tid).copied()
+        }
+    }
+    impl SplitTimeSource for SimAuthority {
+        fn current_split_ts(&self) -> Timestamp {
+            let m = *self.max.lock();
+            Timestamp::new(m.ttime + 20, 0)
+        }
+    }
+
+    // The threshold only matters when the *current* data grows: a pure
+    // update workload lets time splits shed everything historical and no
+    // key split is ever needed. Grow the key population every round (a
+    // fleet gaining vehicles) while updating all existing keys.
+    let keys0 = if quick { 100u64 } else { 200 };
+    let rounds = if quick { 20u64 } else { 40 };
+    [0.5f64, 0.6, 0.7, 0.8, 0.9]
+        .iter()
+        .map(|&threshold| {
+            let dir = std::env::temp_dir().join(format!(
+                "immortal-a3-{}-{}",
+                std::process::id(),
+                (threshold * 100.0) as u32
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let (disk, _) = DiskManager::open(dir.join("data.idb")).unwrap();
+            let wal = Arc::new(Wal::open(dir.join("wal.log")).unwrap());
+            let pool = Arc::new(BufferPool::new(Arc::new(disk), Arc::clone(&wal), 32 * 1024));
+            let auth = Arc::new(SimAuthority::default());
+            let mut tree = BTree::create(
+                pool,
+                wal,
+                TreeId(100),
+                true,
+                Arc::clone(&auth) as Arc<dyn SplitTimeSource>,
+            )
+            .unwrap();
+            tree.set_split_threshold(threshold);
+            let value = vec![7u8; 64];
+            let mut tid = 0u64;
+            let mut tick = 0u64;
+            let commit = |auth: &Arc<SimAuthority>, tid: u64, tick: u64| {
+                auth.commit(Tid(tid), Timestamp::new(tick * 20, 0));
+            };
+            let mut population = 0u64;
+            for round in 0..=rounds {
+                // Growth: 10% new keys per round.
+                let grow = if round == 0 { keys0 } else { (population / 10).max(5) };
+                for _ in 0..grow {
+                    tid += 1;
+                    tick += 1;
+                    tree.insert(
+                        Tid(tid),
+                        NULL_LSN,
+                        &immortaldb_common::codec::key_from_u64(population),
+                        &value,
+                        auth.as_ref(),
+                    )
+                    .unwrap();
+                    commit(&auth, tid, tick);
+                    population += 1;
+                }
+                for k in 0..population {
+                    tid += 1;
+                    tick += 1;
+                    tree.update(
+                        Tid(tid),
+                        NULL_LSN,
+                        &immortaldb_common::codec::key_from_u64(k),
+                        &value,
+                        auth.as_ref(),
+                    )
+                    .unwrap();
+                    commit(&auth, tid, tick);
+                }
+            }
+            let stats = tree.storage_stats().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            UtilResult {
+                threshold,
+                leaves: stats.current_leaves,
+                slice_utilization: stats.current_slice_utilization,
+                history_pages: stats.history_pages,
+            }
+        })
+        .collect()
+}
+
+pub fn report_utilization(rows: &[UtilResult]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.threshold),
+                format!("{}", r.leaves),
+                format!("{:.3}", r.slice_utilization),
+                format!("{:.3}", r.threshold * std::f64::consts::LN_2),
+                format!("{}", r.history_pages),
+            ]
+        })
+        .collect();
+    print_table(
+        "A3: current-slice utilization vs key-split threshold T \
+         (paper: expected ~ T*ln2)",
+        &["T", "current leaves", "measured util", "T*ln2", "history pages"],
+        &table,
+    );
+}
+
+// ---------------------------------------------------------------------
+// A2: TSB-tree vs page-chain traversal for AS OF point reads
+// ---------------------------------------------------------------------
+
+pub struct TsbResult {
+    /// `(percent of history, chain-scan us/read, TSB us/read)`.
+    pub points: Vec<(u32, f64, f64)>,
+}
+
+/// §7.2's prediction: with the TSB-tree, AS OF performance becomes
+/// independent of how far back the query reaches, because the index
+/// descends directly to the right historical page instead of walking the
+/// time-split page chain from the current page.
+pub fn tsb_index(quick: bool) -> TsbResult {
+    use immortaldb_btree::{BTree, SplitTimeSource};
+    use immortaldb_common::{Timestamp, Tid, TreeId, NULL_LSN};
+    use immortaldb_storage::buffer::BufferPool;
+    use immortaldb_storage::disk::DiskManager;
+    use immortaldb_storage::wal::Wal;
+    use immortaldb_storage::TimestampResolver;
+    use immortaldb_tsb::TsbTree;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct SimAuthority {
+        committed: Mutex<HashMap<Tid, Timestamp>>,
+        max: Mutex<Timestamp>,
+    }
+    impl SimAuthority {
+        fn commit(&self, tid: Tid, ts: Timestamp) {
+            self.committed.lock().insert(tid, ts);
+            let mut m = self.max.lock();
+            if ts > *m {
+                *m = ts;
+            }
+        }
+    }
+    impl TimestampResolver for SimAuthority {
+        fn resolve(&self, tid: Tid) -> Option<Timestamp> {
+            self.committed.lock().get(&tid).copied()
+        }
+    }
+    impl SplitTimeSource for SimAuthority {
+        fn current_split_ts(&self) -> Timestamp {
+            let m = *self.max.lock();
+            Timestamp::new(m.ttime + 20, 0)
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("immortal-a2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (disk, _) = DiskManager::open(dir.join("data.idb")).unwrap();
+    let wal = Arc::new(Wal::open(dir.join("wal.log")).unwrap());
+    // Small pool: historical pages must not be resident (the regime where
+    // chain walks hurt).
+    let pool = Arc::new(BufferPool::new(Arc::new(disk), Arc::clone(&wal), 96));
+    let auth = Arc::new(SimAuthority::default());
+    let btree = BTree::create(
+        Arc::clone(&pool),
+        Arc::clone(&wal),
+        TreeId(60),
+        true,
+        Arc::clone(&auth) as Arc<dyn SplitTimeSource>,
+    )
+    .unwrap();
+    let tsb = TsbTree::create(
+        Arc::clone(&pool),
+        Arc::clone(&wal),
+        TreeId(61),
+        Arc::clone(&auth) as Arc<dyn SplitTimeSource>,
+    )
+    .unwrap();
+
+    // Identical workload into both trees: `keys` keys, `rounds` updates.
+    let keys = if quick { 100u64 } else { 200 };
+    let rounds = if quick { 60u64 } else { 150 };
+    let value = vec![5u8; 100];
+    let mut tid = 0u64;
+    let mut tick = 0u64;
+    for k in 0..keys {
+        tid += 1;
+        tick += 1;
+        let kb = immortaldb_common::codec::key_from_u64(k);
+        btree.insert(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
+        tsb.insert(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
+        auth.commit(Tid(tid), Timestamp::new(tick * 20, 0));
+    }
+    let mut marks: Vec<(u32, Timestamp)> = vec![(0, Timestamp::new(tick * 20, 1))];
+    for r in 1..=rounds {
+        for k in 0..keys {
+            tid += 1;
+            tick += 1;
+            let kb = immortaldb_common::codec::key_from_u64(k);
+            btree.update(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
+            tsb.update(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
+            auth.commit(Tid(tid), Timestamp::new(tick * 20, 0));
+        }
+        if r * 10 % rounds == 0 {
+            marks.push((
+                (r * 100 / rounds) as u32,
+                Timestamp::new(tick * 20, 1),
+            ));
+        }
+    }
+
+    let probes = keys.min(100);
+    type Probe<'a> = &'a dyn Fn(&[u8], Timestamp) -> Option<Vec<u8>>;
+    let measure = |f: Probe, at: Timestamp| -> f64 {
+        let t0 = Instant::now();
+        for k in 0..probes {
+            let kb = immortaldb_common::codec::key_from_u64(k);
+            let _ = f(&kb, at);
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / probes as f64
+    };
+    let mut points = Vec::new();
+    for (pct, at) in &marks {
+        let chain_us = measure(
+            &|k, t| btree.get_as_of(k, t, None, auth.as_ref()).unwrap(),
+            *at,
+        );
+        let tsb_us = measure(&|k, t| tsb.get_as_of(k, t, None, auth.as_ref()).unwrap(), *at);
+        points.push((*pct, chain_us, tsb_us));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    TsbResult { points }
+}
+
+pub fn report_tsb(r: &TsbResult) {
+    let table: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|(pct, chain, tsb)| {
+            vec![
+                format!("{pct}%"),
+                format!("{chain:.1}"),
+                format!("{tsb:.1}"),
+                format!("{:.1}x", chain / tsb),
+            ]
+        })
+        .collect();
+    print_table(
+        "A2: AS OF point reads — page-chain scan vs TSB-tree index \
+         (0% = oldest history; paper §7.2 predicts the TSB column is flat)",
+        &["% of history", "chain us/read", "TSB us/read", "speedup"],
+        &table,
+    );
+}
+
+// ---------------------------------------------------------------------
+// A4: PTT growth with vs without incremental GC
+// ---------------------------------------------------------------------
+
+pub struct PttGcResult {
+    /// `(transactions so far, PTT entries without GC, PTT entries with
+    /// periodic checkpoints+GC)`.
+    pub samples: Vec<(u32, usize, usize)>,
+}
+
+pub fn ptt_gc(quick: bool) -> PttGcResult {
+    let total: u32 = if quick { 2_000 } else { 10_000 };
+    let sample_every = total / 10;
+    let events = Generator::events_exact(0xA4, 500, total / 500);
+
+    let run = |gc: bool| -> Vec<usize> {
+        let bench = BenchDb::new("a4", Mode::Immortal);
+        let mut sizes = Vec::new();
+        for (i, e) in events.iter().take(total as usize).enumerate() {
+            bench.apply_event(e);
+            let n = i as u32 + 1;
+            if gc && n.is_multiple_of((sample_every / 2).max(1)) {
+                // Touch the records so stamping happens, then checkpoint.
+                bench.db.checkpoint().expect("checkpoint");
+            }
+            if n.is_multiple_of(sample_every) {
+                sizes.push(bench.db.ptt_len().expect("ptt len"));
+            }
+        }
+        sizes
+    };
+    let no_gc = run(false);
+    let with_gc = run(true);
+    PttGcResult {
+        samples: no_gc
+            .iter()
+            .zip(&with_gc)
+            .enumerate()
+            .map(|(i, (a, b))| ((i as u32 + 1) * sample_every, *a, *b))
+            .collect(),
+    }
+}
+
+pub fn report_ptt_gc(r: &PttGcResult) {
+    let table: Vec<Vec<String>> = r
+        .samples
+        .iter()
+        .map(|(n, a, b)| vec![format!("{n}"), format!("{a}"), format!("{b}")])
+        .collect();
+    print_table(
+        "A4: persistent timestamp table size (entries) with vs without \
+         incremental GC",
+        &["txns", "no GC", "checkpoint + GC"],
+        &table,
+    );
+}
+
+// ---------------------------------------------------------------------
+// A5: snapshot read cost vs version age
+// ---------------------------------------------------------------------
+
+pub struct SnapshotReadResult {
+    /// `(versions back in time, avg point-read microseconds)`.
+    pub points: Vec<(u32, f64)>,
+}
+
+pub fn snapshot_reads(quick: bool) -> SnapshotReadResult {
+    let keys: u32 = if quick { 200 } else { 500 };
+    let rounds: u32 = if quick { 24 } else { 72 };
+    let bench = BenchDb::new("a5", Mode::Immortal);
+    let events = Generator::events_exact(0xA5, keys, rounds);
+    // Capture a watermark after each update round.
+    let mut marks = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        bench.apply_event(e);
+        if i >= keys as usize && (i + 1 - keys as usize).is_multiple_of(keys as usize) {
+            marks.push(bench.db.latest_ts());
+        }
+    }
+    // Read 100 keys at "now", and at snapshots N rounds back.
+    let depths: Vec<u32> = [0u32, 1, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|d| *d < rounds)
+        .collect();
+    let mut points = Vec::new();
+    for &back in &depths {
+        let ts = marks[marks.len() - 1 - back as usize];
+        let mut txn = bench.db.begin_as_of_ts(ts);
+        let probes = 100u32.min(keys);
+        let t0 = Instant::now();
+        for k in 0..probes {
+            let _ = bench
+                .db
+                .get_row(&mut txn, "MovingObjects", &Value::Int(k as i32))
+                .expect("read");
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / probes as f64;
+        bench.db.commit(&mut txn).unwrap();
+        points.push((back, us));
+    }
+    SnapshotReadResult { points }
+}
+
+pub fn report_snapshot_reads(r: &SnapshotReadResult) {
+    let table: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|(back, us)| vec![format!("{back}"), format!("{us:.1}")])
+        .collect();
+    print_table(
+        "A5: point-read latency vs snapshot age (versions back): recent \
+         versions live in the current page, older ones behind the history chain",
+        &["rounds back", "avg us/read"],
+        &table,
+    );
+}

@@ -1,0 +1,186 @@
+//! Shared benchmark plumbing: database fixtures, workload application,
+//! timing and table printing.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use immortaldb::{
+    Database, DbConfig, Isolation, TimestampingMode, Value,
+};
+use immortaldb_mobgen::{Event, Op};
+
+/// Which storage/timestamping configuration a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Transaction-time table with lazy timestamping (the paper's system).
+    Immortal,
+    /// Conventional table in the same engine (the paper's baseline).
+    Conventional,
+    /// Transaction-time table with the eager-timestamping baseline.
+    ImmortalEager,
+}
+
+/// A scratch database in a temp directory, dropped on exit.
+pub struct BenchDb {
+    pub db: Database,
+    dir: PathBuf,
+}
+
+impl BenchDb {
+    pub fn new(tag: &str, mode: Mode) -> BenchDb {
+        Self::new_with(tag, mode, immortaldb::Durability::Buffered)
+    }
+
+    /// `durability` selects the commit regime: `Buffered` exposes raw CPU
+    /// costs, `Fsync` reproduces the paper's I/O-bound per-transaction
+    /// times.
+    pub fn new_with(tag: &str, mode: Mode, durability: immortaldb::Durability) -> BenchDb {
+        Self::new_sized(tag, mode, durability, 16 * 1024)
+    }
+
+    /// Full control, including the buffer-pool size (a small pool
+    /// reproduces the paper's memory-pressure regime where historical
+    /// pages are not resident).
+    pub fn new_sized(
+        tag: &str,
+        mode: Mode,
+        durability: immortaldb::Durability,
+        pool_pages: usize,
+    ) -> BenchDb {
+        let dir = std::env::temp_dir().join(format!(
+            "immortal-bench-{tag}-{}-{}",
+            std::process::id(),
+            fastrand_suffix()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let timestamping = match mode {
+            Mode::ImmortalEager => TimestampingMode::Eager,
+            _ => TimestampingMode::Lazy,
+        };
+        let db = Database::open(
+            DbConfig::new(&dir)
+                .pool_pages(pool_pages)
+                .durability(durability)
+                .timestamping(timestamping),
+        )
+        .expect("open bench db");
+        let ddl = match mode {
+            Mode::Immortal | Mode::ImmortalEager => {
+                "CREATE IMMORTAL TABLE MovingObjects \
+                 (Oid INT PRIMARY KEY, LocationX INT, LocationY INT)"
+            }
+            Mode::Conventional => {
+                "CREATE TABLE MovingObjects \
+                 (Oid INT PRIMARY KEY, LocationX INT, LocationY INT)"
+            }
+        };
+        let mut s = immortaldb::Session::new(&db);
+        s.execute(ddl).expect("create table");
+        BenchDb { db, dir }
+    }
+
+    /// Apply one event as its own transaction (the paper's worst case:
+    /// one record per transaction).
+    pub fn apply_event(&self, e: &Event) {
+        let mut txn = self.db.begin(Isolation::Serializable);
+        match e.op {
+            Op::Insert { oid, x, y } => {
+                self.db
+                    .insert_row(
+                        &mut txn,
+                        "MovingObjects",
+                        vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)],
+                    )
+                    .expect("insert");
+            }
+            Op::Update { oid, x, y } => {
+                self.db
+                    .update_row(
+                        &mut txn,
+                        "MovingObjects",
+                        vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)],
+                    )
+                    .expect("update");
+            }
+        }
+        self.db.commit(&mut txn).expect("commit");
+    }
+
+    /// Apply a batch of events inside a single transaction (the paper's
+    /// lowest-overhead case).
+    pub fn apply_batch(&self, events: &[Event]) {
+        let mut txn = self.db.begin(Isolation::Serializable);
+        for e in events {
+            match e.op {
+                Op::Insert { oid, x, y } => self
+                    .db
+                    .insert_row(
+                        &mut txn,
+                        "MovingObjects",
+                        vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)],
+                    )
+                    .expect("insert"),
+                Op::Update { oid, x, y } => self
+                    .db
+                    .update_row(
+                        &mut txn,
+                        "MovingObjects",
+                        vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)],
+                    )
+                    .expect("update"),
+            }
+        }
+        self.db.commit(&mut txn).expect("commit");
+    }
+}
+
+impl Drop for BenchDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn fastrand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos() as u64
+}
+
+/// Time a closure, returning seconds.
+pub fn time<F: FnOnce()>(f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Print a header + aligned rows (simple fixed-width columns).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}

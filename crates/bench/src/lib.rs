@@ -1,0 +1,13 @@
+//! Benchmark harness reproducing the Immortal DB paper's evaluation
+//! (Figures 5 and 6) plus the ablations catalogued in DESIGN.md §4.
+//!
+//! The binary (`cargo run -p immortaldb-bench --release -- all`) prints
+//! each experiment as the table/series the paper reports; EXPERIMENTS.md
+//! records paper-vs-measured.
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig6;
+pub mod harness;
+
+pub use harness::{BenchDb, Mode};

@@ -1,0 +1,64 @@
+//! Benchmark driver: regenerates every figure of the paper's evaluation
+//! plus the ablations.
+//!
+//! ```text
+//! immortaldb-bench [--quick] [fig5|fig6|a1|a2|a3|a4|a5|all]
+//! ```
+
+use immortaldb_bench::{ablations, fig5, fig6};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+    let wants = |name: &str| what.iter().any(|w| *w == name || *w == "all");
+
+    println!(
+        "Immortal DB benchmark harness ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    if wants("fig5") {
+        // Two regimes: the paper's times were disk-bound (fsync on every
+        // commit); the buffered run exposes the raw CPU-path overhead.
+        let rows = fig5::run(quick, immortaldb::Durability::Fsync);
+        fig5::report("fsync/commit — paper's regime", &rows);
+        let rows = fig5::run(quick, immortaldb::Durability::Buffered);
+        fig5::report("buffered — CPU-bound", &rows);
+        let (conv_s, imm_s) = fig5::run_single_txn_case(if quick { 8_000 } else { 32_000 });
+        println!(
+            "lowest-overhead case (all records in ONE txn): conventional {conv_s:.3}s, \
+             immortal {imm_s:.3}s ({:+.1}%) — paper: \"indistinguishable\"",
+            (imm_s / conv_s - 1.0) * 100.0
+        );
+    }
+    if wants("fig6") {
+        let series = fig6::run(quick);
+        fig6::report(&series);
+    }
+    if wants("a1") {
+        let rows = ablations::eager_vs_lazy(quick);
+        ablations::report_eager_vs_lazy(&rows);
+    }
+    if wants("a2") {
+        let r = ablations::tsb_index(quick);
+        ablations::report_tsb(&r);
+    }
+    if wants("a3") {
+        let rows = ablations::utilization_vs_threshold(quick);
+        ablations::report_utilization(&rows);
+    }
+    if wants("a4") {
+        let r = ablations::ptt_gc(quick);
+        ablations::report_ptt_gc(&r);
+    }
+    if wants("a5") {
+        let r = ablations::snapshot_reads(quick);
+        ablations::report_snapshot_reads(&r);
+    }
+}

@@ -1,0 +1,513 @@
+//! Read paths: current reads, AS OF point lookups, AS OF full scans and
+//! per-key time travel.
+//!
+//! The AS OF algorithm is the paper's §4.2: descend the *current* B-tree
+//! by key; compare the requested time with the page's split time (its
+//! `start_ts`). If the request is later, the answer is in the current
+//! page's version chains; otherwise follow the history-page chain back to
+//! the page whose `[start_ts, end_ts)` range contains the request — the
+//! split-time check is what lets us skip pages that cannot contain the
+//! version.
+
+use immortaldb_common::{PageId, Result, Tid, Timestamp};
+use immortaldb_storage::page::{Page, PageType};
+use immortaldb_storage::version::{self, Visible};
+use immortaldb_storage::TimestampResolver;
+
+use crate::tree::BTree;
+
+/// One row produced by a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanItem {
+    pub key: Vec<u8>,
+    pub data: Vec<u8>,
+}
+
+/// Storage shape of a versioned tree (see [`BTree::storage_stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StorageStats {
+    pub current_leaves: usize,
+    /// Mean raw page fill of current leaves (versions of all ages).
+    pub avg_page_utilization: f64,
+    /// Bytes of the newest live versions over current-leaf capacity — the
+    /// quantity the paper predicts ≈ T·ln 2.
+    pub current_slice_utilization: f64,
+    pub history_pages: usize,
+}
+
+/// One entry of a record's version history (newest first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryVersion {
+    /// Commit timestamp; `None` while the owning transaction is active.
+    pub ts: Option<Timestamp>,
+    /// TID for uncommitted versions.
+    pub tid: Option<Tid>,
+    /// `None` marks a delete stub.
+    pub data: Option<Vec<u8>>,
+}
+
+impl BTree {
+    /// Read the current version of `key` as seen by `own_tid` (its own
+    /// uncommitted writes are visible). Opportunistically applies
+    /// timestamps when the chain head is a committed TID-marked record
+    /// (the paper's read trigger).
+    pub fn get_current(
+        &self,
+        key: &[u8],
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Option<Vec<u8>>> {
+        debug_assert!(self.versioned);
+        let _s = self.structure.read();
+        let frame = self.descend(key)?;
+        // Opportunistic stamping needs the write latch; check cheaply
+        // under the read latch first.
+        let needs_stamp = {
+            let g = frame.read();
+            match g.find_slot(key) {
+                Ok(i) => {
+                    let off = g.slot(i);
+                    g.rec_is_tid_marked(off)
+                        && Some(g.rec_tid(off)) != own_tid
+                        && resolver.resolve(g.rec_tid(off)).is_some()
+                }
+                Err(_) => false,
+            }
+        };
+        if needs_stamp {
+            let mut g = frame.write();
+            if let Ok(i) = g.find_slot(key) {
+                for (t, n) in version::stamp_chain(&mut g, i, resolver) {
+                    resolver.note_stamped(t, n);
+                }
+                frame.mark_dirty_unlogged();
+            }
+        }
+        let g = frame.read();
+        let Ok(i) = g.find_slot(key) else {
+            return Ok(None);
+        };
+        match version::visible_as_of(&g, i, Timestamp::MAX, own_tid, resolver) {
+            Visible::Version(off) => Ok(Some(g.rec_data(off).to_vec())),
+            Visible::Deleted | Visible::NotHere => Ok(None),
+        }
+    }
+
+    /// Read the version of `key` current AS OF `as_of`. Historical (AS OF)
+    /// queries pass `own_tid = None`; snapshot-isolation reads pass their
+    /// TID so their own uncommitted writes stay visible.
+    pub fn get_as_of(
+        &self,
+        key: &[u8],
+        as_of: Timestamp,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Option<Vec<u8>>> {
+        debug_assert!(self.versioned);
+        let _s = self.structure.read();
+        let frame = self.descend(key)?;
+        let g = frame.read();
+        // Own uncommitted versions live ONLY in the current page (time
+        // splits keep them there, case 4), so an own write must be found
+        // here even when a concurrent time split pushed the page's start
+        // past the reader's snapshot.
+        if let Some(own) = own_tid {
+            if let Ok(i) = g.find_slot(key) {
+                if chain_has_own(&g, i, own) {
+                    return Ok(lookup_in_page(&g, key, as_of, own_tid, resolver));
+                }
+            }
+        }
+        if as_of >= g.start_ts() {
+            return Ok(lookup_in_page(&g, key, as_of, own_tid, resolver));
+        }
+        let mut hist = g.history_page();
+        drop(g);
+        while hist.is_valid() {
+            let hframe = self.pool.fetch(hist)?;
+            let hg = hframe.read();
+            if as_of >= hg.start_ts() {
+                return Ok(lookup_in_page(&hg, key, as_of, own_tid, resolver));
+            }
+            hist = hg.history_page();
+        }
+        // Requested time precedes all recorded history.
+        Ok(None)
+    }
+
+    /// Eager-timestamping baseline: stamp all of `tid`'s versions in
+    /// `key`'s chain with `ts` and log the stamping (the cost lazy
+    /// timestamping avoids). Returns the new last LSN and the number of
+    /// versions stamped.
+    pub fn eager_stamp(
+        &self,
+        tid: Tid,
+        prev_lsn: immortaldb_common::Lsn,
+        key: &[u8],
+        ts: Timestamp,
+    ) -> Result<(immortaldb_common::Lsn, u32)> {
+        debug_assert!(self.versioned);
+        let _s = self.structure.read();
+        let frame = self.descend(key)?;
+        let mut g = frame.write();
+        let Ok(i) = g.find_slot(key) else {
+            return Ok((prev_lsn, 0));
+        };
+        let rec = immortaldb_storage::logrec::LogRecord::EagerStamp {
+            tree: self.tree_id,
+            page: frame.page_id(),
+            key: key.to_vec(),
+            ts,
+        };
+        let lsn = self.wal.append(tid, prev_lsn, &rec);
+        let mut n = 0u32;
+        for off in version::chain_offsets(&g, i) {
+            if g.rec_is_tid_marked(off) && g.rec_tid(off) == tid {
+                g.stamp_rec(off, ts);
+                n += 1;
+            }
+        }
+        g.set_page_lsn(lsn);
+        frame.mark_dirty(lsn);
+        Ok((lsn, n))
+    }
+
+    /// Snapshot-version GC: prune versions of `key` older than the oldest
+    /// active snapshot (`watermark`). Unlogged physical reorganisation —
+    /// see [`version::prune_chain`].
+    pub fn prune_snapshot_versions(&self, key: &[u8], watermark: Timestamp) -> Result<usize> {
+        debug_assert!(self.versioned);
+        let _s = self.structure.read();
+        let frame = self.descend(key)?;
+        let mut g = frame.write();
+        let Ok(i) = g.find_slot(key) else { return Ok(0) };
+        let n = version::prune_chain(&mut g, i, watermark);
+        if n > 0 {
+            frame.mark_dirty_unlogged();
+        }
+        Ok(n)
+    }
+
+    /// Full AS OF table scan. Leaves are enumerated with their *true* low
+    /// separators (from the index structure) so that history pages shared
+    /// between sibling leaves after key splits contribute each key exactly
+    /// once.
+    pub fn scan_as_of(
+        &self,
+        as_of: Timestamp,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<ScanItem>> {
+        let _s = self.structure.read();
+        let leaves = self.leaves_with_bounds()?;
+        let mut out = Vec::new();
+        for (idx, (leaf_id, low)) in leaves.iter().enumerate() {
+            let upper: Option<&[u8]> = leaves.get(idx + 1).map(|(_, k)| k.as_slice());
+            self.emit_leaf_as_of(*leaf_id, as_of, low, upper, own_tid, resolver, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Scan current data (versioned tree).
+    pub fn scan_current(
+        &self,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<ScanItem>> {
+        self.scan_as_of(Timestamp::MAX, own_tid, resolver)
+    }
+
+    /// Scan a conventional (unversioned) table.
+    pub fn u_scan(&self) -> Result<Vec<ScanItem>> {
+        debug_assert!(!self.versioned);
+        let _s = self.structure.read();
+        let mut out = Vec::new();
+        let mut frame = self.leftmost_leaf()?;
+        loop {
+            let g = frame.read();
+            for i in 0..g.slot_count() {
+                let off = g.slot(i);
+                out.push(ScanItem {
+                    key: g.rec_key(off).to_vec(),
+                    data: g.rec_data(off).to_vec(),
+                });
+            }
+            let next = g.next_leaf();
+            drop(g);
+            if !next.is_valid() {
+                return Ok(out);
+            }
+            frame = self.pool.fetch(next)?;
+        }
+    }
+
+    /// Complete version history of `key`, newest first, across the
+    /// current page and its entire history chain. Spanning versions
+    /// (copied redundantly by time splits) are deduplicated by timestamp.
+    pub fn history_of(&self, key: &[u8], resolver: &dyn TimestampResolver) -> Result<Vec<HistoryVersion>> {
+        debug_assert!(self.versioned);
+        let _s = self.structure.read();
+        let frame = self.descend(key)?;
+        let mut out: Vec<HistoryVersion> = Vec::new();
+        let mut page_id = frame.page_id();
+        let mut last_ts: Option<Timestamp> = None;
+        loop {
+            let f = self.pool.fetch(page_id)?;
+            let g = f.read();
+            if let Ok(i) = g.find_slot(key) {
+                for off in version::chain_offsets(&g, i) {
+                    let (ts, tid) = if g.rec_is_tid_marked(off) {
+                        match resolver.resolve(g.rec_tid(off)) {
+                            Some(ts) => (Some(ts), None),
+                            None => (None, Some(g.rec_tid(off))),
+                        }
+                    } else {
+                        (Some(g.rec_timestamp(off)), None)
+                    };
+                    if ts.is_some() && ts == last_ts {
+                        continue; // spanning duplicate
+                    }
+                    if let Some(t) = ts {
+                        last_ts = Some(t);
+                    }
+                    out.push(HistoryVersion {
+                        ts,
+                        tid,
+                        data: if g.rec_is_stub(off) {
+                            None
+                        } else {
+                            Some(g.rec_data(off).to_vec())
+                        },
+                    });
+                }
+            }
+            let hist = g.history_page();
+            if !hist.is_valid() {
+                return Ok(out);
+            }
+            page_id = hist;
+        }
+    }
+
+    /// Storage statistics over the *current* leaves, for the
+    /// utilization-vs-threshold ablation (the §3.3 claim that a key-split
+    /// threshold *T* yields single-time-slice utilization ≈ T·ln 2).
+    pub fn storage_stats(&self) -> Result<StorageStats> {
+        let _s = self.structure.read();
+        let leaves = self.leaves_with_bounds()?;
+        let mut util_sum = 0.0;
+        let mut slice_bytes = 0usize;
+        let mut history = std::collections::HashSet::new();
+        for (leaf_id, _) in &leaves {
+            let frame = self.pool.fetch(*leaf_id)?;
+            let g = frame.read();
+            util_sum += g.utilization();
+            // The "current time slice": the newest live version of each
+            // key — what a current-state query would touch.
+            for i in 0..g.slot_count() {
+                let off = g.slot(i);
+                if !g.rec_is_stub(off) {
+                    slice_bytes += g.rec_size(off) + 2; // + slot
+                }
+            }
+            let mut hist = g.history_page();
+            drop(g);
+            // History pages are shared between sibling leaves after key
+            // splits; dedup by page id.
+            while hist.is_valid() && history.insert(hist) {
+                let hframe = self.pool.fetch(hist)?;
+                hist = hframe.read().history_page();
+            }
+        }
+        let n = leaves.len();
+        let usable = immortaldb_common::PAGE_SIZE - immortaldb_storage::page::HEADER_SIZE;
+        Ok(StorageStats {
+            current_leaves: n,
+            avg_page_utilization: util_sum / n.max(1) as f64,
+            current_slice_utilization: slice_bytes as f64 / (n.max(1) * usable) as f64,
+            history_pages: history.len(),
+        })
+    }
+
+    /// Vacuum support (§2.2): stamp every committed TID-marked record in
+    /// every *current* leaf (historical pages never hold TID marks — only
+    /// committed, stamped versions move there). Returns the number of
+    /// records stamped. After the caller also checkpoints, no persistent
+    /// timestamp-table entry for a pre-existing transaction is needed any
+    /// more.
+    pub fn stamp_all(&self, resolver: &dyn TimestampResolver) -> Result<u64> {
+        let _s = self.structure.read();
+        let leaves = self.leaves_with_bounds()?;
+        let mut stamped = 0u64;
+        for (leaf_id, _) in leaves {
+            let frame = self.pool.fetch(leaf_id)?;
+            let mut g = frame.write();
+            let counts = version::stamp_committed(&mut g, resolver);
+            if !counts.is_empty() {
+                frame.mark_dirty_unlogged();
+            }
+            for (tid, n) in counts {
+                resolver.note_stamped(tid, n);
+                stamped += n as u64;
+            }
+        }
+        Ok(stamped)
+    }
+
+    /// All current leaves, left to right, each with its true low
+    /// separator key (empty = unbounded).
+    pub(crate) fn leaves_with_bounds(&self) -> Result<Vec<(PageId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.collect_leaves(self.root(), Vec::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_leaves(
+        &self,
+        page_id: PageId,
+        low: Vec<u8>,
+        out: &mut Vec<(PageId, Vec<u8>)>,
+    ) -> Result<()> {
+        let frame = self.pool.fetch(page_id)?;
+        let g = frame.read();
+        match g.page_type()? {
+            PageType::Leaf => {
+                out.push((page_id, low));
+                Ok(())
+            }
+            PageType::Index => {
+                let n = g.slot_count();
+                let children: Vec<(Vec<u8>, PageId)> = (0..n)
+                    .map(|i| {
+                        let off = g.slot(i);
+                        (g.rec_key(off).to_vec(), BTree::index_child(&g, i))
+                    })
+                    .collect();
+                drop(g);
+                for (i, (entry_key, child)) in children.into_iter().enumerate() {
+                    let child_low = if i == 0 { low.clone() } else { entry_key };
+                    self.collect_leaves(child, child_low, out)?;
+                }
+                Ok(())
+            }
+            other => Err(immortaldb_common::Error::Corruption(format!(
+                "scan hit {other:?} page {page_id:?}"
+            ))),
+        }
+    }
+
+    /// Emit all keys of `leaf` (or the history page covering `as_of`)
+    /// within `[low, upper)` that have a visible version at `as_of`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_leaf_as_of(
+        &self,
+        leaf_id: PageId,
+        as_of: Timestamp,
+        low: &[u8],
+        upper: Option<&[u8]>,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+        out: &mut Vec<ScanItem>,
+    ) -> Result<()> {
+        // Keys whose OWN uncommitted version (visible regardless of the
+        // page time range) was already emitted from the current leaf.
+        let mut own_emitted: Vec<Vec<u8>> = Vec::new();
+        if let Some(own) = own_tid {
+            let frame = self.pool.fetch(leaf_id)?;
+            let g = frame.read();
+            if as_of < g.start_ts() {
+                // The scan will route to history below; surface own
+                // writes (and own deletes) from the current page first.
+                for i in 0..g.slot_count() {
+                    let off = g.slot(i);
+                    let key = g.rec_key(off);
+                    if key < low {
+                        continue;
+                    }
+                    if let Some(up) = upper {
+                        if key >= up {
+                            break;
+                        }
+                    }
+                    if chain_has_own(&g, i, own) {
+                        own_emitted.push(key.to_vec());
+                        if let Visible::Version(voff) =
+                            version::visible_as_of(&g, i, as_of, own_tid, resolver)
+                        {
+                            out.push(ScanItem {
+                                key: key.to_vec(),
+                                data: g.rec_data(voff).to_vec(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let mut page_id = leaf_id;
+        loop {
+            let frame = self.pool.fetch(page_id)?;
+            let g = frame.read();
+            if as_of >= g.start_ts() {
+                for i in 0..g.slot_count() {
+                    let off = g.slot(i);
+                    let key = g.rec_key(off);
+                    if key < low {
+                        continue;
+                    }
+                    if let Some(up) = upper {
+                        if key >= up {
+                            break;
+                        }
+                    }
+                    if own_emitted.iter().any(|k| k.as_slice() == key) {
+                        continue;
+                    }
+                    if let Visible::Version(voff) =
+                        version::visible_as_of(&g, i, as_of, own_tid, resolver)
+                    {
+                        out.push(ScanItem {
+                            key: key.to_vec(),
+                            data: g.rec_data(voff).to_vec(),
+                        });
+                    }
+                }
+                // Keep key order deterministic when the own-write pass
+                // prepended items.
+                if !own_emitted.is_empty() {
+                    out.sort_by(|a, b| a.key.cmp(&b.key));
+                }
+                return Ok(());
+            }
+            let hist = g.history_page();
+            if !hist.is_valid() {
+                if !own_emitted.is_empty() {
+                    out.sort_by(|a, b| a.key.cmp(&b.key));
+                }
+                return Ok(()); // nothing recorded this far back
+            }
+            page_id = hist;
+        }
+    }
+}
+
+/// Does the chain at slot `i` contain a version TID-marked by `own`?
+fn chain_has_own(page: &Page, i: usize, own: Tid) -> bool {
+    version::chain_offsets(page, i)
+        .iter()
+        .any(|&off| page.rec_is_tid_marked(off) && page.rec_tid(off) == own)
+}
+
+/// Point lookup within a single (current or historical) page.
+fn lookup_in_page(
+    page: &Page,
+    key: &[u8],
+    as_of: Timestamp,
+    own_tid: Option<Tid>,
+    resolver: &dyn TimestampResolver,
+) -> Option<Vec<u8>> {
+    let i = page.find_slot(key).ok()?;
+    match version::visible_as_of(page, i, as_of, own_tid, resolver) {
+        Visible::Version(off) => Some(page.rec_data(off).to_vec()),
+        Visible::Deleted | Visible::NotHere => None,
+    }
+}

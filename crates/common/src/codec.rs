@@ -1,0 +1,326 @@
+//! Fixed-layout byte codecs.
+//!
+//! The engine controls its own on-disk bytes; these helpers read/write
+//! little-endian integers at explicit offsets (page fields) or through a
+//! cursor (log records), plus memcomparable key encodings so integer keys
+//! sort correctly as byte strings, and a small table-driven CRC32 for log
+//! record validation.
+
+use crate::error::{Error, Result};
+
+// ---------------------------------------------------------------------
+// Positioned accessors (page fields at fixed offsets)
+// ---------------------------------------------------------------------
+
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[inline]
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Cursor-style reader/writer (log record payloads)
+// ---------------------------------------------------------------------
+
+/// Sequential writer appending to a `Vec<u8>`.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    /// Length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+    /// Raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential reader over a byte slice. Every accessor is bounds-checked
+/// and returns [`Error::Corruption`] on truncation, so malformed log
+/// records cannot panic the recovery pass.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Corruption(format!(
+                "truncated payload: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    pub fn u16(&mut self) -> Result<u16> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+    pub fn u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    pub fn u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+    /// Length-prefixed byte string written by [`Writer::bytes`].
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+    /// Raw bytes with an out-of-band length.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the whole payload was consumed — catches format drift.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::Corruption(format!(
+                "{} unconsumed payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memcomparable key encodings
+// ---------------------------------------------------------------------
+
+/// Encode an `i64` so that unsigned byte-string comparison matches signed
+/// integer comparison (flip the sign bit, big-endian).
+pub fn key_from_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Inverse of [`key_from_i64`].
+pub fn i64_from_key(k: &[u8]) -> Result<i64> {
+    if k.len() != 8 {
+        return Err(Error::Corruption(format!("i64 key of {} bytes", k.len())));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(k);
+    Ok((u64::from_be_bytes(b) ^ (1 << 63)) as i64)
+}
+
+/// Encode a `u64` as a memcomparable key (plain big-endian).
+pub fn key_from_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Inverse of [`key_from_u64`].
+pub fn u64_from_key(k: &[u8]) -> Result<u64> {
+    if k.len() != 8 {
+        return Err(Error::Corruption(format!("u64 key of {} bytes", k.len())));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(k);
+    Ok(u64::from_be_bytes(b))
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE) — table-driven, used to validate WAL records
+// ---------------------------------------------------------------------
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, e) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        table
+    })
+}
+
+/// CRC32 (IEEE 802.3 polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positioned_roundtrip() {
+        let mut buf = [0u8; 32];
+        put_u16(&mut buf, 1, 0xBEEF);
+        put_u32(&mut buf, 4, 0xDEAD_BEEF);
+        put_u64(&mut buf, 10, u64::MAX - 3);
+        assert_eq!(get_u16(&buf, 1), 0xBEEF);
+        assert_eq!(get_u32(&buf, 4), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 10), u64::MAX - 3);
+    }
+
+    #[test]
+    fn cursor_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).bytes(b"hello").raw(b"xy");
+        let v = w.finish();
+        let mut r = Reader::new(&v);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.raw(2).unwrap(), b"xy");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let v = vec![1u8, 2];
+        let mut r = Reader::new(&v);
+        assert!(r.u32().is_err());
+    }
+
+    #[test]
+    fn reader_rejects_trailing_garbage() {
+        let v = vec![1u8, 2, 3];
+        let mut r = Reader::new(&v);
+        r.u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+
+    #[test]
+    fn i64_keys_sort_like_integers() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        let keys: Vec<_> = vals.iter().map(|&v| key_from_i64(v)).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &v in &vals {
+            assert_eq!(i64_from_key(&key_from_i64(v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u64_keys_sort_like_integers() {
+        assert!(key_from_u64(1) < key_from_u64(2));
+        assert!(key_from_u64(255) < key_from_u64(256));
+        assert_eq!(u64_from_key(&key_from_u64(42)).unwrap(), 42);
+    }
+
+    #[test]
+    fn key_decode_rejects_bad_length() {
+        assert!(i64_from_key(b"short").is_err());
+        assert!(u64_from_key(b"toolongtoolong").is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_flip() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! The engine-wide error type.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{PageId, Tid};
+
+/// All fallible engine operations return this error.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// On-disk bytes failed validation (bad magic, CRC mismatch,
+    /// impossible offsets). Indicates corruption or a version mismatch.
+    Corruption(String),
+    /// A page does not have the type the caller expected.
+    WrongPageType { page: PageId, expected: &'static str },
+    /// A record/key was not found where it was required to exist.
+    KeyNotFound,
+    /// An insert collided with an existing live record for the same key.
+    DuplicateKey,
+    /// The requested transaction is unknown or already finished.
+    UnknownTransaction(Tid),
+    /// The transaction was aborted by the engine (deadlock victim,
+    /// first-committer-wins conflict, explicit rollback during commit).
+    TransactionAborted { tid: Tid, reason: String },
+    /// Two transactions deadlocked; this one was chosen as the victim.
+    Deadlock(Tid),
+    /// A write-write conflict under snapshot isolation
+    /// (first-committer-wins).
+    WriteConflict(Tid),
+    /// A record (key + value + version tail) is too large to ever fit in a
+    /// page.
+    RecordTooLarge(usize),
+    /// The target page has no room for the operation; the caller must
+    /// split (or compact) and retry. Flow-control, not a failure.
+    PageFull,
+    /// Attempted to write through a read-only (AS OF) transaction.
+    ReadOnlyTransaction,
+    /// Catalog-level misuse: unknown table, duplicate table, querying
+    /// history of a non-immortal table, etc.
+    Catalog(String),
+    /// SQL front-end parse or binding failure.
+    Sql(String),
+    /// Internal invariant violation: a bug in the engine.
+    Internal(String),
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption detected: {m}"),
+            Error::WrongPageType { page, expected } => {
+                write!(f, "page {page:?} is not a {expected} page")
+            }
+            Error::KeyNotFound => write!(f, "key not found"),
+            Error::DuplicateKey => write!(f, "duplicate key"),
+            Error::UnknownTransaction(tid) => write!(f, "unknown transaction {tid:?}"),
+            Error::TransactionAborted { tid, reason } => {
+                write!(f, "transaction {tid:?} aborted: {reason}")
+            }
+            Error::Deadlock(tid) => write!(f, "deadlock: transaction {tid:?} chosen as victim"),
+            Error::WriteConflict(tid) => write!(
+                f,
+                "snapshot write-write conflict: transaction {tid:?} must abort (first committer wins)"
+            ),
+            Error::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page capacity"),
+            Error::PageFull => write!(f, "page full; split required"),
+            Error::ReadOnlyTransaction => write!(f, "write attempted in a read-only transaction"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Sql(m) => write!(f, "SQL error: {m}"),
+            Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// True if the error means the *transaction* is doomed but the engine
+    /// itself is healthy (the caller should roll back and may retry).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::Deadlock(_) | Error::WriteConflict(_) | Error::TransactionAborted { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::WriteConflict(Tid(7));
+        assert!(e.to_string().contains("first committer wins"));
+        let e = Error::WrongPageType {
+            page: PageId(3),
+            expected: "leaf",
+        };
+        assert!(e.to_string().contains("P3"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::Deadlock(Tid(1)).is_transient());
+        assert!(Error::WriteConflict(Tid(1)).is_transient());
+        assert!(!Error::KeyNotFound.is_transient());
+        assert!(!Error::Corruption("x".into()).is_transient());
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: Error = io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,126 @@
+//! Identifier newtypes used across the engine.
+
+use std::fmt;
+
+/// Physical page number within the database file. Page 0 is the meta page;
+/// [`INVALID_PAGE`] (0) therefore doubles as the "no page" sentinel in
+/// all page-link fields (history chains, sibling links, child pointers).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+/// The "no page" sentinel. The meta page itself is never the target of a
+/// link field, so reusing its number is unambiguous.
+pub const INVALID_PAGE: PageId = PageId(0);
+
+impl PageId {
+    /// Returns true if this id refers to a real, linkable page.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+    /// Byte offset of this page within the database file.
+    #[inline]
+    pub fn file_offset(self, page_size: usize) -> u64 {
+        self.0 as u64 * page_size as u64
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Transaction identifier. TIDs are assigned in ascending order by the
+/// transaction manager, which keeps the active tail of the persistent
+/// timestamp table clustered (§2.2). TID 0 is reserved for system
+/// (redo-only) actions such as page splits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tid(pub u64);
+
+impl Tid {
+    /// Pseudo-transaction used for redo-only structure modifications.
+    pub const SYSTEM: Tid = Tid(0);
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Log sequence number: the byte offset of a log record in the WAL.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+/// "No LSN": used for the first record of a transaction's backchain and
+/// for pages that have never been touched.
+pub const NULL_LSN: Lsn = Lsn(0);
+
+impl Lsn {
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Stable identifier of a B-tree (table or index). The meta page maps
+/// `TreeId -> root PageId` so that logical undo can re-descend a tree even
+/// after its root has moved. TreeId 1 is reserved for the persistent
+/// timestamp table, TreeId 2 for the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TreeId(pub u32);
+
+impl TreeId {
+    /// Persistent timestamp table (PTT).
+    pub const PTT: TreeId = TreeId(1);
+    /// System catalog.
+    pub const CATALOG: TreeId = TreeId(2);
+    /// First TreeId available for user tables.
+    pub const FIRST_USER: TreeId = TreeId(16);
+}
+
+impl fmt::Debug for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_validity() {
+        assert!(!INVALID_PAGE.is_valid());
+        assert!(PageId(1).is_valid());
+        assert_eq!(PageId(3).file_offset(8192), 3 * 8192);
+    }
+
+    #[test]
+    fn lsn_null() {
+        assert!(NULL_LSN.is_null());
+        assert!(!Lsn(10).is_null());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Tid(2) < Tid(10));
+        assert!(Lsn(5) < Lsn(6));
+        assert!(PageId(1) < PageId(2));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", PageId(7)), "P7");
+        assert_eq!(format!("{:?}", Tid(9)), "T9");
+        assert_eq!(format!("{:?}", Lsn(3)), "L3");
+        assert_eq!(format!("{:?}", TreeId(4)), "tree4");
+    }
+}

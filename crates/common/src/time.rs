@@ -1,0 +1,172 @@
+//! Timestamps and clocks (§2.1 of the paper).
+//!
+//! A [`Timestamp`] is the pair `(ttime, sn)`: `ttime` is a wall-clock
+//! millisecond value quantized to 20 ms ticks (matching the resolution of
+//! the SQL Server date/time type the paper extends), and `sn` is a 4-byte
+//! sequence number distinguishing up to 2^32 transactions inside one tick.
+//!
+//! A timestamp is chosen **at commit** so that timestamp order agrees with
+//! serialization order; issuing is serialized by the transaction manager's
+//! timestamp authority (in `immortaldb-txn`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Clock tick granularity in milliseconds. The paper: "the SQL date/time
+/// function returns an eight byte time with a resolution of 20ms".
+pub const TICK_MS: u64 = 20;
+
+/// Sequence number sentinel marking a *non-timestamped* record: when a
+/// record's SN field holds this value, its Ttime field contains the TID of
+/// the updating transaction instead of a commit time.
+pub const SN_TID_MARK: u32 = u32::MAX;
+
+/// A transaction-time timestamp: 20 ms-resolution clock time plus a
+/// sequence number. Total order is lexicographic `(ttime, sn)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Timestamp {
+    /// Milliseconds since the UNIX epoch, quantized to [`TICK_MS`].
+    pub ttime: u64,
+    /// Sequence number within the tick (`< SN_TID_MARK`).
+    pub sn: u32,
+}
+
+impl Timestamp {
+    /// The smallest possible timestamp; earlier than any commit.
+    pub const ZERO: Timestamp = Timestamp { ttime: 0, sn: 0 };
+    /// A timestamp later than any commit; used as the open upper bound of
+    /// current pages' time ranges.
+    pub const MAX: Timestamp = Timestamp {
+        ttime: u64::MAX,
+        sn: SN_TID_MARK - 1,
+    };
+
+    pub fn new(ttime: u64, sn: u32) -> Self {
+        debug_assert!(sn < SN_TID_MARK, "SN_TID_MARK is reserved");
+        Timestamp { ttime, sn }
+    }
+
+    /// The inclusive upper bound for "AS OF `ttime`" queries expressed as
+    /// a raw clock time: any transaction committing within or before this
+    /// tick is visible.
+    pub fn as_of_clock(ttime_ms: u64) -> Self {
+        Timestamp {
+            ttime: quantize(ttime_ms),
+            sn: SN_TID_MARK - 1,
+        }
+    }
+}
+
+/// Quantize a millisecond value down to the 20 ms grid.
+#[inline]
+pub fn quantize(ms: u64) -> u64 {
+    ms - (ms % TICK_MS)
+}
+
+/// Source of wall-clock milliseconds. Injected so tests and benchmarks can
+/// drive deterministic virtual time; the engine never calls
+/// `SystemTime::now` directly.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds since the UNIX epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Real wall-clock time.
+#[derive(Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before UNIX epoch")
+            .as_millis() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic tests and simulations.
+pub struct SimClock {
+    ms: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new(start_ms: u64) -> Self {
+        SimClock {
+            ms: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Advance the clock by `delta_ms` milliseconds.
+    pub fn advance(&self, delta_ms: u64) {
+        self.ms.fetch_add(delta_ms, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute value. Panics if this would move the
+    /// clock backwards (the engine requires monotone time).
+    pub fn set(&self, ms: u64) {
+        let prev = self.ms.swap(ms, Ordering::SeqCst);
+        assert!(prev <= ms, "SimClock moved backwards: {prev} -> {ms}");
+    }
+}
+
+impl Clock for SimClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_to_tick_grid() {
+        assert_eq!(quantize(0), 0);
+        assert_eq!(quantize(19), 0);
+        assert_eq!(quantize(20), 20);
+        assert_eq!(quantize(39), 20);
+        assert_eq!(quantize(40), 40);
+    }
+
+    #[test]
+    fn timestamp_ordering_is_lexicographic() {
+        let a = Timestamp::new(20, 5);
+        let b = Timestamp::new(20, 6);
+        let c = Timestamp::new(40, 0);
+        assert!(a < b && b < c);
+        assert!(Timestamp::ZERO < a);
+        assert!(c < Timestamp::MAX);
+    }
+
+    #[test]
+    fn as_of_clock_is_inclusive_upper_bound_of_tick() {
+        let q = Timestamp::as_of_clock(45);
+        assert_eq!(q.ttime, 40);
+        // Any SN within tick 40 is <= q.
+        assert!(Timestamp::new(40, 1_000_000) <= q);
+        assert!(Timestamp::new(60, 0) > q);
+    }
+
+    #[test]
+    fn sim_clock_advances() {
+        let c = SimClock::new(100);
+        assert_eq!(c.now_ms(), 100);
+        c.advance(50);
+        assert_eq!(c.now_ms(), 150);
+        c.set(200);
+        assert_eq!(c.now_ms(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn sim_clock_rejects_backwards() {
+        let c = SimClock::new(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn system_clock_is_sane() {
+        // After 2020-01-01 in ms.
+        assert!(SystemClock.now_ms() > 1_577_836_800_000);
+    }
+}

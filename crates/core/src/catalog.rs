@@ -1,0 +1,176 @@
+//! The system catalog: table definitions persisted in a dedicated B-tree
+//! (`TreeId::CATALOG`, name → serialized [`TableDef`]).
+//!
+//! A table's *kind* mirrors §4.1 of the paper: `Immortal` tables keep
+//! persistent versions forever and enable AS OF queries; conventional
+//! tables can be `SnapshotEnabled` (recent versions for snapshot isolation
+//! concurrency control, garbage collected at the oldest-active-snapshot
+//! watermark) or plain `Conventional` (in-place storage, no versions).
+
+use immortaldb_common::codec::{Reader, Writer};
+use immortaldb_common::{Error, Result, TreeId};
+
+use crate::index::IndexKind;
+use crate::row::{ColType, Column, Schema};
+
+/// How a table treats versions (the `IMMORTAL` keyword / snapshot
+/// `ALTER TABLE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Transaction-time table: versions are immortal, AS OF enabled.
+    Immortal,
+    /// Conventional table with snapshot versioning for concurrency
+    /// control; old versions are garbage collected.
+    SnapshotEnabled,
+    /// Conventional table: in-place updates, no versions.
+    Conventional,
+}
+
+impl TableKind {
+    pub fn is_versioned(self) -> bool {
+        !matches!(self, TableKind::Conventional)
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            TableKind::Immortal => 1,
+            TableKind::SnapshotEnabled => 2,
+            TableKind::Conventional => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<TableKind> {
+        Ok(match v {
+            1 => TableKind::Immortal,
+            2 => TableKind::SnapshotEnabled,
+            3 => TableKind::Conventional,
+            other => return Err(Error::Corruption(format!("bad table kind {other}"))),
+        })
+    }
+}
+
+/// A table definition as stored in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: String,
+    pub tree: TreeId,
+    pub kind: TableKind,
+    /// Index structure backing the table (page-chain B+tree or TSB-tree).
+    pub index: IndexKind,
+    pub schema: Schema,
+}
+
+impl TableDef {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(self.kind.to_u8())
+            .u8(match self.index {
+                IndexKind::Chain => 1,
+                IndexKind::Tsb => 2,
+            })
+            .u32(self.tree.0)
+            .u16(self.schema.pk as u16)
+            .u16(self.schema.columns.len() as u16);
+        for col in &self.schema.columns {
+            w.bytes(col.name.as_bytes());
+            match col.ctype {
+                ColType::SmallInt => {
+                    w.u8(1);
+                }
+                ColType::Int => {
+                    w.u8(2);
+                }
+                ColType::BigInt => {
+                    w.u8(3);
+                }
+                ColType::Varchar(n) => {
+                    w.u8(4).u16(n);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    pub fn decode(name: &str, data: &[u8]) -> Result<TableDef> {
+        let mut r = Reader::new(data);
+        let kind = TableKind::from_u8(r.u8()?)?;
+        let index = match r.u8()? {
+            1 => IndexKind::Chain,
+            2 => IndexKind::Tsb,
+            other => return Err(Error::Corruption(format!("bad index kind {other}"))),
+        };
+        let tree = TreeId(r.u32()?);
+        let pk = r.u16()? as usize;
+        let ncols = r.u16()? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let cname = String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| Error::Corruption("non-UTF8 column name".into()))?;
+            let ctype = match r.u8()? {
+                1 => ColType::SmallInt,
+                2 => ColType::Int,
+                3 => ColType::BigInt,
+                4 => ColType::Varchar(r.u16()?),
+                t => return Err(Error::Corruption(format!("bad column type tag {t}"))),
+            };
+            columns.push(Column { name: cname, ctype });
+        }
+        r.expect_end()?;
+        Ok(TableDef {
+            name: name.to_string(),
+            tree,
+            kind,
+            index,
+            schema: Schema::new(columns, pk)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_roundtrip() {
+        let def = TableDef {
+            name: "MovingObjects".into(),
+            tree: TreeId(17),
+            kind: TableKind::Immortal,
+            index: IndexKind::Tsb,
+            schema: Schema::new(
+                vec![
+                    Column {
+                        name: "Oid".into(),
+                        ctype: ColType::SmallInt,
+                    },
+                    Column {
+                        name: "LocationX".into(),
+                        ctype: ColType::Int,
+                    },
+                    Column {
+                        name: "Note".into(),
+                        ctype: ColType::Varchar(64),
+                    },
+                ],
+                0,
+            )
+            .unwrap(),
+        };
+        let enc = def.encode();
+        let dec = TableDef::decode("MovingObjects", &enc).unwrap();
+        assert_eq!(def, dec);
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(TableKind::Immortal.is_versioned());
+        assert!(TableKind::SnapshotEnabled.is_versioned());
+        assert!(!TableKind::Conventional.is_versioned());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TableDef::decode("t", &[9, 9, 9]).is_err());
+        assert!(TableDef::decode("t", &[]).is_err());
+    }
+}

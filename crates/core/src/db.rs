@@ -1,0 +1,841 @@
+//! The Immortal DB engine: wiring of storage, trees, transactions and
+//! timestamping, plus the table-level API the SQL front end drives.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use immortaldb_btree::{BTree, HeadVersion, SplitTimeSource};
+use immortaldb_common::{
+    Clock, Error, Lsn, PageId, Result, SystemClock, Tid, Timestamp, TreeId, NULL_LSN,
+};
+use immortaldb_storage::buffer::BufferPool;
+use immortaldb_storage::disk::DiskManager;
+use immortaldb_storage::logrec::LogRecord;
+use immortaldb_storage::meta::MetaView;
+use immortaldb_storage::recovery::{self, TreeLocator};
+use immortaldb_storage::wal::{Durability, Wal};
+use immortaldb_txn::{
+    LockManager, Ptt, PttGc, StampingFlushHook, TimestampAuthority, TxnResolver, Vtt,
+};
+
+use crate::catalog::{TableDef, TableKind};
+use crate::index::{IndexKind, TableIndex};
+use crate::row::{Schema, Value};
+use crate::txn::{Isolation, TimestampingMode, Transaction};
+
+/// Engine configuration.
+pub struct DbConfig {
+    /// Directory holding the data file, WAL and master record.
+    pub dir: PathBuf,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// Commit durability (fsync vs OS-buffered).
+    pub durability: Durability,
+    /// Lazy (the paper) or eager (baseline) timestamping.
+    pub timestamping: TimestampingMode,
+    /// Lock wait timeout (deadlock backstop).
+    pub lock_timeout: Duration,
+    /// Wall clock (inject a `SimClock` for deterministic runs).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl DbConfig {
+    pub fn new(dir: impl AsRef<Path>) -> DbConfig {
+        DbConfig {
+            dir: dir.as_ref().to_path_buf(),
+            pool_pages: 1024,
+            durability: Durability::Buffered,
+            timestamping: TimestampingMode::Lazy,
+            lock_timeout: Duration::from_secs(5),
+            clock: Arc::new(SystemClock),
+        }
+    }
+
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    pub fn pool_pages(mut self, n: usize) -> Self {
+        self.pool_pages = n;
+        self
+    }
+
+    pub fn durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
+    }
+
+    pub fn timestamping(mut self, m: TimestampingMode) -> Self {
+        self.timestamping = m;
+        self
+    }
+}
+
+/// The database engine.
+pub struct Database {
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) wal: Arc<Wal>,
+    pub(crate) authority: Arc<TimestampAuthority>,
+    pub(crate) vtt: Arc<Vtt>,
+    pub(crate) ptt: Arc<Ptt>,
+    pub(crate) resolver: Arc<TxnResolver>,
+    gc: PttGc,
+    pub(crate) locks: Arc<LockManager>,
+    catalog_tree: Arc<BTree>,
+    tables: RwLock<HashMap<String, Arc<TableDef>>>,
+    trees: RwLock<HashMap<TreeId, TableIndex>>,
+    next_tid: AtomicU64,
+    next_tree: AtomicU32,
+    /// Active-transaction table: tid → last LSN (for fuzzy checkpoints).
+    active: Mutex<HashMap<Tid, Lsn>>,
+    /// Active snapshot reads: snapshot timestamp → count (oldest bounds
+    /// snapshot-version GC).
+    snapshots: Mutex<std::collections::BTreeMap<Timestamp, usize>>,
+    timestamping: TimestampingMode,
+    durability: Durability,
+    /// Losers rolled back during the last open (metrics/tests).
+    pub recovered_losers: usize,
+}
+
+impl Database {
+    /// Open (or create) a database in `config.dir`, running full crash
+    /// recovery (analysis, redo, undo) if the previous run did not shut
+    /// down cleanly.
+    pub fn open(config: DbConfig) -> Result<Database> {
+        std::fs::create_dir_all(&config.dir)?;
+        let (disk, fresh) = DiskManager::open(config.dir.join("data.idb"))?;
+        let disk = Arc::new(disk);
+        let wal = Arc::new(Wal::open(config.dir.join("wal.log"))?);
+        let pool = Arc::new(BufferPool::new(
+            Arc::clone(&disk),
+            Arc::clone(&wal),
+            config.pool_pages,
+        ));
+        let authority = Arc::new(TimestampAuthority::new(Arc::clone(&config.clock)));
+
+        // Analysis + redo (trivial for a fresh database).
+        let analysis = recovery::analyze_and_redo(&wal, &pool)?;
+
+        // Restore watermarks: meta page (as of last checkpoint) plus
+        // anything later found in the log.
+        {
+            let meta = pool.fetch(PageId(0))?;
+            let g = meta.read();
+            MetaView::validate(&g)?;
+            authority.restore(MetaView::last_timestamp(&g));
+        }
+        if let Some(max_committed) = analysis.committed.values().copied().max() {
+            authority.restore(max_committed);
+        }
+        let meta_max_tid = {
+            let meta = pool.fetch(PageId(0))?;
+            let g = meta.read();
+            MetaView::max_tid(&g)
+        };
+        let next_tid = meta_max_tid.0.max(analysis.max_tid.0) + 1;
+
+        let vtt = Arc::new(Vtt::new());
+        let split_time: Arc<dyn SplitTimeSource> = Arc::clone(&authority) as _;
+        let ptt = Arc::new(if fresh {
+            Ptt::create(Arc::clone(&pool), Arc::clone(&wal), Arc::clone(&split_time))?
+        } else {
+            Ptt::open(Arc::clone(&pool), Arc::clone(&wal), Arc::clone(&split_time))?
+        });
+        let catalog_tree = Arc::new(if fresh {
+            BTree::create(
+                Arc::clone(&pool),
+                Arc::clone(&wal),
+                TreeId::CATALOG,
+                false,
+                Arc::clone(&split_time),
+            )?
+        } else {
+            BTree::open(
+                Arc::clone(&pool),
+                Arc::clone(&wal),
+                TreeId::CATALOG,
+                false,
+                Arc::clone(&split_time),
+            )?
+        });
+        let resolver = Arc::new(TxnResolver::new(
+            Arc::clone(&vtt),
+            Arc::clone(&ptt),
+            Arc::clone(&wal),
+        ));
+        pool.set_flush_hook(Arc::new(StampingFlushHook::new(Arc::clone(&resolver))));
+
+        // Load the catalog and open one tree handle per table.
+        let mut tables = HashMap::new();
+        let mut trees: HashMap<TreeId, TableIndex> = HashMap::new();
+        trees.insert(TreeId::PTT, TableIndex::Chain(Arc::clone(ptt.tree())));
+        trees.insert(TreeId::CATALOG, TableIndex::Chain(Arc::clone(&catalog_tree)));
+        let mut max_tree = TreeId::FIRST_USER.0;
+        for item in catalog_tree.u_scan()? {
+            let name = String::from_utf8(item.key.clone())
+                .map_err(|_| Error::Corruption("non-UTF8 table name".into()))?;
+            let def = Arc::new(TableDef::decode(&name, &item.data)?);
+            let handle = match def.index {
+                IndexKind::Chain => TableIndex::Chain(Arc::new(BTree::open(
+                    Arc::clone(&pool),
+                    Arc::clone(&wal),
+                    def.tree,
+                    def.kind.is_versioned(),
+                    Arc::clone(&split_time),
+                )?)),
+                IndexKind::Tsb => TableIndex::Tsb(Arc::new(immortaldb_tsb::TsbTree::open(
+                    Arc::clone(&pool),
+                    Arc::clone(&wal),
+                    def.tree,
+                    Arc::clone(&split_time),
+                )?)),
+            };
+            trees.insert(def.tree, handle);
+            max_tree = max_tree.max(def.tree.0 + 1);
+            tables.insert(name, def);
+        }
+
+        let gc = PttGc::new(Arc::clone(&vtt), Arc::clone(&ptt));
+        let db = Database {
+            pool,
+            wal,
+            authority,
+            vtt,
+            ptt,
+            resolver,
+            gc,
+            locks: Arc::new(LockManager::new(config.lock_timeout)),
+            catalog_tree,
+            tables: RwLock::new(tables),
+            trees: RwLock::new(trees),
+            next_tid: AtomicU64::new(next_tid),
+            next_tree: AtomicU32::new(max_tree),
+            active: Mutex::new(HashMap::new()),
+            snapshots: Mutex::new(std::collections::BTreeMap::new()),
+            timestamping: config.timestamping,
+            durability: config.durability,
+            recovered_losers: 0,
+        };
+
+        // Undo pass: roll back losers (requires the tree registry).
+        let mut db = db;
+        db.recovered_losers = recovery::undo(&db.wal, &db.pool, &db, &analysis.att)?;
+        // Post-recovery checkpoint establishes a fresh redo scan start.
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    pub fn authority(&self) -> &Arc<TimestampAuthority> {
+        &self.authority
+    }
+
+    /// Current wall-clock time (through the injected clock).
+    pub fn now_ms(&self) -> u64 {
+        self.authority.now_ms()
+    }
+
+    /// Latest issued commit timestamp.
+    pub fn latest_ts(&self) -> Timestamp {
+        self.authority.latest()
+    }
+
+    /// Persistent timestamp table size (experiments).
+    pub fn ptt_len(&self) -> Result<usize> {
+        self.ptt.len()
+    }
+
+    /// Volatile timestamp table size (experiments).
+    pub fn vtt_len(&self) -> usize {
+        self.vtt.len()
+    }
+
+    /// Bytes written to the log so far (experiments).
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.end_lsn().0
+    }
+
+    /// `(time splits, key splits)` across all user tables.
+    pub fn split_counts(&self) -> (u32, u32) {
+        let trees = self.trees.read();
+        let mut t = 0;
+        let mut k = 0;
+        for handle in trees.values() {
+            let (a, b) = handle.split_counts();
+            t += a;
+            k += b;
+        }
+        (t, k)
+    }
+
+    pub(crate) fn tree_handle(&self, tree: TreeId) -> Result<TableIndex> {
+        self.trees
+            .read()
+            .get(&tree)
+            .cloned()
+            .ok_or_else(|| Error::Catalog(format!("{tree:?} not registered")))
+    }
+
+    /// Table definition by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableDef>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::Catalog(format!("unknown table {name}")))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // -- DDL ---------------------------------------------------------------
+
+    /// Create a table (`CREATE [IMMORTAL] TABLE`) on the default
+    /// page-chain index. DDL is not transactional: it is logged as system
+    /// actions and survives crashes, but cannot be rolled back.
+    pub fn create_table(&self, name: &str, schema: Schema, kind: TableKind) -> Result<Arc<TableDef>> {
+        self.create_table_with(name, schema, kind, IndexKind::Chain)
+    }
+
+    /// Create a table on an explicit index structure
+    /// (`CREATE IMMORTAL TABLE … USING TSB` selects the TSB-tree).
+    pub fn create_table_with(
+        &self,
+        name: &str,
+        schema: Schema,
+        kind: TableKind,
+        index: IndexKind,
+    ) -> Result<Arc<TableDef>> {
+        if index == IndexKind::Tsb && kind != TableKind::Immortal {
+            return Err(Error::Catalog(
+                "the TSB-tree index requires an IMMORTAL table".into(),
+            ));
+        }
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(Error::Catalog(format!("table {name} already exists")));
+        }
+        let tree = TreeId(self.next_tree.fetch_add(1, Ordering::SeqCst));
+        let handle = match index {
+            IndexKind::Chain => TableIndex::Chain(Arc::new(BTree::create(
+                Arc::clone(&self.pool),
+                Arc::clone(&self.wal),
+                tree,
+                kind.is_versioned(),
+                Arc::clone(&self.authority) as Arc<dyn SplitTimeSource>,
+            )?)),
+            IndexKind::Tsb => TableIndex::Tsb(Arc::new(immortaldb_tsb::TsbTree::create(
+                Arc::clone(&self.pool),
+                Arc::clone(&self.wal),
+                tree,
+                Arc::clone(&self.authority) as Arc<dyn SplitTimeSource>,
+            )?)),
+        };
+        let def = Arc::new(TableDef {
+            name: name.to_string(),
+            tree,
+            kind,
+            index,
+            schema,
+        });
+        self.catalog_tree
+            .u_insert(Tid::SYSTEM, NULL_LSN, name.as_bytes(), &def.encode())?;
+        self.trees.write().insert(tree, handle);
+        tables.insert(name.to_string(), Arc::clone(&def));
+        Ok(def)
+    }
+
+    /// Enable snapshot versioning on an *empty* conventional table
+    /// (`ALTER TABLE … ENABLE SNAPSHOT`). Converting populated tables
+    /// would require rewriting record formats and is out of scope.
+    pub fn enable_snapshot(&self, name: &str) -> Result<()> {
+        let def = self.table(name)?;
+        if def.kind != TableKind::Conventional {
+            return Ok(()); // already versioned
+        }
+        let handle = self.tree_handle(def.tree)?;
+        if handle.u_count()? != 0 {
+            return Err(Error::Catalog(format!(
+                "cannot enable snapshot versioning on non-empty table {name}"
+            )));
+        }
+        // Swap in a fresh versioned tree under a new TreeId.
+        let tree = TreeId(self.next_tree.fetch_add(1, Ordering::SeqCst));
+        let new_handle = TableIndex::Chain(Arc::new(BTree::create(
+            Arc::clone(&self.pool),
+            Arc::clone(&self.wal),
+            tree,
+            true,
+            Arc::clone(&self.authority) as Arc<dyn SplitTimeSource>,
+        )?));
+        let new_def = Arc::new(TableDef {
+            name: def.name.clone(),
+            tree,
+            kind: TableKind::SnapshotEnabled,
+            index: IndexKind::Chain,
+            schema: def.schema.clone(),
+        });
+        self.catalog_tree
+            .u_update(Tid::SYSTEM, NULL_LSN, name.as_bytes(), &new_def.encode())?;
+        self.trees.write().insert(tree, new_handle);
+        self.tables.write().insert(name.to_string(), new_def);
+        Ok(())
+    }
+
+    // -- transaction lifecycle ----------------------------------------------
+
+    /// Begin a read-write transaction.
+    pub fn begin(&self, isolation: Isolation) -> Transaction {
+        let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
+        self.vtt.begin(tid);
+        let snapshot = self.authority.latest();
+        if isolation == Isolation::Snapshot {
+            *self.snapshots.lock().entry(snapshot).or_insert(0) += 1;
+        }
+        Transaction::new(tid, isolation, snapshot)
+    }
+
+    /// Begin a read-only historical transaction (`BEGIN TRAN AS OF …`).
+    /// `as_of` is a wall-clock millisecond value; every transaction that
+    /// committed within or before its 20 ms tick is visible.
+    pub fn begin_as_of(&self, as_of_ms: u64) -> Transaction {
+        let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
+        Transaction::new_as_of(tid, Timestamp::as_of_clock(as_of_ms))
+    }
+
+    /// Begin a read-only transaction at an exact timestamp.
+    pub fn begin_as_of_ts(&self, as_of: Timestamp) -> Transaction {
+        let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
+        Transaction::new_as_of(tid, as_of)
+    }
+
+    fn ensure_begin_logged(&self, txn: &mut Transaction) {
+        if txn.last_lsn.is_null() {
+            let lsn = self.wal.append(txn.tid, NULL_LSN, &LogRecord::Begin);
+            txn.last_lsn = lsn;
+            self.active.lock().insert(txn.tid, lsn);
+        }
+    }
+
+    fn ensure_writable(&self, txn: &Transaction) -> Result<()> {
+        if txn.finished {
+            return Err(Error::UnknownTransaction(txn.tid));
+        }
+        if txn.is_read_only() {
+            return Err(Error::ReadOnlyTransaction);
+        }
+        Ok(())
+    }
+
+    /// Commit: choose the timestamp (stage III), write the PTT row for
+    /// immortal writers, log Commit + End, flush. Returns the commit
+    /// timestamp (the begin snapshot for read-only transactions).
+    pub fn commit(&self, txn: &mut Transaction) -> Result<Timestamp> {
+        if txn.finished {
+            return Err(Error::UnknownTransaction(txn.tid));
+        }
+        txn.finished = true;
+        if txn.last_lsn.is_null() {
+            // Read-only (or no-op): nothing logged, nothing to make
+            // durable.
+            self.finish_bookkeeping(txn);
+            self.vtt.remove(txn.tid);
+            return Ok(txn.snapshot);
+        }
+        match self.commit_inner(txn) {
+            Ok(ts) => Ok(ts),
+            Err(e) => {
+                // A commit-path failure (I/O, PTT insert) must not leak
+                // locks or leave the transaction half-visible: roll it
+                // back like an abort.
+                self.vtt.abort(txn.tid);
+                let _ = recovery::rollback_txn(&self.wal, &self.pool, self, txn.tid, txn.last_lsn);
+                self.vtt.remove(txn.tid);
+                self.finish_bookkeeping(txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_inner(&self, txn: &mut Transaction) -> Result<Timestamp> {
+        let ts = self.authority.issue_commit_ts();
+        let mut in_ptt = false;
+        match self.timestamping {
+            TimestampingMode::Eager => {
+                // Revisit every updated record before commit: stamp + log.
+                let mut seen = std::collections::HashSet::new();
+                let touched = std::mem::take(&mut txn.touched);
+                for (tree, key) in touched {
+                    if !seen.insert((tree, key.clone())) {
+                        continue;
+                    }
+                    let handle = self.tree_handle(tree)?;
+                    let (lsn, n) = handle.eager_stamp(txn.tid, txn.last_lsn, &key, ts)?;
+                    txn.last_lsn = lsn;
+                    if n > 0 {
+                        self.vtt.note_stamped(txn.tid, n as u64, self.wal.end_lsn());
+                    }
+                }
+            }
+            TimestampingMode::Lazy => {
+                if txn.wrote_immortal {
+                    txn.last_lsn = self.ptt.insert(txn.tid, ts, txn.last_lsn)?;
+                    in_ptt = true;
+                }
+            }
+        }
+        let clsn = self.wal.append(txn.tid, txn.last_lsn, &LogRecord::Commit { ts });
+        self.wal.append(txn.tid, clsn, &LogRecord::End);
+        self.wal.flush(self.durability)?;
+        self.vtt.commit(txn.tid, ts, in_ptt, self.wal.end_lsn());
+        self.finish_bookkeeping(txn);
+        Ok(ts)
+    }
+
+    /// Roll back: undo the transaction's operations (writing CLRs), then
+    /// release everything.
+    pub fn rollback(&self, txn: &mut Transaction) -> Result<()> {
+        if txn.finished {
+            return Err(Error::UnknownTransaction(txn.tid));
+        }
+        txn.finished = true;
+        if !txn.last_lsn.is_null() {
+            self.vtt.abort(txn.tid);
+            recovery::rollback_txn(&self.wal, &self.pool, self, txn.tid, txn.last_lsn)?;
+        }
+        self.vtt.remove(txn.tid);
+        self.finish_bookkeeping(txn);
+        Ok(())
+    }
+
+    fn finish_bookkeeping(&self, txn: &Transaction) {
+        self.locks.release_all(txn.tid);
+        self.active.lock().remove(&txn.tid);
+        if txn.isolation == Isolation::Snapshot && txn.as_of.is_none() {
+            let mut snaps = self.snapshots.lock();
+            if let Some(n) = snaps.get_mut(&txn.snapshot) {
+                *n -= 1;
+                if *n == 0 {
+                    snaps.remove(&txn.snapshot);
+                }
+            }
+        }
+    }
+
+    /// Oldest snapshot any active transaction may read (bounds
+    /// snapshot-version GC).
+    pub fn oldest_snapshot(&self) -> Timestamp {
+        self.snapshots
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.authority.latest())
+    }
+
+    // -- DML ----------------------------------------------------------------
+
+    /// Insert a full row.
+    pub fn insert_row(&self, txn: &mut Transaction, table: &str, values: Vec<Value>) -> Result<()> {
+        let def = self.table(table)?;
+        self.ensure_writable(txn)?;
+        let values = def.schema.check_row(&values)?;
+        let key = def.schema.key_of_row(&values)?;
+        let data = def.schema.encode_row(&values);
+        self.locks.lock_write(txn.tid, def.tree, &key)?;
+        self.ensure_begin_logged(txn);
+        let handle = self.tree_handle(def.tree)?;
+        if def.kind.is_versioned() {
+            txn.last_lsn = handle.insert(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
+            self.note_write(txn, &def, key);
+        } else {
+            txn.last_lsn = handle.u_insert(txn.tid, txn.last_lsn, &key, &data)?;
+        }
+        self.active.lock().insert(txn.tid, txn.last_lsn);
+        Ok(())
+    }
+
+    /// Replace the row with primary key `values[pk]` by `values`.
+    pub fn update_row(&self, txn: &mut Transaction, table: &str, values: Vec<Value>) -> Result<()> {
+        let def = self.table(table)?;
+        self.ensure_writable(txn)?;
+        let values = def.schema.check_row(&values)?;
+        let key = def.schema.key_of_row(&values)?;
+        let data = def.schema.encode_row(&values);
+        self.locks.lock_write(txn.tid, def.tree, &key)?;
+        self.ensure_begin_logged(txn);
+        let handle = self.tree_handle(def.tree)?;
+        if def.kind.is_versioned() {
+            self.check_first_committer(txn, &handle, &key)?;
+            txn.last_lsn = handle.update(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
+            self.note_write(txn, &def, key.clone());
+            if def.kind == TableKind::SnapshotEnabled {
+                handle.prune_snapshot_versions(&key, self.oldest_snapshot())?;
+            }
+        } else {
+            txn.last_lsn = handle.u_update(txn.tid, txn.last_lsn, &key, &data)?;
+        }
+        self.active.lock().insert(txn.tid, txn.last_lsn);
+        Ok(())
+    }
+
+    /// Delete the row with primary key `pk`.
+    pub fn delete_row(&self, txn: &mut Transaction, table: &str, pk: &Value) -> Result<()> {
+        let def = self.table(table)?;
+        self.ensure_writable(txn)?;
+        let pk = pk.coerce(def.schema.columns[def.schema.pk].ctype)?;
+        let key = crate::row::encode_key(&pk)?;
+        self.locks.lock_write(txn.tid, def.tree, &key)?;
+        self.ensure_begin_logged(txn);
+        let handle = self.tree_handle(def.tree)?;
+        if def.kind.is_versioned() {
+            self.check_first_committer(txn, &handle, &key)?;
+            txn.last_lsn = handle.delete(txn.tid, txn.last_lsn, &key, self.resolver.as_ref())?;
+            self.note_write(txn, &def, key);
+        } else {
+            txn.last_lsn = handle.u_delete(txn.tid, txn.last_lsn, &key)?;
+        }
+        self.active.lock().insert(txn.tid, txn.last_lsn);
+        Ok(())
+    }
+
+    fn note_write(&self, txn: &mut Transaction, def: &TableDef, key: Vec<u8>) {
+        txn.writes += 1;
+        self.vtt.add_pending(txn.tid, 1);
+        if def.kind == TableKind::Immortal {
+            txn.wrote_immortal = true;
+        }
+        if self.timestamping == TimestampingMode::Eager {
+            txn.touched.push((def.tree, key));
+        }
+    }
+
+    /// Snapshot isolation first-committer-wins: abort the writer if the
+    /// newest committed version postdates its snapshot. (Serializable
+    /// transactions rely on two-phase locking instead.)
+    fn check_first_committer(
+        &self,
+        txn: &Transaction,
+        handle: &TableIndex,
+        key: &[u8],
+    ) -> Result<()> {
+        if txn.isolation != Isolation::Snapshot {
+            return Ok(());
+        }
+        match handle.head_version(key, self.resolver.as_ref())? {
+            HeadVersion::Committed { ts, .. } if ts > txn.snapshot => {
+                Err(Error::WriteConflict(txn.tid))
+            }
+            HeadVersion::Uncommitted { tid, .. } if tid != txn.tid => {
+                // The X lock should have excluded this.
+                Err(Error::WriteConflict(txn.tid))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Point read by primary key.
+    pub fn get_row(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        pk: &Value,
+    ) -> Result<Option<Vec<Value>>> {
+        let def = self.table(table)?;
+        let pk = pk.coerce(def.schema.columns[def.schema.pk].ctype)?;
+        let key = crate::row::encode_key(&pk)?;
+        let handle = self.tree_handle(def.tree)?;
+        let data = if let Some(as_of) = txn.as_of {
+            self.check_as_of_allowed(&def)?;
+            handle.get_as_of(&key, as_of, None, self.resolver.as_ref())?
+        } else if def.kind.is_versioned() {
+            match txn.isolation {
+                Isolation::Serializable => {
+                    self.locks.lock_read(txn.tid, def.tree, &key)?;
+                    handle.get_current(&key, Some(txn.tid), self.resolver.as_ref())?
+                }
+                Isolation::Snapshot => {
+                    handle.get_as_of(&key, txn.snapshot, Some(txn.tid), self.resolver.as_ref())?
+                }
+            }
+        } else {
+            if txn.isolation == Isolation::Serializable {
+                self.locks.lock_read(txn.tid, def.tree, &key)?;
+            }
+            handle.u_get(&key)?
+        };
+        data.map(|d| def.schema.decode_row(&d)).transpose()
+    }
+
+    /// Full-table scan (current, snapshot, or AS OF depending on the
+    /// transaction).
+    pub fn scan_rows(&self, txn: &mut Transaction, table: &str) -> Result<Vec<Vec<Value>>> {
+        let def = self.table(table)?;
+        let handle = self.tree_handle(def.tree)?;
+        let items = if let Some(as_of) = txn.as_of {
+            self.check_as_of_allowed(&def)?;
+            handle.scan_as_of(as_of, None, self.resolver.as_ref())?
+        } else if def.kind.is_versioned() {
+            match txn.isolation {
+                Isolation::Serializable => {
+                    self.locks.lock_scan(txn.tid, def.tree)?;
+                    handle.scan_current(Some(txn.tid), self.resolver.as_ref())?
+                }
+                Isolation::Snapshot => {
+                    handle.scan_as_of(txn.snapshot, Some(txn.tid), self.resolver.as_ref())?
+                }
+            }
+        } else {
+            if txn.isolation == Isolation::Serializable {
+                self.locks.lock_scan(txn.tid, def.tree)?;
+            }
+            handle.u_scan()?
+        };
+        items
+            .into_iter()
+            .map(|item| def.schema.decode_row(&item.data))
+            .collect()
+    }
+
+    fn check_as_of_allowed(&self, def: &TableDef) -> Result<()> {
+        if def.kind != TableKind::Immortal {
+            return Err(Error::Catalog(format!(
+                "AS OF queries require an IMMORTAL table; {} is {:?}",
+                def.name, def.kind
+            )));
+        }
+        Ok(())
+    }
+
+    /// Complete version history of a row (time travel). Returns
+    /// `(commit timestamp, row)` pairs, newest first; `None` rows mark
+    /// deletions, a `None` timestamp marks an uncommitted version.
+    #[allow(clippy::type_complexity)]
+    pub fn history_rows(
+        &self,
+        table: &str,
+        pk: &Value,
+    ) -> Result<Vec<(Option<Timestamp>, Option<Vec<Value>>)>> {
+        let def = self.table(table)?;
+        self.check_as_of_allowed(&def)?;
+        let pk = pk.coerce(def.schema.columns[def.schema.pk].ctype)?;
+        let key = crate::row::encode_key(&pk)?;
+        let handle = self.tree_handle(def.tree)?;
+        handle
+            .history_of(&key, self.resolver.as_ref())?
+            .into_iter()
+            .map(|v| {
+                let row = v.data.map(|d| def.schema.decode_row(&d)).transpose()?;
+                Ok((v.ts, row))
+            })
+            .collect()
+    }
+
+    // -- maintenance ---------------------------------------------------------
+
+    /// Take a checkpoint: persist watermarks, flush dirty pages (which
+    /// also applies pending timestamps), log the checkpoint, then run PTT
+    /// garbage collection against the new redo-scan-start LSN. Returns the
+    /// number of PTT entries reclaimed.
+    pub fn checkpoint(&self) -> Result<usize> {
+        {
+            let meta = self.pool.fetch(PageId(0))?;
+            let mut g = meta.write();
+            MetaView::set_max_tid(&mut g, Tid(self.next_tid.load(Ordering::SeqCst) - 1));
+            MetaView::set_last_timestamp(&mut g, self.authority.latest());
+            drop(g);
+            meta.mark_dirty_unlogged();
+        }
+        let att: Vec<(Tid, Lsn)> = self
+            .active
+            .lock()
+            .iter()
+            .filter(|(_, l)| !l.is_null())
+            .map(|(t, l)| (*t, *l))
+            .collect();
+        let redo_scan_start = recovery::checkpoint(&self.wal, &self.pool, att)?;
+        self.gc.collect(redo_scan_start)
+    }
+
+    /// Vacuum (§2.2 / the Postgres comparison): reclaim *every*
+    /// persistent-timestamp-table entry, including the crash-orphaned ones
+    /// the incremental collector cannot touch (their volatile reference
+    /// counts were lost). Stamps every committed TID-marked record in
+    /// every versioned table, checkpoints (making the stamping durable),
+    /// then deletes the PTT rows that existed before the sweep — afterwards
+    /// no record anywhere still needs them. Returns the number of PTT
+    /// entries reclaimed.
+    pub fn vacuum(&self) -> Result<usize> {
+        // Snapshot the reclaim set first: entries appearing *after* this
+        // point belong to transactions committing during the sweep, whose
+        // records may be stamped lazily later.
+        let candidates: Vec<Tid> = self.ptt.entries()?.into_iter().map(|(t, _)| t).collect();
+        let defs: Vec<Arc<TableDef>> = self.tables.read().values().cloned().collect();
+        for def in defs {
+            if def.kind.is_versioned() {
+                self.tree_handle(def.tree)?.stamp_all(self.resolver.as_ref())?;
+            }
+        }
+        let reclaimed = candidates.len();
+        self.checkpoint()?;
+        for tid in candidates {
+            // The incremental GC inside checkpoint() already removes the
+            // entries whose stamping it just made durable; sweep the rest
+            // (Ptt::delete is idempotent).
+            if self.ptt.lookup(tid)?.is_some() {
+                self.ptt.delete(tid)?;
+            }
+            self.vtt.remove(tid);
+        }
+        Ok(reclaimed)
+    }
+
+    /// Flush everything and fsync (clean shutdown).
+    pub fn close(&self) -> Result<()> {
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Force the buffered log to disk without a checkpoint (log force).
+    /// Used by crash tests: makes in-flight transactions' records durable
+    /// while their pages are not, so recovery has losers to undo.
+    pub fn force_log(&self) -> Result<()> {
+        self.wal.flush(Durability::Fsync)
+    }
+}
+
+impl TreeLocator for Database {
+    fn locate_leaf(&self, tree: TreeId, key: &[u8]) -> Result<PageId> {
+        self.tree_handle(tree)?.locate_leaf_page(key)
+    }
+
+    fn locate_leaf_for_insert(&self, tree: TreeId, key: &[u8], space: usize) -> Result<PageId> {
+        self.tree_handle(tree)?
+            .locate_leaf_page_for_insert(key, space, self.resolver.as_ref())
+    }
+}
+
+
+
+impl Database {
+    /// VTT lifecycle state of a transaction (diagnostics and tests).
+    pub fn vtt_state(&self, tid: u64) -> Option<immortaldb_txn::TxnState> {
+        self.vtt.state(Tid(tid))
+    }
+
+    /// Remaining unstamped versions of a transaction (diagnostics).
+    pub fn vtt_pending(&self, tid: u64) -> Option<u64> {
+        self.vtt.pending(Tid(tid))
+    }
+}

@@ -1,0 +1,225 @@
+//! Table index dispatch: every table is backed either by the page-chain
+//! B+tree (the paper's implemented design) or by a TSB-tree (§7.2's
+//! temporal index, where AS OF descends directly to historical pages).
+
+use std::sync::Arc;
+
+use immortaldb_btree::{BTree, HeadVersion, HistoryVersion, ScanItem};
+use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId};
+use immortaldb_storage::TimestampResolver;
+use immortaldb_tsb::TsbTree;
+
+/// Which index structure backs a table (persisted in the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// B+tree with time-split history page chains (the paper's prototype).
+    Chain,
+    /// Time-split B-tree: key-time rectangles, direct AS OF access.
+    Tsb,
+}
+
+/// A handle to a table's index structure.
+#[derive(Clone)]
+pub enum TableIndex {
+    Chain(Arc<BTree>),
+    Tsb(Arc<TsbTree>),
+}
+
+impl TableIndex {
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            TableIndex::Chain(_) => IndexKind::Chain,
+            TableIndex::Tsb(_) => IndexKind::Tsb,
+        }
+    }
+
+    pub fn tree_id(&self) -> TreeId {
+        match self {
+            TableIndex::Chain(t) => t.tree_id(),
+            TableIndex::Tsb(t) => t.tree_id(),
+        }
+    }
+
+    fn chain(&self) -> Result<&Arc<BTree>> {
+        match self {
+            TableIndex::Chain(t) => Ok(t),
+            TableIndex::Tsb(_) => Err(Error::Internal(
+                "operation requires the page-chain index".into(),
+            )),
+        }
+    }
+
+    /// `(time splits, key splits)` since this handle opened.
+    pub fn split_counts(&self) -> (u32, u32) {
+        match self {
+            TableIndex::Chain(t) => t.split_counts(),
+            TableIndex::Tsb(t) => t.split_counts(),
+        }
+    }
+
+    // -- versioned writes ---------------------------------------------------
+
+    pub fn insert(
+        &self,
+        tid: Tid,
+        prev: Lsn,
+        key: &[u8],
+        data: &[u8],
+        r: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        match self {
+            TableIndex::Chain(t) => t.insert(tid, prev, key, data, r),
+            TableIndex::Tsb(t) => t.insert(tid, prev, key, data, r),
+        }
+    }
+
+    pub fn update(
+        &self,
+        tid: Tid,
+        prev: Lsn,
+        key: &[u8],
+        data: &[u8],
+        r: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        match self {
+            TableIndex::Chain(t) => t.update(tid, prev, key, data, r),
+            TableIndex::Tsb(t) => t.update(tid, prev, key, data, r),
+        }
+    }
+
+    pub fn delete(&self, tid: Tid, prev: Lsn, key: &[u8], r: &dyn TimestampResolver) -> Result<Lsn> {
+        match self {
+            TableIndex::Chain(t) => t.delete(tid, prev, key, r),
+            TableIndex::Tsb(t) => t.delete(tid, prev, key, r),
+        }
+    }
+
+    // -- versioned reads ------------------------------------------------------
+
+    pub fn get_current(
+        &self,
+        key: &[u8],
+        own: Option<Tid>,
+        r: &dyn TimestampResolver,
+    ) -> Result<Option<Vec<u8>>> {
+        match self {
+            TableIndex::Chain(t) => t.get_current(key, own, r),
+            TableIndex::Tsb(t) => t.get_current(key, own, r),
+        }
+    }
+
+    pub fn get_as_of(
+        &self,
+        key: &[u8],
+        as_of: Timestamp,
+        own: Option<Tid>,
+        r: &dyn TimestampResolver,
+    ) -> Result<Option<Vec<u8>>> {
+        match self {
+            TableIndex::Chain(t) => t.get_as_of(key, as_of, own, r),
+            TableIndex::Tsb(t) => t.get_as_of(key, as_of, own, r),
+        }
+    }
+
+    pub fn scan_as_of(
+        &self,
+        as_of: Timestamp,
+        own: Option<Tid>,
+        r: &dyn TimestampResolver,
+    ) -> Result<Vec<ScanItem>> {
+        match self {
+            TableIndex::Chain(t) => t.scan_as_of(as_of, own, r),
+            TableIndex::Tsb(t) => Ok(t
+                .scan_as_of(as_of, own, r)?
+                .into_iter()
+                .map(|(key, data)| ScanItem { key, data })
+                .collect()),
+        }
+    }
+
+    pub fn scan_current(&self, own: Option<Tid>, r: &dyn TimestampResolver) -> Result<Vec<ScanItem>> {
+        self.scan_as_of(Timestamp::MAX, own, r)
+    }
+
+    pub fn head_version(&self, key: &[u8], r: &dyn TimestampResolver) -> Result<HeadVersion> {
+        match self {
+            TableIndex::Chain(t) => t.head_version(key, r),
+            TableIndex::Tsb(t) => t.head_version(key, r),
+        }
+    }
+
+    pub fn history_of(&self, key: &[u8], r: &dyn TimestampResolver) -> Result<Vec<HistoryVersion>> {
+        match self {
+            TableIndex::Chain(t) => t.history_of(key, r),
+            TableIndex::Tsb(t) => t.history_of(key, r),
+        }
+    }
+
+    pub fn eager_stamp(&self, tid: Tid, prev: Lsn, key: &[u8], ts: Timestamp) -> Result<(Lsn, u32)> {
+        match self {
+            TableIndex::Chain(t) => t.eager_stamp(tid, prev, key, ts),
+            TableIndex::Tsb(t) => t.eager_stamp(tid, prev, key, ts),
+        }
+    }
+
+    /// Snapshot-version pruning — only snapshot-enabled tables, which are
+    /// always chain-indexed.
+    pub fn prune_snapshot_versions(&self, key: &[u8], watermark: Timestamp) -> Result<usize> {
+        self.chain()?.prune_snapshot_versions(key, watermark)
+    }
+
+    /// Vacuum support: stamp every committed TID-marked record.
+    pub fn stamp_all(&self, r: &dyn TimestampResolver) -> Result<u64> {
+        match self {
+            TableIndex::Chain(t) => t.stamp_all(r),
+            TableIndex::Tsb(t) => t.stamp_all(r),
+        }
+    }
+
+    // -- unversioned (conventional) ops ---------------------------------------
+
+    pub fn u_insert(&self, tid: Tid, prev: Lsn, key: &[u8], data: &[u8]) -> Result<Lsn> {
+        self.chain()?.u_insert(tid, prev, key, data)
+    }
+
+    pub fn u_update(&self, tid: Tid, prev: Lsn, key: &[u8], data: &[u8]) -> Result<Lsn> {
+        self.chain()?.u_update(tid, prev, key, data)
+    }
+
+    pub fn u_delete(&self, tid: Tid, prev: Lsn, key: &[u8]) -> Result<Lsn> {
+        self.chain()?.u_delete(tid, prev, key)
+    }
+
+    pub fn u_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.chain()?.u_get(key)
+    }
+
+    pub fn u_scan(&self) -> Result<Vec<ScanItem>> {
+        self.chain()?.u_scan()
+    }
+
+    pub fn u_count(&self) -> Result<usize> {
+        self.chain()?.u_count()
+    }
+
+    // -- TreeLocator support -----------------------------------------------
+
+    pub fn locate_leaf_page(&self, key: &[u8]) -> Result<PageId> {
+        match self {
+            TableIndex::Chain(t) => t.locate_leaf_page(key),
+            TableIndex::Tsb(t) => t.locate_leaf_page(key),
+        }
+    }
+
+    pub fn locate_leaf_page_for_insert(
+        &self,
+        key: &[u8],
+        space: usize,
+        r: &dyn TimestampResolver,
+    ) -> Result<PageId> {
+        match self {
+            TableIndex::Chain(t) => t.locate_leaf_page_for_insert(key, space, r),
+            TableIndex::Tsb(t) => t.locate_leaf_page_for_insert(key, space, r),
+        }
+    }
+}

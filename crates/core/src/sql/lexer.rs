@@ -1,0 +1,181 @@
+//! SQL tokenizer.
+
+use immortaldb_common::{Error, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare identifier or keyword (uppercased match at parse time).
+    Ident(String),
+    /// Integer literal (sign handled by the parser).
+    Number(i64),
+    /// `'…'` or `"…"` string literal.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Eq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Ne,
+    Minus,
+}
+
+/// Tokenize a statement. Fails on unterminated strings and unknown
+/// characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(Error::Sql("unterminated string literal".into()));
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| Error::Sql(format!("bad number {}", &input[start..i])))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '[' => {
+                // `[PRIMARY]`-style bracketed identifiers appear in the
+                // paper's DDL; strip the brackets.
+                if c == '[' {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] as char != ']' {
+                        j += 1;
+                    }
+                    if j >= bytes.len() {
+                        return Err(Error::Sql("unterminated [identifier]".into()));
+                    }
+                    out.push(Token::Ident(input[start..j].to_string()));
+                    i = j + 1;
+                } else {
+                    let start = i;
+                    while i < bytes.len() {
+                        let ch = bytes[i] as char;
+                        if ch.is_ascii_alphanumeric() || ch == '_' {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token::Ident(input[start..i].to_string()));
+                }
+            }
+            other => {
+                return Err(Error::Sql(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paper_ddl() {
+        let toks = tokenize(
+            "Create IMMORTAL Table MovingObjects (Oid smallint PRIMARY KEY, \
+             LocationX int, LocationY int) ON [PRIMARY]",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Ident("IMMORTAL".into())));
+        assert!(toks.contains(&Token::Ident("PRIMARY".into())));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Comma).count(), 2);
+    }
+
+    #[test]
+    fn tokenizes_operators_and_literals() {
+        let toks = tokenize("WHERE a <= 10 AND b <> 'x y' AND c >= -3").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Minus));
+        assert!(toks.contains(&Token::Str("x y".into())));
+        assert!(toks.contains(&Token::Number(10)));
+    }
+
+    #[test]
+    fn tokenizes_as_of_datetime() {
+        let toks = tokenize("Begin Tran AS OF \"8/12/2004 10:15:20\"");
+        // The datetime contains characters only valid inside strings.
+        let toks = toks.unwrap();
+        assert!(toks.contains(&Token::Str("8/12/2004 10:15:20".into())));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT ;").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("[unterminated").is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! SQL front end: lexer, parser, and the session executor implementing
+//! the paper's dialect extensions (`CREATE IMMORTAL TABLE`,
+//! `BEGIN TRAN AS OF "…"`).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+use immortaldb_common::{Error, Result};
+
+use crate::db::Database;
+use crate::row::{Column, Schema, Value};
+use crate::txn::{Isolation, Transaction};
+
+use ast::{AsOfSpec, Predicate, Statement};
+use parser::Parser;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted.
+    pub affected: usize,
+    /// Human-readable outcome for non-query statements.
+    pub message: String,
+}
+
+impl QueryResult {
+    fn message(msg: impl Into<String>) -> QueryResult {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected: 0,
+            message: msg.into(),
+        }
+    }
+
+    fn affected(n: usize, msg: impl Into<String>) -> QueryResult {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected: n,
+            message: msg.into(),
+        }
+    }
+}
+
+/// A SQL session: owns the current explicit transaction, autocommits
+/// statements outside one, and rolls the transaction back when it becomes
+/// doomed (deadlock victim, write-write conflict).
+pub struct Session<'a> {
+    db: &'a Database,
+    current: Option<Transaction>,
+}
+
+impl<'a> Session<'a> {
+    pub fn new(db: &'a Database) -> Session<'a> {
+        Session { db, current: None }
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = Parser::parse(sql)?;
+        match stmt {
+            Statement::Begin { as_of, isolation } => {
+                if self.current.is_some() {
+                    return Err(Error::Sql("transaction already open".into()));
+                }
+                let txn = match as_of {
+                    Some(spec) => self.db.begin_as_of(resolve_as_of(&spec)?),
+                    None => self.db.begin(isolation),
+                };
+                self.current = Some(txn);
+                Ok(QueryResult::message("transaction started"))
+            }
+            Statement::Commit => {
+                let mut txn = self
+                    .current
+                    .take()
+                    .ok_or_else(|| Error::Sql("no open transaction".into()))?;
+                let ts = self.db.commit(&mut txn)?;
+                Ok(QueryResult::message(format!(
+                    "committed at {}.{}",
+                    ts.ttime, ts.sn
+                )))
+            }
+            Statement::Rollback => {
+                let mut txn = self
+                    .current
+                    .take()
+                    .ok_or_else(|| Error::Sql("no open transaction".into()))?;
+                self.db.rollback(&mut txn)?;
+                Ok(QueryResult::message("rolled back"))
+            }
+            Statement::CreateTable {
+                name,
+                kind,
+                index,
+                columns,
+                pk,
+            } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(name, ctype)| Column { name, ctype })
+                        .collect(),
+                    pk,
+                )?;
+                self.db.create_table_with(&name, schema, kind, index)?;
+                Ok(QueryResult::message(format!("table {name} created")))
+            }
+            Statement::AlterEnableSnapshot { table } => {
+                self.db.enable_snapshot(&table)?;
+                Ok(QueryResult::message(format!(
+                    "snapshot versioning enabled on {table}"
+                )))
+            }
+            Statement::Checkpoint => {
+                let reclaimed = self.db.checkpoint()?;
+                Ok(QueryResult::message(format!(
+                    "checkpoint complete, {reclaimed} PTT entries reclaimed"
+                )))
+            }
+            Statement::Vacuum => {
+                let reclaimed = self.db.vacuum()?;
+                Ok(QueryResult::message(format!(
+                    "vacuum complete, {reclaimed} PTT entries reclaimed"
+                )))
+            }
+            dml => self.run_dml(dml),
+        }
+    }
+
+    /// Run a DML/query statement, autocommitting when no explicit
+    /// transaction is open, and rolling back doomed transactions.
+    fn run_dml(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let implicit = self.current.is_none();
+        if implicit {
+            self.current = Some(self.db.begin(Isolation::Serializable));
+        }
+        let mut txn = self.current.take().expect("transaction present");
+        let result = self.exec_stmt(&mut txn, stmt);
+        match result {
+            Ok(res) => {
+                if implicit {
+                    self.db.commit(&mut txn)?;
+                } else {
+                    self.current = Some(txn);
+                }
+                Ok(res)
+            }
+            Err(e) => {
+                // A transient failure dooms the transaction; roll it back
+                // so its locks and versions disappear. Other errors keep
+                // an explicit transaction open.
+                if implicit || e.is_transient() {
+                    let _ = self.db.rollback(&mut txn);
+                } else {
+                    self.current = Some(txn);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn exec_stmt(&self, txn: &mut Transaction, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Insert { table, rows } => {
+                let n = rows.len();
+                for row in rows {
+                    self.db.insert_row(txn, &table, row)?;
+                }
+                Ok(QueryResult::affected(n, format!("{n} rows inserted")))
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let def = self.db.table(&table)?;
+                let matching = self.matching_rows(txn, &table, &predicate)?;
+                let mut n = 0usize;
+                for mut row in matching {
+                    for (col, val) in &sets {
+                        let idx = def.schema.col_index(col)?;
+                        if idx == def.schema.pk {
+                            return Err(Error::Sql("cannot update the primary key".into()));
+                        }
+                        row[idx] = val.coerce(def.schema.columns[idx].ctype)?;
+                    }
+                    self.db.update_row(txn, &table, row)?;
+                    n += 1;
+                }
+                Ok(QueryResult::affected(n, format!("{n} rows updated")))
+            }
+            Statement::Delete { table, predicate } => {
+                let def = self.db.table(&table)?;
+                let matching = self.matching_rows(txn, &table, &predicate)?;
+                let mut n = 0usize;
+                for row in matching {
+                    self.db.delete_row(txn, &table, &row[def.schema.pk])?;
+                    n += 1;
+                }
+                Ok(QueryResult::affected(n, format!("{n} rows deleted")))
+            }
+            Statement::Select {
+                table,
+                columns,
+                predicate,
+            } => {
+                let def = self.db.table(&table)?;
+                let rows = self.matching_rows(txn, &table, &predicate)?;
+                let (names, idxs): (Vec<String>, Vec<usize>) = match columns {
+                    None => (
+                        def.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                        (0..def.schema.columns.len()).collect(),
+                    ),
+                    Some(cols) => {
+                        let idxs: Vec<usize> = cols
+                            .iter()
+                            .map(|c| def.schema.col_index(c))
+                            .collect::<Result<_>>()?;
+                        (cols, idxs)
+                    }
+                };
+                let rows = rows
+                    .into_iter()
+                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                    .collect::<Vec<Vec<Value>>>();
+                let n = rows.len();
+                Ok(QueryResult {
+                    columns: names,
+                    rows,
+                    affected: 0,
+                    message: format!("{n} rows"),
+                })
+            }
+            Statement::History { table, pk } => {
+                let def = self.db.table(&table)?;
+                let history = self.db.history_rows(&table, &pk)?;
+                let mut columns = vec![
+                    "_commit_ms".to_string(),
+                    "_commit_sn".to_string(),
+                    "_op".to_string(),
+                ];
+                columns.extend(def.schema.columns.iter().map(|c| c.name.clone()));
+                let mut rows = Vec::new();
+                for (ts, row) in history {
+                    let mut out = match ts {
+                        Some(t) => vec![
+                            Value::BigInt(t.ttime as i64),
+                            Value::Int(t.sn as i32),
+                            Value::Varchar(if row.is_some() { "WRITE" } else { "DELETE" }.into()),
+                        ],
+                        None => vec![
+                            Value::BigInt(-1),
+                            Value::Int(-1),
+                            Value::Varchar("UNCOMMITTED".into()),
+                        ],
+                    };
+                    match row {
+                        Some(vals) => out.extend(vals),
+                        None => out.extend(
+                            def.schema
+                                .columns
+                                .iter()
+                                .map(|_| Value::Varchar(String::new())),
+                        ),
+                    }
+                    rows.push(out);
+                }
+                let n = rows.len();
+                Ok(QueryResult {
+                    columns,
+                    rows,
+                    affected: 0,
+                    message: format!("{n} versions"),
+                })
+            }
+            other => Err(Error::Sql(format!("not a DML statement: {other:?}"))),
+        }
+    }
+
+    /// Rows of `table` visible to `txn` that satisfy `predicate`. Uses a
+    /// primary-key point lookup when the predicate pins the key.
+    fn matching_rows(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<Vec<Value>>> {
+        let def = self.db.table(table)?;
+        // Point lookup if some condition is `pk = literal`.
+        let pk_name = &def.schema.columns[def.schema.pk].name;
+        if let Some(cond) = predicate
+            .iter()
+            .find(|c| c.op == ast::CmpOp::Eq && c.column.eq_ignore_ascii_case(pk_name))
+        {
+            let row = self.db.get_row(txn, table, &cond.value)?;
+            return Ok(row
+                .into_iter()
+                .filter(|r| eval_predicate(&def.schema, predicate, r).unwrap_or(false))
+                .collect());
+        }
+        let rows = self.db.scan_rows(txn, table)?;
+        let mut out = Vec::new();
+        for r in rows {
+            if eval_predicate(&def.schema, predicate, &r)? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Evaluate a conjunctive predicate against a row.
+fn eval_predicate(schema: &Schema, predicate: &Predicate, row: &[Value]) -> Result<bool> {
+    for cond in predicate {
+        let idx = schema.col_index(&cond.column)?;
+        let lhs = &row[idx];
+        let rhs = cond.value.coerce(schema.columns[idx].ctype)?;
+        let ord = lhs
+            .partial_cmp(&rhs)
+            .ok_or_else(|| Error::Sql("incomparable values".into()))?;
+        if !cond.op.eval(ord) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Convert an AS OF spec to milliseconds since the UNIX epoch.
+fn resolve_as_of(spec: &AsOfSpec) -> Result<u64> {
+    match spec {
+        AsOfSpec::Millis(ms) => Ok(*ms),
+        AsOfSpec::DateTime(s) => parse_datetime_ms(s),
+    }
+}
+
+/// Parse `"M/D/YYYY HH:MM:SS"` (the paper's format, interpreted as UTC)
+/// into epoch milliseconds. Uses the days-from-civil algorithm.
+pub fn parse_datetime_ms(s: &str) -> Result<u64> {
+    let bad = || Error::Sql(format!("bad datetime {s:?}; expected M/D/YYYY HH:MM:SS"));
+    let (date, time) = s.split_once(' ').ok_or_else(bad)?;
+    let mut dparts = date.split('/');
+    let month: i64 = dparts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let day: i64 = dparts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let year: i64 = dparts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    if dparts.next().is_some() {
+        return Err(bad());
+    }
+    let mut tparts = time.split(':');
+    let hour: i64 = tparts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let minute: i64 = tparts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let second: i64 = tparts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    if tparts.next().is_some() {
+        return Err(bad());
+    }
+    if !(1..=12).contains(&month)
+        || !(1..=31).contains(&day)
+        || !(0..24).contains(&hour)
+        || !(0..60).contains(&minute)
+        || !(0..60).contains(&second)
+    {
+        return Err(bad());
+    }
+    // Days from civil (Howard Hinnant): valid for all Gregorian dates.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146_097 + doe - 719_468;
+    let secs = days * 86_400 + hour * 3_600 + minute * 60 + second;
+    if secs < 0 {
+        return Err(Error::Sql("datetimes before 1970 are not supported".into()));
+    }
+    Ok(secs as u64 * 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datetime_parsing_known_values() {
+        // 1/1/1970 00:00:00 = epoch.
+        assert_eq!(parse_datetime_ms("1/1/1970 00:00:00").unwrap(), 0);
+        // 1/2/1970 = one day.
+        assert_eq!(parse_datetime_ms("1/2/1970 00:00:00").unwrap(), 86_400_000);
+        // 8/12/2004 10:15:20 UTC = 1092305720 seconds (verified against
+        // `date -u -d "2004-08-12 10:15:20" +%s`).
+        assert_eq!(
+            parse_datetime_ms("8/12/2004 10:15:20").unwrap(),
+            1_092_305_720_000
+        );
+        // Leap-year handling: 2/29/2000 is valid.
+        assert_eq!(
+            parse_datetime_ms("2/29/2000 00:00:00").unwrap(),
+            951_782_400_000
+        );
+    }
+
+    #[test]
+    fn datetime_rejects_malformed() {
+        assert!(parse_datetime_ms("13/1/2000 00:00:00").is_err());
+        assert!(parse_datetime_ms("1/1/2000").is_err());
+        assert!(parse_datetime_ms("garbage").is_err());
+        assert!(parse_datetime_ms("1/1/2000 25:00:00").is_err());
+        assert!(parse_datetime_ms("1/1/1960 00:00:00").is_err());
+    }
+}

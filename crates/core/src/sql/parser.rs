@@ -1,0 +1,511 @@
+//! Recursive-descent parser for the SQL dialect.
+//!
+//! Supported statements (keywords case-insensitive):
+//!
+//! ```sql
+//! CREATE [IMMORTAL] TABLE t (col TYPE [PRIMARY KEY], ...) [ON [PRIMARY]]
+//!                                                          [USING TSB | USING CHAIN]
+//! ALTER TABLE t ENABLE SNAPSHOT
+//! BEGIN TRAN [AS OF "M/D/YYYY HH:MM:SS" | AS OF ms(N)]
+//!            [ISOLATION SNAPSHOT | ISOLATION SERIALIZABLE]
+//! COMMIT [TRAN] | ROLLBACK [TRAN]
+//! INSERT INTO t VALUES (v, ...), (v, ...), ...
+//! UPDATE t SET col = lit [, ...] [WHERE conds]
+//! DELETE FROM t [WHERE conds]
+//! SELECT * | col[, col...] FROM t [WHERE conds]
+//! HISTORY OF t WHERE pkcol = lit
+//! CHECKPOINT
+//! ```
+
+use immortaldb_common::{Error, Result};
+
+use crate::catalog::TableKind;
+use crate::index::IndexKind;
+use crate::row::{ColType, Value};
+use crate::txn::Isolation;
+
+use super::ast::{AsOfSpec, CmpOp, Condition, Predicate, Statement};
+use super::lexer::{tokenize, Token};
+
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn parse(input: &str) -> Result<Statement> {
+        let mut p = Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        };
+        let stmt = p.statement()?;
+        if p.pos != p.tokens.len() {
+            return Err(Error::Sql(format!(
+                "trailing input after statement: {:?}",
+                &p.tokens[p.pos..]
+            )));
+        }
+        Ok(stmt)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Sql("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// Consume the next token if it is the given keyword.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Sql(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        let t = self.next()?;
+        if t == tok {
+            Ok(())
+        } else {
+            Err(Error::Sql(format!("expected {tok:?}, found {t:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Sql(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("CREATE") {
+            return self.create_table();
+        }
+        if self.eat_kw("ALTER") {
+            return self.alter_table();
+        }
+        if self.eat_kw("BEGIN") {
+            return self.begin();
+        }
+        if self.eat_kw("COMMIT") {
+            let _ = self.eat_kw("TRAN") || self.eat_kw("TRANSACTION");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            let _ = self.eat_kw("TRAN") || self.eat_kw("TRANSACTION");
+            return Ok(Statement::Rollback);
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw("SELECT") {
+            return self.select();
+        }
+        if self.eat_kw("HISTORY") {
+            return self.history();
+        }
+        if self.eat_kw("CHECKPOINT") {
+            return Ok(Statement::Checkpoint);
+        }
+        if self.eat_kw("VACUUM") {
+            return Ok(Statement::Vacuum);
+        }
+        Err(Error::Sql(format!("unknown statement start: {:?}", self.peek())))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let kind = if self.eat_kw("IMMORTAL") {
+            TableKind::Immortal
+        } else {
+            TableKind::Conventional
+        };
+        self.expect_kw("TABLE")?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut pk: Option<usize> = None;
+        loop {
+            let cname = self.ident()?;
+            let ctype = self.col_type()?;
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                if pk.replace(columns.len()).is_some() {
+                    return Err(Error::Sql("multiple PRIMARY KEY columns".into()));
+                }
+            }
+            columns.push((cname, ctype));
+            match self.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(Error::Sql(format!("expected , or ), found {other:?}"))),
+            }
+        }
+        // Optional filegroup clause from the paper's example: ON [PRIMARY].
+        if self.eat_kw("ON") {
+            let _ = self.ident()?;
+        }
+        // Optional index selection: USING TSB (the §7.2 temporal index)
+        // or USING CHAIN (the default page-chain B+tree).
+        let mut index = IndexKind::Chain;
+        if self.eat_kw("USING") {
+            index = if self.eat_kw("TSB") {
+                IndexKind::Tsb
+            } else if self.eat_kw("CHAIN") {
+                IndexKind::Chain
+            } else {
+                return Err(Error::Sql("USING expects TSB or CHAIN".into()));
+            };
+        }
+        let pk = pk.ok_or_else(|| Error::Sql("a PRIMARY KEY column is required".into()))?;
+        Ok(Statement::CreateTable {
+            name,
+            kind,
+            index,
+            columns,
+            pk,
+        })
+    }
+
+    fn col_type(&mut self) -> Result<ColType> {
+        let t = self.ident()?;
+        Ok(match t.to_ascii_uppercase().as_str() {
+            "SMALLINT" => ColType::SmallInt,
+            "INT" | "INTEGER" => ColType::Int,
+            "BIGINT" => ColType::BigInt,
+            "VARCHAR" => {
+                self.expect(Token::LParen)?;
+                let n = match self.next()? {
+                    Token::Number(n) if n > 0 && n <= u16::MAX as i64 => n as u16,
+                    other => return Err(Error::Sql(format!("bad VARCHAR length {other:?}"))),
+                };
+                self.expect(Token::RParen)?;
+                ColType::Varchar(n)
+            }
+            other => return Err(Error::Sql(format!("unknown type {other}"))),
+        })
+    }
+
+    fn alter_table(&mut self) -> Result<Statement> {
+        self.expect_kw("TABLE")?;
+        let table = self.ident()?;
+        self.expect_kw("ENABLE")?;
+        self.expect_kw("SNAPSHOT")?;
+        Ok(Statement::AlterEnableSnapshot { table })
+    }
+
+    fn begin(&mut self) -> Result<Statement> {
+        let _ = self.eat_kw("TRAN") || self.eat_kw("TRANSACTION");
+        let mut as_of = None;
+        let mut isolation = Isolation::Serializable;
+        loop {
+            if self.eat_kw("AS") {
+                self.expect_kw("OF")?;
+                as_of = Some(match self.next()? {
+                    Token::Str(s) => AsOfSpec::DateTime(s),
+                    Token::Ident(f) if f.eq_ignore_ascii_case("ms") => {
+                        self.expect(Token::LParen)?;
+                        let n = match self.next()? {
+                            Token::Number(n) if n >= 0 => n as u64,
+                            other => return Err(Error::Sql(format!("bad ms() value {other:?}"))),
+                        };
+                        self.expect(Token::RParen)?;
+                        AsOfSpec::Millis(n)
+                    }
+                    other => {
+                        return Err(Error::Sql(format!(
+                            "AS OF expects a datetime string or ms(N), found {other:?}"
+                        )))
+                    }
+                });
+            } else if self.eat_kw("ISOLATION") {
+                isolation = if self.eat_kw("SNAPSHOT") {
+                    Isolation::Snapshot
+                } else if self.eat_kw("SERIALIZABLE") {
+                    Isolation::Serializable
+                } else {
+                    return Err(Error::Sql("ISOLATION expects SNAPSHOT or SERIALIZABLE".into()));
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Begin { as_of, isolation })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                match self.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => return Err(Error::Sql(format!("expected , or ), found {other:?}"))),
+                }
+            }
+            rows.push(row);
+            if let Some(Token::Comma) = self.peek() {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(Token::Eq)?;
+            sets.push((col, self.literal()?));
+            if let Some(Token::Comma) = self.peek() {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        let predicate = self.opt_where()?;
+        Ok(Statement::Update {
+            table,
+            sets,
+            predicate,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = self.opt_where()?;
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn select(&mut self) -> Result<Statement> {
+        let columns = if let Some(Token::Star) = self.peek() {
+            self.pos += 1;
+            None
+        } else {
+            let mut cols = vec![self.ident()?];
+            while let Some(Token::Comma) = self.peek() {
+                self.pos += 1;
+                cols.push(self.ident()?);
+            }
+            Some(cols)
+        };
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = self.opt_where()?;
+        Ok(Statement::Select {
+            table,
+            columns,
+            predicate,
+        })
+    }
+
+    fn history(&mut self) -> Result<Statement> {
+        self.expect_kw("OF")?;
+        let table = self.ident()?;
+        self.expect_kw("WHERE")?;
+        let _pk_col = self.ident()?;
+        self.expect(Token::Eq)?;
+        let pk = self.literal()?;
+        Ok(Statement::History { table, pk })
+    }
+
+    fn opt_where(&mut self) -> Result<Predicate> {
+        if !self.eat_kw("WHERE") {
+            return Ok(Vec::new());
+        }
+        let mut conds = vec![self.condition()?];
+        while self.eat_kw("AND") {
+            conds.push(self.condition()?);
+        }
+        Ok(conds)
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let column = self.ident()?;
+        let op = match self.next()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => return Err(Error::Sql(format!("expected comparison, found {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(Condition { column, op, value })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Token::Number(n) => Ok(Value::BigInt(n)),
+            Token::Minus => match self.next()? {
+                Token::Number(n) => Ok(Value::BigInt(-n)),
+                other => Err(Error::Sql(format!("expected number after -, found {other:?}"))),
+            },
+            Token::Str(s) => Ok(Value::Varchar(s)),
+            other => Err(Error::Sql(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_create_table() {
+        let stmt = Parser::parse(
+            "Create IMMORTAL Table MovingObjects \
+             (Oid smallint PRIMARY KEY, LocationX int, LocationY int) ON [PRIMARY]",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "MovingObjects".into(),
+                kind: TableKind::Immortal,
+                index: IndexKind::Chain,
+                columns: vec![
+                    ("Oid".into(), ColType::SmallInt),
+                    ("LocationX".into(), ColType::Int),
+                    ("LocationY".into(), ColType::Int),
+                ],
+                pk: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_paper_as_of_query_pair() {
+        let begin = Parser::parse("Begin Tran AS OF \"8/12/2004 10:15:20\"").unwrap();
+        assert_eq!(
+            begin,
+            Statement::Begin {
+                as_of: Some(AsOfSpec::DateTime("8/12/2004 10:15:20".into())),
+                isolation: Isolation::Serializable,
+            }
+        );
+        let select = Parser::parse("SELECT * FROM MovingObjects WHERE Oid < 10").unwrap();
+        assert_eq!(
+            select,
+            Statement::Select {
+                table: "MovingObjects".into(),
+                columns: None,
+                predicate: vec![Condition {
+                    column: "Oid".into(),
+                    op: CmpOp::Lt,
+                    value: Value::BigInt(10),
+                }],
+            }
+        );
+        assert_eq!(Parser::parse("Commit Tran").unwrap(), Statement::Commit);
+    }
+
+    #[test]
+    fn parses_dml() {
+        let ins = Parser::parse("INSERT INTO t VALUES (1, 2, 'x'), (3, -4, 'y')").unwrap();
+        match ins {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Value::BigInt(-4));
+            }
+            other => panic!("{other:?}"),
+        }
+        let upd = Parser::parse("UPDATE t SET a = 5, b = 'z' WHERE id = 3 AND a >= 2").unwrap();
+        match upd {
+            Statement::Update { sets, predicate, .. } => {
+                assert_eq!(sets.len(), 2);
+                assert_eq!(predicate.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let del = Parser::parse("DELETE FROM t").unwrap();
+        assert_eq!(
+            del,
+            Statement::Delete {
+                table: "t".into(),
+                predicate: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_begin_variants() {
+        assert_eq!(
+            Parser::parse("BEGIN TRAN ISOLATION SNAPSHOT").unwrap(),
+            Statement::Begin {
+                as_of: None,
+                isolation: Isolation::Snapshot,
+            }
+        );
+        assert_eq!(
+            Parser::parse("BEGIN TRAN AS OF ms(123456)").unwrap(),
+            Statement::Begin {
+                as_of: Some(AsOfSpec::Millis(123456)),
+                isolation: Isolation::Serializable,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_history_and_misc() {
+        assert_eq!(
+            Parser::parse("HISTORY OF t WHERE Oid = 7").unwrap(),
+            Statement::History {
+                table: "t".into(),
+                pk: Value::BigInt(7),
+            }
+        );
+        assert_eq!(Parser::parse("CHECKPOINT").unwrap(), Statement::Checkpoint);
+        assert_eq!(
+            Parser::parse("ALTER TABLE t ENABLE SNAPSHOT").unwrap(),
+            Statement::AlterEnableSnapshot { table: "t".into() }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Parser::parse("CREATE TABLE t (a int)").is_err()); // no pk
+        assert!(Parser::parse("SELECT FROM t").is_err());
+        assert!(Parser::parse("INSERT INTO t VALUES 1, 2").is_err());
+        assert!(Parser::parse("SELECT * FROM t WHERE a ! 3").is_err());
+        assert!(Parser::parse("SELECT * FROM t extra garbage ,").is_err());
+        assert!(Parser::parse("CREATE TABLE t (a int PRIMARY KEY, b int PRIMARY KEY)").is_err());
+    }
+}

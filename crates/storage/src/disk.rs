@@ -1,0 +1,199 @@
+//! Disk manager: the single database file of fixed-size pages.
+//!
+//! Pages are read and written with positioned I/O (`pread`/`pwrite`);
+//! allocation is a monotonic high-water mark derived from the file length,
+//! so it needs no logging — a page allocated but orphaned by a crash is
+//! merely leaked space (documented trade-off; nothing in this engine frees
+//! pages, historical pages are immortal by design).
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+use immortaldb_common::{Error, PageId, Result, PAGE_SIZE};
+
+use crate::meta::MetaView;
+use crate::page::Page;
+
+/// Manages the database page file.
+pub struct DiskManager {
+    file: File,
+    path: PathBuf,
+    /// Next page number to hand out (== current page count of the file).
+    next_page: AtomicU32,
+    /// Serializes file extension so concurrent allocations don't race the
+    /// high-water mark against the write that materializes the page.
+    alloc_lock: Mutex<()>,
+}
+
+impl DiskManager {
+    /// Open an existing database file or create a fresh one (with a
+    /// formatted meta page). Returns the manager and whether the file was
+    /// newly created.
+    pub fn open(path: impl AsRef<Path>) -> Result<(DiskManager, bool)> {
+        let path = path.as_ref().to_path_buf();
+        let existed = path.exists();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false) // existing pages must survive reopen
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if existed && len % PAGE_SIZE as u64 != 0 {
+            return Err(Error::Corruption(format!(
+                "database file length {len} is not a multiple of the page size"
+            )));
+        }
+        let mgr = DiskManager {
+            file,
+            path,
+            next_page: AtomicU32::new((len / PAGE_SIZE as u64) as u32),
+            alloc_lock: Mutex::new(()),
+        };
+        let fresh = !existed || len == 0;
+        if fresh {
+            let mut meta = Page::zeroed();
+            MetaView::init(&mut meta);
+            let _guard = mgr.alloc_lock.lock();
+            mgr.file.write_all_at(meta.as_bytes(), 0)?;
+            mgr.next_page.store(1, Ordering::SeqCst);
+        } else {
+            let meta = mgr.read_page(PageId(0))?;
+            MetaView::validate(&meta)?;
+        }
+        Ok((mgr, fresh))
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of pages currently in the file.
+    pub fn num_pages(&self) -> u32 {
+        self.next_page.load(Ordering::SeqCst)
+    }
+
+    /// Read a page image from disk.
+    pub fn read_page(&self, id: PageId) -> Result<Page> {
+        if id.0 >= self.num_pages() {
+            return Err(Error::Corruption(format!(
+                "read of unallocated page {id:?} (file has {} pages)",
+                self.num_pages()
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact_at(&mut buf, id.file_offset(PAGE_SIZE))?;
+        Page::from_bytes(&buf)
+    }
+
+    /// Write a page image to disk (no fsync; see [`Self::sync`]).
+    pub fn write_page(&self, page: &Page) -> Result<()> {
+        let id = page.page_id();
+        if id.0 >= self.num_pages() {
+            return Err(Error::Internal(format!(
+                "write of unallocated page {id:?}"
+            )));
+        }
+        self.file
+            .write_all_at(page.as_bytes(), id.file_offset(PAGE_SIZE))?;
+        Ok(())
+    }
+
+    /// Allocate a fresh page by extending the file with zeroes.
+    pub fn allocate(&self) -> Result<PageId> {
+        let _guard = self.alloc_lock.lock();
+        let id = PageId(self.next_page.load(Ordering::SeqCst));
+        let zero = [0u8; PAGE_SIZE];
+        self.file.write_all_at(&zero, id.file_offset(PAGE_SIZE))?;
+        self.next_page.store(id.0 + 1, Ordering::SeqCst);
+        Ok(id)
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageType;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("immortal-disk-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn create_formats_meta_page() {
+        let path = tmp("create");
+        let (d, fresh) = DiskManager::open(&path).unwrap();
+        assert!(fresh);
+        assert_eq!(d.num_pages(), 1);
+        let meta = d.read_page(PageId(0)).unwrap();
+        MetaView::validate(&meta).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let path = tmp("rw");
+        let (d, _) = DiskManager::open(&path).unwrap();
+        let id = d.allocate().unwrap();
+        assert_eq!(id, PageId(1));
+        let mut p = Page::zeroed();
+        p.format(id, PageType::Leaf, 0, 0);
+        p.insert_sorted(b"hello", b"world", 0).unwrap();
+        d.write_page(&p).unwrap();
+        let q = d.read_page(id).unwrap();
+        assert_eq!(q.rec_data(q.slot(0)), b"world");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let path = tmp("reopen");
+        {
+            let (d, _) = DiskManager::open(&path).unwrap();
+            let id = d.allocate().unwrap();
+            let mut p = Page::zeroed();
+            p.format(id, PageType::Leaf, 0, 0);
+            d.write_page(&p).unwrap();
+            d.sync().unwrap();
+        }
+        let (d, fresh) = DiskManager::open(&path).unwrap();
+        assert!(!fresh);
+        assert_eq!(d.num_pages(), 2);
+        let p = d.read_page(PageId(1)).unwrap();
+        assert_eq!(p.page_type().unwrap(), PageType::Leaf);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let path = tmp("oob");
+        let (d, _) = DiskManager::open(&path).unwrap();
+        assert!(d.read_page(PageId(5)).is_err());
+        let mut p = Page::zeroed();
+        p.format(PageId(5), PageType::Leaf, 0, 0);
+        assert!(d.write_page(&p).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_torn_file_length() {
+        let path = tmp("torn");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 100]).unwrap();
+        assert!(DiskManager::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

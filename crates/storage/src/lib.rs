@@ -1,0 +1,47 @@
+//! Page-based storage engine substrate for Immortal DB.
+//!
+//! This crate provides everything below the B-tree: slotted pages with the
+//! Immortal DB record/page extensions ([`page`], [`version`]), a disk
+//! manager and meta page ([`disk`], [`meta`]), an ARIES-style write-ahead
+//! log ([`wal`], [`logrec`]), a buffer pool with a flush hook for lazy
+//! timestamping ([`buffer`]), and crash recovery ([`recovery`]).
+//!
+//! The dependency inversion that makes lazy timestamping work across
+//! layers is the [`TimestampResolver`] trait: the storage and B-tree
+//! layers call it whenever they encounter a TID-marked record; the
+//! transaction manager implements it over the VTT/PTT.
+
+pub mod buffer;
+pub mod disk;
+pub mod logrec;
+pub mod meta;
+pub mod page;
+pub mod recovery;
+pub mod version;
+pub mod wal;
+
+use immortaldb_common::{Tid, Timestamp};
+
+/// Maps a transaction id to its commit timestamp, if committed.
+///
+/// Implemented by the transaction manager over the volatile timestamp
+/// table (with persistent-table fallback). Returning `None` means the
+/// transaction is still active (or was aborted and its versions are being
+/// rolled back), so its versions are invisible and must not be stamped.
+pub trait TimestampResolver: Send + Sync {
+    /// Commit timestamp of `tid`, or `None` if not (yet) committed.
+    fn resolve(&self, tid: Tid) -> Option<Timestamp>;
+    /// Notification that `n` record versions of `tid` were just stamped
+    /// (drives the VTT reference counts that gate PTT garbage collection).
+    fn note_stamped(&self, _tid: Tid, _n: u32) {}
+}
+
+/// A resolver that knows nothing — usable before the transaction manager
+/// is wired up and in tests.
+pub struct NullResolver;
+
+impl TimestampResolver for NullResolver {
+    fn resolve(&self, _tid: Tid) -> Option<Timestamp> {
+        None
+    }
+}

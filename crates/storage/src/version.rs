@@ -1,0 +1,733 @@
+//! Version-chain operations on leaf pages (§3 of the paper).
+//!
+//! A versioned leaf page keeps, per key, a chain of record versions:
+//! the slot array points at the newest version and each version's VP field
+//! points at its predecessor within the same page. This module implements:
+//!
+//! * pushing a new version (insert / update / delete-stub),
+//! * popping the newest version (transaction rollback),
+//! * visibility: finding the version current AS OF a timestamp,
+//! * lazy timestamp application (stage IV of the protocol, unlogged),
+//! * **page time splits** — the four-case version partition of Fig. 3,
+//! * page key splits (whole chains move).
+
+use std::collections::HashMap;
+
+use immortaldb_common::{Error, PageId, Result, Tid, Timestamp, VERSION_TAIL};
+
+use crate::page::{Page, FLAG_HISTORICAL, RFLAG_DELETE_STUB};
+use crate::TimestampResolver;
+
+/// Push a new version for `key` onto the page: a plain insert if the key
+/// has no chain, otherwise a new chain head whose VP points at the old
+/// newest version. `stub = true` records a delete.
+///
+/// The new version is TID-marked (stage II); it receives its timestamp
+/// lazily after commit. Returns the heap offset of the new version.
+/// Fails with [`Error::PageFull`] when the caller must split first;
+/// compaction is attempted automatically when fragmentation would cover
+/// the request.
+pub fn add_version(page: &mut Page, key: &[u8], data: &[u8], stub: bool, tid: Tid) -> Result<usize> {
+    debug_assert!(page.is_versioned());
+    let need = crate::page::REC_HDR + key.len() + data.len() + VERSION_TAIL + 2;
+    if need > page.contiguous_free() && need <= page.total_free() {
+        page.compact()?;
+    }
+    let rflags = if stub { RFLAG_DELETE_STUB } else { 0 };
+    match page.find_slot(key) {
+        Ok(i) => {
+            let prev = page.slot(i);
+            let off = page.alloc_record(key, data, rflags, false)?;
+            page.set_rec_vp(off, prev);
+            page.mark_rec_tid(off, tid);
+            page.set_slot(i, off);
+            Ok(off)
+        }
+        Err(pos) => {
+            let off = page.insert_at(pos, key, data, rflags)?;
+            page.set_rec_vp(off, 0);
+            page.mark_rec_tid(off, tid);
+            Ok(off)
+        }
+    }
+}
+
+/// Pop the newest version of `key`, which must be TID-marked by `tid`
+/// (rollback / logical undo of [`add_version`]). If the chain becomes
+/// empty the slot disappears.
+pub fn pop_newest(page: &mut Page, key: &[u8], tid: Tid) -> Result<()> {
+    debug_assert!(page.is_versioned());
+    let i = page.find_slot(key).map_err(|_| Error::KeyNotFound)?;
+    let off = page.slot(i);
+    if !page.rec_is_tid_marked(off) || page.rec_tid(off) != tid {
+        return Err(Error::Internal(format!(
+            "pop_newest: newest version of key not owned by {tid:?}"
+        )));
+    }
+    let vp = page.rec_vp(off);
+    let size = page.rec_size(off);
+    page.set_rec_flags(off, page.rec_flags(off) | crate::page::RFLAG_DEAD);
+    page.add_frag(size);
+    if vp == 0 {
+        page.remove_slot(i);
+    } else {
+        page.set_slot(i, vp);
+    }
+    Ok(())
+}
+
+/// All version offsets of the chain anchored at slot `i`, newest first.
+pub fn chain_offsets(page: &Page, i: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut off = page.slot(i);
+    loop {
+        out.push(off);
+        let vp = page.rec_vp(off);
+        if vp == 0 {
+            break;
+        }
+        off = vp;
+    }
+    out
+}
+
+/// Outcome of a visibility walk along one chain.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Visible {
+    /// This version (heap offset) is the one current AS OF the requested
+    /// time.
+    Version(usize),
+    /// The record was deleted as of the requested time (a stub governs).
+    Deleted,
+    /// Nothing in this page's chain is old enough — the caller must follow
+    /// the history-page chain (or conclude the record did not exist yet if
+    /// the page's time range covers the request).
+    NotHere,
+}
+
+/// Walk the chain at slot `i` and find the version visible AS OF `as_of`.
+///
+/// `own_tid` makes a transaction's *own* uncommitted versions visible
+/// (read-your-writes). TID-marked versions of other transactions are
+/// resolved through `resolver`: committed → their timestamp applies,
+/// active → invisible, skip to the predecessor. This read-only walk never
+/// mutates the page; use [`stamp_committed`] (write latch) to also apply
+/// timestamps, per the paper's read trigger.
+pub fn visible_as_of(
+    page: &Page,
+    i: usize,
+    as_of: Timestamp,
+    own_tid: Option<Tid>,
+    resolver: &dyn TimestampResolver,
+) -> Visible {
+    let mut off = page.slot(i);
+    loop {
+        let ts = if page.rec_is_tid_marked(off) {
+            let tid = page.rec_tid(off);
+            if Some(tid) == own_tid {
+                // Own uncommitted write: always visible at "now".
+                return classify(page, off);
+            }
+            resolver.resolve(tid)
+        } else {
+            Some(page.rec_timestamp(off))
+        };
+        if let Some(ts) = ts {
+            if ts <= as_of {
+                return classify(page, off);
+            }
+        }
+        let vp = page.rec_vp(off);
+        if vp == 0 {
+            return Visible::NotHere;
+        }
+        off = vp;
+    }
+}
+
+fn classify(page: &Page, off: usize) -> Visible {
+    if page.rec_is_stub(off) {
+        Visible::Deleted
+    } else {
+        Visible::Version(off)
+    }
+}
+
+/// Apply timestamps to every TID-marked record of a committed transaction
+/// in this page (triggers: page flush, time split, opportunistic access).
+/// Returns how many records of each transaction were stamped so the
+/// caller can decrement the volatile reference counts. This mutation is
+/// deliberately unlogged (§2.2): durability comes from the
+/// flush-before-GC rule.
+pub fn stamp_committed(page: &mut Page, resolver: &dyn TimestampResolver) -> Vec<(Tid, u32)> {
+    debug_assert!(page.is_versioned());
+    let mut counts: HashMap<Tid, u32> = HashMap::new();
+    for i in 0..page.slot_count() {
+        for off in chain_offsets(page, i) {
+            if page.rec_is_tid_marked(off) {
+                let tid = page.rec_tid(off);
+                if let Some(ts) = resolver.resolve(tid) {
+                    page.stamp_rec(off, ts);
+                    *counts.entry(tid).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Stamp the chain for a single key (the paper's update trigger: "when we
+/// update a non-timestamped version of a record with a later version, all
+/// existing versions must be committed, and we timestamp them all").
+pub fn stamp_chain(page: &mut Page, i: usize, resolver: &dyn TimestampResolver) -> Vec<(Tid, u32)> {
+    let mut counts: HashMap<Tid, u32> = HashMap::new();
+    for off in chain_offsets(page, i) {
+        if page.rec_is_tid_marked(off) {
+            let tid = page.rec_tid(off);
+            if let Some(ts) = resolver.resolve(tid) {
+                page.stamp_rec(off, ts);
+                *counts.entry(tid).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Garbage-collect snapshot versions (§3, "Snapshots"): drop versions of
+/// the chain at slot `i` that are older than the version visible to the
+/// oldest active snapshot transaction (`watermark`). The newest version
+/// with timestamp ≤ `watermark` is kept (it is what that snapshot reads);
+/// everything older is marked dead. Only meaningful for snapshot-enabled
+/// conventional tables — immortal tables never collect versions. Returns
+/// the number of versions pruned.
+pub fn prune_chain(page: &mut Page, i: usize, watermark: Timestamp) -> usize {
+    let chain = chain_offsets(page, i);
+    // Find the first (newest) committed, stamped version visible at the
+    // watermark; its predecessors are unreachable by any live snapshot.
+    let mut keep_until = None;
+    for (idx, &off) in chain.iter().enumerate() {
+        if page.rec_is_tid_marked(off) {
+            continue; // unresolved: keep conservatively
+        }
+        if page.rec_timestamp(off) <= watermark {
+            keep_until = Some(idx);
+            break;
+        }
+    }
+    let Some(keep) = keep_until else { return 0 };
+    let mut pruned = 0usize;
+    for &off in &chain[keep + 1..] {
+        let size = page.rec_size(off);
+        page.set_rec_flags(off, page.rec_flags(off) | crate::page::RFLAG_DEAD);
+        page.add_frag(size);
+        pruned += 1;
+    }
+    if pruned > 0 {
+        page.set_rec_vp(chain[keep], 0);
+    }
+    pruned
+}
+
+/// Where a version goes during a time split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SplitFate {
+    HistoryOnly,
+    Both,
+    CurrentOnly,
+}
+
+/// Compute the fate of each version in the chain (offsets newest-first)
+/// for a time split at `split_ts`, per the four cases of Fig. 3 plus the
+/// delete-stub rule. All committed versions must already be stamped.
+fn chain_fates(page: &Page, chain: &[usize], split_ts: Timestamp) -> Vec<SplitFate> {
+    // end[i] = start of the next newer *effective* version. Uncommitted
+    // versions have no timestamp yet and do not close their predecessor's
+    // lifetime.
+    let mut fates = vec![SplitFate::CurrentOnly; chain.len()];
+    let mut next_newer_start: Option<Timestamp> = None; // lifetime end bound
+    for (idx, &off) in chain.iter().enumerate() {
+        if page.rec_is_tid_marked(off) {
+            // Case 4: uncommitted versions remain in the current page.
+            fates[idx] = SplitFate::CurrentOnly;
+            continue;
+        }
+        let start = page.rec_timestamp(off);
+        let end = next_newer_start.unwrap_or(Timestamp::MAX);
+        let stub = page.rec_is_stub(off);
+        fates[idx] = if stub {
+            if start < split_ts {
+                // Stubs earlier than the split time move to history: their
+                // purpose is to end the prior version there. They are
+                // removed from the current page.
+                SplitFate::HistoryOnly
+            } else {
+                SplitFate::CurrentOnly
+            }
+        } else if end <= split_ts {
+            // Case 1: lifetime entirely before the split.
+            SplitFate::HistoryOnly
+        } else if start < split_ts {
+            // Case 2: alive across the split — redundantly in both pages.
+            SplitFate::Both
+        } else {
+            // Case 3: born at/after the split.
+            SplitFate::CurrentOnly
+        };
+        next_newer_start = Some(start);
+    }
+    fates
+}
+
+/// Bytes a time split at `split_ts` would free from the current page
+/// (records whose fate is HistoryOnly). Used to decide whether a time
+/// split is worthwhile or the page should go straight to a key split
+/// (insert-heavy pages may have nothing historical to shed).
+pub fn time_split_gain(cur: &Page, split_ts: Timestamp) -> usize {
+    let mut gain = 0usize;
+    for i in 0..cur.slot_count() {
+        let chain = chain_offsets(cur, i);
+        let fates = chain_fates(cur, &chain, split_ts);
+        for (idx, &off) in chain.iter().enumerate() {
+            if fates[idx] == SplitFate::HistoryOnly {
+                gain += cur.rec_size(off);
+            }
+        }
+    }
+    gain + cur.frag_space()
+}
+
+/// Time-split `cur` at `split_ts` (§3.3): returns `(history page, new
+/// current page)` images. The history page receives the time range
+/// `[cur.start_ts, split_ts)` and inherits the old history pointer; the
+/// rebuilt current page covers `[split_ts, ∞)` and points at the new
+/// history page. The caller must have stamped all committed versions
+/// first ([`stamp_committed`]) and installs/logs both images atomically.
+pub fn time_split(cur: &Page, split_ts: Timestamp, hist_id: PageId) -> Result<(Page, Page)> {
+    debug_assert!(cur.is_versioned());
+    debug_assert!(split_ts > cur.start_ts());
+
+    let mut hist = Page::zeroed();
+    hist.format(
+        hist_id,
+        crate::page::PageType::Leaf,
+        cur.flags() | FLAG_HISTORICAL,
+        0,
+    );
+    hist.set_start_ts(cur.start_ts());
+    hist.set_end_ts(split_ts);
+    hist.set_history_page(cur.history_page());
+
+    let mut fresh = Page::zeroed();
+    fresh.format(cur.page_id(), crate::page::PageType::Leaf, cur.flags(), 0);
+    fresh.set_start_ts(split_ts);
+    fresh.set_end_ts(Timestamp::MAX);
+    fresh.set_history_page(hist_id);
+    fresh.set_next_leaf(cur.next_leaf());
+
+    for i in 0..cur.slot_count() {
+        let chain = chain_offsets(cur, i);
+        let fates = chain_fates(cur, &chain, split_ts);
+        copy_chain(cur, &chain, &fates, &mut fresh, |f| {
+            matches!(f, SplitFate::CurrentOnly | SplitFate::Both)
+        })?;
+        copy_chain(cur, &chain, &fates, &mut hist, |f| {
+            matches!(f, SplitFate::HistoryOnly | SplitFate::Both)
+        })?;
+    }
+    Ok((hist, fresh))
+}
+
+/// Copy the subset of `chain` selected by `pick` into `dst`, preserving
+/// newest-first order and relinking VPs.
+fn copy_chain(
+    src: &Page,
+    chain: &[usize],
+    fates: &[SplitFate],
+    dst: &mut Page,
+    pick: impl Fn(SplitFate) -> bool,
+) -> Result<()> {
+    let mut prev_new: Option<usize> = None;
+    let mut first_new: Option<usize> = None;
+    for (idx, &off) in chain.iter().enumerate() {
+        if !pick(fates[idx]) {
+            continue;
+        }
+        let new_off = dst.alloc_record(
+            src.rec_key(off),
+            src.rec_data(off),
+            src.rec_flags(off),
+            first_new.is_none(),
+        )?;
+        // Copy Ttime + SN verbatim (committed stamps or TID marks).
+        copy_tail(src, off, dst, new_off);
+        match prev_new {
+            None => first_new = Some(new_off),
+            Some(p) => dst.set_rec_vp(p, new_off),
+        }
+        prev_new = Some(new_off);
+    }
+    if let Some(head) = first_new {
+        let key = dst.rec_key(head).to_vec();
+        let pos = match dst.find_slot(&key) {
+            Ok(_) => return Err(Error::Internal("duplicate slot during split copy".into())),
+            Err(pos) => pos,
+        };
+        // We allocated the record without a slot when first_new was taken
+        // above with need_slot=true... insert_slot is private; emulate via
+        // insert_at? The record is already in the heap; add the slot.
+        dst.add_slot_for(pos, head);
+    }
+    Ok(())
+}
+
+fn copy_tail(src: &Page, src_off: usize, dst: &mut Page, dst_off: usize) {
+    if src.rec_is_tid_marked(src_off) {
+        dst.mark_rec_tid(dst_off, src.rec_tid(src_off));
+    } else {
+        dst.stamp_rec(dst_off, src.rec_timestamp(src_off));
+    }
+}
+
+/// Key-split `cur` around its slot midpoint (by accumulated live bytes):
+/// returns `(new left image — same page id, right page, separator key)`.
+/// Whole version chains move together; both halves keep the page's time
+/// range and share the existing history chain. Works for versioned and
+/// unversioned leaves.
+pub fn key_split(cur: &Page, right_id: PageId) -> Result<(Page, Page, Vec<u8>)> {
+    let n = cur.slot_count();
+    if n < 2 {
+        return Err(Error::Internal("key split of a page with < 2 keys".into()));
+    }
+    // Find the slot index where accumulated chain bytes pass half the total.
+    let chain_bytes: Vec<usize> = (0..n)
+        .map(|i| {
+            if cur.is_versioned() {
+                chain_offsets(cur, i).iter().map(|&o| cur.rec_size(o)).sum()
+            } else {
+                cur.rec_size(cur.slot(i))
+            }
+        })
+        .collect();
+    let total: usize = chain_bytes.iter().sum();
+    let mut acc = 0usize;
+    let mut split_at = n / 2;
+    for (i, b) in chain_bytes.iter().enumerate() {
+        acc += b;
+        if acc * 2 >= total {
+            split_at = (i + 1).clamp(1, n - 1);
+            break;
+        }
+    }
+
+    let mut left = Page::zeroed();
+    left.format(cur.page_id(), crate::page::PageType::Leaf, cur.flags(), 0);
+    left.set_start_ts(cur.start_ts());
+    left.set_end_ts(cur.end_ts());
+    left.set_history_page(cur.history_page());
+    left.set_next_leaf(right_id);
+
+    let mut right = Page::zeroed();
+    right.format(right_id, crate::page::PageType::Leaf, cur.flags(), 0);
+    right.set_start_ts(cur.start_ts());
+    right.set_end_ts(cur.end_ts());
+    right.set_history_page(cur.history_page());
+    right.set_next_leaf(cur.next_leaf());
+
+    for i in 0..n {
+        let dst = if i < split_at { &mut left } else { &mut right };
+        if cur.is_versioned() {
+            let chain = chain_offsets(cur, i);
+            let fates = vec![SplitFate::Both; chain.len()];
+            copy_chain(cur, &chain, &fates, dst, |_| true)?;
+        } else {
+            let off = cur.slot(i);
+            dst.insert_sorted(cur.rec_key(off), cur.rec_data(off), cur.rec_flags(off))?;
+        }
+    }
+    let sep = right.rec_key(right.slot(0)).to_vec();
+    Ok((left, right, sep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageType, FLAG_VERSIONED};
+    use std::collections::HashMap as Map;
+
+    struct MapResolver(Map<u64, Timestamp>);
+    impl TimestampResolver for MapResolver {
+        fn resolve(&self, tid: Tid) -> Option<Timestamp> {
+            self.0.get(&tid.0).copied()
+        }
+    }
+
+    fn vleaf() -> Page {
+        let mut p = Page::zeroed();
+        p.format(PageId(7), PageType::Leaf, FLAG_VERSIONED, 0);
+        p
+    }
+
+    fn ts(t: u64, sn: u32) -> Timestamp {
+        Timestamp::new(t, sn)
+    }
+
+    #[test]
+    fn add_version_builds_chain() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        let o2 = add_version(&mut p, b"a", b"v2", false, Tid(2)).unwrap();
+        assert_eq!(p.slot_count(), 1);
+        assert_eq!(p.slot(0), o2);
+        assert_eq!(p.rec_vp(o2), o1);
+        assert_eq!(chain_offsets(&p, 0), vec![o2, o1]);
+    }
+
+    #[test]
+    fn pop_newest_restores_or_removes() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        add_version(&mut p, b"a", b"v2", false, Tid(2)).unwrap();
+        pop_newest(&mut p, b"a", Tid(2)).unwrap();
+        assert_eq!(p.slot(0), o1);
+        assert_eq!(p.rec_data(p.slot(0)), b"v1");
+        // Popping an insert removes the slot entirely.
+        add_version(&mut p, b"b", b"x", false, Tid(3)).unwrap();
+        assert_eq!(p.slot_count(), 2);
+        pop_newest(&mut p, b"b", Tid(3)).unwrap();
+        assert_eq!(p.slot_count(), 1);
+        assert!(p.find_slot(b"b").is_err());
+    }
+
+    #[test]
+    fn pop_newest_rejects_wrong_owner() {
+        let mut p = vleaf();
+        add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        assert!(pop_newest(&mut p, b"a", Tid(9)).is_err());
+    }
+
+    #[test]
+    fn visibility_walks_to_correct_version() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        let o2 = add_version(&mut p, b"a", b"v2", false, Tid(2)).unwrap();
+        p.stamp_rec(o2, ts(40, 0));
+        let o3 = add_version(&mut p, b"a", b"v3", false, Tid(3)).unwrap();
+        p.stamp_rec(o3, ts(60, 0));
+        let r = MapResolver(Map::new());
+        assert_eq!(visible_as_of(&p, 0, ts(60, 5), None, &r), Visible::Version(o3));
+        assert_eq!(visible_as_of(&p, 0, ts(59, 0), None, &r), Visible::Version(o2));
+        assert_eq!(visible_as_of(&p, 0, ts(40, 0), None, &r), Visible::Version(o2));
+        assert_eq!(visible_as_of(&p, 0, ts(20, 0), None, &r), Visible::Version(o1));
+        assert_eq!(visible_as_of(&p, 0, ts(19, 9), None, &r), Visible::NotHere);
+    }
+
+    #[test]
+    fn visibility_of_uncommitted_and_own_writes() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        let o2 = add_version(&mut p, b"a", b"v2", false, Tid(5)).unwrap();
+        let r = MapResolver(Map::new()); // Tid(5) still active
+        // Other readers skip the uncommitted version.
+        assert_eq!(visible_as_of(&p, 0, Timestamp::MAX, None, &r), Visible::Version(o1));
+        // The owner sees its own write.
+        assert_eq!(
+            visible_as_of(&p, 0, Timestamp::MAX, Some(Tid(5)), &r),
+            Visible::Version(o2)
+        );
+        // Once committed (resolver knows), it becomes visible to all.
+        let mut m = Map::new();
+        m.insert(5, ts(40, 0));
+        let r = MapResolver(m);
+        assert_eq!(visible_as_of(&p, 0, Timestamp::MAX, None, &r), Visible::Version(o2));
+        assert_eq!(visible_as_of(&p, 0, ts(39, 0), None, &r), Visible::Version(o1));
+    }
+
+    #[test]
+    fn delete_stub_reports_deleted() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        let o2 = add_version(&mut p, b"a", b"", true, Tid(2)).unwrap();
+        p.stamp_rec(o2, ts(40, 0));
+        let r = MapResolver(Map::new());
+        assert_eq!(visible_as_of(&p, 0, ts(50, 0), None, &r), Visible::Deleted);
+        assert_eq!(visible_as_of(&p, 0, ts(30, 0), None, &r), Visible::Version(o1));
+    }
+
+    #[test]
+    fn stamp_committed_counts_per_tid() {
+        let mut p = vleaf();
+        add_version(&mut p, b"a", b"v1", false, Tid(1)).unwrap();
+        add_version(&mut p, b"b", b"v1", false, Tid(1)).unwrap();
+        add_version(&mut p, b"c", b"v1", false, Tid(2)).unwrap();
+        let mut m = Map::new();
+        m.insert(1, ts(20, 0));
+        // Tid(2) not yet committed.
+        let counts = stamp_committed(&mut p, &MapResolver(m));
+        let mut counts: Vec<_> = counts;
+        counts.sort();
+        assert_eq!(counts, vec![(Tid(1), 2)]);
+        // a and b stamped, c still TID-marked.
+        let oa = p.slot(p.find_slot(b"a").unwrap());
+        assert_eq!(p.rec_timestamp(oa), ts(20, 0));
+        let oc = p.slot(p.find_slot(b"c").unwrap());
+        assert!(p.rec_is_tid_marked(oc));
+    }
+
+    /// Reproduce the exact Fig. 3 scenario: records A, B, C with the
+    /// depicted lifetimes, then time-split and check each page's content.
+    #[test]
+    fn time_split_matches_figure_3() {
+        let mut p = vleaf();
+        // Record A: one version, alive across the split.
+        let a1 = add_version(&mut p, b"A", b"a1", false, Tid(1)).unwrap();
+        p.stamp_rec(a1, ts(20, 0));
+        // Record B: early version, then a later version after split time.
+        let b1 = add_version(&mut p, b"B", b"b1", false, Tid(1)).unwrap();
+        p.stamp_rec(b1, ts(20, 0));
+        let b2 = add_version(&mut p, b"B", b"b2", false, Tid(2)).unwrap();
+        p.stamp_rec(b2, ts(200, 0));
+        // Record C: early version, mid version, then a delete stub after split.
+        let c1 = add_version(&mut p, b"C", b"c1", false, Tid(1)).unwrap();
+        p.stamp_rec(c1, ts(20, 0));
+        let c2 = add_version(&mut p, b"C", b"c2", false, Tid(3)).unwrap();
+        p.stamp_rec(c2, ts(60, 0));
+        let c3 = add_version(&mut p, b"C", b"", true, Tid(4)).unwrap();
+        p.stamp_rec(c3, ts(200, 0));
+
+        let split = ts(100, 0);
+        let (hist, cur) = time_split(&p, split, PageId(99)).unwrap();
+
+        // History page: time range [0, 100).
+        assert!(hist.is_historical());
+        assert_eq!(hist.start_ts(), Timestamp::ZERO);
+        assert_eq!(hist.end_ts(), split);
+        assert_eq!(hist.page_id(), PageId(99));
+        // A: the only version spans the split -> in both.
+        let ha = hist.find_slot(b"A").unwrap();
+        assert_eq!(hist.rec_data(hist.slot(ha)), b"a1");
+        let ca = cur.find_slot(b"A").unwrap();
+        assert_eq!(cur.rec_data(cur.slot(ca)), b"a1");
+        // B: b1 [20,200) spans -> both; b2 [200,inf) current only.
+        let hb = hist.find_slot(b"B").unwrap();
+        assert_eq!(chain_offsets(&hist, hb).len(), 1);
+        assert_eq!(hist.rec_data(hist.slot(hb)), b"b1");
+        let cb = cur.find_slot(b"B").unwrap();
+        let cb_chain = chain_offsets(&cur, cb);
+        assert_eq!(cb_chain.len(), 2);
+        assert_eq!(cur.rec_data(cb_chain[0]), b"b2");
+        assert_eq!(cur.rec_data(cb_chain[1]), b"b1");
+        // C: c1 [20,60) history only; c2 [60,200) spans -> both; stub at 200
+        // stays current only.
+        let hc = hist.find_slot(b"C").unwrap();
+        let hc_chain = chain_offsets(&hist, hc);
+        assert_eq!(hc_chain.len(), 2);
+        assert_eq!(hist.rec_data(hc_chain[0]), b"c2");
+        assert_eq!(hist.rec_data(hc_chain[1]), b"c1");
+        let cc = cur.find_slot(b"C").unwrap();
+        let cc_chain = chain_offsets(&cur, cc);
+        assert_eq!(cc_chain.len(), 2);
+        assert!(cur.rec_is_stub(cc_chain[0]));
+        assert_eq!(cur.rec_data(cc_chain[1]), b"c2");
+        // Current page time range updated, history linked.
+        assert_eq!(cur.start_ts(), split);
+        assert_eq!(cur.history_page(), PageId(99));
+        assert_eq!(cur.end_ts(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn time_split_drops_old_stub_from_current() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"k", b"v", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        let o2 = add_version(&mut p, b"k", b"", true, Tid(2)).unwrap();
+        p.stamp_rec(o2, ts(40, 0));
+        let (hist, cur) = time_split(&p, ts(100, 0), PageId(9)).unwrap();
+        // Whole chain ended before the split: key vanishes from current.
+        assert!(cur.find_slot(b"k").is_err());
+        let h = hist.find_slot(b"k").unwrap();
+        let chain = chain_offsets(&hist, h);
+        assert_eq!(chain.len(), 2);
+        assert!(hist.rec_is_stub(chain[0]));
+    }
+
+    #[test]
+    fn time_split_keeps_uncommitted_in_current() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"k", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        add_version(&mut p, b"k", b"v2", false, Tid(7)).unwrap(); // uncommitted
+        let (hist, cur) = time_split(&p, ts(100, 0), PageId(9)).unwrap();
+        let c = cur.find_slot(b"k").unwrap();
+        let chain = chain_offsets(&cur, c);
+        assert_eq!(chain.len(), 2);
+        assert!(cur.rec_is_tid_marked(chain[0]));
+        assert_eq!(cur.rec_tid(chain[0]), Tid(7));
+        // Committed predecessor spans (its end is still open) -> in both.
+        assert_eq!(cur.rec_data(chain[1]), b"v1");
+        let h = hist.find_slot(b"k").unwrap();
+        assert_eq!(hist.rec_data(hist.slot(h)), b"v1");
+    }
+
+    #[test]
+    fn key_split_partitions_keys_and_preserves_chains() {
+        let mut p = vleaf();
+        for k in 0u8..10 {
+            let o = add_version(&mut p, &[k], &[k, k], false, Tid(1)).unwrap();
+            p.stamp_rec(o, ts(20, 0));
+            let o2 = add_version(&mut p, &[k], &[k, k, k], false, Tid(2)).unwrap();
+            p.stamp_rec(o2, ts(40, 0));
+        }
+        let (left, right, sep) = key_split(&p, PageId(33)).unwrap();
+        assert_eq!(left.slot_count() + right.slot_count(), 10);
+        assert!(left.slot_count() >= 1 && right.slot_count() >= 1);
+        assert_eq!(sep, right.rec_key(right.slot(0)).to_vec());
+        assert!(left.rec_key(left.slot(left.slot_count() - 1)) < sep.as_slice());
+        assert_eq!(left.next_leaf(), PageId(33));
+        // Chains intact on both sides.
+        let chain = chain_offsets(&right, 0);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(right.rec_timestamp(chain[0]), ts(40, 0));
+        assert_eq!(right.rec_timestamp(chain[1]), ts(20, 0));
+    }
+
+    #[test]
+    fn prune_chain_drops_versions_below_watermark() {
+        let mut p = vleaf();
+        let o1 = add_version(&mut p, b"k", b"v1", false, Tid(1)).unwrap();
+        p.stamp_rec(o1, ts(20, 0));
+        let o2 = add_version(&mut p, b"k", b"v2", false, Tid(2)).unwrap();
+        p.stamp_rec(o2, ts(40, 0));
+        let o3 = add_version(&mut p, b"k", b"v3", false, Tid(3)).unwrap();
+        p.stamp_rec(o3, ts(60, 0));
+        // Oldest snapshot at 45: v2 is what it reads; v1 is unreachable.
+        let pruned = prune_chain(&mut p, 0, ts(45, 0));
+        assert_eq!(pruned, 1);
+        let chain = chain_offsets(&p, 0);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(p.rec_data(chain[1]), b"v2");
+        assert!(p.frag_space() > 0);
+        // Watermark before everything: nothing visible -> nothing pruned.
+        let mut q = vleaf();
+        let a = add_version(&mut q, b"k", b"x", false, Tid(1)).unwrap();
+        q.stamp_rec(a, ts(20, 0));
+        assert_eq!(prune_chain(&mut q, 0, ts(10, 0)), 0);
+    }
+
+    #[test]
+    fn key_split_unversioned() {
+        let mut p = Page::zeroed();
+        p.format(PageId(7), PageType::Leaf, 0, 0);
+        for k in 0u8..8 {
+            p.insert_sorted(&[k], b"data", 0).unwrap();
+        }
+        let (left, right, sep) = key_split(&p, PageId(8)).unwrap();
+        assert_eq!(left.slot_count(), 4);
+        assert_eq!(right.slot_count(), 4);
+        assert_eq!(sep, vec![4u8]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Write-ahead log manager.
+//!
+//! Framing per record: `len:u32 | crc:u32 | body`, where `body` is
+//! `tid:u64 | prev_lsn:u64 | encoded LogRecord`, `len = body.len()` and
+//! `crc = crc32(body)`. A record's LSN is the file offset of its length
+//! field, so LSNs are strictly increasing and recovery can seek directly.
+//! A torn tail (zero length, truncated body, CRC mismatch) cleanly ends
+//! the scan.
+//!
+//! Appends accumulate in an in-memory buffer; [`Wal::flush`] writes (and
+//! optionally fsyncs) it. The buffer pool calls [`Wal::flush_to`] before
+//! writing any page, enforcing the WAL rule.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use immortaldb_common::codec::crc32;
+use immortaldb_common::{Error, Lsn, Result, Tid};
+
+use crate::logrec::LogRecord;
+
+/// Size of the per-record frame header (`len` + `crc`).
+const FRAME_HDR: u64 = 8;
+/// Body prefix: `tid` + `prev_lsn`.
+const BODY_HDR: usize = 16;
+/// File magic at offset 0; real LSNs therefore start at 8, keeping LSN 0
+/// unambiguous as [`immortaldb_common::NULL_LSN`].
+const WAL_MAGIC: &[u8; 8] = b"IMDBWAL1";
+/// First valid record LSN.
+pub const WAL_START: Lsn = Lsn(8);
+
+/// Durability level applied when flushing the log at commit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Durability {
+    /// Write to the OS page cache only; fsync happens at checkpoints.
+    /// Survives process crashes (the failure model of the experiments) but
+    /// not OS crashes since the last checkpoint.
+    Buffered,
+    /// fsync on every commit.
+    Fsync,
+}
+
+struct WalInner {
+    file: File,
+    /// File offset where the in-memory buffer begins (== durable length).
+    buf_start: u64,
+    buf: Vec<u8>,
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    inner: Mutex<WalInner>,
+    /// Highest LSN guaranteed written to the file (not necessarily
+    /// fsynced).
+    written_lsn: AtomicU64,
+}
+
+/// A decoded WAL entry together with its framing metadata.
+#[derive(Debug, Clone)]
+pub struct WalEntry {
+    pub lsn: Lsn,
+    pub tid: Tid,
+    pub prev_lsn: Lsn,
+    pub record: LogRecord,
+    /// LSN of the next record (this record's end offset).
+    pub next_lsn: Lsn,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, positioned to append after the
+    /// last complete record.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false) // never truncate: the log IS the durability
+            .open(&path)?;
+        if file.metadata()?.len() < WAL_START.0 {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+        } else {
+            use std::os::unix::fs::FileExt;
+            let mut magic = [0u8; 8];
+            file.read_exact_at(&mut magic, 0)?;
+            if &magic != WAL_MAGIC {
+                return Err(Error::Corruption("WAL magic mismatch".into()));
+            }
+        }
+        // Find the end of the valid prefix so a torn tail is overwritten.
+        let end = scan_valid_end(&mut file)?;
+        file.seek(SeekFrom::Start(end))?;
+        file.set_len(end)?;
+        Ok(Wal {
+            path,
+            inner: Mutex::new(WalInner {
+                file,
+                buf_start: end,
+                buf: Vec::with_capacity(64 * 1024),
+            }),
+            written_lsn: AtomicU64::new(end),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a record; returns its LSN. The record is buffered — call
+    /// [`Self::flush`] (or let the buffer pool's WAL-rule flush do it) to
+    /// make it durable.
+    pub fn append(&self, tid: Tid, prev_lsn: Lsn, record: &LogRecord) -> Lsn {
+        let mut body = Vec::with_capacity(BODY_HDR + 32);
+        body.extend_from_slice(&tid.0.to_le_bytes());
+        body.extend_from_slice(&prev_lsn.0.to_le_bytes());
+        body.extend_from_slice(&record.encode());
+        let crc = crc32(&body);
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.buf_start + inner.buf.len() as u64);
+        inner.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        inner.buf.extend_from_slice(&crc.to_le_bytes());
+        inner.buf.extend_from_slice(&body);
+        lsn
+    }
+
+    /// The LSN one past the last appended record (the "end of log"). Used
+    /// for the VTT `stable_lsn` bookkeeping that gates PTT GC.
+    pub fn end_lsn(&self) -> Lsn {
+        let inner = self.inner.lock();
+        Lsn(inner.buf_start + inner.buf.len() as u64)
+    }
+
+    /// Highest LSN written to the file.
+    pub fn written_lsn(&self) -> Lsn {
+        Lsn(self.written_lsn.load(Ordering::SeqCst))
+    }
+
+    /// Write the whole buffer out (optionally fsync).
+    pub fn flush(&self, durability: Durability) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.buf.is_empty() {
+            let buf = std::mem::take(&mut inner.buf);
+            inner.file.write_all(&buf)?;
+            inner.buf_start += buf.len() as u64;
+            let start = inner.buf_start;
+            self.written_lsn.store(start, Ordering::SeqCst);
+        }
+        if durability == Durability::Fsync {
+            inner.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Ensure everything up to and including `lsn` is in the file (the
+    /// WAL rule, called by the buffer pool before page writes).
+    pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
+        if self.written_lsn().0 > lsn.0 {
+            return Ok(());
+        }
+        self.flush(Durability::Buffered)
+    }
+
+    /// Iterate over all complete records starting at `from` (file only:
+    /// call [`Self::flush`] first if buffered records must be visible).
+    pub fn iter_from(&self, from: Lsn) -> Result<WalIter> {
+        // Make sure everything appended so far is scannable.
+        self.flush(Durability::Buffered)?;
+        let file = OpenOptions::new().read(true).open(&self.path)?;
+        let len = file.metadata()?.len();
+        Ok(WalIter {
+            file,
+            pos: from.0.max(WAL_START.0),
+            end: len,
+        })
+    }
+
+    /// Read and decode the single record at `lsn`.
+    pub fn read_at(&self, lsn: Lsn) -> Result<WalEntry> {
+        let mut it = self.iter_from(lsn)?;
+        it.next().transpose()?.ok_or_else(|| {
+            Error::Corruption(format!("no log record at {lsn:?}"))
+        })
+    }
+}
+
+/// Sequential reader over the log file.
+pub struct WalIter {
+    file: File,
+    pos: u64,
+    end: u64,
+}
+
+impl WalIter {
+    fn read_exact_at(&mut self, buf: &mut [u8], off: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, off).map_err(Error::from)
+    }
+}
+
+impl Iterator for WalIter {
+    type Item = Result<WalEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + FRAME_HDR > self.end {
+            return None;
+        }
+        let mut hdr = [0u8; 8];
+        if let Err(e) = self.read_exact_at(&mut hdr, self.pos) {
+            return Some(Err(e));
+        }
+        let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as u64;
+        let crc = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]);
+        if len == 0 || self.pos + FRAME_HDR + len > self.end {
+            // Torn tail: end of valid log.
+            return None;
+        }
+        let mut body = vec![0u8; len as usize];
+        if let Err(e) = self.read_exact_at(&mut body, self.pos + FRAME_HDR) {
+            return Some(Err(e));
+        }
+        if crc32(&body) != crc {
+            // Corrupt/torn record ends the scan.
+            return None;
+        }
+        let tid = Tid(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+        let prev_lsn = Lsn(u64::from_le_bytes(body[8..16].try_into().unwrap()));
+        let record = match LogRecord::decode(&body[BODY_HDR..]) {
+            Ok(r) => r,
+            Err(e) => return Some(Err(e)),
+        };
+        let lsn = Lsn(self.pos);
+        self.pos += FRAME_HDR + len;
+        Some(Ok(WalEntry {
+            lsn,
+            tid,
+            prev_lsn,
+            record,
+            next_lsn: Lsn(self.pos),
+        }))
+    }
+}
+
+/// Scan the file from the start and return the offset just past the last
+/// complete, CRC-valid record.
+fn scan_valid_end(file: &mut File) -> Result<u64> {
+    let len = file.metadata()?.len();
+    let mut pos = WAL_START.0;
+    use std::os::unix::fs::FileExt;
+    loop {
+        if pos + FRAME_HDR > len {
+            return Ok(pos);
+        }
+        let mut hdr = [0u8; 8];
+        file.read_exact_at(&mut hdr, pos)?;
+        let rec_len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as u64;
+        let crc = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]);
+        if rec_len == 0 || pos + FRAME_HDR + rec_len > len {
+            return Ok(pos);
+        }
+        let mut body = vec![0u8; rec_len as usize];
+        file.read_exact_at(&mut body, pos + FRAME_HDR)?;
+        if crc32(&body) != crc {
+            return Ok(pos);
+        }
+        pos += FRAME_HDR + rec_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use immortaldb_common::{PageId, Timestamp, TreeId};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("immortal-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_flush_iterate() {
+        let path = tmp("basic");
+        let wal = Wal::open(&path).unwrap();
+        let l1 = wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        let l2 = wal.append(
+            Tid(1),
+            l1,
+            &LogRecord::AddVersion {
+                tree: TreeId(5),
+                page: PageId(3),
+                key: b"k".to_vec(),
+                data: b"v".to_vec(),
+                stub: false,
+            },
+        );
+        let l3 = wal.append(Tid(1), l2, &LogRecord::Commit { ts: Timestamp::new(20, 0) });
+        assert!(l1 < l2 && l2 < l3);
+        wal.flush(Durability::Fsync).unwrap();
+        let entries: Vec<_> = wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].record, LogRecord::Begin);
+        assert_eq!(entries[1].prev_lsn, l1);
+        assert_eq!(entries[2].lsn, l3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_at_fetches_single_record() {
+        let path = tmp("readat");
+        let wal = Wal::open(&path).unwrap();
+        wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        let l2 = wal.append(Tid(1), Lsn(0), &LogRecord::Abort);
+        wal.flush(Durability::Buffered).unwrap();
+        let e = wal.read_at(l2).unwrap();
+        assert_eq!(e.record, LogRecord::Abort);
+        assert_eq!(e.tid, Tid(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_trimmed_on_reopen() {
+        let path = tmp("torn");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+            wal.append(Tid(1), Lsn(0), &LogRecord::End);
+            wal.flush(Durability::Fsync).unwrap();
+        }
+        // Simulate a torn write: append garbage bytes.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFF, 0x03, 0x00, 0x00, 0xAA]).unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        let entries: Vec<_> = wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(entries.len(), 2);
+        // New appends land where the garbage was.
+        let l = wal.append(Tid(2), Lsn(0), &LogRecord::Begin);
+        wal.flush(Durability::Buffered).unwrap();
+        let entries: Vec<_> = wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[2].lsn, l);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_ends_scan() {
+        let path = tmp("crc");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+            let l2 = wal.append(Tid(1), Lsn(0), &LogRecord::End);
+            wal.flush(Durability::Fsync).unwrap();
+            // Flip a byte inside the second record's body.
+            use std::os::unix::fs::FileExt;
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.write_all_at(&[0x77], l2.0 + FRAME_HDR + 2).unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        let entries: Vec<_> = wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(entries.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_to_honors_wal_rule() {
+        let path = tmp("rule");
+        let wal = Wal::open(&path).unwrap();
+        let l1 = wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        assert_eq!(wal.written_lsn(), WAL_START);
+        wal.flush_to(l1).unwrap();
+        assert!(wal.written_lsn() > l1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn end_lsn_tracks_appends() {
+        let path = tmp("endlsn");
+        let wal = Wal::open(&path).unwrap();
+        let e0 = wal.end_lsn();
+        wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        assert!(wal.end_lsn() > e0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,1073 @@
+//! TSB-tree implementation: structure, temporal descent, writes, splits.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use immortaldb_btree::SplitTimeSource;
+use immortaldb_common::codec::{get_u32, get_u64, put_u32, put_u64};
+use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId, NULL_LSN};
+use immortaldb_storage::buffer::{BufferPool, FrameRef};
+use immortaldb_storage::logrec::LogRecord;
+use immortaldb_storage::meta::MetaView;
+use immortaldb_storage::page::{Page, PageType, FLAG_HISTORICAL, FLAG_VERSIONED, REC_HDR};
+use immortaldb_storage::version::{self, Visible};
+use immortaldb_storage::wal::Wal;
+use immortaldb_storage::TimestampResolver;
+
+/// On an index page, each entry's data is `t_low (12B) | t_high (12B) |
+/// child (4B)`, and entries are sorted by `key_low` (several time slices
+/// may share a boundary).
+const ENTRY_DATA: usize = 28;
+
+fn encode_entry(t_low: Timestamp, t_high: Timestamp, child: PageId) -> [u8; ENTRY_DATA] {
+    let mut b = [0u8; ENTRY_DATA];
+    put_u64(&mut b, 0, t_low.ttime);
+    put_u32(&mut b, 8, t_low.sn);
+    put_u64(&mut b, 12, t_high.ttime);
+    put_u32(&mut b, 20, t_high.sn);
+    put_u32(&mut b, 24, child.0);
+    b
+}
+
+/// A decoded index entry: the key-time rectangle `[key_low, next key_low)
+/// × [t_low, t_high)` and the page it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    key_low: Vec<u8>,
+    t_low: Timestamp,
+    t_high: Timestamp,
+    child: PageId,
+}
+
+impl Entry {
+    fn is_open(&self) -> bool {
+        self.t_high == Timestamp::MAX
+    }
+
+    fn encoded(&self) -> [u8; ENTRY_DATA] {
+        encode_entry(self.t_low, self.t_high, self.child)
+    }
+
+    /// Whether the time range contains `t` (`MAX` = open range, also
+    /// containing current-time queries at `MAX`).
+    fn covers(&self, t: Timestamp) -> bool {
+        t >= self.t_low && (self.is_open() || t < self.t_high)
+    }
+}
+
+fn decode_entry(page: &Page, slot: usize) -> Entry {
+    let off = page.slot(slot);
+    let d = page.rec_data(off);
+    Entry {
+        key_low: page.rec_key(off).to_vec(),
+        t_low: Timestamp::new(get_u64(d, 0), get_u32(d, 8)),
+        t_high: Timestamp::new(get_u64(d, 12), get_u32(d, 20)),
+        child: PageId(get_u32(d, 24)),
+    }
+}
+
+fn entries(page: &Page) -> Vec<Entry> {
+    (0..page.slot_count()).map(|i| decode_entry(page, i)).collect()
+}
+
+fn insert_entry(page: &mut Page, e: &Entry) -> Result<()> {
+    let need = REC_HDR + e.key_low.len() + ENTRY_DATA + 2;
+    if need > page.contiguous_free() && need <= page.total_free() {
+        page.compact()?;
+    }
+    page.insert_sorted_dup(&e.key_low, &e.encoded(), 0)?;
+    Ok(())
+}
+
+/// One step of a temporal descent.
+struct Step {
+    node: PageId,
+    slot: usize,
+    entry_t_low: Timestamp,
+}
+
+/// A disk-backed TSB-tree over versioned data pages. Like the main
+/// B-tree: exactly one handle per tree (the structure latch lives here).
+pub struct TsbTree {
+    tree_id: TreeId,
+    pool: Arc<BufferPool>,
+    wal: Arc<Wal>,
+    root: AtomicU32,
+    structure: RwLock<()>,
+    split_time: Arc<dyn SplitTimeSource>,
+    split_threshold: f64,
+    time_splits: AtomicU32,
+    key_splits: AtomicU32,
+}
+
+impl TsbTree {
+    pub fn create(
+        pool: Arc<BufferPool>,
+        wal: Arc<Wal>,
+        tree_id: TreeId,
+        split_time: Arc<dyn SplitTimeSource>,
+    ) -> Result<TsbTree> {
+        let root_frame = pool.new_page(PageType::Leaf, FLAG_VERSIONED, 0)?;
+        let root_id = root_frame.page_id();
+        let meta_frame = pool.fetch(PageId(0))?;
+        let mut meta_g = meta_frame.write();
+        if MetaView::tree_root(&meta_g, tree_id).is_some() {
+            return Err(Error::Catalog(format!("{tree_id:?} already exists")));
+        }
+        let mut new_meta = meta_g.clone();
+        MetaView::set_tree_root(&mut new_meta, tree_id, root_id)?;
+        let root_g = root_frame.read();
+        let lsn = wal.append(
+            Tid::SYSTEM,
+            NULL_LSN,
+            &LogRecord::PageImages {
+                pages: vec![
+                    (root_id, root_g.as_bytes().to_vec()),
+                    (PageId(0), new_meta.as_bytes().to_vec()),
+                ],
+            },
+        );
+        drop(root_g);
+        new_meta.set_page_lsn(lsn);
+        *meta_g = new_meta;
+        meta_frame.mark_dirty(lsn);
+        drop(meta_g);
+        {
+            let mut g = root_frame.write();
+            g.set_page_lsn(lsn);
+        }
+        root_frame.mark_dirty(lsn);
+        Ok(Self::handle(pool, wal, tree_id, root_id, split_time))
+    }
+
+    pub fn open(
+        pool: Arc<BufferPool>,
+        wal: Arc<Wal>,
+        tree_id: TreeId,
+        split_time: Arc<dyn SplitTimeSource>,
+    ) -> Result<TsbTree> {
+        let meta_frame = pool.fetch(PageId(0))?;
+        let root = {
+            let g = meta_frame.read();
+            MetaView::tree_root(&g, tree_id)
+                .ok_or_else(|| Error::Catalog(format!("{tree_id:?} not found")))?
+        };
+        Ok(Self::handle(pool, wal, tree_id, root, split_time))
+    }
+
+    fn handle(
+        pool: Arc<BufferPool>,
+        wal: Arc<Wal>,
+        tree_id: TreeId,
+        root: PageId,
+        split_time: Arc<dyn SplitTimeSource>,
+    ) -> TsbTree {
+        TsbTree {
+            tree_id,
+            pool,
+            wal,
+            root: AtomicU32::new(root.0),
+            structure: RwLock::new(()),
+            split_time,
+            split_threshold: 0.7,
+            time_splits: AtomicU32::new(0),
+            key_splits: AtomicU32::new(0),
+        }
+    }
+
+    pub fn tree_id(&self) -> TreeId {
+        self.tree_id
+    }
+
+    pub fn root(&self) -> PageId {
+        PageId(self.root.load(Ordering::SeqCst))
+    }
+
+    /// `(time splits, key splits)` of data pages since this handle opened.
+    pub fn split_counts(&self) -> (u32, u32) {
+        (
+            self.time_splits.load(Ordering::Relaxed),
+            self.key_splits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Height of the tree (1 = root is a data page) and total index
+    /// nodes reachable for current-time descents (diagnostics).
+    pub fn height(&self) -> Result<u16> {
+        let frame = self.pool.fetch(self.root())?;
+        Ok(frame.read().level() + 1)
+    }
+
+    // -- descent ------------------------------------------------------------
+
+    /// In `page`, find the entry covering `(key, t)`: greatest
+    /// `key_low ≤ key` whose time range contains `t` (backward scan skips
+    /// other time slices of the same boundary).
+    fn pick_entry(page: &Page, key: &[u8], t: Timestamp) -> Option<usize> {
+        let n = page.slot_count();
+        let start = match page.find_slot(key) {
+            Ok(mut i) => {
+                while i + 1 < n && page.rec_key(page.slot(i + 1)) == key {
+                    i += 1;
+                }
+                i + 1
+            }
+            Err(pos) => pos,
+        };
+        (0..start).rev().find(|&i| decode_entry(page, i).covers(t))
+    }
+
+    /// Descend to the data page covering `(key, t)`, recording the path.
+    fn descend(&self, key: &[u8], t: Timestamp) -> Result<(FrameRef, Vec<Step>)> {
+        let mut steps = Vec::new();
+        let mut page_id = self.root();
+        loop {
+            let frame = self.pool.fetch(page_id)?;
+            let g = frame.read();
+            match g.page_type()? {
+                PageType::Leaf => {
+                    drop(g);
+                    return Ok((frame, steps));
+                }
+                PageType::Index => {
+                    let i = Self::pick_entry(&g, key, t).ok_or_else(|| {
+                        Error::Corruption(format!(
+                            "TSB index {page_id:?} has no entry covering the key/time"
+                        ))
+                    })?;
+                    let e = decode_entry(&g, i);
+                    steps.push(Step {
+                        node: page_id,
+                        slot: i,
+                        entry_t_low: e.t_low,
+                    });
+                    page_id = e.child;
+                }
+                other => {
+                    return Err(Error::Corruption(format!(
+                        "TSB descent hit {other:?} page {page_id:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    // -- reads ---------------------------------------------------------------
+
+    /// Version of `key` current AS OF `as_of` — one index descent, no
+    /// page-chain walk (the point of the TSB-tree).
+    pub fn get_as_of(
+        &self,
+        key: &[u8],
+        as_of: Timestamp,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Option<Vec<u8>>> {
+        let _s = self.structure.read();
+        // Own uncommitted versions live only in the CURRENT data page
+        // (time splits keep them there); a temporal descent at `as_of`
+        // would route past them after a concurrent time split, so check
+        // the current page first when reading on behalf of a transaction.
+        if let Some(own) = own_tid {
+            let (frame, _) = self.descend(key, Timestamp::MAX)?;
+            let g = frame.read();
+            if let Ok(i) = g.find_slot(key) {
+                let has_own = version::chain_offsets(&g, i)
+                    .iter()
+                    .any(|&off| g.rec_is_tid_marked(off) && g.rec_tid(off) == own);
+                if has_own {
+                    return Ok(match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
+                        Visible::Version(off) => Some(g.rec_data(off).to_vec()),
+                        Visible::Deleted | Visible::NotHere => None,
+                    });
+                }
+            }
+        }
+        let (frame, _) = self.descend(key, as_of)?;
+        let g = frame.read();
+        let Ok(i) = g.find_slot(key) else { return Ok(None) };
+        Ok(match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
+            Visible::Version(off) => Some(g.rec_data(off).to_vec()),
+            Visible::Deleted | Visible::NotHere => None,
+        })
+    }
+
+    /// Current version of `key`.
+    pub fn get_current(
+        &self,
+        key: &[u8],
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Option<Vec<u8>>> {
+        self.get_as_of(key, Timestamp::MAX, own_tid, resolver)
+    }
+
+    /// Full scan AS OF `as_of`, key-ordered.
+    pub fn scan_as_of(
+        &self,
+        as_of: Timestamp,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _s = self.structure.read();
+        let mut out = Vec::new();
+        self.scan_node(self.root(), as_of, &[], None, own_tid, resolver, &mut out)?;
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_node(
+        &self,
+        page_id: PageId,
+        as_of: Timestamp,
+        low: &[u8],
+        upper: Option<&[u8]>,
+        own_tid: Option<Tid>,
+        resolver: &dyn TimestampResolver,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<()> {
+        let frame = self.pool.fetch(page_id)?;
+        let g = frame.read();
+        match g.page_type()? {
+            PageType::Leaf => {
+                for i in 0..g.slot_count() {
+                    let off = g.slot(i);
+                    let key = g.rec_key(off);
+                    if key < low {
+                        continue;
+                    }
+                    if let Some(up) = upper {
+                        if key >= up {
+                            break;
+                        }
+                    }
+                    if let Visible::Version(voff) =
+                        version::visible_as_of(&g, i, as_of, own_tid, resolver)
+                    {
+                        out.push((key.to_vec(), g.rec_data(voff).to_vec()));
+                    }
+                }
+                Ok(())
+            }
+            PageType::Index => {
+                // Entries covering `as_of`, in key order, partition this
+                // node's key region for that time slice.
+                let matching: Vec<Entry> =
+                    entries(&g).into_iter().filter(|e| e.covers(as_of)).collect();
+                drop(g);
+                for (i, e) in matching.iter().enumerate() {
+                    let child_low: &[u8] = if e.key_low.as_slice() > low {
+                        &e.key_low
+                    } else {
+                        low
+                    };
+                    let next_low = matching.get(i + 1).map(|n| n.key_low.as_slice());
+                    let child_upper = match (next_low, upper) {
+                        (Some(a), Some(b)) => Some(if a < b { a } else { b }),
+                        (Some(a), None) => Some(a),
+                        (None, b) => b,
+                    };
+                    self.scan_node(e.child, as_of, child_low, child_upper, own_tid, resolver, out)?;
+                }
+                Ok(())
+            }
+            other => Err(Error::Corruption(format!(
+                "TSB scan hit {other:?} page {page_id:?}"
+            ))),
+        }
+    }
+
+    /// State of the newest version of `key` (for first-committer-wins
+    /// checks; mirrors `BTree::head_version`).
+    pub fn head_version(
+        &self,
+        key: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<immortaldb_btree::HeadVersion> {
+        use immortaldb_btree::HeadVersion;
+        let _s = self.structure.read();
+        let (frame, _) = self.descend(key, Timestamp::MAX)?;
+        let g = frame.read();
+        let Ok(i) = g.find_slot(key) else {
+            return Ok(HeadVersion::NotFound);
+        };
+        let off = g.slot(i);
+        let stub = g.rec_is_stub(off);
+        if g.rec_is_tid_marked(off) {
+            let owner = g.rec_tid(off);
+            match resolver.resolve(owner) {
+                Some(ts) => Ok(HeadVersion::Committed { ts, stub }),
+                None => Ok(HeadVersion::Uncommitted { tid: owner, stub }),
+            }
+        } else {
+            Ok(HeadVersion::Committed {
+                ts: g.rec_timestamp(off),
+                stub,
+            })
+        }
+    }
+
+    /// Complete version history of `key`, newest first, gathered by
+    /// repeated temporal descents (one per time slice of the key's
+    /// region). Spanning duplicates are removed by timestamp.
+    pub fn history_of(
+        &self,
+        key: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<immortaldb_btree::HistoryVersion>> {
+        use immortaldb_btree::HistoryVersion;
+        let _s = self.structure.read();
+        let mut out: Vec<HistoryVersion> = Vec::new();
+        let mut last_ts: Option<Timestamp> = None;
+        let mut t = Timestamp::MAX;
+        let mut visited = std::collections::HashSet::new();
+        loop {
+            let (frame, _) = self.descend(key, t)?;
+            let g = frame.read();
+            if !visited.insert(g.page_id()) {
+                break; // same page again: no older slice exists
+            }
+            if let Ok(i) = g.find_slot(key) {
+                for off in version::chain_offsets(&g, i) {
+                    let (ts, tid) = if g.rec_is_tid_marked(off) {
+                        match resolver.resolve(g.rec_tid(off)) {
+                            Some(ts) => (Some(ts), None),
+                            None => (None, Some(g.rec_tid(off))),
+                        }
+                    } else {
+                        (Some(g.rec_timestamp(off)), None)
+                    };
+                    if ts.is_some() && ts == last_ts {
+                        continue; // spanning duplicate
+                    }
+                    if let Some(stamp) = ts {
+                        last_ts = Some(stamp);
+                    }
+                    out.push(HistoryVersion {
+                        ts,
+                        tid,
+                        data: if g.rec_is_stub(off) {
+                            None
+                        } else {
+                            Some(g.rec_data(off).to_vec())
+                        },
+                    });
+                }
+            }
+            // Step into the previous time slice of this key's region.
+            let start = g.start_ts();
+            if start == Timestamp::ZERO {
+                break;
+            }
+            t = if start.sn > 0 {
+                Timestamp::new(start.ttime, start.sn - 1)
+            } else if start.ttime > 0 {
+                Timestamp::new(start.ttime - 1, immortaldb_common::time::SN_TID_MARK - 1)
+            } else {
+                break;
+            };
+        }
+        Ok(out)
+    }
+
+    /// Eager-timestamping baseline support (mirrors `BTree::eager_stamp`):
+    /// stamp all of `tid`'s versions in `key`'s chain with `ts`, logged.
+    pub fn eager_stamp(
+        &self,
+        tid: Tid,
+        prev_lsn: Lsn,
+        key: &[u8],
+        ts: Timestamp,
+    ) -> Result<(Lsn, u32)> {
+        let _s = self.structure.read();
+        let (frame, _) = self.descend(key, Timestamp::MAX)?;
+        let mut g = frame.write();
+        let Ok(i) = g.find_slot(key) else {
+            return Ok((prev_lsn, 0));
+        };
+        let rec = LogRecord::EagerStamp {
+            tree: self.tree_id,
+            page: frame.page_id(),
+            key: key.to_vec(),
+            ts,
+        };
+        let lsn = self.wal.append(tid, prev_lsn, &rec);
+        let mut n = 0u32;
+        for off in version::chain_offsets(&g, i) {
+            if g.rec_is_tid_marked(off) && g.rec_tid(off) == tid {
+                g.stamp_rec(off, ts);
+                n += 1;
+            }
+        }
+        g.set_page_lsn(lsn);
+        frame.mark_dirty(lsn);
+        Ok((lsn, n))
+    }
+
+    /// Vacuum support: stamp every committed TID-marked record in every
+    /// current data page (reachable via open index entries). Returns the
+    /// number of records stamped.
+    pub fn stamp_all(&self, resolver: &dyn TimestampResolver) -> Result<u64> {
+        let _s = self.structure.read();
+        let mut stamped = 0u64;
+        let mut visited = std::collections::HashSet::new();
+        self.stamp_node(self.root(), resolver, &mut visited, &mut stamped)?;
+        Ok(stamped)
+    }
+
+    fn stamp_node(
+        &self,
+        page_id: PageId,
+        resolver: &dyn TimestampResolver,
+        visited: &mut std::collections::HashSet<PageId>,
+        stamped: &mut u64,
+    ) -> Result<()> {
+        if !visited.insert(page_id) {
+            return Ok(());
+        }
+        let frame = self.pool.fetch(page_id)?;
+        let g = frame.read();
+        match g.page_type()? {
+            PageType::Leaf => {
+                drop(g);
+                let mut g = frame.write();
+                let counts = version::stamp_committed(&mut g, resolver);
+                if !counts.is_empty() {
+                    frame.mark_dirty_unlogged();
+                }
+                for (tid, n) in counts {
+                    resolver.note_stamped(tid, n);
+                    *stamped += n as u64;
+                }
+                Ok(())
+            }
+            PageType::Index => {
+                // Only open entries can lead to pages with TID marks.
+                let children: Vec<PageId> = entries(&g)
+                    .into_iter()
+                    .filter(|e| e.is_open())
+                    .map(|e| e.child)
+                    .collect();
+                drop(g);
+                for child in children {
+                    self.stamp_node(child, resolver, visited, stamped)?;
+                }
+                Ok(())
+            }
+            other => Err(Error::Corruption(format!(
+                "vacuum hit {other:?} page {page_id:?}"
+            ))),
+        }
+    }
+
+    /// `TreeLocator` support: current leaf page for `key`.
+    pub fn locate_leaf_page(&self, key: &[u8]) -> Result<PageId> {
+        let _s = self.structure.read();
+        Ok(self.descend(key, Timestamp::MAX)?.0.page_id())
+    }
+
+    /// `TreeLocator` support: current leaf for `key` with at least
+    /// `space` free bytes, splitting as needed.
+    pub fn locate_leaf_page_for_insert(
+        &self,
+        key: &[u8],
+        space: usize,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<PageId> {
+        loop {
+            {
+                let _s = self.structure.read();
+                let (frame, _) = self.descend(key, Timestamp::MAX)?;
+                let g = frame.read();
+                if space <= g.total_free() {
+                    return Ok(frame.page_id());
+                }
+            }
+            self.split_for(key, space, resolver)?;
+        }
+    }
+
+
+    // -- writes --------------------------------------------------------------
+
+    pub fn insert(
+        &self,
+        tid: Tid,
+        prev_lsn: Lsn,
+        key: &[u8],
+        data: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        self.write(tid, prev_lsn, key, data, false, true, resolver)
+    }
+
+    pub fn update(
+        &self,
+        tid: Tid,
+        prev_lsn: Lsn,
+        key: &[u8],
+        data: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        self.write(tid, prev_lsn, key, data, false, false, resolver)
+    }
+
+    pub fn delete(
+        &self,
+        tid: Tid,
+        prev_lsn: Lsn,
+        key: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        self.write(tid, prev_lsn, key, &[], true, false, resolver)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        &self,
+        tid: Tid,
+        prev_lsn: Lsn,
+        key: &[u8],
+        data: &[u8],
+        stub: bool,
+        is_insert: bool,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        if key.len() + data.len() > immortaldb_btree::MAX_RECORD {
+            return Err(Error::RecordTooLarge(key.len() + data.len()));
+        }
+        loop {
+            {
+                let _s = self.structure.read();
+                let (frame, _) = self.descend(key, Timestamp::MAX)?;
+                let mut g = frame.write();
+                match g.find_slot(key) {
+                    Ok(i) => {
+                        let head = g.slot(i);
+                        let head_live = if g.rec_is_tid_marked(head) {
+                            let owner = g.rec_tid(head);
+                            if owner != tid && resolver.resolve(owner).is_none() {
+                                return Err(Error::WriteConflict(tid));
+                            }
+                            !g.rec_is_stub(head)
+                        } else {
+                            !g.rec_is_stub(head)
+                        };
+                        if is_insert && head_live {
+                            return Err(Error::DuplicateKey);
+                        }
+                        if !is_insert && !head_live {
+                            return Err(Error::KeyNotFound);
+                        }
+                        for (t, n) in version::stamp_chain(&mut g, i, resolver) {
+                            resolver.note_stamped(t, n);
+                        }
+                    }
+                    Err(_) if is_insert => {}
+                    Err(_) => return Err(Error::KeyNotFound),
+                }
+                let rec = LogRecord::AddVersion {
+                    tree: self.tree_id,
+                    page: frame.page_id(),
+                    key: key.to_vec(),
+                    data: data.to_vec(),
+                    stub,
+                };
+                match version::add_version(&mut g, key, data, stub, tid) {
+                    Ok(_) => {
+                        let lsn = self.wal.append(tid, prev_lsn, &rec);
+                        g.set_page_lsn(lsn);
+                        frame.mark_dirty(lsn);
+                        return Ok(lsn);
+                    }
+                    Err(Error::PageFull) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            let need = REC_HDR + key.len() + data.len() + immortaldb_common::VERSION_TAIL + 2;
+            self.split_for(key, need, resolver)?;
+        }
+    }
+
+    // -- splits ---------------------------------------------------------------
+
+    fn split_for(&self, key: &[u8], need: usize, resolver: &dyn TimestampResolver) -> Result<()> {
+        let _s = self.structure.write();
+        let (leaf_frame, steps) = self.descend(key, Timestamp::MAX)?;
+        let leaf_id = leaf_frame.page_id();
+        let mut leaf: Page = {
+            let mut g = leaf_frame.write();
+            if need <= g.total_free() {
+                return Ok(());
+            }
+            for (t, n) in version::stamp_committed(&mut g, resolver) {
+                resolver.note_stamped(t, n);
+            }
+            g.clone()
+        };
+        drop(leaf_frame);
+
+        let mut images: Vec<Page> = Vec::new();
+        let mut retime: Option<Timestamp> = None;
+        let mut adds: Vec<Entry> = Vec::new();
+        let parent_t_low = steps.last().map(|s| s.entry_t_low).unwrap_or(Timestamp::ZERO);
+        let leaf_key_low = self.region_low(&steps)?;
+
+        // 1. time split (sheds history to a new historical page).
+        let mut split_ts = self.split_time.current_split_ts();
+        if split_ts <= leaf.start_ts() {
+            split_ts = Timestamp::new(leaf.start_ts().ttime, leaf.start_ts().sn + 1);
+        }
+        if version::time_split_gain(&leaf, split_ts) > 0 {
+            let hist_id = self.pool.disk().allocate()?;
+            let (hist, fresh) = version::time_split(&leaf, split_ts, hist_id)?;
+            images.push(hist);
+            adds.push(Entry {
+                key_low: leaf_key_low.clone(),
+                t_low: parent_t_low,
+                t_high: split_ts,
+                child: hist_id,
+            });
+            retime = Some(split_ts);
+            leaf = fresh;
+            self.time_splits.fetch_add(1, Ordering::Relaxed);
+        }
+        // 2. key split (still too full, or nothing historical to shed).
+        if leaf.utilization() > self.split_threshold || need > leaf.total_free() {
+            if leaf.slot_count() < 2 {
+                return Err(Error::RecordTooLarge(need));
+            }
+            let right_id = self.pool.disk().allocate()?;
+            let (l, r, sep) = version::key_split(&leaf, right_id)?;
+            adds.push(Entry {
+                key_low: sep,
+                t_low: retime.unwrap_or(parent_t_low),
+                t_high: Timestamp::MAX,
+                child: right_id,
+            });
+            images.push(r);
+            leaf = l;
+            self.key_splits.fetch_add(1, Ordering::Relaxed);
+        }
+        images.push(leaf);
+
+        // 3. post upward, 4. log + install.
+        let new_root = self.post(steps, leaf_id, retime, adds, &mut images)?;
+        self.install(images, new_root)
+    }
+
+    /// Low key of the region of the page the descent path ends at
+    /// (the key of its entry in the parent; empty for the root).
+    fn region_low(&self, steps: &[Step]) -> Result<Vec<u8>> {
+        match steps.last() {
+            None => Ok(Vec::new()),
+            Some(s) => {
+                let frame = self.pool.fetch(s.node)?;
+                let g = frame.read();
+                Ok(g.rec_key(g.slot(s.slot)).to_vec())
+            }
+        }
+    }
+
+    /// Apply `(retime, adds)` to the parent of `child`, splitting index
+    /// nodes upward as needed. Every modified page image ends up in
+    /// `images`.
+    fn post(
+        &self,
+        mut steps: Vec<Step>,
+        mut child: PageId,
+        mut retime: Option<Timestamp>,
+        mut adds: Vec<Entry>,
+        images: &mut Vec<Page>,
+    ) -> Result<Option<PageId>> {
+        while retime.is_some() || !adds.is_empty() {
+            let Some(step) = steps.pop() else {
+                let new_root =
+                    self.grow_root(child, retime.take(), std::mem::take(&mut adds), images)?;
+                return Ok(Some(new_root));
+            };
+            // Region low of the node being modified (for a possible index
+            // time split posting); `steps` now ends at its parent.
+            let node_region_low = self.region_low(&steps)?;
+            // This node's own rectangle lower time bound: the t_low of its
+            // entry in *its* parent (ZERO for the root) — NOT the t_low of
+            // the entry we descended through inside it.
+            let node_t_low = steps.last().map(|s| s.entry_t_low).unwrap_or(Timestamp::ZERO);
+
+            let frame = self.pool.fetch(step.node)?;
+            let mut node = frame.read().clone();
+            drop(frame);
+
+            if let Some(new_t_low) = retime.take() {
+                let slot = self.find_child_entry(&node, child)?;
+                let off = node.slot(slot);
+                let d = node.rec_data_mut(off);
+                put_u64(d, 0, new_t_low.ttime);
+                put_u32(d, 8, new_t_low.sn);
+            }
+
+            // Insert entries; split *proactively* above 85% utilization so
+            // that a time split's full history copy still has headroom for
+            // the (at most two) pending entries — each is ~40 bytes, far
+            // below the reserved 15%.
+            let mut halves = Halves {
+                current: node,
+                right: None,
+                right_sep: None,
+                hist: None,
+                hist_split_ts: None,
+            };
+            let mut next_retime: Option<Timestamp> = None;
+            let mut next_adds: Vec<Entry> = Vec::new();
+            if halves.current.utilization() > 0.85 {
+                let (posted, posted_retime) =
+                    self.split_index_node(&mut halves, node_t_low, &node_region_low)?;
+                next_adds.extend(posted);
+                next_retime = posted_retime;
+            }
+            for e in adds.drain(..) {
+                halves.insert(&e).map_err(|err| match err {
+                    Error::PageFull => {
+                        Error::Internal("index entry does not fit after proactive split".into())
+                    }
+                    other => other,
+                })?;
+            }
+            images.push(halves.current);
+            if let Some(r) = halves.right {
+                images.push(r);
+            }
+            if let Some(h) = halves.hist {
+                images.push(h);
+            }
+            child = step.node;
+            retime = next_retime;
+            adds = next_adds;
+        }
+        Ok(None)
+    }
+
+    /// Create a new root above `child`, containing the (possibly retimed)
+    /// entry for `child` plus `adds`. The meta-directory update happens in
+    /// [`Self::install`] under a held meta latch (root changes of
+    /// different trees race on the shared meta page).
+    fn grow_root(
+        &self,
+        child: PageId,
+        retime: Option<Timestamp>,
+        adds: Vec<Entry>,
+        images: &mut Vec<Page>,
+    ) -> Result<PageId> {
+        let new_root_id = self.pool.disk().allocate()?;
+        let child_level = self.page_level(images, child)?;
+        let mut root = Page::zeroed();
+        root.format(new_root_id, PageType::Index, 0, child_level + 1);
+        let t_low = retime.unwrap_or(Timestamp::ZERO);
+        insert_entry(
+            &mut root,
+            &Entry {
+                key_low: Vec::new(),
+                t_low,
+                t_high: Timestamp::MAX,
+                child,
+            },
+        )?;
+        for e in adds {
+            insert_entry(&mut root, &e)?;
+        }
+        images.push(root);
+        Ok(new_root_id)
+    }
+
+    fn find_child_entry(&self, node: &Page, child: PageId) -> Result<usize> {
+        for i in 0..node.slot_count() {
+            let e = decode_entry(node, i);
+            if e.child == child && e.is_open() {
+                return Ok(i);
+            }
+        }
+        Err(Error::Internal(format!(
+            "no current entry for child {child:?} in index node {:?}",
+            node.page_id()
+        )))
+    }
+
+    fn page_level(&self, images: &[Page], id: PageId) -> Result<u16> {
+        if let Some(p) = images.iter().find(|p| p.page_id() == id) {
+            return Ok(p.level());
+        }
+        let frame = self.pool.fetch(id)?;
+        Ok(frame.read().level())
+    }
+
+    /// Split a full index node held in `halves.current`. Returns the
+    /// entries to post one level up, plus the new `t_low` for this node's
+    /// own entry if it time-split.
+    ///
+    /// First an **index time split** at "now" when there is history to
+    /// shed — the historical index node receives *every* entry (it must
+    /// answer all queries for times before the split), the current node
+    /// keeps only open entries. Then, if the remaining node is still more
+    /// than half full (history-light nodes), a clean **key split** of the
+    /// open entries.
+    fn split_index_node(
+        &self,
+        halves: &mut Halves,
+        node_t_low: Timestamp,
+        node_region_low: &[u8],
+    ) -> Result<(Vec<Entry>, Option<Timestamp>)> {
+        if halves.right.is_some() || halves.hist.is_some() {
+            return Err(Error::Internal("index node split twice in one posting".into()));
+        }
+        let mut posted = Vec::new();
+        let mut new_t_low = None;
+        let all = entries(&halves.current);
+        let has_historical = all.iter().any(|e| !e.is_open());
+        if has_historical {
+            let split_ts = self.split_time.current_split_ts();
+            let hist_id = self.pool.disk().allocate()?;
+            let node = &halves.current;
+            let mut hist = Page::zeroed();
+            hist.format(hist_id, PageType::Index, FLAG_HISTORICAL, node.level());
+            let mut fresh = Page::zeroed();
+            fresh.format(node.page_id(), PageType::Index, node.flags(), node.level());
+            for e in &all {
+                insert_entry(&mut hist, e)?;
+                if e.is_open() {
+                    insert_entry(&mut fresh, e)?;
+                }
+            }
+            halves.current = fresh;
+            halves.hist = Some(hist);
+            halves.hist_split_ts = Some(split_ts);
+            posted.push(Entry {
+                key_low: node_region_low.to_vec(),
+                t_low: node_t_low,
+                t_high: split_ts,
+                child: hist_id,
+            });
+            new_t_low = Some(split_ts);
+        }
+        if halves.current.utilization() > 0.5 {
+            let open = entries(&halves.current);
+            if open.len() >= 2 {
+                let node = &halves.current;
+                let split_at = open.len() / 2;
+                let sep = open[split_at].key_low.clone();
+                let right_id = self.pool.disk().allocate()?;
+                let mut right = Page::zeroed();
+                right.format(right_id, PageType::Index, node.flags(), node.level());
+                let mut left = Page::zeroed();
+                left.format(node.page_id(), PageType::Index, node.flags(), node.level());
+                for (i, e) in open.iter().enumerate() {
+                    if i < split_at {
+                        insert_entry(&mut left, e)?;
+                    } else {
+                        insert_entry(&mut right, e)?;
+                    }
+                }
+                halves.current = left;
+                halves.right = Some(right);
+                halves.right_sep = Some(sep.clone());
+                posted.push(Entry {
+                    key_low: sep,
+                    t_low: new_t_low.unwrap_or(node_t_low),
+                    t_high: Timestamp::MAX,
+                    child: right_id,
+                });
+            }
+        }
+        if posted.is_empty() {
+            return Err(Error::Internal(
+                "index node full but neither time nor key split possible".into(),
+            ));
+        }
+        Ok((posted, new_t_low))
+    }
+
+    fn install(&self, mut images: Vec<Page>, new_root: Option<PageId>) -> Result<()> {
+        // On a root change, mutate the live meta page under a write latch
+        // held from clone to write-back so concurrent root changes of
+        // other trees are not lost.
+        let meta_frame = self.pool.fetch(PageId(0))?;
+        let mut meta_guard = None;
+        if let Some(root_id) = new_root {
+            let g = meta_frame.write();
+            let mut meta = g.clone();
+            MetaView::set_tree_root(&mut meta, self.tree_id, root_id)?;
+            images.push(meta);
+            meta_guard = Some(g);
+        }
+        let rec = LogRecord::PageImages {
+            pages: images
+                .iter()
+                .map(|p| (p.page_id(), p.as_bytes().to_vec()))
+                .collect(),
+        };
+        let lsn = self.wal.append(Tid::SYSTEM, NULL_LSN, &rec);
+        for image in images.iter_mut() {
+            let id = image.page_id();
+            image.set_page_lsn(lsn);
+            if id == PageId(0) {
+                let g = meta_guard.as_mut().expect("meta image implies meta guard");
+                **g = image.clone();
+                meta_frame.mark_dirty(lsn);
+            } else {
+                let frame = self.pool.fetch(id)?;
+                let mut g = frame.write();
+                *g = image.clone();
+                frame.mark_dirty(lsn);
+            }
+        }
+        if let Some(root_id) = new_root {
+            self.root.store(root_id.0, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+/// A node mid-posting: it may have split into (current, right-by-key) or
+/// (current, historical-by-time). Entry routing after a split:
+///
+/// * key split: by separator comparison;
+/// * time split: *closed* entries (they only serve times before the split)
+///   go to the historical node, open entries to the current one.
+struct Halves {
+    current: Page,
+    right: Option<Page>,
+    right_sep: Option<Vec<u8>>,
+    hist: Option<Page>,
+    /// Time the historical node was split off at (it serves `t <` this).
+    hist_split_ts: Option<Timestamp>,
+}
+
+impl Halves {
+    fn insert(&mut self, e: &Entry) -> Result<()> {
+        // Closed entries serve only times before any time split: they
+        // belong in the historical node when one exists.
+        if !e.is_open() {
+            if let Some(hist) = self.hist.as_mut() {
+                return insert_entry(hist, e);
+            }
+        }
+        // An open entry whose range starts before the index time split
+        // must ALSO be visible to queries for those earlier times, which
+        // route through the historical node: duplicate it there (entries
+        // are immutable references, duplication is safe).
+        if e.is_open() {
+            if let (Some(hist), Some(hts)) = (self.hist.as_mut(), self.hist_split_ts) {
+                if e.t_low < hts {
+                    insert_entry(hist, e)?;
+                }
+            }
+        }
+        if let (Some(right), Some(sep)) = (self.right.as_mut(), self.right_sep.as_ref()) {
+            if e.key_low.as_slice() >= sep.as_slice() {
+                return insert_entry(right, e);
+            }
+        }
+        insert_entry(&mut self.current, e)
+    }
+}

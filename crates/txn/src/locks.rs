@@ -1,0 +1,354 @@
+//! Multi-granularity lock manager with wait-for-graph deadlock detection.
+//!
+//! Two granularities: a table (tree) and a key within it. Serializable
+//! transactions use two-phase locking — IS + S(key) on point reads,
+//! IX + X(key) on writes, S(table) on scans (phantom protection);
+//! snapshot-isolation transactions take IX + X(key) on writes only, reads
+//! go to versions. Locks are held to transaction end.
+//!
+//! A blocked request first checks the wait-for graph for a cycle (the
+//! requester aborts as the victim) and otherwise waits with a timeout
+//! backstop.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use immortaldb_common::{Error, Result, Tid, TreeId};
+
+/// Lock modes with the standard multi-granularity compatibility matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared (table level, under point reads).
+    IntentionShared,
+    /// Intention exclusive (table level, under writes).
+    IntentionExclusive,
+    /// Shared.
+    Shared,
+    /// Exclusive.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Standard compatibility: IS/IS, IS/IX, IS/S yes; IX/IX yes; S/S yes;
+    /// everything with X no; S/IX no.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        !matches!(
+            (self, other),
+            (Exclusive, _)
+                | (_, Exclusive)
+                | (Shared, IntentionExclusive)
+                | (IntentionExclusive, Shared)
+        )
+    }
+}
+
+/// What a lock names: a whole table or one key in it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LockTarget {
+    Table(TreeId),
+    Key(TreeId, Vec<u8>),
+}
+
+#[derive(Default)]
+struct Granted {
+    /// Modes held per transaction (a transaction may hold several).
+    holders: HashMap<Tid, HashSet<LockMode>>,
+}
+
+impl Granted {
+    fn is_free(&self) -> bool {
+        self.holders.is_empty()
+    }
+
+    fn compatible(&self, tid: Tid, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .filter(|(t, _)| **t != tid)
+            .all(|(_, modes)| modes.iter().all(|m| m.compatible(mode)))
+    }
+
+    fn grant(&mut self, tid: Tid, mode: LockMode) {
+        self.holders.entry(tid).or_default().insert(mode);
+    }
+
+    fn blockers(&self, tid: Tid, mode: LockMode) -> Vec<Tid> {
+        self.holders
+            .iter()
+            .filter(|(t, modes)| **t != tid && modes.iter().any(|m| !m.compatible(mode)))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct LockTable {
+    granted: HashMap<LockTarget, Granted>,
+    /// What each blocked transaction is waiting for.
+    waiting: HashMap<Tid, (LockTarget, LockMode)>,
+    /// Targets held per transaction (for release-all).
+    held: HashMap<Tid, HashSet<LockTarget>>,
+}
+
+impl LockTable {
+    fn deadlocks(&self, tid: Tid, target: &LockTarget, mode: LockMode) -> bool {
+        let mut stack: Vec<Tid> = self
+            .granted
+            .get(target)
+            .map(|g| g.blockers(tid, mode))
+            .unwrap_or_default();
+        let mut seen: HashSet<Tid> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == tid {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some((wtarget, wmode)) = self.waiting.get(&t) {
+                if let Some(g) = self.granted.get(wtarget) {
+                    stack.extend(g.blockers(t, *wmode));
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    table: Mutex<LockTable>,
+    cond: Condvar,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_secs(5))
+    }
+}
+
+impl LockManager {
+    pub fn new(timeout: Duration) -> LockManager {
+        LockManager {
+            table: Mutex::new(LockTable::default()),
+            cond: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquire `mode` on `target` for `tid`, blocking if necessary.
+    /// Returns [`Error::Deadlock`] (requester as victim) on a wait-for
+    /// cycle or timeout.
+    pub fn lock(&self, tid: Tid, target: LockTarget, mode: LockMode) -> Result<()> {
+        let mut table = self.table.lock();
+        loop {
+            let granted = table.granted.entry(target.clone()).or_default();
+            if granted.compatible(tid, mode) {
+                granted.grant(tid, mode);
+                table.waiting.remove(&tid);
+                table.held.entry(tid).or_default().insert(target);
+                return Ok(());
+            }
+            if table.deadlocks(tid, &target, mode) {
+                table.waiting.remove(&tid);
+                return Err(Error::Deadlock(tid));
+            }
+            table.waiting.insert(tid, (target.clone(), mode));
+            let timed_out = self.cond.wait_for(&mut table, self.timeout).timed_out();
+            if timed_out {
+                table.waiting.remove(&tid);
+                return Err(Error::Deadlock(tid));
+            }
+        }
+    }
+
+    /// IS(table) + S(key): serializable point read.
+    pub fn lock_read(&self, tid: Tid, tree: TreeId, key: &[u8]) -> Result<()> {
+        self.lock(tid, LockTarget::Table(tree), LockMode::IntentionShared)?;
+        self.lock(tid, LockTarget::Key(tree, key.to_vec()), LockMode::Shared)
+    }
+
+    /// IX(table) + X(key): any write.
+    pub fn lock_write(&self, tid: Tid, tree: TreeId, key: &[u8]) -> Result<()> {
+        self.lock(tid, LockTarget::Table(tree), LockMode::IntentionExclusive)?;
+        self.lock(tid, LockTarget::Key(tree, key.to_vec()), LockMode::Exclusive)
+    }
+
+    /// S(table): serializable scan (phantom protection).
+    pub fn lock_scan(&self, tid: Tid, tree: TreeId) -> Result<()> {
+        self.lock(tid, LockTarget::Table(tree), LockMode::Shared)
+    }
+
+    /// Release every lock of `tid` and wake waiters.
+    pub fn release_all(&self, tid: Tid) {
+        let mut table = self.table.lock();
+        if let Some(targets) = table.held.remove(&tid) {
+            for target in targets {
+                if let Some(g) = table.granted.get_mut(&target) {
+                    g.holders.remove(&tid);
+                    if g.is_free() {
+                        table.granted.remove(&target);
+                    }
+                }
+            }
+        }
+        table.waiting.remove(&tid);
+        self.cond.notify_all();
+    }
+
+    /// Number of targets currently locked (tests/metrics).
+    pub fn locked_targets(&self) -> usize {
+        self.table.lock().granted.len()
+    }
+}
+
+/// Shared handle type used across the engine.
+pub type SharedLockManager = Arc<LockManager>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+
+    fn t(id: u64) -> Tid {
+        Tid(id)
+    }
+
+    const TREE: TreeId = TreeId(42);
+
+    fn key(k: &[u8]) -> LockTarget {
+        LockTarget::Key(TREE, k.to_vec())
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(IntentionShared.compatible(IntentionExclusive));
+        assert!(IntentionExclusive.compatible(IntentionExclusive));
+        assert!(IntentionShared.compatible(Shared));
+        assert!(Shared.compatible(Shared));
+        assert!(!Shared.compatible(IntentionExclusive));
+        assert!(!Exclusive.compatible(IntentionShared));
+        assert!(!Exclusive.compatible(Exclusive));
+        assert!(!Shared.compatible(Exclusive));
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::default();
+        lm.lock(t(1), key(b"k"), LockMode::Shared).unwrap();
+        lm.lock(t(2), key(b"k"), LockMode::Shared).unwrap();
+        assert_eq!(lm.locked_targets(), 1);
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+        assert_eq!(lm.locked_targets(), 0);
+    }
+
+    #[test]
+    fn writers_do_not_block_each_other_at_table_level() {
+        let lm = LockManager::default();
+        lm.lock_write(t(1), TREE, b"a").unwrap();
+        lm.lock_write(t(2), TREE, b"b").unwrap(); // IX+IX compatible
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+    }
+
+    #[test]
+    fn scan_blocks_writers_and_vice_versa() {
+        let lm = Arc::new(LockManager::new(Duration::from_millis(80)));
+        lm.lock_scan(t(1), TREE).unwrap();
+        // IX on the table is incompatible with the scan's S.
+        assert!(matches!(lm.lock_write(t(2), TREE, b"k"), Err(Error::Deadlock(_))));
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+        // And the other direction.
+        lm.lock_write(t(3), TREE, b"k").unwrap();
+        assert!(matches!(lm.lock_scan(t(4), TREE), Err(Error::Deadlock(_))));
+        lm.release_all(t(3));
+        lm.release_all(t(4));
+    }
+
+    #[test]
+    fn point_read_coexists_with_writer_on_other_key() {
+        let lm = LockManager::default();
+        lm.lock_write(t(1), TREE, b"a").unwrap();
+        lm.lock_read(t(2), TREE, b"b").unwrap(); // IS+IX at table, keys differ
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+    }
+
+    #[test]
+    fn exclusive_excludes_and_releases() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.lock(t(1), key(b"k"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let acquired = Arc::new(AtomicBool::new(false));
+        let acq2 = Arc::clone(&acquired);
+        let h = thread::spawn(move || {
+            lm2.lock(t(2), key(b"k"), LockMode::Exclusive).unwrap();
+            acq2.store(true, Ordering::SeqCst);
+            lm2.release_all(t(2));
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert!(!acquired.load(Ordering::SeqCst), "must block while held");
+        lm.release_all(t(1));
+        h.join().unwrap();
+        assert!(acquired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let lm = LockManager::default();
+        lm.lock(t(1), key(b"k"), LockMode::Shared).unwrap();
+        lm.lock(t(1), key(b"k"), LockMode::Shared).unwrap();
+        lm.lock(t(1), key(b"k"), LockMode::Exclusive).unwrap();
+        lm.lock(t(1), key(b"k"), LockMode::Shared).unwrap();
+        lm.release_all(t(1));
+        assert_eq!(lm.locked_targets(), 0);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock(t(1), key(b"a"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            lm2.lock(t(2), key(b"b"), LockMode::Exclusive).unwrap();
+            let r = lm2.lock(t(2), key(b"a"), LockMode::Exclusive);
+            lm2.release_all(t(2));
+            r
+        });
+        thread::sleep(Duration::from_millis(100));
+        let r1 = lm.lock(t(1), key(b"b"), LockMode::Exclusive);
+        lm.release_all(t(1));
+        let r2 = h.join().unwrap();
+        let deadlocks = matches!(r1, Err(Error::Deadlock(_))) || matches!(r2, Err(Error::Deadlock(_)));
+        assert!(deadlocks, "one transaction must be chosen as victim");
+    }
+
+    #[test]
+    fn timeout_backstop() {
+        let lm = Arc::new(LockManager::new(Duration::from_millis(80)));
+        lm.lock(t(1), key(b"k"), LockMode::Exclusive).unwrap();
+        let r = lm.lock(t(2), key(b"k"), LockMode::Exclusive);
+        assert!(matches!(r, Err(Error::Deadlock(_))));
+        lm.release_all(t(1));
+    }
+
+    #[test]
+    fn different_targets_do_not_conflict() {
+        let lm = LockManager::default();
+        lm.lock(t(1), key(b"a"), LockMode::Exclusive).unwrap();
+        lm.lock(t(2), key(b"b"), LockMode::Exclusive).unwrap();
+        lm.lock(t(3), LockTarget::Key(TreeId(7), b"a".to_vec()), LockMode::Exclusive)
+            .unwrap();
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+        lm.release_all(t(3));
+    }
+}

@@ -1,0 +1,5 @@
+//! Workspace umbrella crate: holds the integration test suite (`tests/`)
+//! and the runnable examples (`examples/`). The library itself re-exports
+//! the public engine crate for convenience.
+
+pub use immortaldb;

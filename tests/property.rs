@@ -1,0 +1,167 @@
+//! Property-based tests: the engine against an in-memory model database.
+//!
+//! The model records, per key, the full sequence of `(commit index,
+//! value-or-deleted)`; after replaying a random operation sequence, every
+//! AS OF point query and full scan on the engine must match the model at
+//! every captured instant — across time splits, key splits, rollbacks and
+//! checkpoints.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use immortaldb::{Database, DbConfig, Isolation, SimClock, Timestamp, Value};
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Write `value` to `key` (insert or update as appropriate) and
+    /// commit.
+    Put { key: i32, value: i32 },
+    /// Delete `key` if present, commit.
+    Delete { key: i32 },
+    /// Write but roll back — must leave no trace.
+    AbortedPut { key: i32, value: i32 },
+    /// Take a checkpoint (exercises flush-time stamping + PTT GC).
+    Checkpoint,
+    /// Remember this instant for later AS OF validation.
+    Mark,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        6 => (0..24i32, any::<i32>()).prop_map(|(key, value)| Action::Put { key, value }),
+        2 => (0..24i32).prop_map(|key| Action::Delete { key }),
+        2 => (0..24i32, any::<i32>()).prop_map(|(key, value)| Action::AbortedPut { key, value }),
+        1 => Just(Action::Checkpoint),
+        2 => Just(Action::Mark),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engine_matches_model_at_every_marked_instant(
+        actions in proptest::collection::vec(action_strategy(), 30..120),
+        seed in any::<u32>(),
+    ) {
+        let dir = std::env::temp_dir().join(
+            format!("immortal-prop-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let clock = Arc::new(SimClock::new(30_000_000));
+        let db = Database::open(
+            DbConfig::new(&dir).clock(Arc::clone(&clock) as Arc<dyn immortaldb::Clock>),
+        ).unwrap();
+        {
+            let mut s = immortaldb::Session::new(&db);
+            s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        }
+
+        let mut state: HashMap<i32, i32> = HashMap::new();
+        let mut marks: Vec<(Timestamp, HashMap<i32, i32>)> = Vec::new();
+        for action in &actions {
+            match action {
+                Action::Put { key, value } => {
+                    let mut txn = db.begin(Isolation::Serializable);
+                    let row = vec![Value::Int(*key), Value::Int(*value)];
+                    if state.contains_key(key) {
+                        db.update_row(&mut txn, "t", row).unwrap();
+                    } else {
+                        db.insert_row(&mut txn, "t", row).unwrap();
+                    }
+                    db.commit(&mut txn).unwrap();
+                    state.insert(*key, *value);
+                    clock.advance(20);
+                }
+                Action::Delete { key } => {
+                    if state.remove(key).is_some() {
+                        let mut txn = db.begin(Isolation::Serializable);
+                        db.delete_row(&mut txn, "t", &Value::Int(*key)).unwrap();
+                        db.commit(&mut txn).unwrap();
+                        clock.advance(20);
+                    }
+                }
+                Action::AbortedPut { key, value } => {
+                    let mut txn = db.begin(Isolation::Serializable);
+                    let row = vec![Value::Int(*key), Value::Int(*value)];
+                    if state.contains_key(key) {
+                        db.update_row(&mut txn, "t", row).unwrap();
+                    } else {
+                        db.insert_row(&mut txn, "t", row).unwrap();
+                    }
+                    db.rollback(&mut txn).unwrap();
+                }
+                Action::Checkpoint => {
+                    db.checkpoint().unwrap();
+                }
+                Action::Mark => {
+                    marks.push((db.latest_ts(), state.clone()));
+                }
+            }
+        }
+        marks.push((db.latest_ts(), state.clone()));
+
+        // Validate every mark: point queries + scans.
+        for (ts, snapshot) in &marks {
+            let mut txn = db.begin_as_of_ts(*ts);
+            for key in 0..24i32 {
+                let row = db.get_row(&mut txn, "t", &Value::Int(key)).unwrap();
+                let got = row.map(|r| match r[1] { Value::Int(v) => v, _ => unreachable!() });
+                prop_assert_eq!(got, snapshot.get(&key).copied(), "key {} at {:?}", key, ts);
+            }
+            let rows = db.scan_rows(&mut txn, "t").unwrap();
+            prop_assert_eq!(rows.len(), snapshot.len());
+            for r in rows {
+                let k = r[0].as_i64().unwrap() as i32;
+                let v = r[1].as_i64().unwrap() as i32;
+                prop_assert_eq!(Some(&v), snapshot.get(&k));
+            }
+            db.commit(&mut txn).unwrap();
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Row codec roundtrip over arbitrary typed values.
+    #[test]
+    fn row_codec_roundtrip(
+        a in any::<i16>(),
+        b in any::<i32>(),
+        c in any::<i64>(),
+        s in "[a-zA-Z0-9 ]{0,30}",
+    ) {
+        use immortaldb::{ColType, Column, Schema};
+        let schema = Schema::new(vec![
+            Column { name: "a".into(), ctype: ColType::SmallInt },
+            Column { name: "b".into(), ctype: ColType::Int },
+            Column { name: "c".into(), ctype: ColType::BigInt },
+            Column { name: "s".into(), ctype: ColType::Varchar(30) },
+        ], 0).unwrap();
+        let row = vec![
+            Value::SmallInt(a),
+            Value::Int(b),
+            Value::BigInt(c),
+            Value::Varchar(s),
+        ];
+        let enc = schema.encode_row(&row);
+        prop_assert_eq!(schema.decode_row(&enc).unwrap(), row);
+    }
+
+    /// Key encoding is strictly order-preserving per type.
+    #[test]
+    fn key_encoding_preserves_order(a in any::<i64>(), b in any::<i64>()) {
+        use immortaldb::row::encode_key;
+        let ka = encode_key(&Value::BigInt(a)).unwrap();
+        let kb = encode_key(&Value::BigInt(b)).unwrap();
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+    }
+}
