@@ -3,8 +3,8 @@
 //! reads, lazy vs eager commit).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use immortaldb_bench::{BenchDb, Mode};
 use immortaldb::{Isolation, Value};
+use immortaldb_bench::{BenchDb, Mode};
 use immortaldb_mobgen::Generator;
 
 fn bench_writes(c: &mut Criterion) {

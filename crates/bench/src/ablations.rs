@@ -111,7 +111,7 @@ pub struct UtilResult {
 
 pub fn utilization_vs_threshold(quick: bool) -> Vec<UtilResult> {
     use immortaldb_btree::{BTree, SplitTimeSource};
-    use immortaldb_common::{Timestamp, Tid, TreeId, NULL_LSN};
+    use immortaldb_common::{Tid, Timestamp, TreeId, NULL_LSN};
     use immortaldb_storage::buffer::BufferPool;
     use immortaldb_storage::disk::DiskManager;
     use immortaldb_storage::wal::Wal;
@@ -184,7 +184,11 @@ pub fn utilization_vs_threshold(quick: bool) -> Vec<UtilResult> {
             let mut population = 0u64;
             for round in 0..=rounds {
                 // Growth: 10% new keys per round.
-                let grow = if round == 0 { keys0 } else { (population / 10).max(5) };
+                let grow = if round == 0 {
+                    keys0
+                } else {
+                    (population / 10).max(5)
+                };
                 for _ in 0..grow {
                     tid += 1;
                     tick += 1;
@@ -241,7 +245,13 @@ pub fn report_utilization(rows: &[UtilResult]) {
     print_table(
         "A3: current-slice utilization vs key-split threshold T \
          (paper: expected ~ T*ln2)",
-        &["T", "current leaves", "measured util", "T*ln2", "history pages"],
+        &[
+            "T",
+            "current leaves",
+            "measured util",
+            "T*ln2",
+            "history pages",
+        ],
         &table,
     );
 }
@@ -261,7 +271,7 @@ pub struct TsbResult {
 /// time-split page chain from the current page.
 pub fn tsb_index(quick: bool) -> TsbResult {
     use immortaldb_btree::{BTree, SplitTimeSource};
-    use immortaldb_common::{Timestamp, Tid, TreeId, NULL_LSN};
+    use immortaldb_common::{Tid, Timestamp, TreeId, NULL_LSN};
     use immortaldb_storage::buffer::BufferPool;
     use immortaldb_storage::disk::DiskManager;
     use immortaldb_storage::wal::Wal;
@@ -331,8 +341,11 @@ pub fn tsb_index(quick: bool) -> TsbResult {
         tid += 1;
         tick += 1;
         let kb = immortaldb_common::codec::key_from_u64(k);
-        btree.insert(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
-        tsb.insert(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
+        btree
+            .insert(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref())
+            .unwrap();
+        tsb.insert(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref())
+            .unwrap();
         auth.commit(Tid(tid), Timestamp::new(tick * 20, 0));
     }
     let mut marks: Vec<(u32, Timestamp)> = vec![(0, Timestamp::new(tick * 20, 1))];
@@ -341,15 +354,15 @@ pub fn tsb_index(quick: bool) -> TsbResult {
             tid += 1;
             tick += 1;
             let kb = immortaldb_common::codec::key_from_u64(k);
-            btree.update(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
-            tsb.update(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref()).unwrap();
+            btree
+                .update(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref())
+                .unwrap();
+            tsb.update(Tid(tid), NULL_LSN, &kb, &value, auth.as_ref())
+                .unwrap();
             auth.commit(Tid(tid), Timestamp::new(tick * 20, 0));
         }
         if r * 10 % rounds == 0 {
-            marks.push((
-                (r * 100 / rounds) as u32,
-                Timestamp::new(tick * 20, 1),
-            ));
+            marks.push(((r * 100 / rounds) as u32, Timestamp::new(tick * 20, 1)));
         }
     }
 
@@ -369,7 +382,10 @@ pub fn tsb_index(quick: bool) -> TsbResult {
             &|k, t| btree.get_as_of(k, t, None, auth.as_ref()).unwrap(),
             *at,
         );
-        let tsb_us = measure(&|k, t| tsb.get_as_of(k, t, None, auth.as_ref()).unwrap(), *at);
+        let tsb_us = measure(
+            &|k, t| tsb.get_as_of(k, t, None, auth.as_ref()).unwrap(),
+            *at,
+        );
         points.push((*pct, chain_us, tsb_us));
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -12,6 +12,7 @@
 //! per-transaction overhead.
 
 use immortaldb_mobgen::Generator;
+use immortaldb_obs::MetricsSnapshot;
 
 use crate::harness::{print_table, time, BenchDb, Mode};
 
@@ -21,9 +22,17 @@ pub struct Fig5Row {
     pub immortal_s: f64,
 }
 
+/// One durability regime's sweep plus the engine metrics captured from
+/// the final (largest) immortal run — buffer hit rate, fsync latency
+/// histogram, per-trigger stamp counts.
+pub struct Fig5Run {
+    pub rows: Vec<Fig5Row>,
+    pub metrics: Option<MetricsSnapshot>,
+}
+
 /// Run the sweep under the given commit durability. `quick` limits the
 /// sweep to 8K transactions.
-pub fn run(quick: bool, durability: immortaldb::Durability) -> Vec<Fig5Row> {
+pub fn run(quick: bool, durability: immortaldb::Durability) -> Fig5Run {
     let objects = 500u32;
     let counts: &[u32] = if quick {
         &[1_000, 2_000, 4_000, 8_000]
@@ -39,18 +48,25 @@ pub fn run(quick: bool, durability: immortaldb::Durability) -> Vec<Fig5Row> {
         immortaldb::Durability::Buffered => 3,
     };
     let mut rows = Vec::new();
+    // Engine metrics from the most recent immortal run; after the sweep
+    // this holds the largest count's final repetition.
+    let mut metrics: Option<MetricsSnapshot> = None;
     for &total in counts {
         let updates_per_object = (total - objects) / objects;
         let events = Generator::events_exact(0xF165, objects, updates_per_object);
         debug_assert_eq!(events.len() as u32, objects + objects * updates_per_object);
 
-        let run_once = |mode: Mode, tag: &str| -> f64 {
+        let mut run_once = |mode: Mode, tag: &str| -> f64 {
             let dbx = BenchDb::new_with(tag, mode, durability);
-            time(|| {
+            let secs = time(|| {
                 for e in &events {
                     dbx.apply_event(e);
                 }
-            })
+            });
+            if mode == Mode::Immortal {
+                metrics = Some(dbx.db.metrics_snapshot());
+            }
+            secs
         };
         let mut pairs: Vec<(f64, f64)> = (0..reps)
             .map(|_| {
@@ -68,7 +84,25 @@ pub fn run(quick: bool, durability: immortaldb::Durability) -> Vec<Fig5Row> {
             immortal_s,
         });
     }
-    rows
+    Fig5Run { rows, metrics }
+}
+
+/// Serialize one regime's rows as a JSON array (no trailing newline).
+pub fn rows_json(rows: &[Fig5Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"txns\":{},\"conventional_s\":{:.6},\"immortal_s\":{:.6},\
+                 \"overhead_pct\":{:.3}}}",
+                r.txns,
+                r.conventional_s,
+                r.immortal_s,
+                (r.immortal_s / r.conventional_s - 1.0) * 100.0
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
 }
 
 pub fn report(regime: &str, rows: &[Fig5Row]) {

@@ -14,6 +14,7 @@
 
 use immortaldb::Timestamp;
 use immortaldb_mobgen::{Generator, Op};
+use immortaldb_obs::MetricsSnapshot;
 
 use crate::harness::{print_table, BenchDb, Mode};
 
@@ -28,6 +29,9 @@ pub struct Fig6Series {
     /// counts from the start: 10 % = early history (deep in the page
     /// chains), 100 % = now.
     pub points: Vec<(u32, f64, usize)>,
+    /// Engine metrics after the load + all AS OF scans (history-chain
+    /// hops, version chain lengths, buffer behaviour under pressure).
+    pub metrics: MetricsSnapshot,
 }
 
 pub const CONFIGS: [Fig6Config; 4] = [
@@ -66,12 +70,7 @@ fn run_config(config: Fig6Config) -> Fig6Series {
     // A deliberately small buffer pool (512 KiB): like the paper's 256 MB
     // testbed, historical pages do not stay resident, so AS OF scans pay
     // real I/O for every time-split chain page they traverse.
-    let bench = BenchDb::new_sized(
-        "fig6",
-        Mode::Immortal,
-        immortaldb::Durability::Buffered,
-        64,
-    );
+    let bench = BenchDb::new_sized("fig6", Mode::Immortal, immortaldb::Durability::Buffered, 64);
     let events = Generator::events_exact(0xF160, config.inserts, config.updates_per_object);
     let total_updates = (config.inserts * config.updates_per_object) as usize;
 
@@ -113,17 +112,37 @@ fn run_config(config: Fig6Config) -> Fig6Series {
         bench.db.commit(&mut txn).unwrap();
         points.push((pct, ms, rows.len()));
     }
-    Fig6Series { config, points }
+    let metrics = bench.db.metrics_snapshot();
+    Fig6Series {
+        config,
+        points,
+        metrics,
+    }
+}
+
+/// Serialize one series as a JSON object (no trailing newline).
+pub fn series_json(s: &Fig6Series) -> String {
+    let points: Vec<String> = s
+        .points
+        .iter()
+        .map(|(pct, ms, rows)| format!("{{\"pct\":{pct},\"scan_ms\":{ms:.4},\"rows\":{rows}}}"))
+        .collect();
+    format!(
+        "{{\"inserts\":{},\"updates_per_object\":{},\"points\":[{}],\"metrics\":{}}}",
+        s.config.inserts,
+        s.config.updates_per_object,
+        points.join(","),
+        s.metrics.to_json()
+    )
 }
 
 pub fn report(series: &[Fig6Series]) {
     let headers: Vec<String> = std::iter::once("% of history".to_string())
-        .chain(series.iter().map(|s| {
-            format!(
-                "{}x{} (ms)",
-                s.config.inserts, s.config.updates_per_object
-            )
-        }))
+        .chain(
+            series
+                .iter()
+                .map(|s| format!("{}x{} (ms)", s.config.inserts, s.config.updates_per_object)),
+        )
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let npoints = series.iter().map(|s| s.points.len()).min().unwrap_or(0);

@@ -4,9 +4,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use immortaldb::{
-    Database, DbConfig, Isolation, TimestampingMode, Value,
-};
+use immortaldb::{Database, DbConfig, Isolation, TimestampingMode, Value};
 use immortaldb_mobgen::{Event, Op};
 
 /// Which storage/timestamping configuration a run uses.
@@ -179,7 +177,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }

@@ -4,8 +4,28 @@
 //! ```text
 //! immortaldb-bench [--quick] [fig5|fig6|a1|a2|a3|a4|a5|all]
 //! ```
+//!
+//! Figure runs additionally write machine-readable `BENCH_<figure>.json`
+//! artifacts (rows plus an engine metrics snapshot) to the working
+//! directory.
 
 use immortaldb_bench::{ablations, fig5, fig6};
+use immortaldb_obs::MetricsSnapshot;
+
+/// Write a `BENCH_*.json` artifact, reporting rather than aborting on
+/// failure (benchmarks should still print their tables on a read-only FS).
+fn write_artifact(path: &str, body: &str) {
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn metrics_json(m: &Option<MetricsSnapshot>) -> String {
+    m.as_ref()
+        .map(|s| s.to_json())
+        .unwrap_or_else(|| "null".to_string())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,20 +46,37 @@ fn main() {
     if wants("fig5") {
         // Two regimes: the paper's times were disk-bound (fsync on every
         // commit); the buffered run exposes the raw CPU-path overhead.
-        let rows = fig5::run(quick, immortaldb::Durability::Fsync);
-        fig5::report("fsync/commit — paper's regime", &rows);
-        let rows = fig5::run(quick, immortaldb::Durability::Buffered);
-        fig5::report("buffered — CPU-bound", &rows);
+        let fsync = fig5::run(quick, immortaldb::Durability::Fsync);
+        fig5::report("fsync/commit — paper's regime", &fsync.rows);
+        let buffered = fig5::run(quick, immortaldb::Durability::Buffered);
+        fig5::report("buffered — CPU-bound", &buffered.rows);
         let (conv_s, imm_s) = fig5::run_single_txn_case(if quick { 8_000 } else { 32_000 });
         println!(
             "lowest-overhead case (all records in ONE txn): conventional {conv_s:.3}s, \
              immortal {imm_s:.3}s ({:+.1}%) — paper: \"indistinguishable\"",
             (imm_s / conv_s - 1.0) * 100.0
         );
+        let body = format!(
+            "{{\"figure\":\"fig5\",\"quick\":{quick},\
+             \"fsync\":{{\"rows\":{},\"metrics\":{}}},\
+             \"buffered\":{{\"rows\":{},\"metrics\":{}}},\
+             \"single_txn\":{{\"conventional_s\":{conv_s:.6},\"immortal_s\":{imm_s:.6}}}}}\n",
+            fig5::rows_json(&fsync.rows),
+            metrics_json(&fsync.metrics),
+            fig5::rows_json(&buffered.rows),
+            metrics_json(&buffered.metrics),
+        );
+        write_artifact("BENCH_fig5.json", &body);
     }
     if wants("fig6") {
         let series = fig6::run(quick);
         fig6::report(&series);
+        let items: Vec<String> = series.iter().map(fig6::series_json).collect();
+        let body = format!(
+            "{{\"figure\":\"fig6\",\"quick\":{quick},\"series\":[{}]}}\n",
+            items.join(",")
+        );
+        write_artifact("BENCH_fig6.json", &body);
     }
     if wants("a1") {
         let rows = ablations::eager_vs_lazy(quick);

@@ -75,9 +75,15 @@ impl BTree {
             }
         };
         if needs_stamp {
+            let metrics = self.pool.metrics();
             let mut g = frame.write();
             if let Ok(i) = g.find_slot(key) {
+                metrics
+                    .tree
+                    .version_chain_len
+                    .observe(version::chain_offsets(&g, i).len() as u64);
                 for (t, n) in version::stamp_chain(&mut g, i, resolver) {
+                    metrics.ts.stamps_read.add(n as u64);
                     resolver.note_stamped(t, n);
                 }
                 frame.mark_dirty_unlogged();
@@ -124,6 +130,7 @@ impl BTree {
         let mut hist = g.history_page();
         drop(g);
         while hist.is_valid() {
+            self.pool.metrics().tree.asof_hops.inc();
             let hframe = self.pool.fetch(hist)?;
             let hg = hframe.read();
             if as_of >= hg.start_ts() {
@@ -167,6 +174,7 @@ impl BTree {
                 n += 1;
             }
         }
+        self.pool.metrics().ts.stamps_eager.add(n as u64);
         g.set_page_lsn(lsn);
         frame.mark_dirty(lsn);
         Ok((lsn, n))
@@ -180,7 +188,9 @@ impl BTree {
         let _s = self.structure.read();
         let frame = self.descend(key)?;
         let mut g = frame.write();
-        let Ok(i) = g.find_slot(key) else { return Ok(0) };
+        let Ok(i) = g.find_slot(key) else {
+            return Ok(0);
+        };
         let n = version::prune_chain(&mut g, i, watermark);
         if n > 0 {
             frame.mark_dirty_unlogged();
@@ -244,7 +254,11 @@ impl BTree {
     /// Complete version history of `key`, newest first, across the
     /// current page and its entire history chain. Spanning versions
     /// (copied redundantly by time splits) are deduplicated by timestamp.
-    pub fn history_of(&self, key: &[u8], resolver: &dyn TimestampResolver) -> Result<Vec<HistoryVersion>> {
+    pub fn history_of(
+        &self,
+        key: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<HistoryVersion>> {
         debug_assert!(self.versioned);
         let _s = self.structure.read();
         let frame = self.descend(key)?;
@@ -283,6 +297,11 @@ impl BTree {
             }
             let hist = g.history_page();
             if !hist.is_valid() {
+                self.pool
+                    .metrics()
+                    .tree
+                    .version_chain_len
+                    .observe(out.len() as u64);
                 return Ok(out);
             }
             page_id = hist;
@@ -351,6 +370,7 @@ impl BTree {
                 stamped += n as u64;
             }
         }
+        self.pool.metrics().ts.stamps_vacuum.add(stamped);
         Ok(stamped)
     }
 
@@ -485,6 +505,7 @@ impl BTree {
                 }
                 return Ok(()); // nothing recorded this far back
             }
+            self.pool.metrics().tree.asof_hops.inc();
             page_id = hist;
         }
     }

@@ -50,6 +50,7 @@ impl BTree {
             }
             if g.is_versioned() {
                 for (t, n) in version::stamp_committed(&mut g, resolver) {
+                    self.pool.metrics().ts.stamps_time_split.add(n as u64);
                     resolver.note_stamped(t, n);
                 }
             }
@@ -69,7 +70,11 @@ impl BTree {
                 let (hist, fresh) = version::time_split(&left, split_ts, hist_id)?;
                 images.push(hist);
                 left = fresh;
-                self.time_splits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Per-tree counter (tests depend on per-tree semantics)
+                // plus the engine-wide registry.
+                self.time_splits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.pool.metrics().tree.time_splits.inc();
             }
         }
 
@@ -89,7 +94,9 @@ impl BTree {
             left = l;
             pending = Some((sep, right_id));
             images.push(r);
-            self.key_splits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.key_splits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.pool.metrics().tree.key_splits.inc();
         }
         images.push(left);
 
@@ -117,7 +124,9 @@ impl BTree {
                         let parent_frame = self.pool.fetch(parent_id)?;
                         let mut parent = parent_frame.read().clone();
                         let entry_need = REC_HDR + sep.len() + 4 + 2;
-                        if entry_need > parent.contiguous_free() && entry_need <= parent.total_free() {
+                        if entry_need > parent.contiguous_free()
+                            && entry_need <= parent.total_free()
+                        {
                             parent.compact()?;
                         }
                         match parent.insert_sorted(&sep, &right_id.0.to_le_bytes(), 0) {
@@ -126,8 +135,7 @@ impl BTree {
                             }
                             Err(Error::PageFull) => {
                                 let pright_id = self.pool.disk().allocate()?;
-                                let (mut pl, mut pr, psep) =
-                                    index_key_split(&parent, pright_id)?;
+                                let (mut pl, mut pr, psep) = index_key_split(&parent, pright_id)?;
                                 let target = if sep.as_slice() < psep.as_slice() {
                                     &mut pl
                                 } else {
@@ -215,7 +223,9 @@ fn bump(ts: Timestamp) -> Timestamp {
 fn index_key_split(cur: &Page, right_id: PageId) -> Result<(Page, Page, Vec<u8>)> {
     let n = cur.slot_count();
     if n < 2 {
-        return Err(Error::Internal("index split of page with < 2 entries".into()));
+        return Err(Error::Internal(
+            "index split of page with < 2 entries".into(),
+        ));
     }
     let split_at = n / 2;
     let mut left = Page::zeroed();

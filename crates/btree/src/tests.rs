@@ -148,21 +148,50 @@ fn insert_get_update_delete_cycle() {
     let env = Env::new("cycle");
     let t = env.tree(20, true);
     put(&t, &env, 1, b"k", b"v1", ts(1, 0)).unwrap();
-    assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(
+        t.get_current(b"k", None, env.auth.as_ref()).unwrap(),
+        Some(b"v1".to_vec())
+    );
     upd(&t, &env, 2, b"k", b"v2", ts(2, 0)).unwrap();
-    assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(
+        t.get_current(b"k", None, env.auth.as_ref()).unwrap(),
+        Some(b"v2".to_vec())
+    );
     t.delete(Tid(3), NULL_LSN, b"k", env.auth.as_ref()).unwrap();
     env.auth.commit(Tid(3), ts(3, 0));
     assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), None);
     // AS OF still sees every state.
-    assert_eq!(t.get_as_of(b"k", ts(1, 5), None, env.auth.as_ref()).unwrap(), Some(b"v1".to_vec()));
-    assert_eq!(t.get_as_of(b"k", ts(2, 5), None, env.auth.as_ref()).unwrap(), Some(b"v2".to_vec()));
-    assert_eq!(t.get_as_of(b"k", ts(3, 5), None, env.auth.as_ref()).unwrap(), None);
-    assert_eq!(t.get_as_of(b"k", ts(0, 5), None, env.auth.as_ref()).unwrap(), None);
+    assert_eq!(
+        t.get_as_of(b"k", ts(1, 5), None, env.auth.as_ref())
+            .unwrap(),
+        Some(b"v1".to_vec())
+    );
+    assert_eq!(
+        t.get_as_of(b"k", ts(2, 5), None, env.auth.as_ref())
+            .unwrap(),
+        Some(b"v2".to_vec())
+    );
+    assert_eq!(
+        t.get_as_of(b"k", ts(3, 5), None, env.auth.as_ref())
+            .unwrap(),
+        None
+    );
+    assert_eq!(
+        t.get_as_of(b"k", ts(0, 5), None, env.auth.as_ref())
+            .unwrap(),
+        None
+    );
     // Re-insert after delete chains onto the stub.
     put(&t, &env, 4, b"k", b"v3", ts(4, 0)).unwrap();
-    assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), Some(b"v3".to_vec()));
-    assert_eq!(t.get_as_of(b"k", ts(3, 5), None, env.auth.as_ref()).unwrap(), None);
+    assert_eq!(
+        t.get_current(b"k", None, env.auth.as_ref()).unwrap(),
+        Some(b"v3".to_vec())
+    );
+    assert_eq!(
+        t.get_as_of(b"k", ts(3, 5), None, env.auth.as_ref())
+            .unwrap(),
+        None
+    );
 }
 
 #[test]
@@ -188,21 +217,31 @@ fn duplicate_insert_and_missing_update_rejected() {
 fn own_uncommitted_writes_visible_only_to_owner() {
     let env = Env::new("ownwrites");
     let t = env.tree(20, true);
-    t.insert(Tid(7), NULL_LSN, b"k", b"mine", env.auth.as_ref()).unwrap();
+    t.insert(Tid(7), NULL_LSN, b"k", b"mine", env.auth.as_ref())
+        .unwrap();
     assert_eq!(
-        t.get_current(b"k", Some(Tid(7)), env.auth.as_ref()).unwrap(),
+        t.get_current(b"k", Some(Tid(7)), env.auth.as_ref())
+            .unwrap(),
         Some(b"mine".to_vec())
     );
     assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), None);
-    assert_eq!(t.get_current(b"k", Some(Tid(9)), env.auth.as_ref()).unwrap(), None);
+    assert_eq!(
+        t.get_current(b"k", Some(Tid(9)), env.auth.as_ref())
+            .unwrap(),
+        None
+    );
 }
 
 #[test]
 fn head_version_reports_states() {
     let env = Env::new("head");
     let t = env.tree(20, true);
-    assert_eq!(t.head_version(b"k", env.auth.as_ref()).unwrap(), HeadVersion::NotFound);
-    t.insert(Tid(5), NULL_LSN, b"k", b"v", env.auth.as_ref()).unwrap();
+    assert_eq!(
+        t.head_version(b"k", env.auth.as_ref()).unwrap(),
+        HeadVersion::NotFound
+    );
+    t.insert(Tid(5), NULL_LSN, b"k", b"v", env.auth.as_ref())
+        .unwrap();
     assert_eq!(
         t.head_version(b"k", env.auth.as_ref()).unwrap(),
         HeadVersion::Uncommitted {
@@ -263,10 +302,15 @@ fn time_splits_keep_full_history_queryable() {
     // Every historical state is still reachable.
     for r in [0u64, 1, 5, 50, 137, 399, 400] {
         let expect = format!("v{r}");
-        let got = t.get_as_of(key, ts(r + 1, 5), None, env.auth.as_ref()).unwrap();
+        let got = t
+            .get_as_of(key, ts(r + 1, 5), None, env.auth.as_ref())
+            .unwrap();
         assert_eq!(got, Some(expect.into_bytes()), "as of round {r}");
     }
-    assert_eq!(t.get_as_of(key, ts(0, 5), None, env.auth.as_ref()).unwrap(), None);
+    assert_eq!(
+        t.get_as_of(key, ts(0, 5), None, env.auth.as_ref()).unwrap(),
+        None
+    );
 }
 
 #[test]
@@ -276,11 +320,27 @@ fn scan_as_of_reconstructs_past_states() {
     // 30 keys inserted at time 1..30, each updated at time 100+i.
     for i in 0..30u64 {
         let key = immortaldb_common::codec::key_from_u64(i);
-        put(&t, &env, i + 1, &key, format!("a{i}").as_bytes(), ts(i + 1, 0)).unwrap();
+        put(
+            &t,
+            &env,
+            i + 1,
+            &key,
+            format!("a{i}").as_bytes(),
+            ts(i + 1, 0),
+        )
+        .unwrap();
     }
     for i in 0..30u64 {
         let key = immortaldb_common::codec::key_from_u64(i);
-        upd(&t, &env, 100 + i, &key, format!("b{i}").as_bytes(), ts(100 + i, 0)).unwrap();
+        upd(
+            &t,
+            &env,
+            100 + i,
+            &key,
+            format!("b{i}").as_bytes(),
+            ts(100 + i, 0),
+        )
+        .unwrap();
     }
     // As of time 15.5: keys 0..=14 exist with "a" values.
     let items = t.scan_as_of(ts(15, 5), None, env.auth.as_ref()).unwrap();
@@ -296,7 +356,10 @@ fn scan_as_of_reconstructs_past_states() {
     // Current state: all "b".
     let items = t.scan_current(None, env.auth.as_ref()).unwrap();
     assert_eq!(items.len(), 30);
-    assert!(items.iter().enumerate().all(|(i, it)| it.data == format!("b{i}").into_bytes()));
+    assert!(items
+        .iter()
+        .enumerate()
+        .all(|(i, it)| it.data == format!("b{i}").into_bytes()));
 }
 
 #[test]
@@ -317,7 +380,14 @@ fn scan_as_of_with_shared_history_after_key_splits() {
     for i in 0..n {
         let key = immortaldb_common::codec::key_from_u64(i);
         let (td, at) = stamp(&mut tid, &mut clock);
-        t.insert(td, NULL_LSN, &key, format!("i{i}-{pad}").as_bytes(), env.auth.as_ref()).unwrap();
+        t.insert(
+            td,
+            NULL_LSN,
+            &key,
+            format!("i{i}-{pad}").as_bytes(),
+            env.auth.as_ref(),
+        )
+        .unwrap();
         env.auth.commit(td, at);
     }
     let t_after_insert = clock;
@@ -325,16 +395,27 @@ fn scan_as_of_with_shared_history_after_key_splits() {
         for i in 0..n {
             let key = immortaldb_common::codec::key_from_u64(i);
             let (td, at) = stamp(&mut tid, &mut clock);
-            t.update(td, NULL_LSN, &key, format!("u{round}-{i}-{pad}").as_bytes(), env.auth.as_ref())
-                .unwrap();
+            t.update(
+                td,
+                NULL_LSN,
+                &key,
+                format!("u{round}-{i}-{pad}").as_bytes(),
+                env.auth.as_ref(),
+            )
+            .unwrap();
             env.auth.commit(td, at);
         }
     }
     let (tsplits, ksplits) = t.split_counts();
-    assert!(tsplits > 0 && ksplits > 0, "want both split kinds: {tsplits}/{ksplits}");
+    assert!(
+        tsplits > 0 && ksplits > 0,
+        "want both split kinds: {tsplits}/{ksplits}"
+    );
     // As of the end of the insert phase: every key with its "i" value,
     // exactly once.
-    let items = t.scan_as_of(ts(t_after_insert, 5), None, env.auth.as_ref()).unwrap();
+    let items = t
+        .scan_as_of(ts(t_after_insert, 5), None, env.auth.as_ref())
+        .unwrap();
     assert_eq!(items.len(), n as usize);
     let mut seen = std::collections::HashSet::new();
     for (i, item) in items.iter().enumerate() {
@@ -343,7 +424,9 @@ fn scan_as_of_with_shared_history_after_key_splits() {
     }
     // As of round-3 completion.
     let t_round3 = t_after_insert + 4 * n;
-    let items = t.scan_as_of(ts(t_round3, 5), None, env.auth.as_ref()).unwrap();
+    let items = t
+        .scan_as_of(ts(t_round3, 5), None, env.auth.as_ref())
+        .unwrap();
     assert_eq!(items.len(), n as usize);
     for (i, item) in items.iter().enumerate() {
         assert_eq!(item.data, format!("u3-{i}-{pad}").into_bytes());
@@ -373,12 +456,24 @@ fn history_of_dedups_spanning_versions_across_splits() {
     let pad = "y".repeat(48);
     put(&t, &env, 1, b"k", b"v0", ts(1, 0)).unwrap();
     for r in 1..=600u64 {
-        upd(&t, &env, r + 1, b"k", format!("v{r}-{pad}").as_bytes(), ts(r + 1, 0)).unwrap();
+        upd(
+            &t,
+            &env,
+            r + 1,
+            b"k",
+            format!("v{r}-{pad}").as_bytes(),
+            ts(r + 1, 0),
+        )
+        .unwrap();
     }
     let (tsplits, _) = t.split_counts();
     assert!(tsplits >= 2, "got {tsplits} time splits");
     let h = t.history_of(b"k", env.auth.as_ref()).unwrap();
-    assert_eq!(h.len(), 601, "each version exactly once despite redundant copies");
+    assert_eq!(
+        h.len(),
+        601,
+        "each version exactly once despite redundant copies"
+    );
     for w in h.windows(2) {
         assert!(w[0].ts.unwrap() > w[1].ts.unwrap());
     }
@@ -388,11 +483,13 @@ fn history_of_dedups_spanning_versions_across_splits() {
 fn update_trigger_stamps_prior_versions() {
     let env = Env::new("stamptrigger");
     let t = env.tree(20, true);
-    t.insert(Tid(1), NULL_LSN, b"k", b"v1", env.auth.as_ref()).unwrap();
+    t.insert(Tid(1), NULL_LSN, b"k", b"v1", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(1), ts(1, 0));
     assert_eq!(env.auth.stamped_count(Tid(1)), 0);
     // The update visits the chain and stamps the committed prior version.
-    t.update(Tid(2), NULL_LSN, b"k", b"v2", env.auth.as_ref()).unwrap();
+    t.update(Tid(2), NULL_LSN, b"k", b"v2", env.auth.as_ref())
+        .unwrap();
     assert_eq!(env.auth.stamped_count(Tid(1)), 1);
 }
 
@@ -400,7 +497,8 @@ fn update_trigger_stamps_prior_versions() {
 fn read_trigger_stamps_chain_head() {
     let env = Env::new("readtrigger");
     let t = env.tree(20, true);
-    t.insert(Tid(1), NULL_LSN, b"k", b"v1", env.auth.as_ref()).unwrap();
+    t.insert(Tid(1), NULL_LSN, b"k", b"v1", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(1), ts(1, 0));
     let _ = t.get_current(b"k", None, env.auth.as_ref()).unwrap();
     assert_eq!(env.auth.stamped_count(Tid(1)), 1);
@@ -432,7 +530,12 @@ fn unversioned_crud_and_splits() {
         assert!(w[0].key < w[1].key);
     }
     assert!(matches!(
-        t.u_insert(Tid(1), NULL_LSN, &immortaldb_common::codec::key_from_u64(0), &val),
+        t.u_insert(
+            Tid(1),
+            NULL_LSN,
+            &immortaldb_common::codec::key_from_u64(0),
+            &val
+        ),
         Err(immortaldb_common::Error::DuplicateKey)
     ));
 }
@@ -495,7 +598,8 @@ fn model_check_as_of_queries() {
         match state.get(&k) {
             None => {
                 let val = format!("v{step}").into_bytes();
-                t.insert(tid, NULL_LSN, &key, &val, env.auth.as_ref()).unwrap();
+                t.insert(tid, NULL_LSN, &key, &val, env.auth.as_ref())
+                    .unwrap();
                 state.insert(k, val);
             }
             Some(_) if rng.gen_bool(0.25) => {
@@ -504,7 +608,8 @@ fn model_check_as_of_queries() {
             }
             Some(_) => {
                 let val = format!("v{step}").into_bytes();
-                t.update(tid, NULL_LSN, &key, &val, env.auth.as_ref()).unwrap();
+                t.update(tid, NULL_LSN, &key, &val, env.auth.as_ref())
+                    .unwrap();
                 state.insert(k, val);
             }
         }
@@ -548,7 +653,8 @@ fn own_writes_survive_concurrent_time_split() {
     }
     let snapshot = ts(20, 5);
     // Transaction 500 (snapshot = `snapshot`) writes key 3, uncommitted.
-    t.update(Tid(500), NULL_LSN, &key_b(3), b"mine", env.auth.as_ref()).unwrap();
+    t.update(Tid(500), NULL_LSN, &key_b(3), b"mine", env.auth.as_ref())
+        .unwrap();
     // Other transactions hammer the same key range until a time split
     // happens (split time will exceed `snapshot`).
     let mut r = 0u64;
@@ -559,8 +665,14 @@ fn own_writes_survive_concurrent_time_split() {
             if k == 3 {
                 continue; // locked by txn 500 in a real engine
             }
-            t.update(Tid(tid * 100 + k), NULL_LSN, &key_b(k), format!("v{r}-{pad}").as_bytes(), env.auth.as_ref())
-                .unwrap();
+            t.update(
+                Tid(tid * 100 + k),
+                NULL_LSN,
+                &key_b(k),
+                format!("v{r}-{pad}").as_bytes(),
+                env.auth.as_ref(),
+            )
+            .unwrap();
             env.auth.commit(Tid(tid * 100 + k), ts(100 + r * 20 + k, 0));
         }
         let (tsplits, _) = t.split_counts();
@@ -571,11 +683,18 @@ fn own_writes_survive_concurrent_time_split() {
     let (tsplits, _) = t.split_counts();
     assert!(tsplits > 0, "workload must force a time split");
     // Read-your-own-writes at the old snapshot.
-    let got = t.get_as_of(&key_b(3), snapshot, Some(Tid(500)), env.auth.as_ref()).unwrap();
+    let got = t
+        .get_as_of(&key_b(3), snapshot, Some(Tid(500)), env.auth.as_ref())
+        .unwrap();
     assert_eq!(got, Some(b"mine".to_vec()), "own write visible after split");
     // And through a scan.
-    let items = t.scan_as_of(snapshot, Some(Tid(500)), env.auth.as_ref()).unwrap();
-    let mine = items.iter().find(|i| i.key == key_b(3)).expect("key present");
+    let items = t
+        .scan_as_of(snapshot, Some(Tid(500)), env.auth.as_ref())
+        .unwrap();
+    let mine = items
+        .iter()
+        .find(|i| i.key == key_b(3))
+        .expect("key present");
     assert_eq!(mine.data, b"mine".to_vec());
     // Other keys still resolve to the snapshot-time state.
     let other = items.iter().find(|i| i.key == key_b(4)).expect("key 4");

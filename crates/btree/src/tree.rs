@@ -6,9 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use immortaldb_common::codec::get_u32;
-use immortaldb_common::{
-    Error, Lsn, PageId, Result, Tid, Timestamp, TreeId, NULL_LSN,
-};
+use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId, NULL_LSN};
 use immortaldb_storage::buffer::{BufferPool, FrameRef};
 use immortaldb_storage::logrec::LogRecord;
 use immortaldb_storage::meta::MetaView;
@@ -378,6 +376,7 @@ impl BTree {
                         }
                         // Timestamp the existing chain (update trigger).
                         for (t, n) in version::stamp_chain(&mut g, i, resolver) {
+                            self.pool.metrics().ts.stamps_update.add(n as u64);
                             resolver.note_stamped(t, n);
                         }
                     }
@@ -412,7 +411,11 @@ impl BTree {
     }
 
     /// Inspect the newest version of `key` (for first-committer-wins).
-    pub fn head_version(&self, key: &[u8], resolver: &dyn TimestampResolver) -> Result<HeadVersion> {
+    pub fn head_version(
+        &self,
+        key: &[u8],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<HeadVersion> {
         let _s = self.structure.read();
         let frame = self.descend(key)?;
         let g = frame.read();
@@ -537,7 +540,9 @@ impl BTree {
         let _s = self.structure.read();
         let frame = self.descend(key)?;
         let g = frame.read();
-        Ok(g.find_slot(key).ok().map(|i| g.rec_data(g.slot(i)).to_vec()))
+        Ok(g.find_slot(key)
+            .ok()
+            .map(|i| g.rec_data(g.slot(i)).to_vec()))
     }
 
     /// Number of live records in a conventional table (scans leaves).

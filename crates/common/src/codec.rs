@@ -222,7 +222,11 @@ fn crc_table() -> &'static [u32; 256] {
         for (i, e) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -258,7 +262,12 @@ mod tests {
     #[test]
     fn cursor_roundtrip() {
         let mut w = Writer::new();
-        w.u8(7).u16(300).u32(70_000).u64(1 << 40).bytes(b"hello").raw(b"xy");
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .bytes(b"hello")
+            .raw(b"xy");
         let v = w.finish();
         let mut r = Reader::new(&v);
         assert_eq!(r.u8().unwrap(), 7);

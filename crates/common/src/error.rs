@@ -14,7 +14,10 @@ pub enum Error {
     /// impossible offsets). Indicates corruption or a version mismatch.
     Corruption(String),
     /// A page does not have the type the caller expected.
-    WrongPageType { page: PageId, expected: &'static str },
+    WrongPageType {
+        page: PageId,
+        expected: &'static str,
+    },
     /// A record/key was not found where it was required to exist.
     KeyNotFound,
     /// An insert collided with an existing live record for the same key.

@@ -13,6 +13,7 @@ use immortaldb_btree::{BTree, HeadVersion, SplitTimeSource};
 use immortaldb_common::{
     Clock, Error, Lsn, PageId, Result, SystemClock, Tid, Timestamp, TreeId, NULL_LSN,
 };
+use immortaldb_obs::{MetricsRegistry, MetricsSnapshot};
 use immortaldb_storage::buffer::BufferPool;
 use immortaldb_storage::disk::DiskManager;
 use immortaldb_storage::logrec::LogRecord;
@@ -111,11 +112,19 @@ impl Database {
         std::fs::create_dir_all(&config.dir)?;
         let (disk, fresh) = DiskManager::open(config.dir.join("data.idb"))?;
         let disk = Arc::new(disk);
-        let wal = Arc::new(Wal::open(config.dir.join("wal.log"))?);
-        let pool = Arc::new(BufferPool::new(
+        // One registry for the whole engine: the WAL, buffer pool, lock
+        // manager and (via the pool/WAL accessors) trees, resolver and
+        // recovery all record into it.
+        let metrics = MetricsRegistry::new();
+        let wal = Arc::new(Wal::with_metrics(
+            config.dir.join("wal.log"),
+            metrics.clone(),
+        )?);
+        let pool = Arc::new(BufferPool::with_metrics(
             Arc::clone(&disk),
             Arc::clone(&wal),
             config.pool_pages,
+            metrics.clone(),
         ));
         let authority = Arc::new(TimestampAuthority::new(Arc::clone(&config.clock)));
 
@@ -175,7 +184,10 @@ impl Database {
         let mut tables = HashMap::new();
         let mut trees: HashMap<TreeId, TableIndex> = HashMap::new();
         trees.insert(TreeId::PTT, TableIndex::Chain(Arc::clone(ptt.tree())));
-        trees.insert(TreeId::CATALOG, TableIndex::Chain(Arc::clone(&catalog_tree)));
+        trees.insert(
+            TreeId::CATALOG,
+            TableIndex::Chain(Arc::clone(&catalog_tree)),
+        );
         let mut max_tree = TreeId::FIRST_USER.0;
         for item in catalog_tree.u_scan()? {
             let name = String::from_utf8(item.key.clone())
@@ -210,7 +222,10 @@ impl Database {
             ptt,
             resolver,
             gc,
-            locks: Arc::new(LockManager::new(config.lock_timeout)),
+            locks: Arc::new(LockManager::with_metrics(
+                config.lock_timeout,
+                metrics.clone(),
+            )),
             catalog_tree,
             tables: RwLock::new(tables),
             trees: RwLock::new(trees),
@@ -235,6 +250,16 @@ impl Database {
 
     pub fn authority(&self) -> &Arc<TimestampAuthority> {
         &self.authority
+    }
+
+    /// Engine-wide metrics registry (shared by every layer).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.pool.metrics()
+    }
+
+    /// Point-in-time snapshot of every metric (what `SHOW STATS` renders).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.pool.metrics().snapshot()
     }
 
     /// Current wall-clock time (through the injected clock).
@@ -304,7 +329,12 @@ impl Database {
     /// Create a table (`CREATE [IMMORTAL] TABLE`) on the default
     /// page-chain index. DDL is not transactional: it is logged as system
     /// actions and survives crashes, but cannot be rolled back.
-    pub fn create_table(&self, name: &str, schema: Schema, kind: TableKind) -> Result<Arc<TableDef>> {
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        kind: TableKind,
+    ) -> Result<Arc<TableDef>> {
         self.create_table_with(name, schema, kind, IndexKind::Chain)
     }
 
@@ -491,11 +521,14 @@ impl Database {
             TimestampingMode::Lazy => {
                 if txn.wrote_immortal {
                     txn.last_lsn = self.ptt.insert(txn.tid, ts, txn.last_lsn)?;
+                    self.metrics().ts.ptt_inserts.inc();
                     in_ptt = true;
                 }
             }
         }
-        let clsn = self.wal.append(txn.tid, txn.last_lsn, &LogRecord::Commit { ts });
+        let clsn = self
+            .wal
+            .append(txn.tid, txn.last_lsn, &LogRecord::Commit { ts });
         self.wal.append(txn.tid, clsn, &LogRecord::End);
         self.wal.flush(self.durability)?;
         self.vtt.commit(txn.tid, ts, in_ptt, self.wal.end_lsn());
@@ -557,7 +590,8 @@ impl Database {
         self.ensure_begin_logged(txn);
         let handle = self.tree_handle(def.tree)?;
         if def.kind.is_versioned() {
-            txn.last_lsn = handle.insert(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
+            txn.last_lsn =
+                handle.insert(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
             self.note_write(txn, &def, key);
         } else {
             txn.last_lsn = handle.u_insert(txn.tid, txn.last_lsn, &key, &data)?;
@@ -578,7 +612,8 @@ impl Database {
         let handle = self.tree_handle(def.tree)?;
         if def.kind.is_versioned() {
             self.check_first_committer(txn, &handle, &key)?;
-            txn.last_lsn = handle.update(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
+            txn.last_lsn =
+                handle.update(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
             self.note_write(txn, &def, key.clone());
             if def.kind == TableKind::SnapshotEnabled {
                 handle.prune_snapshot_versions(&key, self.oldest_snapshot())?;
@@ -765,7 +800,9 @@ impl Database {
             .map(|(t, l)| (*t, *l))
             .collect();
         let redo_scan_start = recovery::checkpoint(&self.wal, &self.pool, att)?;
-        self.gc.collect(redo_scan_start)
+        let reclaimed = self.gc.collect(redo_scan_start)?;
+        self.metrics().ts.ptt_gc_deleted.add(reclaimed as u64);
+        Ok(reclaimed)
     }
 
     /// Vacuum (§2.2 / the Postgres comparison): reclaim *every*
@@ -784,7 +821,8 @@ impl Database {
         let defs: Vec<Arc<TableDef>> = self.tables.read().values().cloned().collect();
         for def in defs {
             if def.kind.is_versioned() {
-                self.tree_handle(def.tree)?.stamp_all(self.resolver.as_ref())?;
+                self.tree_handle(def.tree)?
+                    .stamp_all(self.resolver.as_ref())?;
             }
         }
         let reclaimed = candidates.len();
@@ -795,6 +833,7 @@ impl Database {
             // (Ptt::delete is idempotent).
             if self.ptt.lookup(tid)?.is_some() {
                 self.ptt.delete(tid)?;
+                self.metrics().ts.ptt_gc_deleted.inc();
             }
             self.vtt.remove(tid);
         }
@@ -825,8 +864,6 @@ impl TreeLocator for Database {
             .locate_leaf_page_for_insert(key, space, self.resolver.as_ref())
     }
 }
-
-
 
 impl Database {
     /// VTT lifecycle state of a transaction (diagnostics and tests).

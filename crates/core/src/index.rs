@@ -87,7 +87,13 @@ impl TableIndex {
         }
     }
 
-    pub fn delete(&self, tid: Tid, prev: Lsn, key: &[u8], r: &dyn TimestampResolver) -> Result<Lsn> {
+    pub fn delete(
+        &self,
+        tid: Tid,
+        prev: Lsn,
+        key: &[u8],
+        r: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
         match self {
             TableIndex::Chain(t) => t.delete(tid, prev, key, r),
             TableIndex::Tsb(t) => t.delete(tid, prev, key, r),
@@ -137,7 +143,11 @@ impl TableIndex {
         }
     }
 
-    pub fn scan_current(&self, own: Option<Tid>, r: &dyn TimestampResolver) -> Result<Vec<ScanItem>> {
+    pub fn scan_current(
+        &self,
+        own: Option<Tid>,
+        r: &dyn TimestampResolver,
+    ) -> Result<Vec<ScanItem>> {
         self.scan_as_of(Timestamp::MAX, own, r)
     }
 
@@ -155,7 +165,13 @@ impl TableIndex {
         }
     }
 
-    pub fn eager_stamp(&self, tid: Tid, prev: Lsn, key: &[u8], ts: Timestamp) -> Result<(Lsn, u32)> {
+    pub fn eager_stamp(
+        &self,
+        tid: Tid,
+        prev: Lsn,
+        key: &[u8],
+        ts: Timestamp,
+    ) -> Result<(Lsn, u32)> {
         match self {
             TableIndex::Chain(t) => t.eager_stamp(tid, prev, key, ts),
             TableIndex::Tsb(t) => t.eager_stamp(tid, prev, key, ts),

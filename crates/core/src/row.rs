@@ -58,11 +58,7 @@ impl Value {
 
     /// Coerce an integer literal into the column's type (SQL-style).
     pub fn coerce(&self, target: ColType) -> Result<Value> {
-        let err = || {
-            Error::Sql(format!(
-                "cannot coerce {self:?} to {target}"
-            ))
-        };
+        let err = || Error::Sql(format!("cannot coerce {self:?} to {target}"));
         Ok(match (self, target) {
             (Value::Varchar(s), ColType::Varchar(max)) => {
                 if s.len() > max as usize {
@@ -272,7 +268,10 @@ mod tests {
             (Value::BigInt(i64::MIN), Value::BigInt(i64::MAX)),
             (Value::Varchar("abc".into()), Value::Varchar("abd".into())),
         ] {
-            assert!(encode_key(&a).unwrap() < encode_key(&b).unwrap(), "{a:?} < {b:?}");
+            assert!(
+                encode_key(&a).unwrap() < encode_key(&b).unwrap(),
+                "{a:?} < {b:?}"
+            );
         }
     }
 

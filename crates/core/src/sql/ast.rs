@@ -99,4 +99,6 @@ pub enum Statement {
     Checkpoint,
     /// `VACUUM` — stamp everything and reclaim all PTT entries (§2.2).
     Vacuum,
+    /// `SHOW STATS` — every engine metric as `(name, value)` rows.
+    ShowStats,
 }

@@ -133,6 +133,21 @@ impl<'a> Session<'a> {
                     "vacuum complete, {reclaimed} PTT entries reclaimed"
                 )))
             }
+            Statement::ShowStats => {
+                let snap = self.db.metrics_snapshot();
+                let rows: Vec<Vec<Value>> = snap
+                    .entries()
+                    .into_iter()
+                    .map(|(name, value)| vec![Value::Varchar(name), Value::BigInt(value as i64)])
+                    .collect();
+                let n = rows.len();
+                Ok(QueryResult {
+                    columns: vec!["metric".to_string(), "value".to_string()],
+                    rows,
+                    affected: 0,
+                    message: format!("{n} metrics"),
+                })
+            }
             dml => self.run_dml(dml),
         }
     }

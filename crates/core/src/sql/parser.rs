@@ -15,6 +15,7 @@
 //! SELECT * | col[, col...] FROM t [WHERE conds]
 //! HISTORY OF t WHERE pkcol = lit
 //! CHECKPOINT
+//! SHOW STATS
 //! ```
 
 use immortaldb_common::{Error, Result};
@@ -77,7 +78,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Sql(format!("expected {kw}, found {:?}", self.peek())))
+            Err(Error::Sql(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -136,7 +140,14 @@ impl Parser {
         if self.eat_kw("VACUUM") {
             return Ok(Statement::Vacuum);
         }
-        Err(Error::Sql(format!("unknown statement start: {:?}", self.peek())))
+        if self.eat_kw("SHOW") {
+            self.expect_kw("STATS")?;
+            return Ok(Statement::ShowStats);
+        }
+        Err(Error::Sql(format!(
+            "unknown statement start: {:?}",
+            self.peek()
+        )))
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -249,7 +260,9 @@ impl Parser {
                 } else if self.eat_kw("SERIALIZABLE") {
                     Isolation::Serializable
                 } else {
-                    return Err(Error::Sql("ISOLATION expects SNAPSHOT or SERIALIZABLE".into()));
+                    return Err(Error::Sql(
+                        "ISOLATION expects SNAPSHOT or SERIALIZABLE".into(),
+                    ));
                 };
             } else {
                 break;
@@ -376,7 +389,9 @@ impl Parser {
             Token::Number(n) => Ok(Value::BigInt(n)),
             Token::Minus => match self.next()? {
                 Token::Number(n) => Ok(Value::BigInt(-n)),
-                other => Err(Error::Sql(format!("expected number after -, found {other:?}"))),
+                other => Err(Error::Sql(format!(
+                    "expected number after -, found {other:?}"
+                ))),
             },
             Token::Str(s) => Ok(Value::Varchar(s)),
             other => Err(Error::Sql(format!("expected literal, found {other:?}"))),
@@ -449,7 +464,9 @@ mod tests {
         }
         let upd = Parser::parse("UPDATE t SET a = 5, b = 'z' WHERE id = 3 AND a >= 2").unwrap();
         match upd {
-            Statement::Update { sets, predicate, .. } => {
+            Statement::Update {
+                sets, predicate, ..
+            } => {
                 assert_eq!(sets.len(), 2);
                 assert_eq!(predicate.len(), 2);
             }

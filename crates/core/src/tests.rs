@@ -56,8 +56,10 @@ fn paper_example_end_to_end() {
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
     for oid in 0..20 {
-        s.execute(&format!("INSERT INTO MovingObjects VALUES ({oid}, {oid}, 0)"))
-            .unwrap();
+        s.execute(&format!(
+            "INSERT INTO MovingObjects VALUES ({oid}, {oid}, 0)"
+        ))
+        .unwrap();
         env.tick();
     }
     let t_past = db.now_ms();
@@ -71,12 +73,17 @@ fn paper_example_end_to_end() {
         env.tick();
     }
     // Current state.
-    let res = s.execute("SELECT * FROM MovingObjects WHERE Oid < 10").unwrap();
+    let res = s
+        .execute("SELECT * FROM MovingObjects WHERE Oid < 10")
+        .unwrap();
     assert_eq!(res.rows.len(), 10);
     assert_eq!(res.rows[3][1], Value::Int(103));
     // The paper's AS OF query shape.
-    s.execute(&format!("Begin Tran AS OF ms({t_past})")).unwrap();
-    let res = s.execute("SELECT * FROM MovingObjects WHERE Oid < 10").unwrap();
+    s.execute(&format!("Begin Tran AS OF ms({t_past})"))
+        .unwrap();
+    let res = s
+        .execute("SELECT * FROM MovingObjects WHERE Oid < 10")
+        .unwrap();
     s.execute("Commit Tran").unwrap();
     assert_eq!(res.rows.len(), 10);
     assert_eq!(res.rows[3][1], Value::Int(3), "AS OF sees pre-update state");
@@ -91,12 +98,17 @@ fn as_of_datetime_string_roundtrip() {
     let db = env.open();
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (1, 5, 5)").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (1, 5, 5)")
+        .unwrap();
     env.clock.advance(60_000); // one minute later
-    s.execute("UPDATE MovingObjects SET LocationX = 9 WHERE Oid = 1").unwrap();
+    s.execute("UPDATE MovingObjects SET LocationX = 9 WHERE Oid = 1")
+        .unwrap();
     // Query as of 10:15:30 — between the insert and the update.
-    s.execute("Begin Tran AS OF \"8/12/2004 10:15:30\"").unwrap();
-    let res = s.execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1").unwrap();
+    s.execute("Begin Tran AS OF \"8/12/2004 10:15:30\"")
+        .unwrap();
+    let res = s
+        .execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1")
+        .unwrap();
     s.execute("Commit Tran").unwrap();
     assert_eq!(res.rows[0][0], Value::Int(5));
 }
@@ -106,9 +118,11 @@ fn as_of_rejected_for_non_immortal_tables() {
     let env = Env::new("asofconv");
     let db = env.open();
     let mut s = Session::new(&db);
-    s.execute("CREATE TABLE plain (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE TABLE plain (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     s.execute("INSERT INTO plain VALUES (1, 2)").unwrap();
-    s.execute(&format!("BEGIN TRAN AS OF ms({})", db.now_ms())).unwrap();
+    s.execute(&format!("BEGIN TRAN AS OF ms({})", db.now_ms()))
+        .unwrap();
     let err = s.execute("SELECT * FROM plain").unwrap_err();
     assert!(matches!(err, Error::Catalog(_)), "{err}");
     s.execute("ROLLBACK").unwrap();
@@ -120,11 +134,15 @@ fn explicit_transaction_rollback_undoes_everything() {
     let db = env.open();
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (1, 10, 10)").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (1, 10, 10)")
+        .unwrap();
     s.execute("BEGIN TRAN").unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (2, 20, 20)").unwrap();
-    s.execute("UPDATE MovingObjects SET LocationX = 99 WHERE Oid = 1").unwrap();
-    s.execute("DELETE FROM MovingObjects WHERE Oid = 1").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (2, 20, 20)")
+        .unwrap();
+    s.execute("UPDATE MovingObjects SET LocationX = 99 WHERE Oid = 1")
+        .unwrap();
+    s.execute("DELETE FROM MovingObjects WHERE Oid = 1")
+        .unwrap();
     // Inside the transaction the changes are visible.
     let res = s.execute("SELECT * FROM MovingObjects").unwrap();
     assert_eq!(res.rows.len(), 1); // object 1 deleted, object 2 added
@@ -141,7 +159,8 @@ fn read_only_as_of_transactions_reject_writes() {
     let db = env.open();
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
-    s.execute(&format!("BEGIN TRAN AS OF ms({})", db.now_ms())).unwrap();
+    s.execute(&format!("BEGIN TRAN AS OF ms({})", db.now_ms()))
+        .unwrap();
     let err = s
         .execute("INSERT INTO MovingObjects VALUES (1, 1, 1)")
         .unwrap_err();
@@ -155,7 +174,9 @@ fn snapshot_isolation_reads_ignore_later_commits() {
     let db = env.open();
     let mut setup = Session::new(&db);
     setup.execute(DDL).unwrap();
-    setup.execute("INSERT INTO MovingObjects VALUES (1, 10, 0)").unwrap();
+    setup
+        .execute("INSERT INTO MovingObjects VALUES (1, 10, 0)")
+        .unwrap();
     env.tick();
 
     let mut reader = db.begin(Isolation::Snapshot);
@@ -191,7 +212,9 @@ fn snapshot_write_conflict_first_committer_wins() {
     let db = env.open();
     let mut setup = Session::new(&db);
     setup.execute(DDL).unwrap();
-    setup.execute("INSERT INTO MovingObjects VALUES (1, 10, 0)").unwrap();
+    setup
+        .execute("INSERT INTO MovingObjects VALUES (1, 10, 0)")
+        .unwrap();
     env.tick();
 
     let mut a = db.begin(Isolation::Snapshot);
@@ -231,8 +254,11 @@ fn own_writes_visible_under_snapshot_isolation() {
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
     s.execute("BEGIN TRAN ISOLATION SNAPSHOT").unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (5, 1, 2)").unwrap();
-    let res = s.execute("SELECT * FROM MovingObjects WHERE Oid = 5").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (5, 1, 2)")
+        .unwrap();
+    let res = s
+        .execute("SELECT * FROM MovingObjects WHERE Oid = 5")
+        .unwrap();
     assert_eq!(res.rows.len(), 1);
     s.execute("COMMIT").unwrap();
 }
@@ -246,14 +272,22 @@ fn conventional_table_crud() {
         .unwrap();
     s.execute("INSERT INTO accounts VALUES (1, 100, 'alice'), (2, 200, 'bob')")
         .unwrap();
-    s.execute("UPDATE accounts SET balance = 150 WHERE id = 1").unwrap();
-    let res = s.execute("SELECT balance, owner FROM accounts WHERE id = 1").unwrap();
-    assert_eq!(res.rows[0], vec![Value::BigInt(150), Value::Varchar("alice".into())]);
+    s.execute("UPDATE accounts SET balance = 150 WHERE id = 1")
+        .unwrap();
+    let res = s
+        .execute("SELECT balance, owner FROM accounts WHERE id = 1")
+        .unwrap();
+    assert_eq!(
+        res.rows[0],
+        vec![Value::BigInt(150), Value::Varchar("alice".into())]
+    );
     s.execute("DELETE FROM accounts WHERE id = 2").unwrap();
     let res = s.execute("SELECT * FROM accounts").unwrap();
     assert_eq!(res.rows.len(), 1);
     // Duplicate key.
-    let err = s.execute("INSERT INTO accounts VALUES (1, 0, 'x')").unwrap_err();
+    let err = s
+        .execute("INSERT INTO accounts VALUES (1, 0, 'x')")
+        .unwrap_err();
     assert!(matches!(err, Error::DuplicateKey));
 }
 
@@ -263,11 +297,14 @@ fn history_statement_time_travel() {
     let db = env.open();
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (7, 1, 1)").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (7, 1, 1)")
+        .unwrap();
     env.tick();
-    s.execute("UPDATE MovingObjects SET LocationX = 2 WHERE Oid = 7").unwrap();
+    s.execute("UPDATE MovingObjects SET LocationX = 2 WHERE Oid = 7")
+        .unwrap();
     env.tick();
-    s.execute("DELETE FROM MovingObjects WHERE Oid = 7").unwrap();
+    s.execute("DELETE FROM MovingObjects WHERE Oid = 7")
+        .unwrap();
     let res = s.execute("HISTORY OF MovingObjects WHERE Oid = 7").unwrap();
     assert_eq!(res.rows.len(), 3);
     assert_eq!(res.rows[0][2], Value::Varchar("DELETE".into()));
@@ -285,9 +322,11 @@ fn crash_recovery_rolls_back_losers_and_keeps_history() {
         let db = env.open();
         let mut s = Session::new(&db);
         s.execute(DDL).unwrap();
-        s.execute("INSERT INTO MovingObjects VALUES (1, 10, 0)").unwrap();
+        s.execute("INSERT INTO MovingObjects VALUES (1, 10, 0)")
+            .unwrap();
         env.tick();
-        s.execute("UPDATE MovingObjects SET LocationX = 20 WHERE Oid = 1").unwrap();
+        s.execute("UPDATE MovingObjects SET LocationX = 20 WHERE Oid = 1")
+            .unwrap();
         env.tick();
         // Leave a transaction in flight, force its log records out, then
         // "crash" (drop without checkpoint — cached pages vanish).
@@ -326,19 +365,26 @@ fn reopen_preserves_data_and_as_of() {
         let db = env.open();
         let mut s = Session::new(&db);
         s.execute(DDL).unwrap();
-        s.execute("INSERT INTO MovingObjects VALUES (1, 1, 1)").unwrap();
+        s.execute("INSERT INTO MovingObjects VALUES (1, 1, 1)")
+            .unwrap();
         env.tick();
         t_past = db.now_ms();
         env.tick();
-        s.execute("UPDATE MovingObjects SET LocationX = 2 WHERE Oid = 1").unwrap();
+        s.execute("UPDATE MovingObjects SET LocationX = 2 WHERE Oid = 1")
+            .unwrap();
         db.close().unwrap();
     }
     let db = env.open();
     let mut s = Session::new(&db);
-    let res = s.execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1").unwrap();
+    let res = s
+        .execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1")
+        .unwrap();
     assert_eq!(res.rows[0][0], Value::Int(2));
-    s.execute(&format!("BEGIN TRAN AS OF ms({t_past})")).unwrap();
-    let res = s.execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1").unwrap();
+    s.execute(&format!("BEGIN TRAN AS OF ms({t_past})"))
+        .unwrap();
+    let res = s
+        .execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1")
+        .unwrap();
     s.execute("COMMIT").unwrap();
     assert_eq!(res.rows[0][0], Value::Int(1), "history survives restart");
 }
@@ -420,7 +466,8 @@ fn serializable_readers_block_writers() {
     let db = Arc::new(env.open());
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (1, 10, 0)").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (1, 10, 0)")
+        .unwrap();
 
     let mut reader = db.begin(Isolation::Serializable);
     let _ = db
@@ -450,12 +497,14 @@ fn snapshot_enabled_table_prunes_old_versions() {
     let env = Env::new("snapgc");
     let db = env.open();
     let mut s = Session::new(&db);
-    s.execute("CREATE TABLE cache (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE TABLE cache (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     s.execute("ALTER TABLE cache ENABLE SNAPSHOT").unwrap();
     s.execute("INSERT INTO cache VALUES (1, 0)").unwrap();
     env.tick();
     for i in 1..50 {
-        s.execute(&format!("UPDATE cache SET v = {i} WHERE id = 1")).unwrap();
+        s.execute(&format!("UPDATE cache SET v = {i} WHERE id = 1"))
+            .unwrap();
         env.tick();
     }
     // With no active snapshots, chains are pruned to ~1 version. A
@@ -470,7 +519,10 @@ fn snapshot_enabled_table_prunes_old_versions() {
     // Versions were pruned: far fewer than 50 remain (the exact count
     // depends on stamping opportunities; the invariant is "bounded").
     let (tsplits, _) = db.split_counts();
-    assert_eq!(tsplits, 0, "pruning must prevent time splits for this tiny table");
+    assert_eq!(
+        tsplits, 0,
+        "pruning must prevent time splits for this tiny table"
+    );
 }
 
 #[test]
@@ -485,7 +537,8 @@ fn ddl_errors() {
         Error::Catalog(_)
     ));
     // Enabling snapshot on a non-empty conventional table fails.
-    s.execute("CREATE TABLE full_t (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE TABLE full_t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     s.execute("INSERT INTO full_t VALUES (1, 1)").unwrap();
     assert!(s.execute("ALTER TABLE full_t ENABLE SNAPSHOT").is_err());
 }
@@ -499,11 +552,15 @@ fn multi_statement_transaction_spanning_tables() {
     s.execute("CREATE IMMORTAL TABLE audit (seq INT PRIMARY KEY, what VARCHAR(40))")
         .unwrap();
     s.execute("BEGIN TRAN").unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (1, 1, 1)").unwrap();
-    s.execute("INSERT INTO audit VALUES (1, 'created object 1')").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (1, 1, 1)")
+        .unwrap();
+    s.execute("INSERT INTO audit VALUES (1, 'created object 1')")
+        .unwrap();
     s.execute("COMMIT TRAN").unwrap();
     // Both tables committed atomically; both carry the same timestamp.
-    let h1 = db.history_rows("MovingObjects", &Value::SmallInt(1)).unwrap();
+    let h1 = db
+        .history_rows("MovingObjects", &Value::SmallInt(1))
+        .unwrap();
     let h2 = db.history_rows("audit", &Value::Int(1)).unwrap();
     assert_eq!(h1[0].0, h2[0].0, "one transaction, one timestamp");
 }
@@ -513,20 +570,23 @@ fn tsb_indexed_table_end_to_end() {
     let env = Env::new("tsbtable");
     let db = env.open();
     let mut s = Session::new(&db);
-    s.execute(
-        "CREATE IMMORTAL TABLE tracked (id INT PRIMARY KEY, v INT) USING TSB",
-    )
-    .unwrap();
-    assert_eq!(db.table("tracked").unwrap().index, crate::index::IndexKind::Tsb);
+    s.execute("CREATE IMMORTAL TABLE tracked (id INT PRIMARY KEY, v INT) USING TSB")
+        .unwrap();
+    assert_eq!(
+        db.table("tracked").unwrap().index,
+        crate::index::IndexKind::Tsb
+    );
     for i in 0..30 {
-        s.execute(&format!("INSERT INTO tracked VALUES ({i}, 0)")).unwrap();
+        s.execute(&format!("INSERT INTO tracked VALUES ({i}, 0)"))
+            .unwrap();
         env.tick();
     }
     let t_mid = db.now_ms();
     env.tick();
     for round in 1..=4 {
         for i in 0..30 {
-            s.execute(&format!("UPDATE tracked SET v = {round} WHERE id = {i}")).unwrap();
+            s.execute(&format!("UPDATE tracked SET v = {round} WHERE id = {i}"))
+                .unwrap();
             env.tick();
         }
     }
@@ -555,14 +615,17 @@ fn tsb_table_survives_crash_recovery() {
     {
         let db = env.open();
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT) USING TSB").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT) USING TSB")
+            .unwrap();
         s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
         env.tick();
         s.execute("UPDATE t SET v = 20 WHERE id = 1").unwrap();
         env.tick();
         let mut loser = db.begin(Isolation::Serializable);
-        db.update_row(&mut loser, "t", vec![Value::Int(1), Value::Int(-1)]).unwrap();
-        db.insert_row(&mut loser, "t", vec![Value::Int(2), Value::Int(5)]).unwrap();
+        db.update_row(&mut loser, "t", vec![Value::Int(1), Value::Int(-1)])
+            .unwrap();
+        db.insert_row(&mut loser, "t", vec![Value::Int(2), Value::Int(5)])
+            .unwrap();
         db.force_log().unwrap();
         std::mem::forget(loser);
     }
@@ -605,7 +668,10 @@ fn tsb_table_reopen_deep_history() {
         let rows = db.scan_rows(&mut txn, "t").unwrap();
         db.commit(&mut txn).unwrap();
         assert_eq!(rows.len(), 60, "round {round}");
-        assert!(rows.iter().all(|r| r[1] == Value::Int(round)), "round {round}");
+        assert!(
+            rows.iter().all(|r| r[1] == Value::Int(round)),
+            "round {round}"
+        );
     }
 }
 
@@ -649,7 +715,8 @@ fn vacuum_spares_concurrently_active_transactions() {
     let db = env.open();
     let mut s = Session::new(&db);
     s.execute(DDL).unwrap();
-    s.execute("INSERT INTO MovingObjects VALUES (1, 0, 0)").unwrap();
+    s.execute("INSERT INTO MovingObjects VALUES (1, 0, 0)")
+        .unwrap();
     env.tick();
     // An active transaction holds an uncommitted version during vacuum.
     let mut active = db.begin(Isolation::Serializable);
@@ -662,10 +729,14 @@ fn vacuum_spares_concurrently_active_transactions() {
     db.vacuum().unwrap();
     // The active transaction can still commit and its data is correct.
     db.commit(&mut active).unwrap();
-    let res = s.execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1").unwrap();
+    let res = s
+        .execute("SELECT LocationX FROM MovingObjects WHERE Oid = 1")
+        .unwrap();
     assert_eq!(res.rows[0][0], Value::Int(7));
     // Its own PTT entry is reclaimed by the ordinary path later.
-    let _ = s.execute("SELECT * FROM MovingObjects WHERE Oid = 1").unwrap();
+    let _ = s
+        .execute("SELECT * FROM MovingObjects WHERE Oid = 1")
+        .unwrap();
     db.checkpoint().unwrap();
     db.checkpoint().unwrap();
     assert_eq!(db.ptt_len().unwrap(), 0);
@@ -676,7 +747,8 @@ fn eager_mode_works_with_tsb_tables() {
     let env = Env::new("eagertsb");
     let db = Database::open(env.config().timestamping(TimestampingMode::Eager)).unwrap();
     let mut s = Session::new(&db);
-    s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT) USING TSB").unwrap();
+    s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT) USING TSB")
+        .unwrap();
     s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     env.tick();
     s.execute("UPDATE t SET v = 20 WHERE id = 1").unwrap();

@@ -58,8 +58,16 @@ impl RoadNetwork {
                 70..=94 => 25.0, // ~90 km/h
                 _ => 36.0,       // ~130 km/h
             };
-            adj[a].push(Edge { to: b, length, speed });
-            adj[b].push(Edge { to: a, length, speed });
+            adj[a].push(Edge {
+                to: b,
+                length,
+                speed,
+            });
+            adj[b].push(Edge {
+                to: a,
+                length,
+                speed,
+            });
         };
         for row in 0..h {
             for col in 0..w {

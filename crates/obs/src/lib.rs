@@ -1,0 +1,397 @@
+//! Engine-wide observability for Immortal DB.
+//!
+//! A zero-dependency metrics subsystem: every instrument is a relaxed
+//! atomic, so recording on hot paths (buffer fetches, WAL appends, lock
+//! grants) costs one uncontended `fetch_add` and never takes a lock.
+//!
+//! * [`Counter`] — monotonically increasing `u64`.
+//! * [`Gauge`] — last-written `u64` (pass durations, sizes).
+//! * [`Histogram`] — fixed power-of-two buckets with count/sum/max;
+//!   [`Histogram::start_timer`] returns a guard that records elapsed
+//!   nanoseconds on drop.
+//! * [`Metrics`] — the typed tree of every instrument in the engine,
+//!   grouped by layer (buffer / wal / recovery / locks / ts / tree).
+//! * [`MetricsRegistry`] — a cheaply cloneable `Arc<Metrics>` handle that
+//!   is threaded through `Database` construction so every layer records
+//!   into one shared registry.
+//! * [`MetricsSnapshot`] — a point-in-time copy with stable metric names,
+//!   renderable as aligned text (`SHOW STATS`) or JSON (bench output).
+//!
+//! Metric names are a stable public interface: `<layer>.<metric>`, e.g.
+//! `buffer.hits`, `wal.fsync_ns.count`, `ts.stamps.flush`. Renaming one
+//! is a breaking change for dashboards and bench tooling.
+
+pub mod snapshot;
+
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+/// Monotonically increasing counter. All operations are `Relaxed`: we
+/// want per-event cheapness, not cross-metric ordering — snapshots are
+/// advisory, never used for synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-written value (durations of one-shot passes, current sizes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Fixed-bucket power-of-two histogram. A recorded value `v` lands in
+/// bucket `64 - v.leading_zeros()`, so bucket boundaries are exact
+/// powers of two and `observe` is branch-light and allocation-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Exclusive upper bound of bucket `i` (`None` for the last bucket,
+    /// whose bound would overflow u64).
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            None
+        } else {
+            Some(1u64 << i)
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Start a timer; elapsed nanoseconds are recorded when the returned
+    /// guard drops.
+    #[inline]
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .filter_map(|i| {
+                    let n = self.bucket_count(i);
+                    if n == 0 {
+                        None
+                    } else {
+                        Some((Self::bucket_upper_bound(i).unwrap_or(u64::MAX), n))
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// RAII timer for a [`Histogram`]; records elapsed ns on drop.
+pub struct HistogramTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl HistogramTimer<'_> {
+    /// Stop explicitly (equivalent to dropping the guard).
+    pub fn stop(self) {}
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos();
+        self.hist.observe(ns.min(u64::MAX as u128) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine's instrument tree
+// ---------------------------------------------------------------------
+
+/// Buffer pool instruments.
+#[derive(Debug, Default)]
+pub struct BufferMetrics {
+    /// Page fetches through the pool (hits + misses).
+    pub fetches: Counter,
+    /// Fetches satisfied from a resident frame.
+    pub hits: Counter,
+    /// Fetches that had to read the page from disk.
+    pub misses: Counter,
+    /// Frames reclaimed by the eviction clock.
+    pub evictions: Counter,
+    /// Dirty pages written back to disk.
+    pub flushes: Counter,
+}
+
+/// Write-ahead-log instruments.
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    /// Log records appended.
+    pub appends: Counter,
+    /// Payload bytes appended (record bodies incl. headers).
+    pub bytes: Counter,
+    /// `fsync` / `sync_data` calls issued.
+    pub fsyncs: Counter,
+    /// Latency of each fsync, in nanoseconds.
+    pub fsync_ns: Histogram,
+}
+
+/// Restart-recovery instruments (set once per `Database::open`).
+#[derive(Debug, Default)]
+pub struct RecoveryMetrics {
+    /// Duration of the analysis pass, microseconds.
+    pub analyze_us: Gauge,
+    /// Duration of the redo pass, microseconds.
+    pub redo_us: Gauge,
+    /// Duration of the undo pass, microseconds.
+    pub undo_us: Gauge,
+    /// Log records replayed during redo.
+    pub records_replayed: Counter,
+    /// Loser transactions rolled back during undo.
+    pub losers_rolled_back: Counter,
+    /// Checkpoints taken.
+    pub checkpoints: Counter,
+}
+
+/// Multi-granularity lock-manager instruments.
+#[derive(Debug, Default)]
+pub struct LockMetrics {
+    /// Grants by mode.
+    pub acquired_is: Counter,
+    pub acquired_ix: Counter,
+    pub acquired_s: Counter,
+    pub acquired_x: Counter,
+    /// Requests that blocked at least once before being granted or denied.
+    pub waits: Counter,
+    /// Time from first block to grant/denial, nanoseconds.
+    pub wait_ns: Histogram,
+    /// Requests denied by wait-for-graph cycle detection.
+    pub deadlocks: Counter,
+    /// Requests denied by the lock-wait timeout backstop.
+    pub timeouts: Counter,
+}
+
+/// Lazy-timestamping instruments (VTT / PTT / stamping triggers).
+#[derive(Debug, Default)]
+pub struct TimestampMetrics {
+    /// Timestamp resolutions served by the volatile table.
+    pub vtt_hits: Counter,
+    /// Resolutions that missed the VTT and consulted the persisted table.
+    pub vtt_misses: Counter,
+    /// Persisted-table lookups (== vtt_misses; kept for clarity).
+    pub ptt_lookups: Counter,
+    /// PTT records inserted at commit (lazy timestamping only).
+    pub ptt_inserts: Counter,
+    /// PTT records reclaimed by garbage collection.
+    pub ptt_gc_deleted: Counter,
+    /// Versions stamped, by trigger.
+    pub stamps_read: Counter,
+    pub stamps_update: Counter,
+    pub stamps_flush: Counter,
+    pub stamps_time_split: Counter,
+    pub stamps_vacuum: Counter,
+    pub stamps_eager: Counter,
+}
+
+impl TimestampMetrics {
+    /// Total versions stamped across every trigger.
+    pub fn stamps_total(&self) -> u64 {
+        self.stamps_read.get()
+            + self.stamps_update.get()
+            + self.stamps_flush.get()
+            + self.stamps_time_split.get()
+            + self.stamps_vacuum.get()
+            + self.stamps_eager.get()
+    }
+}
+
+/// Time-split B+tree instruments.
+#[derive(Debug, Default)]
+pub struct TreeMetrics {
+    /// Time splits (history page carved off a full versioned page).
+    pub time_splits: Counter,
+    /// Key splits (conventional B+tree splits).
+    pub key_splits: Counter,
+    /// History-page-chain hops taken by AS OF reads and scans.
+    pub asof_hops: Counter,
+    /// Version-chain length observed when a chain is stamped or read.
+    pub version_chain_len: Histogram,
+}
+
+/// Every instrument in the engine, grouped by layer. Constructed once
+/// per [`MetricsRegistry`] and shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub buffer: BufferMetrics,
+    pub wal: WalMetrics,
+    pub recovery: RecoveryMetrics,
+    pub locks: LockMetrics,
+    pub ts: TimestampMetrics,
+    pub tree: TreeMetrics,
+}
+
+/// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`
+/// bump; every component a registry is passed to records into the same
+/// instruments.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Metrics>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Point-in-time copy of every instrument, with stable names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        snapshot::take(self)
+    }
+}
+
+impl std::ops::Deref for MetricsRegistry {
+    type Target = Metrics;
+    fn deref(&self) -> &Metrics {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn registry_clones_share_instruments() {
+        let r1 = MetricsRegistry::new();
+        let r2 = r1.clone();
+        r1.buffer.hits.inc();
+        r2.buffer.hits.inc();
+        assert_eq!(r1.buffer.hits.get(), 2);
+    }
+
+    #[test]
+    fn timer_records_elapsed() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 2_000_000, "sum {} < 2ms", h.sum());
+    }
+}

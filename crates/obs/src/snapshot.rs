@@ -1,0 +1,241 @@
+//! Point-in-time snapshots of the metric tree, with stable names and
+//! text / JSON rendering. JSON is hand-rolled — the crate is
+//! dependency-free and the value space is only integers, floats and
+//! strings.
+
+use crate::MetricsRegistry;
+
+/// Frozen copy of one [`Histogram`](crate::Histogram).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Non-empty buckets as `(exclusive_upper_bound, count)`, ascending.
+    /// The open-ended last bucket reports `u64::MAX` as its bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every instrument in a registry.
+///
+/// Scalar names are `<layer>.<metric>` (`buffer.hits`, `ts.stamps.read`);
+/// histograms live under their own name (`wal.fsync_ns`) and flatten to
+/// `.count` / `.sum` / `.max` / `.mean` scalars in [`entries`].
+///
+/// [`entries`]: MetricsSnapshot::entries
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub scalars: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Build a snapshot from a live registry. Reads are relaxed, so a
+/// snapshot taken concurrently with updates is per-instrument atomic
+/// but not a consistent cut across instruments.
+pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
+    let m: &crate::Metrics = reg;
+    let scalars = vec![
+        ("buffer.fetches".into(), m.buffer.fetches.get()),
+        ("buffer.hits".into(), m.buffer.hits.get()),
+        ("buffer.misses".into(), m.buffer.misses.get()),
+        ("buffer.evictions".into(), m.buffer.evictions.get()),
+        ("buffer.flushes".into(), m.buffer.flushes.get()),
+        ("wal.appends".into(), m.wal.appends.get()),
+        ("wal.bytes".into(), m.wal.bytes.get()),
+        ("wal.fsyncs".into(), m.wal.fsyncs.get()),
+        ("recovery.analyze_us".into(), m.recovery.analyze_us.get()),
+        ("recovery.redo_us".into(), m.recovery.redo_us.get()),
+        ("recovery.undo_us".into(), m.recovery.undo_us.get()),
+        (
+            "recovery.records_replayed".into(),
+            m.recovery.records_replayed.get(),
+        ),
+        (
+            "recovery.losers_rolled_back".into(),
+            m.recovery.losers_rolled_back.get(),
+        ),
+        ("recovery.checkpoints".into(), m.recovery.checkpoints.get()),
+        ("locks.acquired.is".into(), m.locks.acquired_is.get()),
+        ("locks.acquired.ix".into(), m.locks.acquired_ix.get()),
+        ("locks.acquired.s".into(), m.locks.acquired_s.get()),
+        ("locks.acquired.x".into(), m.locks.acquired_x.get()),
+        ("locks.waits".into(), m.locks.waits.get()),
+        ("locks.deadlocks".into(), m.locks.deadlocks.get()),
+        ("locks.timeouts".into(), m.locks.timeouts.get()),
+        ("ts.vtt_hits".into(), m.ts.vtt_hits.get()),
+        ("ts.vtt_misses".into(), m.ts.vtt_misses.get()),
+        ("ts.ptt_lookups".into(), m.ts.ptt_lookups.get()),
+        ("ts.ptt_inserts".into(), m.ts.ptt_inserts.get()),
+        ("ts.ptt_gc_deleted".into(), m.ts.ptt_gc_deleted.get()),
+        ("ts.stamps.read".into(), m.ts.stamps_read.get()),
+        ("ts.stamps.update".into(), m.ts.stamps_update.get()),
+        ("ts.stamps.flush".into(), m.ts.stamps_flush.get()),
+        ("ts.stamps.time_split".into(), m.ts.stamps_time_split.get()),
+        ("ts.stamps.vacuum".into(), m.ts.stamps_vacuum.get()),
+        ("ts.stamps.eager".into(), m.ts.stamps_eager.get()),
+        ("ts.stamps.total".into(), m.ts.stamps_total()),
+        ("tree.time_splits".into(), m.tree.time_splits.get()),
+        ("tree.key_splits".into(), m.tree.key_splits.get()),
+        ("tree.asof_hops".into(), m.tree.asof_hops.get()),
+    ];
+    let histograms = vec![
+        ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
+        ("locks.wait_ns".into(), m.locks.wait_ns.snapshot()),
+        (
+            "tree.version_chain_len".into(),
+            m.tree.version_chain_len.snapshot(),
+        ),
+    ];
+    MetricsSnapshot {
+        scalars,
+        histograms,
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up a scalar by its stable name. Histogram aggregates are
+    /// addressable as `<name>.count` / `.sum` / `.max`.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        if let Some(v) = self
+            .scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+        {
+            return Some(v);
+        }
+        for (hname, h) in &self.histograms {
+            if let Some(rest) = name.strip_prefix(hname.as_str()) {
+                match rest {
+                    ".count" => return Some(h.count),
+                    ".sum" => return Some(h.sum),
+                    ".max" => return Some(h.max),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Buffer hit rate in `[0, 1]`; 0 when no fetches happened.
+    pub fn buffer_hit_rate(&self) -> f64 {
+        let fetches = self.get("buffer.fetches").unwrap_or(0);
+        if fetches == 0 {
+            0.0
+        } else {
+            self.get("buffer.hits").unwrap_or(0) as f64 / fetches as f64
+        }
+    }
+
+    /// All metrics flattened to `(name, value)` rows — what `SHOW STATS`
+    /// returns. Histograms contribute `.count`/`.sum`/`.max`/`.mean_ns`
+    /// rows; the derived `buffer.hit_rate_pct` is scaled to an integer
+    /// percentage so every row stays `u64`.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut rows = self.scalars.clone();
+        rows.push((
+            "buffer.hit_rate_pct".into(),
+            (self.buffer_hit_rate() * 100.0).round() as u64,
+        ));
+        for (name, h) in &self.histograms {
+            rows.push((format!("{name}.count"), h.count));
+            rows.push((format!("{name}.sum"), h.sum));
+            rows.push((format!("{name}.max"), h.max));
+            rows.push((format!("{name}.mean"), h.mean().round() as u64));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Aligned `name value` lines, sorted by name.
+    pub fn to_text(&self) -> String {
+        let rows = self.entries();
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in rows {
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+
+    /// JSON object: scalars as integers, `buffer.hit_rate` as a float,
+    /// histograms as objects with a bucket array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, value) in &self.scalars {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str(&format!(
+            ",\"buffer.hit_rate\":{:.6}",
+            self.buffer_hit_rate()
+        ));
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                ",\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.1},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.max,
+                h.mean()
+            ));
+            for (i, (bound, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bound},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn snapshot_names_and_lookup() {
+        let r = MetricsRegistry::new();
+        r.buffer.fetches.add(10);
+        r.buffer.hits.add(9);
+        r.buffer.misses.inc();
+        r.wal.fsync_ns.observe(1000);
+        let s = r.snapshot();
+        assert_eq!(s.get("buffer.fetches"), Some(10));
+        assert_eq!(s.get("wal.fsync_ns.count"), Some(1));
+        assert_eq!(s.get("wal.fsync_ns.sum"), Some(1000));
+        assert_eq!(s.get("no.such.metric"), None);
+        assert!((s.buffer_hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let r = MetricsRegistry::new();
+        r.locks.acquired_x.add(3);
+        r.locks.wait_ns.observe(5);
+        let s = r.snapshot();
+        let text = s.to_text();
+        assert!(text.contains("locks.acquired.x"));
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"locks.acquired.x\":3"));
+        assert!(json.contains("\"locks.wait_ns\":{\"count\":1"));
+        assert!(json.contains("\"buckets\":[[8,1]]"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Bucket-boundary and concurrency tests for the metrics primitives.
+
+use std::sync::Arc;
+use std::thread;
+
+use immortaldb_obs::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+#[test]
+fn bucket_boundaries_are_exact_powers_of_two() {
+    // Value → expected bucket: 0→0, 1→1, and v in [2^(i-1), 2^i) → i.
+    let cases: &[(u64, usize)] = &[
+        (0, 0),
+        (1, 1),
+        (2, 2),
+        (3, 2),
+        (4, 3),
+        (7, 3),
+        (8, 4),
+        (1023, 10),
+        (1024, 11),
+        (u64::MAX, 64),
+    ];
+    for &(v, want) in cases {
+        assert_eq!(
+            Histogram::bucket_index(v),
+            want,
+            "value {v} should land in bucket {want}"
+        );
+        let h = Histogram::new();
+        h.observe(v);
+        assert_eq!(h.bucket_count(want), 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), v);
+        assert_eq!(h.max(), v);
+    }
+}
+
+#[test]
+fn bucket_upper_bounds() {
+    assert_eq!(Histogram::bucket_upper_bound(0), Some(1));
+    assert_eq!(Histogram::bucket_upper_bound(1), Some(2));
+    assert_eq!(Histogram::bucket_upper_bound(10), Some(1024));
+    assert_eq!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    // Every value in a bucket is below its bound and at or above the
+    // previous bound.
+    for v in [1u64, 2, 3, 5, 100, 4096, 1 << 40] {
+        let i = Histogram::bucket_index(v);
+        assert!(v < Histogram::bucket_upper_bound(i).unwrap_or(u64::MAX));
+        if i > 1 {
+            assert!(v >= Histogram::bucket_upper_bound(i - 1).unwrap());
+        }
+    }
+}
+
+#[test]
+fn concurrent_increments_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    reg.buffer.fetches.inc();
+                    reg.wal.bytes.add(3);
+                    reg.tree.version_chain_len.observe(t as u64 * 7 + i % 9);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(reg.buffer.fetches.get(), total);
+    assert_eq!(reg.wal.bytes.get(), total * 3);
+    assert_eq!(reg.tree.version_chain_len.count(), total);
+    // Bucket totals must also add up: relaxed ordering may interleave,
+    // but no increment may be lost.
+    let s = reg.tree.version_chain_len.snapshot();
+    let bucket_sum: u64 = s.buckets.iter().map(|(_, n)| n).sum();
+    assert_eq!(bucket_sum, total);
+}
+
+#[test]
+fn snapshot_is_stable_under_concurrent_writes() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let writer = {
+        let reg = Arc::clone(&reg);
+        thread::spawn(move || {
+            for _ in 0..50_000 {
+                reg.locks.acquired_x.inc();
+            }
+        })
+    };
+    // Snapshots taken mid-flight must be monotonic for a counter.
+    let mut last = 0;
+    for _ in 0..20 {
+        let now = reg.snapshot().get("locks.acquired.x").unwrap();
+        assert!(now >= last);
+        last = now;
+    }
+    writer.join().unwrap();
+    assert_eq!(reg.snapshot().get("locks.acquired.x"), Some(50_000));
+}

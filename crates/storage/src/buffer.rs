@@ -17,6 +17,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use immortaldb_common::{Lsn, PageId, Result, NULL_LSN};
+use immortaldb_obs::MetricsRegistry;
 
 use crate::disk::DiskManager;
 use crate::page::{Page, PageType};
@@ -100,20 +101,36 @@ pub struct BufferPool {
     capacity: usize,
     table: Mutex<HashMap<PageId, FrameRef>>,
     flush_hook: RwLock<Option<Arc<dyn FlushHook>>>,
-    /// Pages written back (for tests/metrics).
-    flushes: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl BufferPool {
+    /// Pool with a private metrics registry (tests, standalone use).
     pub fn new(disk: Arc<DiskManager>, wal: Arc<Wal>, capacity: usize) -> BufferPool {
+        Self::with_metrics(disk, wal, capacity, MetricsRegistry::new())
+    }
+
+    /// Pool recording into a shared engine-wide registry.
+    pub fn with_metrics(
+        disk: Arc<DiskManager>,
+        wal: Arc<Wal>,
+        capacity: usize,
+        metrics: MetricsRegistry,
+    ) -> BufferPool {
         BufferPool {
             disk,
             wal,
             capacity: capacity.max(8),
             table: Mutex::new(HashMap::new()),
             flush_hook: RwLock::new(None),
-            flushes: AtomicU64::new(0),
+            metrics,
         }
+    }
+
+    /// The registry this pool (and components reached through it) records
+    /// into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Install the lazy-timestamping flush hook (done once the transaction
@@ -130,20 +147,24 @@ impl BufferPool {
         &self.wal
     }
 
-    /// Number of page write-backs performed so far.
+    /// Number of page write-backs performed so far (thin shim over the
+    /// registry's `buffer.flushes`; kept because tests assert on it).
     pub fn flush_count(&self) -> u64 {
-        self.flushes.load(Ordering::Relaxed)
+        self.metrics.buffer.flushes.get()
     }
 
     /// Fetch a page, reading it from disk on a miss.
     pub fn fetch(&self, id: PageId) -> Result<FrameRef> {
+        self.metrics.buffer.fetches.inc();
         {
             let table = self.table.lock();
             if let Some(f) = table.get(&id) {
                 f.referenced.store(true, Ordering::Relaxed);
+                self.metrics.buffer.hits.inc();
                 return Ok(Arc::clone(f));
             }
         }
+        self.metrics.buffer.misses.inc();
         // Read outside the table lock; racing readers may both load, the
         // second insert wins the check below and reuses the first frame.
         let page = self.disk.read_page(id)?;
@@ -178,6 +199,7 @@ impl BufferPool {
                 // meanwhile (strong count: table + our clone).
                 if !victim.is_dirty() && Arc::strong_count(&victim) == 2 {
                     table.remove(&victim.id);
+                    self.metrics.buffer.evictions.inc();
                 }
             }
         }
@@ -250,7 +272,7 @@ impl BufferPool {
         self.disk.write_page(&guard)?;
         frame.dirty.store(false, Ordering::SeqCst);
         frame.rec_lsn.store(NULL_LSN.0, Ordering::SeqCst);
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.buffer.flushes.inc();
         Ok(())
     }
 
@@ -295,7 +317,10 @@ mod tests {
     use crate::page::FLAG_VERSIONED;
     use std::path::PathBuf;
 
-    fn setup(name: &str, capacity: usize) -> (Arc<DiskManager>, Arc<Wal>, BufferPool, PathBuf, PathBuf) {
+    fn setup(
+        name: &str,
+        capacity: usize,
+    ) -> (Arc<DiskManager>, Arc<Wal>, BufferPool, PathBuf, PathBuf) {
         let mut db = std::env::temp_dir();
         db.push(format!("immortal-buf-{name}-{}.db", std::process::id()));
         let mut wal = std::env::temp_dir();
@@ -401,7 +426,8 @@ mod tests {
         let id = f.page_id();
         {
             let mut g = f.write();
-            crate::version::add_version(&mut g, b"k", b"v", false, immortaldb_common::Tid(9)).unwrap();
+            crate::version::add_version(&mut g, b"k", b"v", false, immortaldb_common::Tid(9))
+                .unwrap();
         }
         f.mark_dirty(Lsn(0));
         drop(f);
@@ -409,7 +435,10 @@ mod tests {
         let p = disk.read_page(id).unwrap();
         let off = p.slot(0);
         assert!(!p.rec_is_tid_marked(off));
-        assert_eq!(p.rec_timestamp(off), immortaldb_common::Timestamp::new(500, 1));
+        assert_eq!(
+            p.rec_timestamp(off),
+            immortaldb_common::Timestamp::new(500, 1)
+        );
         let _ = std::fs::remove_file(db);
         let _ = std::fs::remove_file(wal);
     }

@@ -87,7 +87,8 @@ impl DiskManager {
             )));
         }
         let mut buf = vec![0u8; PAGE_SIZE];
-        self.file.read_exact_at(&mut buf, id.file_offset(PAGE_SIZE))?;
+        self.file
+            .read_exact_at(&mut buf, id.file_offset(PAGE_SIZE))?;
         Page::from_bytes(&buf)
     }
 
@@ -95,9 +96,7 @@ impl DiskManager {
     pub fn write_page(&self, page: &Page) -> Result<()> {
         let id = page.page_id();
         if id.0 >= self.num_pages() {
-            return Err(Error::Internal(format!(
-                "write of unallocated page {id:?}"
-            )));
+            return Err(Error::Internal(format!("write of unallocated page {id:?}")));
         }
         self.file
             .write_all_at(page.as_bytes(), id.file_offset(PAGE_SIZE))?;

@@ -204,8 +204,17 @@ impl LogRecord {
                     .u64(undo_next.0)
                     .bytes(key);
             }
-            LogRecord::InsertRecord { tree, page, key, data } => {
-                w.u8(K_INSERT).u32(tree.0).u32(page.0).bytes(key).bytes(data);
+            LogRecord::InsertRecord {
+                tree,
+                page,
+                key,
+                data,
+            } => {
+                w.u8(K_INSERT)
+                    .u32(tree.0)
+                    .u32(page.0)
+                    .bytes(key)
+                    .bytes(data);
             }
             LogRecord::UpdateRecord {
                 tree,
@@ -221,7 +230,12 @@ impl LogRecord {
                     .bytes(old)
                     .bytes(new);
             }
-            LogRecord::DeleteRecord { tree, page, key, old } => {
+            LogRecord::DeleteRecord {
+                tree,
+                page,
+                key,
+                old,
+            } => {
                 w.u8(K_DELETE).u32(tree.0).u32(page.0).bytes(key).bytes(old);
             }
             LogRecord::ClrDeleteRecord {
@@ -264,7 +278,12 @@ impl LogRecord {
                     .bytes(key)
                     .bytes(data);
             }
-            LogRecord::EagerStamp { tree, page, key, ts } => {
+            LogRecord::EagerStamp {
+                tree,
+                page,
+                key,
+                ts,
+            } => {
                 w.u8(K_EAGER_STAMP)
                     .u32(tree.0)
                     .u32(page.0)
@@ -394,7 +413,9 @@ impl LogRecord {
                 LogRecord::CheckpointEnd { att, dpt }
             }
             other => {
-                return Err(Error::Corruption(format!("unknown log record kind {other}")));
+                return Err(Error::Corruption(format!(
+                    "unknown log record kind {other}"
+                )));
             }
         };
         r.expect_end()?;

@@ -124,7 +124,9 @@ impl MetaView {
 
     /// All registered trees.
     pub fn trees(page: &Page) -> Vec<(TreeId, PageId)> {
-        (0..Self::tree_count(page)).map(|i| Self::entry(page, i)).collect()
+        (0..Self::tree_count(page))
+            .map(|i| Self::entry(page, i))
+            .collect()
     }
 }
 

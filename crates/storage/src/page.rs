@@ -15,7 +15,7 @@
 
 use immortaldb_common::codec::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
 use immortaldb_common::time::SN_TID_MARK;
-use immortaldb_common::{Error, PageId, Result, Timestamp, Tid, Lsn, PAGE_SIZE, VERSION_TAIL};
+use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, PAGE_SIZE, VERSION_TAIL};
 
 /// Size of the fixed page header in bytes.
 pub const HEADER_SIZE: usize = 56;
@@ -522,7 +522,13 @@ impl Page {
 
     /// Insert allowing the caller to have pre-computed the slot position
     /// (used by versioned chains where the slot may already exist).
-    pub(crate) fn insert_at(&mut self, pos: usize, key: &[u8], data: &[u8], rflags: u8) -> Result<usize> {
+    pub(crate) fn insert_at(
+        &mut self,
+        pos: usize,
+        key: &[u8],
+        data: &[u8],
+        rflags: u8,
+    ) -> Result<usize> {
         let off = self.alloc_record(key, data, rflags, true)?;
         self.insert_slot(pos, off);
         Ok(off)
@@ -673,9 +679,17 @@ mod tests {
         for k in [b"m", b"a", b"z", b"c"] {
             p.insert_sorted(k, b"v", 0).unwrap();
         }
-        let keys: Vec<_> = (0..p.slot_count()).map(|i| p.rec_key(p.slot(i)).to_vec()).collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"c".to_vec(), b"m".to_vec(), b"z".to_vec()]);
-        assert!(matches!(p.insert_sorted(b"m", b"v", 0), Err(Error::DuplicateKey)));
+        let keys: Vec<_> = (0..p.slot_count())
+            .map(|i| p.rec_key(p.slot(i)).to_vec())
+            .collect();
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"c".to_vec(), b"m".to_vec(), b"z".to_vec()]
+        );
+        assert!(matches!(
+            p.insert_sorted(b"m", b"v", 0),
+            Err(Error::DuplicateKey)
+        ));
     }
 
     #[test]
@@ -737,7 +751,10 @@ mod tests {
                 Err(e) => panic!("unexpected: {e}"),
             }
         }
-        assert!(n >= 14, "8K page should hold at least 14 x 500B records, got {n}");
+        assert!(
+            n >= 14,
+            "8K page should hold at least 14 x 500B records, got {n}"
+        );
         assert!(p.contiguous_free() < 510);
     }
 

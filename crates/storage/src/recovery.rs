@@ -59,7 +59,13 @@ pub struct Analysis {
 impl Analysis {
     /// Where the redo pass must start.
     pub fn redo_start(&self, scan_start: Lsn) -> Lsn {
-        self.dpt.values().copied().min().unwrap_or(scan_start).min(scan_start).max(Lsn(0))
+        self.dpt
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(scan_start)
+            .min(scan_start)
+            .max(Lsn(0))
     }
 }
 
@@ -204,7 +210,9 @@ pub fn redo(wal: &Wal, pool: &BufferPool, analysis: &Analysis, redo_start: Lsn) 
                 }
             }
             rec => {
-                let Some(page_id) = rec.target_page() else { continue };
+                let Some(page_id) = rec.target_page() else {
+                    continue;
+                };
                 match analysis.dpt.get(&page_id) {
                     Some(rec_lsn) if e.lsn >= *rec_lsn => {}
                     _ => continue,
@@ -228,7 +236,9 @@ pub fn redo(wal: &Wal, pool: &BufferPool, analysis: &Analysis, redo_start: Lsn) 
 /// Apply a page-oriented record's redo action.
 fn apply_redo(page: &mut crate::page::Page, e: &WalEntry) -> Result<()> {
     match &e.record {
-        LogRecord::AddVersion { key, data, stub, .. } => {
+        LogRecord::AddVersion {
+            key, data, stub, ..
+        } => {
             version::add_version(page, key, data, *stub, e.tid)?;
         }
         LogRecord::ClrPopVersion { key, .. } => {
@@ -283,6 +293,7 @@ pub fn undo(
     locator: &dyn TreeLocator,
     att: &HashMap<Tid, Lsn>,
 ) -> Result<usize> {
+    let t0 = std::time::Instant::now();
     let mut heap: BinaryHeap<(Lsn, Tid)> = att.iter().map(|(t, l)| (*l, *t)).collect();
     let mut last_lsn: HashMap<Tid, Lsn> = att.clone();
     let mut finished = 0usize;
@@ -325,6 +336,12 @@ pub fn undo(
             }
         }
     }
+    let metrics = pool.metrics();
+    metrics
+        .recovery
+        .undo_us
+        .set(t0.elapsed().as_micros() as u64);
+    metrics.recovery.losers_rolled_back.add(finished as u64);
     Ok(finished)
 }
 
@@ -471,11 +488,21 @@ pub fn rollback_txn(
 /// completed timestamping is stable and PTT entries may be garbage
 /// collected.
 pub fn checkpoint(wal: &Wal, pool: &BufferPool, att: Vec<(Tid, Lsn)>) -> Result<Lsn> {
+    pool.metrics().recovery.checkpoints.inc();
     let begin = wal.append(Tid::SYSTEM, NULL_LSN, &LogRecord::CheckpointBegin);
     pool.flush_all()?;
     let dpt = pool.dirty_page_table();
-    let redo_scan_start = dpt.iter().map(|(_, l)| *l).min().unwrap_or(begin).min(begin);
-    wal.append(Tid::SYSTEM, NULL_LSN, &LogRecord::CheckpointEnd { att, dpt });
+    let redo_scan_start = dpt
+        .iter()
+        .map(|(_, l)| *l)
+        .min()
+        .unwrap_or(begin)
+        .min(begin);
+    wal.append(
+        Tid::SYSTEM,
+        NULL_LSN,
+        &LogRecord::CheckpointEnd { att, dpt },
+    );
     wal.flush(Durability::Fsync)?;
     pool.disk().sync()?;
     write_master(wal, begin)?;
@@ -486,6 +513,8 @@ pub fn checkpoint(wal: &Wal, pool: &BufferPool, att: Vec<(Tid, Lsn)>) -> Result<
 /// so the caller can construct a tree locator and run [`undo`], then
 /// resume normal operation.
 pub fn analyze_and_redo(wal: &Wal, pool: &BufferPool) -> Result<Analysis> {
+    let metrics = pool.metrics().clone();
+    let t0 = std::time::Instant::now();
     let start = read_master(wal).unwrap_or(NULL_LSN);
     let mut analysis = analyze(wal, start)?;
     // A checkpoint-ATT transaction whose Commit landed *before* the
@@ -498,8 +527,18 @@ pub fn analyze_and_redo(wal: &Wal, pool: &BufferPool) -> Result<Analysis> {
             analysis = analyze(wal, oldest)?;
         }
     }
+    metrics
+        .recovery
+        .analyze_us
+        .set(t0.elapsed().as_micros() as u64);
+    let t1 = std::time::Instant::now();
     let redo_start = analysis.redo_start(start);
-    redo(wal, pool, &analysis, redo_start)?;
+    let applied = redo(wal, pool, &analysis, redo_start)?;
+    metrics
+        .recovery
+        .redo_us
+        .set(t1.elapsed().as_micros() as u64);
+    metrics.recovery.records_replayed.add(applied as u64);
     Ok(analysis)
 }
 
@@ -575,7 +614,12 @@ mod tests {
         fn locate_leaf(&self, _tree: TreeId, _key: &[u8]) -> Result<PageId> {
             Ok(self.0)
         }
-        fn locate_leaf_for_insert(&self, _tree: TreeId, _key: &[u8], _space: usize) -> Result<PageId> {
+        fn locate_leaf_for_insert(
+            &self,
+            _tree: TreeId,
+            _key: &[u8],
+            _space: usize,
+        ) -> Result<PageId> {
             Ok(self.0)
         }
     }
@@ -587,7 +631,13 @@ mod tests {
         let t2 = Tid(2);
         let b1 = f.wal.append(t1, NULL_LSN, &LogRecord::Begin);
         let b2 = f.wal.append(t2, NULL_LSN, &LogRecord::Begin);
-        let c1 = f.wal.append(t1, b1, &LogRecord::Commit { ts: Timestamp::new(20, 0) });
+        let c1 = f.wal.append(
+            t1,
+            b1,
+            &LogRecord::Commit {
+                ts: Timestamp::new(20, 0),
+            },
+        );
         f.wal.append(t1, c1, &LogRecord::End);
         let a2 = f.wal.append(
             t2,
@@ -630,7 +680,13 @@ mod tests {
             stub: false,
         };
         let l1 = f.wal.append(t1, b1, &rec1);
-        let c1 = f.wal.append(t1, l1, &LogRecord::Commit { ts: Timestamp::new(20, 0) });
+        let c1 = f.wal.append(
+            t1,
+            l1,
+            &LogRecord::Commit {
+                ts: Timestamp::new(20, 0),
+            },
+        );
         f.wal.append(t1, c1, &LogRecord::End);
         let b2 = f.wal.append(t2, NULL_LSN, &LogRecord::Begin);
         let rec2 = LogRecord::AddVersion {
@@ -689,7 +745,13 @@ mod tests {
                 stub: false,
             },
         );
-        let c1 = f.wal.append(t1, l1, &LogRecord::Commit { ts: Timestamp::new(20, 0) });
+        let c1 = f.wal.append(
+            t1,
+            l1,
+            &LogRecord::Commit {
+                ts: Timestamp::new(20, 0),
+            },
+        );
         f.wal.append(t1, c1, &LogRecord::End);
         let f = f.crash_and_reopen();
 
@@ -771,13 +833,15 @@ mod tests {
         assert_eq!(g.slot_count(), 0);
         drop(g);
         // The log ends with Abort ... CLRs ... End.
-        let entries: Vec<_> = f.wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();
+        let entries: Vec<_> = f
+            .wal
+            .iter_from(Lsn(0))
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
         assert!(matches!(entries.last().unwrap().record, LogRecord::End));
         assert!(entries.iter().any(|e| matches!(e.record, LogRecord::Abort)));
-        assert_eq!(
-            entries.iter().filter(|e| e.record.is_clr()).count(),
-            2
-        );
+        assert_eq!(entries.iter().filter(|e| e.record.is_clr()).count(), 2);
         f.cleanup();
     }
 
@@ -794,7 +858,7 @@ mod tests {
         let rss = checkpoint(&f.wal, &f.pool, vec![(Tid(9), Lsn(5))]).unwrap();
         let master = read_master(&f.wal).unwrap();
         assert_eq!(master, rss); // all pages flushed -> redo starts at begin
-        // Analysis from the checkpoint sees the ATT snapshot.
+                                 // Analysis from the checkpoint sees the ATT snapshot.
         let a = analyze(&f.wal, master).unwrap();
         assert_eq!(a.att.get(&Tid(9)), Some(&Lsn(5)));
         f.cleanup();
@@ -874,9 +938,15 @@ mod checkpoint_race_tests {
 
     fn env(name: &str) -> (Arc<BufferPool>, Arc<Wal>, PathBuf, PathBuf) {
         let mut db = std::env::temp_dir();
-        db.push(format!("immortal-ckptrace-{name}-{}.db", std::process::id()));
+        db.push(format!(
+            "immortal-ckptrace-{name}-{}.db",
+            std::process::id()
+        ));
         let mut wp = std::env::temp_dir();
-        wp.push(format!("immortal-ckptrace-{name}-{}.wal", std::process::id()));
+        wp.push(format!(
+            "immortal-ckptrace-{name}-{}.wal",
+            std::process::id()
+        ));
         let _ = std::fs::remove_file(&db);
         let _ = std::fs::remove_file(&wp);
         let _ = std::fs::remove_file(master_file_for(&wp));
@@ -913,7 +983,13 @@ mod checkpoint_race_tests {
         // ATT snapshot taken here (T active, last_lsn = l1)...
         let att_snapshot = vec![(t, l1)];
         // ...then T commits BEFORE CheckpointBegin is appended.
-        let c = wal.append(t, l1, &LogRecord::Commit { ts: Timestamp::new(20, 0) });
+        let c = wal.append(
+            t,
+            l1,
+            &LogRecord::Commit {
+                ts: Timestamp::new(20, 0),
+            },
+        );
         wal.append(t, c, &LogRecord::End);
         let begin = wal.append(Tid::SYSTEM, NULL_LSN, &LogRecord::CheckpointBegin);
         wal.append(
@@ -953,7 +1029,13 @@ mod checkpoint_race_tests {
             },
         );
         let begin2 = wal.append(Tid::SYSTEM, NULL_LSN, &LogRecord::CheckpointBegin);
-        let c2 = wal.append(t2, l2, &LogRecord::Commit { ts: Timestamp::new(40, 0) });
+        let c2 = wal.append(
+            t2,
+            l2,
+            &LogRecord::Commit {
+                ts: Timestamp::new(40, 0),
+            },
+        );
         wal.append(t2, c2, &LogRecord::End);
         wal.append(
             Tid::SYSTEM,

@@ -27,7 +27,13 @@ use crate::TimestampResolver;
 /// Fails with [`Error::PageFull`] when the caller must split first;
 /// compaction is attempted automatically when fragmentation would cover
 /// the request.
-pub fn add_version(page: &mut Page, key: &[u8], data: &[u8], stub: bool, tid: Tid) -> Result<usize> {
+pub fn add_version(
+    page: &mut Page,
+    key: &[u8],
+    data: &[u8],
+    stub: bool,
+    tid: Tid,
+) -> Result<usize> {
     debug_assert!(page.is_versioned());
     let need = crate::page::REC_HDR + key.len() + data.len() + VERSION_TAIL + 2;
     if need > page.contiguous_free() && need <= page.total_free() {
@@ -517,10 +523,22 @@ mod tests {
         let o3 = add_version(&mut p, b"a", b"v3", false, Tid(3)).unwrap();
         p.stamp_rec(o3, ts(60, 0));
         let r = MapResolver(Map::new());
-        assert_eq!(visible_as_of(&p, 0, ts(60, 5), None, &r), Visible::Version(o3));
-        assert_eq!(visible_as_of(&p, 0, ts(59, 0), None, &r), Visible::Version(o2));
-        assert_eq!(visible_as_of(&p, 0, ts(40, 0), None, &r), Visible::Version(o2));
-        assert_eq!(visible_as_of(&p, 0, ts(20, 0), None, &r), Visible::Version(o1));
+        assert_eq!(
+            visible_as_of(&p, 0, ts(60, 5), None, &r),
+            Visible::Version(o3)
+        );
+        assert_eq!(
+            visible_as_of(&p, 0, ts(59, 0), None, &r),
+            Visible::Version(o2)
+        );
+        assert_eq!(
+            visible_as_of(&p, 0, ts(40, 0), None, &r),
+            Visible::Version(o2)
+        );
+        assert_eq!(
+            visible_as_of(&p, 0, ts(20, 0), None, &r),
+            Visible::Version(o1)
+        );
         assert_eq!(visible_as_of(&p, 0, ts(19, 9), None, &r), Visible::NotHere);
     }
 
@@ -531,8 +549,11 @@ mod tests {
         p.stamp_rec(o1, ts(20, 0));
         let o2 = add_version(&mut p, b"a", b"v2", false, Tid(5)).unwrap();
         let r = MapResolver(Map::new()); // Tid(5) still active
-        // Other readers skip the uncommitted version.
-        assert_eq!(visible_as_of(&p, 0, Timestamp::MAX, None, &r), Visible::Version(o1));
+                                         // Other readers skip the uncommitted version.
+        assert_eq!(
+            visible_as_of(&p, 0, Timestamp::MAX, None, &r),
+            Visible::Version(o1)
+        );
         // The owner sees its own write.
         assert_eq!(
             visible_as_of(&p, 0, Timestamp::MAX, Some(Tid(5)), &r),
@@ -542,8 +563,14 @@ mod tests {
         let mut m = Map::new();
         m.insert(5, ts(40, 0));
         let r = MapResolver(m);
-        assert_eq!(visible_as_of(&p, 0, Timestamp::MAX, None, &r), Visible::Version(o2));
-        assert_eq!(visible_as_of(&p, 0, ts(39, 0), None, &r), Visible::Version(o1));
+        assert_eq!(
+            visible_as_of(&p, 0, Timestamp::MAX, None, &r),
+            Visible::Version(o2)
+        );
+        assert_eq!(
+            visible_as_of(&p, 0, ts(39, 0), None, &r),
+            Visible::Version(o1)
+        );
     }
 
     #[test]
@@ -555,7 +582,10 @@ mod tests {
         p.stamp_rec(o2, ts(40, 0));
         let r = MapResolver(Map::new());
         assert_eq!(visible_as_of(&p, 0, ts(50, 0), None, &r), Visible::Deleted);
-        assert_eq!(visible_as_of(&p, 0, ts(30, 0), None, &r), Visible::Version(o1));
+        assert_eq!(
+            visible_as_of(&p, 0, ts(30, 0), None, &r),
+            Visible::Version(o1)
+        );
     }
 
     #[test]

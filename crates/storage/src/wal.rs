@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 
 use immortaldb_common::codec::crc32;
 use immortaldb_common::{Error, Lsn, Result, Tid};
+use immortaldb_obs::MetricsRegistry;
 
 use crate::logrec::LogRecord;
 
@@ -58,6 +59,7 @@ pub struct Wal {
     /// Highest LSN guaranteed written to the file (not necessarily
     /// fsynced).
     written_lsn: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 /// A decoded WAL entry together with its framing metadata.
@@ -73,8 +75,14 @@ pub struct WalEntry {
 
 impl Wal {
     /// Open (or create) the log at `path`, positioned to append after the
-    /// last complete record.
+    /// last complete record. Records into a private metrics registry; use
+    /// [`Self::with_metrics`] to share the engine-wide one.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        Self::with_metrics(path, MetricsRegistry::new())
+    }
+
+    /// [`Self::open`], recording into a shared registry.
+    pub fn with_metrics(path: impl AsRef<Path>, metrics: MetricsRegistry) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -106,11 +114,17 @@ impl Wal {
                 buf: Vec::with_capacity(64 * 1024),
             }),
             written_lsn: AtomicU64::new(end),
+            metrics,
         })
     }
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The registry this log records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Append a record; returns its LSN. The record is buffered — call
@@ -122,9 +136,13 @@ impl Wal {
         body.extend_from_slice(&prev_lsn.0.to_le_bytes());
         body.extend_from_slice(&record.encode());
         let crc = crc32(&body);
+        self.metrics.wal.appends.inc();
+        self.metrics.wal.bytes.add(FRAME_HDR + body.len() as u64);
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.buf_start + inner.buf.len() as u64);
-        inner.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        inner
+            .buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
         inner.buf.extend_from_slice(&crc.to_le_bytes());
         inner.buf.extend_from_slice(&body);
         lsn
@@ -153,6 +171,8 @@ impl Wal {
             self.written_lsn.store(start, Ordering::SeqCst);
         }
         if durability == Durability::Fsync {
+            self.metrics.wal.fsyncs.inc();
+            let _timer = self.metrics.wal.fsync_ns.start_timer();
             inner.file.sync_data()?;
         }
         Ok(())
@@ -184,9 +204,9 @@ impl Wal {
     /// Read and decode the single record at `lsn`.
     pub fn read_at(&self, lsn: Lsn) -> Result<WalEntry> {
         let mut it = self.iter_from(lsn)?;
-        it.next().transpose()?.ok_or_else(|| {
-            Error::Corruption(format!("no log record at {lsn:?}"))
-        })
+        it.next()
+            .transpose()?
+            .ok_or_else(|| Error::Corruption(format!("no log record at {lsn:?}")))
     }
 }
 
@@ -302,7 +322,13 @@ mod tests {
                 stub: false,
             },
         );
-        let l3 = wal.append(Tid(1), l2, &LogRecord::Commit { ts: Timestamp::new(20, 0) });
+        let l3 = wal.append(
+            Tid(1),
+            l2,
+            &LogRecord::Commit {
+                ts: Timestamp::new(20, 0),
+            },
+        );
         assert!(l1 < l2 && l2 < l3);
         wal.flush(Durability::Fsync).unwrap();
         let entries: Vec<_> = wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();

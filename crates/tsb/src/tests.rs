@@ -103,29 +103,38 @@ fn key(k: u64) -> [u8; 8] {
 fn basic_crud_and_as_of() {
     let env = Env::new("crud");
     let t = env.tree();
-    t.insert(Tid(1), NULL_LSN, b"k", b"v1", env.auth.as_ref()).unwrap();
+    t.insert(Tid(1), NULL_LSN, b"k", b"v1", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(1), ts(1, 0));
-    t.update(Tid(2), NULL_LSN, b"k", b"v2", env.auth.as_ref()).unwrap();
+    t.update(Tid(2), NULL_LSN, b"k", b"v2", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(2), ts(2, 0));
     t.delete(Tid(3), NULL_LSN, b"k", env.auth.as_ref()).unwrap();
     env.auth.commit(Tid(3), ts(3, 0));
     assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), None);
     assert_eq!(
-        t.get_as_of(b"k", ts(1, 5), None, env.auth.as_ref()).unwrap(),
+        t.get_as_of(b"k", ts(1, 5), None, env.auth.as_ref())
+            .unwrap(),
         Some(b"v1".to_vec())
     );
     assert_eq!(
-        t.get_as_of(b"k", ts(2, 5), None, env.auth.as_ref()).unwrap(),
+        t.get_as_of(b"k", ts(2, 5), None, env.auth.as_ref())
+            .unwrap(),
         Some(b"v2".to_vec())
     );
-    assert_eq!(t.get_as_of(b"k", ts(0, 5), None, env.auth.as_ref()).unwrap(), None);
+    assert_eq!(
+        t.get_as_of(b"k", ts(0, 5), None, env.auth.as_ref())
+            .unwrap(),
+        None
+    );
 }
 
 #[test]
 fn open_reuses_root() {
     let env = Env::new("open");
     let t = env.tree();
-    t.insert(Tid(1), NULL_LSN, b"k", b"v", env.auth.as_ref()).unwrap();
+    t.insert(Tid(1), NULL_LSN, b"k", b"v", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(1), ts(1, 0));
     let root = t.root();
     drop(t);
@@ -149,13 +158,20 @@ fn deep_history_stays_directly_indexed() {
     let env = Env::new("deep");
     let t = env.tree();
     let pad = "p".repeat(40);
-    t.insert(Tid(1), NULL_LSN, b"hot", b"v0", env.auth.as_ref()).unwrap();
+    t.insert(Tid(1), NULL_LSN, b"hot", b"v0", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(1), ts(1, 0));
     let rounds = 800u64;
     for r in 1..=rounds {
         let val = format!("v{r}-{pad}");
-        t.update(Tid(r + 1), NULL_LSN, b"hot", val.as_bytes(), env.auth.as_ref())
-            .unwrap();
+        t.update(
+            Tid(r + 1),
+            NULL_LSN,
+            b"hot",
+            val.as_bytes(),
+            env.auth.as_ref(),
+        )
+        .unwrap();
         env.auth.commit(Tid(r + 1), ts(r + 1, 0));
     }
     let (tsplits, _) = t.split_counts();
@@ -181,12 +197,15 @@ fn wide_keyspace_key_splits_and_scans() {
     let val = vec![9u8; 120];
     let n = 400u64;
     for k in 0..n {
-        t.insert(Tid(k + 1), NULL_LSN, &key(k), &val, env.auth.as_ref()).unwrap();
+        t.insert(Tid(k + 1), NULL_LSN, &key(k), &val, env.auth.as_ref())
+            .unwrap();
         env.auth.commit(Tid(k + 1), ts(k + 1, 0));
     }
     let (_, ksplits) = t.split_counts();
     assert!(ksplits > 0);
-    let items = t.scan_as_of(Timestamp::MAX, None, env.auth.as_ref()).unwrap();
+    let items = t
+        .scan_as_of(Timestamp::MAX, None, env.auth.as_ref())
+        .unwrap();
     assert_eq!(items.len(), n as usize);
     for w in items.windows(2) {
         assert!(w[0].0 < w[1].0, "scan key-ordered");
@@ -226,8 +245,11 @@ fn model_check_against_btree_and_map() {
         match state.get(&k) {
             None => {
                 let val = format!("v{step}-{pad}").into_bytes();
-                tsb.insert(tid, NULL_LSN, &kb, &val, env.auth.as_ref()).unwrap();
-                btree.insert(tid, NULL_LSN, &kb, &val, env.auth.as_ref()).unwrap();
+                tsb.insert(tid, NULL_LSN, &kb, &val, env.auth.as_ref())
+                    .unwrap();
+                btree
+                    .insert(tid, NULL_LSN, &kb, &val, env.auth.as_ref())
+                    .unwrap();
                 state.insert(k, val);
             }
             Some(_) if rng.gen_bool(0.2) => {
@@ -237,8 +259,11 @@ fn model_check_against_btree_and_map() {
             }
             Some(_) => {
                 let val = format!("v{step}-{pad}").into_bytes();
-                tsb.update(tid, NULL_LSN, &kb, &val, env.auth.as_ref()).unwrap();
-                btree.update(tid, NULL_LSN, &kb, &val, env.auth.as_ref()).unwrap();
+                tsb.update(tid, NULL_LSN, &kb, &val, env.auth.as_ref())
+                    .unwrap();
+                btree
+                    .update(tid, NULL_LSN, &kb, &val, env.auth.as_ref())
+                    .unwrap();
                 state.insert(k, val);
             }
         }
@@ -254,7 +279,9 @@ fn model_check_against_btree_and_map() {
         for k in 0..keyspace {
             let kb = key(k);
             let via_tsb = tsb.get_as_of(&kb, as_of, None, env.auth.as_ref()).unwrap();
-            let via_btree = btree.get_as_of(&kb, as_of, None, env.auth.as_ref()).unwrap();
+            let via_btree = btree
+                .get_as_of(&kb, as_of, None, env.auth.as_ref())
+                .unwrap();
             assert_eq!(via_tsb.as_ref(), snap.get(&k), "tsb key {k} @ {step}");
             assert_eq!(via_tsb, via_btree, "tsb vs btree key {k} @ {step}");
         }
@@ -271,14 +298,18 @@ fn model_check_against_btree_and_map() {
 fn uncommitted_and_own_writes() {
     let env = Env::new("own");
     let t = env.tree();
-    t.insert(Tid(7), NULL_LSN, b"k", b"mine", env.auth.as_ref()).unwrap();
+    t.insert(Tid(7), NULL_LSN, b"k", b"mine", env.auth.as_ref())
+        .unwrap();
     assert_eq!(t.get_current(b"k", None, env.auth.as_ref()).unwrap(), None);
     assert_eq!(
-        t.get_current(b"k", Some(Tid(7)), env.auth.as_ref()).unwrap(),
+        t.get_current(b"k", Some(Tid(7)), env.auth.as_ref())
+            .unwrap(),
         Some(b"mine".to_vec())
     );
     // Duplicate insert rejected even while uncommitted (same owner).
-    assert!(t.insert(Tid(7), NULL_LSN, b"k", b"x", env.auth.as_ref()).is_err());
+    assert!(t
+        .insert(Tid(7), NULL_LSN, b"k", b"x", env.auth.as_ref())
+        .is_err());
 }
 
 #[test]
@@ -291,17 +322,25 @@ fn as_of_reads_avoid_page_chain_walks() {
     let env = Env::new("nochain");
     let t = env.tree();
     let pad = "q".repeat(60);
-    t.insert(Tid(1), NULL_LSN, b"hot", b"v0", env.auth.as_ref()).unwrap();
+    t.insert(Tid(1), NULL_LSN, b"hot", b"v0", env.auth.as_ref())
+        .unwrap();
     env.auth.commit(Tid(1), ts(1, 0));
     for r in 1..=500u64 {
         let val = format!("v{r}-{pad}");
-        t.update(Tid(r + 1), NULL_LSN, b"hot", val.as_bytes(), env.auth.as_ref())
-            .unwrap();
+        t.update(
+            Tid(r + 1),
+            NULL_LSN,
+            b"hot",
+            val.as_bytes(),
+            env.auth.as_ref(),
+        )
+        .unwrap();
         env.auth.commit(Tid(r + 1), ts(r + 1, 0));
     }
     // Ancient version via the index only.
     assert_eq!(
-        t.get_as_of(b"hot", ts(1, 5), None, env.auth.as_ref()).unwrap(),
+        t.get_as_of(b"hot", ts(1, 5), None, env.auth.as_ref())
+            .unwrap(),
         Some(b"v0".to_vec())
     );
 }

@@ -69,7 +69,9 @@ fn decode_entry(page: &Page, slot: usize) -> Entry {
 }
 
 fn entries(page: &Page) -> Vec<Entry> {
-    (0..page.slot_count()).map(|i| decode_entry(page, i)).collect()
+    (0..page.slot_count())
+        .map(|i| decode_entry(page, i))
+        .collect()
 }
 
 fn insert_entry(page: &mut Page, e: &Entry) -> Result<()> {
@@ -278,20 +280,26 @@ impl TsbTree {
                     .iter()
                     .any(|&off| g.rec_is_tid_marked(off) && g.rec_tid(off) == own);
                 if has_own {
-                    return Ok(match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
-                        Visible::Version(off) => Some(g.rec_data(off).to_vec()),
-                        Visible::Deleted | Visible::NotHere => None,
-                    });
+                    return Ok(
+                        match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
+                            Visible::Version(off) => Some(g.rec_data(off).to_vec()),
+                            Visible::Deleted | Visible::NotHere => None,
+                        },
+                    );
                 }
             }
         }
         let (frame, _) = self.descend(key, as_of)?;
         let g = frame.read();
-        let Ok(i) = g.find_slot(key) else { return Ok(None) };
-        Ok(match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
-            Visible::Version(off) => Some(g.rec_data(off).to_vec()),
-            Visible::Deleted | Visible::NotHere => None,
-        })
+        let Ok(i) = g.find_slot(key) else {
+            return Ok(None);
+        };
+        Ok(
+            match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
+                Visible::Version(off) => Some(g.rec_data(off).to_vec()),
+                Visible::Deleted | Visible::NotHere => None,
+            },
+        )
     }
 
     /// Current version of `key`.
@@ -354,8 +362,10 @@ impl TsbTree {
             PageType::Index => {
                 // Entries covering `as_of`, in key order, partition this
                 // node's key region for that time slice.
-                let matching: Vec<Entry> =
-                    entries(&g).into_iter().filter(|e| e.covers(as_of)).collect();
+                let matching: Vec<Entry> = entries(&g)
+                    .into_iter()
+                    .filter(|e| e.covers(as_of))
+                    .collect();
                 drop(g);
                 for (i, e) in matching.iter().enumerate() {
                     let child_low: &[u8] = if e.key_low.as_slice() > low {
@@ -369,7 +379,15 @@ impl TsbTree {
                         (Some(a), None) => Some(a),
                         (None, b) => b,
                     };
-                    self.scan_node(e.child, as_of, child_low, child_upper, own_tid, resolver, out)?;
+                    self.scan_node(
+                        e.child,
+                        as_of,
+                        child_low,
+                        child_upper,
+                        own_tid,
+                        resolver,
+                        out,
+                    )?;
                 }
                 Ok(())
             }
@@ -589,7 +607,6 @@ impl TsbTree {
         }
     }
 
-
     // -- writes --------------------------------------------------------------
 
     pub fn insert(
@@ -712,7 +729,10 @@ impl TsbTree {
         let mut images: Vec<Page> = Vec::new();
         let mut retime: Option<Timestamp> = None;
         let mut adds: Vec<Entry> = Vec::new();
-        let parent_t_low = steps.last().map(|s| s.entry_t_low).unwrap_or(Timestamp::ZERO);
+        let parent_t_low = steps
+            .last()
+            .map(|s| s.entry_t_low)
+            .unwrap_or(Timestamp::ZERO);
         let leaf_key_low = self.region_low(&steps)?;
 
         // 1. time split (sheds history to a new historical page).
@@ -732,7 +752,10 @@ impl TsbTree {
             });
             retime = Some(split_ts);
             leaf = fresh;
+            // Per-tree counter kept (tests read it); the engine-wide
+            // registry aggregates across trees.
             self.time_splits.fetch_add(1, Ordering::Relaxed);
+            self.pool.metrics().tree.time_splits.inc();
         }
         // 2. key split (still too full, or nothing historical to shed).
         if leaf.utilization() > self.split_threshold || need > leaf.total_free() {
@@ -750,6 +773,7 @@ impl TsbTree {
             images.push(r);
             leaf = l;
             self.key_splits.fetch_add(1, Ordering::Relaxed);
+            self.pool.metrics().tree.key_splits.inc();
         }
         images.push(leaf);
 
@@ -794,7 +818,10 @@ impl TsbTree {
             // This node's own rectangle lower time bound: the t_low of its
             // entry in *its* parent (ZERO for the root) — NOT the t_low of
             // the entry we descended through inside it.
-            let node_t_low = steps.last().map(|s| s.entry_t_low).unwrap_or(Timestamp::ZERO);
+            let node_t_low = steps
+                .last()
+                .map(|s| s.entry_t_low)
+                .unwrap_or(Timestamp::ZERO);
 
             let frame = self.pool.fetch(step.node)?;
             let mut node = frame.read().clone();
@@ -919,7 +946,9 @@ impl TsbTree {
         node_region_low: &[u8],
     ) -> Result<(Vec<Entry>, Option<Timestamp>)> {
         if halves.right.is_some() || halves.hist.is_some() {
-            return Err(Error::Internal("index node split twice in one posting".into()));
+            return Err(Error::Internal(
+                "index node split twice in one posting".into(),
+            ));
         }
         let mut posted = Vec::new();
         let mut new_t_low = None;

@@ -12,11 +12,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use immortaldb_common::{Error, Result, Tid, TreeId};
+use immortaldb_obs::MetricsRegistry;
 
 /// Lock modes with the standard multi-granularity compatibility matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -123,6 +124,7 @@ pub struct LockManager {
     table: Mutex<LockTable>,
     cond: Condvar,
     timeout: Duration,
+    metrics: MetricsRegistry,
 }
 
 impl Default for LockManager {
@@ -132,11 +134,18 @@ impl Default for LockManager {
 }
 
 impl LockManager {
+    /// Manager with a private metrics registry (tests, standalone use).
     pub fn new(timeout: Duration) -> LockManager {
+        Self::with_metrics(timeout, MetricsRegistry::new())
+    }
+
+    /// Manager recording into a shared engine-wide registry.
+    pub fn with_metrics(timeout: Duration, metrics: MetricsRegistry) -> LockManager {
         LockManager {
             table: Mutex::new(LockTable::default()),
             cond: Condvar::new(),
             timeout,
+            metrics,
         }
     }
 
@@ -144,6 +153,15 @@ impl LockManager {
     /// Returns [`Error::Deadlock`] (requester as victim) on a wait-for
     /// cycle or timeout.
     pub fn lock(&self, tid: Tid, target: LockTarget, mode: LockMode) -> Result<()> {
+        let mut wait_start: Option<Instant> = None;
+        let observe_wait = |start: Option<Instant>| {
+            if let Some(t0) = start {
+                self.metrics
+                    .locks
+                    .wait_ns
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+        };
         let mut table = self.table.lock();
         loop {
             let granted = table.granted.entry(target.clone()).or_default();
@@ -151,16 +169,31 @@ impl LockManager {
                 granted.grant(tid, mode);
                 table.waiting.remove(&tid);
                 table.held.entry(tid).or_default().insert(target);
+                match mode {
+                    LockMode::IntentionShared => self.metrics.locks.acquired_is.inc(),
+                    LockMode::IntentionExclusive => self.metrics.locks.acquired_ix.inc(),
+                    LockMode::Shared => self.metrics.locks.acquired_s.inc(),
+                    LockMode::Exclusive => self.metrics.locks.acquired_x.inc(),
+                }
+                observe_wait(wait_start);
                 return Ok(());
             }
             if table.deadlocks(tid, &target, mode) {
                 table.waiting.remove(&tid);
+                self.metrics.locks.deadlocks.inc();
+                observe_wait(wait_start);
                 return Err(Error::Deadlock(tid));
+            }
+            if wait_start.is_none() {
+                wait_start = Some(Instant::now());
+                self.metrics.locks.waits.inc();
             }
             table.waiting.insert(tid, (target.clone(), mode));
             let timed_out = self.cond.wait_for(&mut table, self.timeout).timed_out();
             if timed_out {
                 table.waiting.remove(&tid);
+                self.metrics.locks.timeouts.inc();
+                observe_wait(wait_start);
                 return Err(Error::Deadlock(tid));
             }
         }
@@ -175,7 +208,11 @@ impl LockManager {
     /// IX(table) + X(key): any write.
     pub fn lock_write(&self, tid: Tid, tree: TreeId, key: &[u8]) -> Result<()> {
         self.lock(tid, LockTarget::Table(tree), LockMode::IntentionExclusive)?;
-        self.lock(tid, LockTarget::Key(tree, key.to_vec()), LockMode::Exclusive)
+        self.lock(
+            tid,
+            LockTarget::Key(tree, key.to_vec()),
+            LockMode::Exclusive,
+        )
     }
 
     /// S(table): serializable scan (phantom protection).
@@ -263,7 +300,10 @@ mod tests {
         let lm = Arc::new(LockManager::new(Duration::from_millis(80)));
         lm.lock_scan(t(1), TREE).unwrap();
         // IX on the table is incompatible with the scan's S.
-        assert!(matches!(lm.lock_write(t(2), TREE, b"k"), Err(Error::Deadlock(_))));
+        assert!(matches!(
+            lm.lock_write(t(2), TREE, b"k"),
+            Err(Error::Deadlock(_))
+        ));
         lm.release_all(t(1));
         lm.release_all(t(2));
         // And the other direction.
@@ -327,7 +367,8 @@ mod tests {
         let r1 = lm.lock(t(1), key(b"b"), LockMode::Exclusive);
         lm.release_all(t(1));
         let r2 = h.join().unwrap();
-        let deadlocks = matches!(r1, Err(Error::Deadlock(_))) || matches!(r2, Err(Error::Deadlock(_)));
+        let deadlocks =
+            matches!(r1, Err(Error::Deadlock(_))) || matches!(r2, Err(Error::Deadlock(_)));
         assert!(deadlocks, "one transaction must be chosen as victim");
     }
 
@@ -345,8 +386,12 @@ mod tests {
         let lm = LockManager::default();
         lm.lock(t(1), key(b"a"), LockMode::Exclusive).unwrap();
         lm.lock(t(2), key(b"b"), LockMode::Exclusive).unwrap();
-        lm.lock(t(3), LockTarget::Key(TreeId(7), b"a".to_vec()), LockMode::Exclusive)
-            .unwrap();
+        lm.lock(
+            t(3),
+            LockTarget::Key(TreeId(7), b"a".to_vec()),
+            LockMode::Exclusive,
+        )
+        .unwrap();
         lm.release_all(t(1));
         lm.release_all(t(2));
         lm.release_all(t(3));

@@ -67,7 +67,8 @@ impl Ptt {
     /// logged under the transaction itself (stage III). Returns the new
     /// last LSN for the transaction's backchain.
     pub fn insert(&self, tid: Tid, ts: Timestamp, prev_lsn: Lsn) -> Result<Lsn> {
-        self.tree.u_insert(tid, prev_lsn, &key_from_u64(tid.0), &encode_ts(ts))
+        self.tree
+            .u_insert(tid, prev_lsn, &key_from_u64(tid.0), &encode_ts(ts))
     }
 
     /// Look up a transaction's timestamp (stage IV fallback on VTT miss).
@@ -81,7 +82,10 @@ impl Ptt {
     /// Garbage-collect a completed transaction's entry (redo-only system
     /// action; stamping durability was established before this is called).
     pub fn delete(&self, tid: Tid) -> Result<()> {
-        match self.tree.u_delete(Tid::SYSTEM, NULL_LSN, &key_from_u64(tid.0)) {
+        match self
+            .tree
+            .u_delete(Tid::SYSTEM, NULL_LSN, &key_from_u64(tid.0))
+        {
             Ok(_) => Ok(()),
             // Already gone (e.g. repeated GC pass): idempotent.
             Err(Error::KeyNotFound) => Ok(()),

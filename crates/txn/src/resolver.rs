@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use immortaldb_common::{Result, Tid, Timestamp};
+use immortaldb_obs::MetricsRegistry;
 use immortaldb_storage::buffer::FlushHook;
 use immortaldb_storage::page::Page;
 use immortaldb_storage::version;
@@ -23,11 +24,20 @@ pub struct TxnResolver {
     vtt: Arc<Vtt>,
     ptt: Arc<Ptt>,
     wal: Arc<Wal>,
+    /// Shared with the WAL (and therefore the whole engine when the WAL
+    /// was built with `Wal::with_metrics`).
+    metrics: MetricsRegistry,
 }
 
 impl TxnResolver {
     pub fn new(vtt: Arc<Vtt>, ptt: Arc<Ptt>, wal: Arc<Wal>) -> TxnResolver {
-        TxnResolver { vtt, ptt, wal }
+        let metrics = wal.metrics().clone();
+        TxnResolver {
+            vtt,
+            ptt,
+            wal,
+            metrics,
+        }
     }
 
     pub fn vtt(&self) -> &Arc<Vtt> {
@@ -37,14 +47,23 @@ impl TxnResolver {
     pub fn ptt(&self) -> &Arc<Ptt> {
         &self.ptt
     }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
 }
 
 impl TimestampResolver for TxnResolver {
     fn resolve(&self, tid: Tid) -> Option<Timestamp> {
         match self.vtt.resolve(tid) {
-            Some(state) => state, // known: committed ts or active/aborted
+            Some(state) => {
+                self.metrics.ts.vtt_hits.inc();
+                state // known: committed ts or active/aborted
+            }
             None => {
                 // VTT miss: consult the persistent table.
+                self.metrics.ts.vtt_misses.inc();
+                self.metrics.ts.ptt_lookups.inc();
                 match self.ptt.lookup(tid) {
                     Ok(Some(ts)) => {
                         self.vtt.cache_from_ptt(tid, ts);
@@ -89,6 +108,7 @@ impl FlushHook for StampingFlushHook {
             return;
         }
         for (tid, n) in version::stamp_committed(page, self.resolver.as_ref()) {
+            self.resolver.metrics().ts.stamps_flush.add(n as u64);
             self.resolver.note_stamped(tid, n);
         }
     }
@@ -245,7 +265,8 @@ mod tests {
             Arc::clone(&e.ptt),
             Arc::clone(&e.wal),
         ));
-        e.pool.set_flush_hook(Arc::new(StampingFlushHook::new(Arc::clone(&r))));
+        e.pool
+            .set_flush_hook(Arc::new(StampingFlushHook::new(Arc::clone(&r))));
         let frame = e.pool.new_page(PageType::Leaf, FLAG_VERSIONED, 0).unwrap();
         {
             let mut g = frame.write();

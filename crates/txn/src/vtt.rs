@@ -242,7 +242,10 @@ mod tests {
         vtt.add_pending(Tid(1), 2);
         vtt.commit(Tid(1), ts(5), true, Lsn(100));
         vtt.note_stamped(Tid(1), 1, Lsn(200));
-        assert!(vtt.gc_candidates(Lsn(10_000)).is_empty(), "count not yet zero");
+        assert!(
+            vtt.gc_candidates(Lsn(10_000)).is_empty(),
+            "count not yet zero"
+        );
         vtt.note_stamped(Tid(1), 1, Lsn(300));
         // Stable at end-of-log 300: GC-able once the redo scan start
         // reaches it (equality = nothing logged since stamping finished).

@@ -28,8 +28,12 @@ fn main() -> immortaldb::Result<()> {
     let db = Database::open(DbConfig::new(&dir))?;
     let mut s = Session::new(&db);
 
-    s.execute("CREATE IMMORTAL TABLE accounts (id INT PRIMARY KEY, balance BIGINT, owner VARCHAR(32))")?;
-    s.execute("INSERT INTO accounts VALUES (1, 1000, 'alice'), (2, 500, 'bob'), (3, 250, 'carol')")?;
+    s.execute(
+        "CREATE IMMORTAL TABLE accounts (id INT PRIMARY KEY, balance BIGINT, owner VARCHAR(32))",
+    )?;
+    s.execute(
+        "INSERT INTO accounts VALUES (1, 1000, 'alice'), (2, 500, 'bob'), (3, 250, 'carol')",
+    )?;
     let day0 = db.latest_ts();
     println!("day 0: opened 3 accounts, total = 1750");
 
@@ -70,7 +74,11 @@ fn main() -> immortaldb::Result<()> {
             None => println!("  @{at}: account closed"),
         }
     }
-    assert_eq!(history.len(), 2, "open + one transfer; the rollback left no trace");
+    assert_eq!(
+        history.len(),
+        2,
+        "open + one transfer; the rollback left no trace"
+    );
 
     db.close()?;
     let _ = std::fs::remove_dir_all(&dir);

@@ -23,7 +23,9 @@ fn main() -> immortaldb::Result<()> {
         // Phase 1: normal operation...
         let db = Database::open(DbConfig::new(&dir))?;
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE ledger (id INT PRIMARY KEY, amount BIGINT, memo VARCHAR(40))")?;
+        s.execute(
+            "CREATE IMMORTAL TABLE ledger (id INT PRIMARY KEY, amount BIGINT, memo VARCHAR(40))",
+        )?;
         s.execute("INSERT INTO ledger VALUES (1, 100, 'opening'), (2, 200, 'opening')")?;
         t_past = db.now_ms();
         std::thread::sleep(std::time::Duration::from_millis(25));
@@ -35,12 +37,20 @@ fn main() -> immortaldb::Result<()> {
         db.update_row(
             &mut doomed,
             "ledger",
-            vec![Value::Int(2), Value::BigInt(999_999), Value::Varchar("fraud?".into())],
+            vec![
+                Value::Int(2),
+                Value::BigInt(999_999),
+                Value::Varchar("fraud?".into()),
+            ],
         )?;
         db.insert_row(
             &mut doomed,
             "ledger",
-            vec![Value::Int(3), Value::BigInt(7), Value::Varchar("phantom".into())],
+            vec![
+                Value::Int(3),
+                Value::BigInt(7),
+                Value::Varchar("phantom".into()),
+            ],
         )?;
         db.force_log()?; // its log records are durable...
         std::mem::forget(doomed); // ...but the transaction never commits:
@@ -64,14 +74,21 @@ fn main() -> immortaldb::Result<()> {
         println!("  id={} amount={} memo={}", row[0], row[1], row[2]);
     }
     assert_eq!(rows.rows.len(), 2, "the phantom insert is gone");
-    assert_eq!(rows.rows[1][1], Value::BigInt(200), "the fraud update is undone");
+    assert_eq!(
+        rows.rows[1][1],
+        Value::BigInt(200),
+        "the fraud update is undone"
+    );
 
     // Committed history survived the crash, still AS OF-queryable.
     s.execute(&format!("BEGIN TRAN AS OF ms({t_past})"))?;
     let past = s.execute("SELECT amount FROM ledger WHERE id = 1")?;
     s.execute("COMMIT TRAN")?;
     assert_eq!(past.rows[0][0], Value::BigInt(100));
-    println!("AS OF before the crash: account 1 had amount {}", past.rows[0][0]);
+    println!(
+        "AS OF before the crash: account 1 had amount {}",
+        past.rows[0][0]
+    );
 
     db.close()?;
     let _ = std::fs::remove_dir_all(&dir);

@@ -25,7 +25,10 @@ fn main() -> immortaldb::Result<()> {
 
     // 50 vehicles, each reporting 40 position updates.
     let events = Generator::events_exact(2026, 50, 40);
-    println!("applying {} transactions from the generator...", events.len());
+    println!(
+        "applying {} transactions from the generator...",
+        events.len()
+    );
     let mut mid_run = None;
     for (i, e) in events.iter().enumerate() {
         let mut txn = db.begin(Isolation::Serializable);
@@ -52,7 +55,10 @@ fn main() -> immortaldb::Result<()> {
     let mut txn = db.begin_as_of_ts(mid_run);
     let rows = db.scan_rows(&mut txn, "MovingObjects")?;
     db.commit(&mut txn)?;
-    println!("fleet snapshot halfway through the run: {} vehicles", rows.len());
+    println!(
+        "fleet snapshot halfway through the run: {} vehicles",
+        rows.len()
+    );
     for row in rows.iter().take(5) {
         println!("  vehicle {} was at ({}, {})", row[0], row[1], row[2]);
     }

@@ -25,7 +25,8 @@ fn main() -> immortaldb::Result<()> {
     println!("created IMMORTAL table MovingObjects");
 
     // A few objects appear on the map.
-    session.execute("INSERT INTO MovingObjects VALUES (1, 100, 200), (2, 300, 400), (3, 500, 600)")?;
+    session
+        .execute("INSERT INTO MovingObjects VALUES (1, 100, 200), (2, 300, 400), (3, 500, 600)")?;
     println!("inserted 3 objects");
 
     // Remember "now" so we can time-travel back to it later. (The engine
@@ -56,7 +57,11 @@ fn main() -> immortaldb::Result<()> {
     for row in &past.rows {
         println!("  Oid={} x={} y={}", row[0], row[1], row[2]);
     }
-    assert_eq!(past.rows.len(), 3, "the deleted object is still there in the past");
+    assert_eq!(
+        past.rows.len(),
+        3,
+        "the deleted object is still there in the past"
+    );
     assert_eq!(past.rows[0][1].to_string(), "100");
 
     // Per-record time travel.
@@ -68,6 +73,11 @@ fn main() -> immortaldb::Result<()> {
             row[0], row[1], row[2], row[4], row[5]
         );
     }
+
+    // What the engine did under the hood, from the obs registry. The same
+    // data is reachable through SQL as `SHOW STATS`.
+    println!("\nengine metrics at exit:");
+    print!("{}", db.metrics_snapshot().to_text());
 
     db.close()?;
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 build + tests.
+#
+# Mirrors .github/workflows/ci.yml so the same checks run locally:
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test
+#
+# The build environment has no route to crates.io (external deps come
+# from shims/), so everything runs offline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+stage="${1:-all}"
+
+run_fmt() {
+    echo "== fmt =="
+    cargo fmt --all -- --check
+}
+
+run_clippy() {
+    echo "== clippy =="
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_test() {
+    echo "== build (release) =="
+    cargo build --release
+    echo "== tier-1 tests (workspace-root suite) =="
+    cargo test -q
+    echo "== full workspace tests =="
+    cargo test --workspace -q
+}
+
+case "$stage" in
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    test) run_test ;;
+    all)
+        run_fmt
+        run_clippy
+        run_test
+        ;;
+    *)
+        echo "usage: scripts/ci.sh [fmt|clippy|test|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "ci: ok"

@@ -1,0 +1,316 @@
+//! Minimal, dependency-free stand-in for the `parking_lot` crate, built
+//! on `std::sync`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `parking_lot` to this shim. It covers exactly the
+//! surface the workspace uses:
+//!
+//! * `Mutex` / `MutexGuard` with panic-free (poison-recovering) `lock()`
+//! * `RwLock` with `read()` / `write()` plus the `arc_lock` owned-guard
+//!   API (`RwLock::read_arc`, `RwLock::write_arc`,
+//!   `ArcRwLockReadGuard<RawRwLock, T>`, `ArcRwLockWriteGuard<RawRwLock, T>`)
+//! * `Condvar` with `wait_for` / `notify_one` / `notify_all`
+//!
+//! Semantic differences from the real crate (none observable here): no
+//! eventual fairness, no inline fast path, and guards are a word larger.
+
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Mutual exclusion primitive; `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            // `Option` so `Condvar::wait_for` can hand the std guard to
+            // `wait_timeout` and put the returned one back.
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Result of a timed wait; mirrors parking_lot's `WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable usable with this module's [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wait until notified or until `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// Marker type standing in for parking_lot's raw lock; only ever used as
+/// the `R` parameter of the arc guard type aliases.
+#[derive(Debug)]
+pub struct RawRwLock(());
+
+/// Reader-writer lock; `read()`/`write()` never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Shared lock that owns a clone of the `Arc`, so the guard is
+    /// `'static` and can be returned from the function that locked it.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        let arc = Arc::clone(self);
+        let guard = arc.inner.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the guard borrows the RwLock allocation owned by `arc`,
+        // which the returned struct keeps alive; the guard field is
+        // declared before the Arc so it drops first. Moving the Arc moves
+        // only the pointer, not the allocation the guard points into.
+        let guard: std::sync::RwLockReadGuard<'static, T> =
+            unsafe { std::mem::transmute(guard) };
+        ArcRwLockReadGuard {
+            guard,
+            _arc: arc,
+            _raw: PhantomData,
+        }
+    }
+
+    /// Exclusive variant of [`RwLock::read_arc`].
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        let arc = Arc::clone(self);
+        let guard = arc.inner.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: as in `read_arc`.
+        let guard: std::sync::RwLockWriteGuard<'static, T> =
+            unsafe { std::mem::transmute(guard) };
+        ArcRwLockWriteGuard {
+            guard,
+            _arc: arc,
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Owned shared guard; keeps the lock's `Arc` alive while held.
+///
+/// Field order matters: `guard` must drop before `_arc`.
+pub struct ArcRwLockReadGuard<R, T: 'static> {
+    guard: std::sync::RwLockReadGuard<'static, T>,
+    _arc: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Owned exclusive guard; keeps the lock's `Arc` alive while held.
+///
+/// Field order matters: `guard` must drop before `_arc`.
+pub struct ArcRwLockWriteGuard<R, T: 'static> {
+    guard: std::sync::RwLockWriteGuard<'static, T>,
+    _arc: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_times_out_and_wakes() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let t0 = Instant::now();
+        let r = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(r.timed_out());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        // Guard must be usable again after the wait.
+        *g = true;
+        drop(g);
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn condvar_notify_crosses_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            let r = cv.wait_for(&mut g, Duration::from_secs(5));
+            assert!(!r.timed_out(), "worker never signalled");
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn arc_guards_outlive_the_locking_scope() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let read = {
+            let l = Arc::clone(&lock);
+            RwLock::read_arc(&l)
+        };
+        assert_eq!(*read, vec![1, 2, 3]);
+        drop(read);
+        let mut write = RwLock::write_arc(&lock);
+        write.push(4);
+        drop(write);
+        assert_eq!(lock.read().len(), 4);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let lock = Arc::new(RwLock::new(0u64));
+        let g1 = lock.read();
+        let g2 = RwLock::read_arc(&lock);
+        assert_eq!(*g1, *g2);
+    }
+}

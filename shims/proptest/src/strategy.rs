@@ -1,0 +1,301 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::TestRng;
+use std::ops::Range;
+
+/// Something that can generate values of `Self::Value` from an RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// `.prop_map()` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between strategies with a common value type
+/// (the expansion of `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------
+
+/// Types with a full-range uniform generator.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// ---------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0.0);
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+// ---------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------
+
+/// A `&str` is interpreted as a miniature regex-style pattern built from
+/// literal characters and `[class]{m,n}` atoms (character classes with
+/// `a-z` ranges; quantifiers `{n}` and `{m,n}`). This covers patterns
+/// like `"[a-zA-Z0-9 ]{0,30}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Atom: character class or literal char.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+        // Quantifier: {n} or {m,n}; default exactly once.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().expect("bad quantifier"),
+                    hi.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier {{{min},{max}}}");
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generates_within_class_and_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = generate_pattern("[a-zA-Z0-9 ]{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn pattern_literals_and_exact_counts() {
+        let mut rng = TestRng::new(4);
+        assert_eq!(generate_pattern("abc", &mut rng), "abc");
+        let s = generate_pattern("x[01]{4}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x'));
+        assert!(s[1..].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn union_respects_zero_weight_paths() {
+        let u = crate::prop_oneof![
+            1 => Just(1u8),
+            3 => Just(2u8),
+        ];
+        let mut rng = TestRng::new(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..400 {
+            counts[u.generate(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 40 && counts[2] > counts[1]);
+    }
+}

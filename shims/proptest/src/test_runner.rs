@@ -1,0 +1,94 @@
+//! Test execution: run `cases` generated inputs through the body,
+//! panicking (with the input) on the first failure. No shrinking.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::fmt;
+
+/// Subset of proptest's configuration that the workspace references.
+/// `max_shrink_iters` is accepted for source compatibility but unused
+/// (this shim does not shrink).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A test-body failure (the expansion target of `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            reason: reason.into(),
+        }
+    }
+
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            reason: format!("rejected: {}", reason.into()),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+/// Drives one `proptest!`-defined test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seeded from the test name (FNV-1a), so runs are reproducible;
+    /// `PROPTEST_SEED` perturbs the seed for exploratory runs.
+    pub fn new(config: ProptestConfig, name: &str) -> TestRunner {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = extra.trim().parse::<u64>() {
+                seed ^= v.rotate_left(17);
+            }
+        }
+        TestRunner {
+            config,
+            rng: TestRng::new(seed),
+        }
+    }
+
+    pub fn run<S, F>(&mut self, strategy: S, body: F)
+    where
+        S: Strategy,
+        S::Value: fmt::Debug + Clone,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            if let Err(e) = body(value.clone()) {
+                panic!(
+                    "proptest failed at case {case}/{}: {e}\n  input: {value:?}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}

@@ -17,7 +17,8 @@ fn disjoint_writers_proceed_in_parallel() {
     let (db, dir) = open("disjoint");
     {
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
     }
     let threads = 4;
     let per_thread = 200;
@@ -28,7 +29,8 @@ fn disjoint_writers_proceed_in_parallel() {
                 for i in 0..per_thread {
                     let id = tno * per_thread + i;
                     let mut txn = db.begin(Isolation::Serializable);
-                    db.insert_row(&mut txn, "t", vec![Value::Int(id), Value::Int(tno)]).unwrap();
+                    db.insert_row(&mut txn, "t", vec![Value::Int(id), Value::Int(tno)])
+                        .unwrap();
                     db.commit(&mut txn).unwrap();
                 }
             })
@@ -50,7 +52,8 @@ fn contended_counter_under_serializable_locking() {
     let (db, dir) = open("counter");
     {
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE c (id INT PRIMARY KEY, n BIGINT)").unwrap();
+        s.execute("CREATE IMMORTAL TABLE c (id INT PRIMARY KEY, n BIGINT)")
+            .unwrap();
         s.execute("INSERT INTO c VALUES (1, 0)").unwrap();
     }
     let threads = 4;
@@ -116,7 +119,8 @@ fn snapshot_writers_on_same_key_obey_first_committer_wins() {
     let (db, dir) = open("fcwthreads");
     {
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         s.execute("INSERT INTO t VALUES (1, 0)").unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(25));
@@ -167,9 +171,11 @@ fn readers_never_block_under_snapshot_isolation() {
     let (db, dir) = open("readnoblock");
     {
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         for i in 0..50 {
-            s.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).unwrap();
+            s.execute(&format!("INSERT INTO t VALUES ({i}, 0)"))
+                .unwrap();
         }
     }
     let stop = Arc::new(AtomicU64::new(0));
@@ -181,7 +187,8 @@ fn readers_never_block_under_snapshot_isolation() {
             while stop.load(Ordering::Relaxed) == 0 {
                 for i in 0..50 {
                     let mut txn = db.begin(Isolation::Serializable);
-                    db.update_row(&mut txn, "t", vec![Value::Int(i), Value::Int(round)]).unwrap();
+                    db.update_row(&mut txn, "t", vec![Value::Int(i), Value::Int(round)])
+                        .unwrap();
                     db.commit(&mut txn).unwrap();
                 }
                 round += 1;

@@ -6,6 +6,11 @@
 //! every captured instant — across time splits, key splits, rollbacks and
 //! checkpoints.
 
+// The proptest shim's `ProptestConfig` happens to have exactly the fields
+// set below, making `..default()` redundant offline — but it is required
+// against the real crate.
+#![allow(clippy::needless_update)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

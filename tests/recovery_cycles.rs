@@ -12,7 +12,8 @@ struct Env {
 
 impl Env {
     fn new(name: &str) -> Env {
-        let dir = std::env::temp_dir().join(format!("immortal-it-rec-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("immortal-it-rec-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         Env {
             dir,
@@ -46,16 +47,19 @@ fn repeated_crash_cycles_accumulate_only_committed_history() {
         let db = env.open();
         let mut s = Session::new(&db);
         if cycle == 0 {
-            s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+            s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+                .unwrap();
             s.execute("INSERT INTO t VALUES (1, 0)").unwrap();
             env.tick();
         }
         // Committed update for this cycle.
-        s.execute(&format!("UPDATE t SET v = {} WHERE id = 1", cycle + 1)).unwrap();
+        s.execute(&format!("UPDATE t SET v = {} WHERE id = 1", cycle + 1))
+            .unwrap();
         env.tick();
         // A loser that must vanish.
         let mut loser = db.begin(Isolation::Serializable);
-        db.update_row(&mut loser, "t", vec![Value::Int(1), Value::Int(-999)]).unwrap();
+        db.update_row(&mut loser, "t", vec![Value::Int(1), Value::Int(-999)])
+            .unwrap();
         db.force_log().unwrap();
         std::mem::forget(loser);
         // Crash (no close/checkpoint).
@@ -66,12 +70,18 @@ fn repeated_crash_cycles_accumulate_only_committed_history() {
     let res = s.execute("SELECT v FROM t WHERE id = 1").unwrap();
     assert_eq!(res.rows[0][0], Value::Int(cycles));
     let h = db.history_rows("t", &Value::Int(1)).unwrap();
-    assert_eq!(h.len(), 1 + cycles as usize, "insert + one committed update per cycle");
+    assert_eq!(
+        h.len(),
+        1 + cycles as usize,
+        "insert + one committed update per cycle"
+    );
     // Timestamps strictly descending, no -999 anywhere.
     for w in h.windows(2) {
         assert!(w[0].0.unwrap() > w[1].0.unwrap());
     }
-    assert!(h.iter().all(|(_, row)| row.as_ref().unwrap()[1] != Value::Int(-999)));
+    assert!(h
+        .iter()
+        .all(|(_, row)| row.as_ref().unwrap()[1] != Value::Int(-999)));
 }
 
 #[test]
@@ -80,15 +90,18 @@ fn crash_between_checkpoint_and_commit_preserves_atomicity() {
     {
         let db = env.open();
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         s.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
         env.tick();
         // Multi-record loser caught mid-flight by a checkpoint: its dirty
         // pages reach disk, but the transaction never commits.
         let mut loser = db.begin(Isolation::Serializable);
-        db.update_row(&mut loser, "t", vec![Value::Int(1), Value::Int(-1)]).unwrap();
+        db.update_row(&mut loser, "t", vec![Value::Int(1), Value::Int(-1)])
+            .unwrap();
         db.checkpoint().unwrap(); // flushes the loser's modified pages!
-        db.update_row(&mut loser, "t", vec![Value::Int(2), Value::Int(-2)]).unwrap();
+        db.update_row(&mut loser, "t", vec![Value::Int(2), Value::Int(-2)])
+            .unwrap();
         db.force_log().unwrap();
         std::mem::forget(loser);
     }
@@ -96,7 +109,11 @@ fn crash_between_checkpoint_and_commit_preserves_atomicity() {
     assert_eq!(db.recovered_losers, 1);
     let mut s = Session::new(&db);
     let res = s.execute("SELECT * FROM t").unwrap();
-    assert_eq!(res.rows[0][1], Value::Int(10), "flushed-but-uncommitted change undone");
+    assert_eq!(
+        res.rows[0][1],
+        Value::Int(10),
+        "flushed-but-uncommitted change undone"
+    );
     assert_eq!(res.rows[1][1], Value::Int(20));
 }
 
@@ -110,9 +127,11 @@ fn ptt_entries_survive_crash_and_still_resolve() {
     {
         let db = env.open();
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         for i in 0..n {
-            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+                .unwrap();
             env.tick();
         }
         db.force_log().unwrap();
@@ -131,8 +150,11 @@ fn ptt_entries_survive_crash_and_still_resolve() {
     // Those crash-orphaned entries are pinned (refcount unknown), but the
     // engine keeps working and new transactions GC normally.
     for i in n..n + 10 {
-        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
-        let _ = s.execute(&format!("SELECT * FROM t WHERE id = {i}")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
+        let _ = s
+            .execute(&format!("SELECT * FROM t WHERE id = {i}"))
+            .unwrap();
         env.tick();
     }
     db.checkpoint().unwrap();
@@ -151,7 +173,8 @@ fn as_of_correctness_across_restart_with_cold_cache() {
     {
         let db = env.open();
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR(48))").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR(48))")
+            .unwrap();
         for round in 0..8 {
             for id in 0..120 {
                 let stmt = if round == 0 {

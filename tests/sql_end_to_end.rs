@@ -11,7 +11,8 @@ struct Env {
 
 impl Env {
     fn new(name: &str) -> Env {
-        let dir = std::env::temp_dir().join(format!("immortal-it-sql-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("immortal-it-sql-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         Env {
             dir,
@@ -43,7 +44,8 @@ fn two_sessions_share_one_database() {
     let db = env.open();
     let mut a = Session::new(&db);
     let mut b = Session::new(&db);
-    a.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    a.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     a.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     // Session b sees a's committed work immediately.
     let res = b.execute("SELECT v FROM t WHERE id = 1").unwrap();
@@ -55,7 +57,9 @@ fn snapshot_session_is_unaffected_by_concurrent_commits() {
     let env = Env::new("snapsession");
     let db = env.open();
     let mut setup = Session::new(&db);
-    setup.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    setup
+        .execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     setup.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     env.tick();
 
@@ -71,7 +75,11 @@ fn snapshot_session_is_unaffected_by_concurrent_commits() {
     reader.execute("COMMIT").unwrap();
     assert_eq!(before.rows, during.rows, "snapshot reads are stable");
     let after = reader.execute("SELECT v FROM t WHERE id = 1").unwrap();
-    assert_eq!(after.rows[0][0], Value::Int(99), "new snapshot sees the update");
+    assert_eq!(
+        after.rows[0][0],
+        Value::Int(99),
+        "new snapshot sees the update"
+    );
 }
 
 #[test]
@@ -79,21 +87,36 @@ fn sql_predicates_and_projections() {
     let env = Env::new("predicates");
     let db = env.open();
     let mut s = Session::new(&db);
-    s.execute("CREATE TABLE items (id INT PRIMARY KEY, qty INT, name VARCHAR(20))").unwrap();
-    for (id, qty, name) in [(1, 5, "apple"), (2, 20, "pear"), (3, 12, "plum"), (4, 3, "fig")] {
-        s.execute(&format!("INSERT INTO items VALUES ({id}, {qty}, '{name}')")).unwrap();
+    s.execute("CREATE TABLE items (id INT PRIMARY KEY, qty INT, name VARCHAR(20))")
+        .unwrap();
+    for (id, qty, name) in [
+        (1, 5, "apple"),
+        (2, 20, "pear"),
+        (3, 12, "plum"),
+        (4, 3, "fig"),
+    ] {
+        s.execute(&format!("INSERT INTO items VALUES ({id}, {qty}, '{name}')"))
+            .unwrap();
     }
-    let res = s.execute("SELECT name, qty FROM items WHERE qty >= 5 AND qty <= 15").unwrap();
+    let res = s
+        .execute("SELECT name, qty FROM items WHERE qty >= 5 AND qty <= 15")
+        .unwrap();
     assert_eq!(res.columns, vec!["name", "qty"]);
     assert_eq!(res.rows.len(), 2);
     assert_eq!(res.rows[0][0], Value::Varchar("apple".into()));
-    let res = s.execute("SELECT * FROM items WHERE name <> 'fig' AND id > 2").unwrap();
+    let res = s
+        .execute("SELECT * FROM items WHERE name <> 'fig' AND id > 2")
+        .unwrap();
     assert_eq!(res.rows.len(), 1);
     // Point lookup path with extra predicates.
-    let res = s.execute("SELECT * FROM items WHERE id = 2 AND qty < 5").unwrap();
+    let res = s
+        .execute("SELECT * FROM items WHERE id = 2 AND qty < 5")
+        .unwrap();
     assert!(res.rows.is_empty());
     // UPDATE with predicate, DELETE with predicate.
-    let res = s.execute("UPDATE items SET qty = 0 WHERE qty < 10").unwrap();
+    let res = s
+        .execute("UPDATE items SET qty = 0 WHERE qty < 10")
+        .unwrap();
     assert_eq!(res.affected, 2);
     let res = s.execute("DELETE FROM items WHERE qty = 0").unwrap();
     assert_eq!(res.affected, 2);
@@ -105,7 +128,9 @@ fn write_conflict_rolls_back_the_doomed_session_txn() {
     let env = Env::new("conflict");
     let db = env.open();
     let mut setup = Session::new(&db);
-    setup.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    setup
+        .execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     setup.execute("INSERT INTO t VALUES (1, 0)").unwrap();
     env.tick();
 
@@ -117,7 +142,10 @@ fn write_conflict_rolls_back_the_doomed_session_txn() {
     a.execute("COMMIT").unwrap();
     // b is doomed by first-committer-wins; the session auto-rolls back.
     let err = b.execute("UPDATE t SET v = 2 WHERE id = 1").unwrap_err();
-    assert!(matches!(err, Error::WriteConflict(_) | Error::Deadlock(_)), "{err}");
+    assert!(
+        matches!(err, Error::WriteConflict(_) | Error::Deadlock(_)),
+        "{err}"
+    );
     assert!(!b.in_transaction(), "doomed transaction was rolled back");
     // b can retry on a fresh snapshot and succeed.
     b.execute("UPDATE t SET v = 2 WHERE id = 1").unwrap();
@@ -130,16 +158,22 @@ fn timestamp_order_matches_commit_order() {
     let env = Env::new("tsorder");
     let db = env.open();
     let mut s = Session::new(&db);
-    s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     // Interleave two transactions; the one committing LAST must carry the
     // larger timestamp even though it began first.
     let mut first = db.begin(Isolation::Serializable);
-    db.insert_row(&mut first, "t", vec![Value::Int(1), Value::Int(1)]).unwrap();
+    db.insert_row(&mut first, "t", vec![Value::Int(1), Value::Int(1)])
+        .unwrap();
     let mut second = db.begin(Isolation::Serializable);
-    db.insert_row(&mut second, "t", vec![Value::Int(2), Value::Int(2)]).unwrap();
+    db.insert_row(&mut second, "t", vec![Value::Int(2), Value::Int(2)])
+        .unwrap();
     let ts_second = db.commit(&mut second).unwrap();
     let ts_first = db.commit(&mut first).unwrap();
-    assert!(ts_first > ts_second, "late committer gets the later timestamp");
+    assert!(
+        ts_first > ts_second,
+        "late committer gets the later timestamp"
+    );
     // And the stored versions agree.
     let h1 = db.history_rows("t", &Value::Int(1)).unwrap();
     let h2 = db.history_rows("t", &Value::Int(2)).unwrap();
@@ -152,11 +186,13 @@ fn same_tick_commits_disambiguated_by_sequence_number() {
     let env = Env::new("sn");
     let db = env.open();
     let mut s = Session::new(&db);
-    s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     // No clock advance: every commit lands in the same 20 ms tick and is
     // distinguished purely by the 4-byte sequence number (§2.1).
     for i in 0..100 {
-        s.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({i}, 0)"))
+            .unwrap();
     }
     let mut stamps = Vec::new();
     for i in 0..100 {
@@ -180,7 +216,8 @@ fn large_workload_with_checkpoints_and_reopen() {
     {
         let db = env.open();
         let mut s = Session::new(&db);
-        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR(64))").unwrap();
+        s.execute("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR(64))")
+            .unwrap();
         for round in 0..6 {
             for id in 0..300 {
                 let stmt = if round == 0 {
