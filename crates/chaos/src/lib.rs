@@ -1,0 +1,49 @@
+//! # immortaldb-chaos
+//!
+//! Deterministic fault injection and crash-recovery torture for the
+//! Immortal DB engine.
+//!
+//! Two layers:
+//!
+//! * [`fault::FaultVfs`] — wraps the storage crate's [`Vfs`] seam and
+//!   injects seeded, counted faults: torn page writes, truncated WAL
+//!   appends, fsync failures, transient read errors and "crash after
+//!   operation N" cut-points.
+//! * [`torture`] — a randomized multi-transaction workload that crashes
+//!   the engine at those cut-points, reopens it through full ARIES
+//!   recovery and audits every invariant transaction-time support
+//!   promises (durability, rollback, timestamp repair through the PTT,
+//!   `AS OF` stability across crashes).
+//!
+//! ```text
+//! cargo run -p immortaldb-chaos --bin torture -- --seed 42 --ops 2000 --crashes 25
+//! ```
+//!
+//! [`Vfs`]: immortaldb_storage::vfs::Vfs
+
+pub mod fault;
+pub mod torture;
+
+pub use fault::{FaultState, FaultVfs};
+pub use torture::{run, TortureConfig, TortureReport};
+
+use immortaldb::{ColType, Column, Schema};
+
+/// Schema shared by the torture harness and the deterministic chaos
+/// tests: `k INT PRIMARY KEY, v VARCHAR(32)`.
+pub fn kv_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column {
+                name: "k".into(),
+                ctype: ColType::Int,
+            },
+            Column {
+                name: "v".into(),
+                ctype: ColType::Varchar(32),
+            },
+        ],
+        0,
+    )
+    .expect("static schema is valid")
+}

@@ -1,0 +1,781 @@
+//! Crash-recovery torture harness.
+//!
+//! Drives a randomized multi-transaction workload against a real engine
+//! whose every byte of I/O flows through a [`FaultVfs`], crashes it at
+//! deterministic cut-points (plain kills, kills mid-transaction, torn
+//! page writes, failed fsyncs), reopens it — running full ARIES
+//! recovery — and asserts after every crash that:
+//!
+//! * every committed transaction's data is durable and every
+//!   uncommitted ("loser") transaction is fully rolled back;
+//! * each key's version history exactly matches a shadow model, with
+//!   strictly descending timestamps and no unstamped committed version
+//!   (post-crash timestamp repair through the PTT must converge);
+//! * `AS OF` queries at sampled commit timestamps return the same rows
+//!   before and after the crash;
+//! * the persistent timestamp table contains no entry for a transaction
+//!   known to have aborted.
+//!
+//! A transaction whose `commit()` call returned an error while the fault
+//! layer was active is *indeterminate* — the commit record may or may
+//! not have reached the log (exactly the real-world fsync-failure
+//! ambiguity). The harness resolves it after recovery from the database
+//! itself, requiring all-or-nothing: either every staged write is
+//! present at one shared timestamp or none is.
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use immortaldb::{
+    Clock, Database, DbConfig, Durability, Isolation, SimClock, TableKind, Timestamp, Value,
+};
+use immortaldb_obs::MetricsRegistry;
+use immortaldb_storage::vfs::Vfs;
+
+use crate::fault::{FaultState, FaultVfs};
+
+const TABLE: &str = "torture_kv";
+
+/// Torture run parameters. Everything is deterministic per `seed`.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    pub seed: u64,
+    /// Total workload operations (insert/update/delete) across the run.
+    pub ops: u64,
+    /// Crash/recover cycles spread across the run.
+    pub crashes: u32,
+    /// Key space size (small, so version chains grow deep).
+    pub keys: i32,
+    /// Buffer pool pages (small, so evictions flush mid-transaction and
+    /// lazy timestamping happens on the flush path).
+    pub pool_pages: usize,
+    /// Probability a read fails transiently while faults are enabled.
+    pub read_error_rate: f64,
+    /// Probability an fsync fails while faults are enabled.
+    pub fsync_error_rate: f64,
+    /// Log full page images on write-back so torn page writes are
+    /// repairable; torn-write crashes are only scheduled when on.
+    pub page_image_logging: bool,
+    /// Working directory; default is a per-seed temp dir.
+    pub dir: Option<PathBuf>,
+    pub verbose: bool,
+}
+
+impl TortureConfig {
+    pub fn new(seed: u64) -> TortureConfig {
+        TortureConfig {
+            seed,
+            ops: 500,
+            crashes: 5,
+            keys: 24,
+            pool_pages: 16,
+            read_error_rate: 0.001,
+            fsync_error_rate: 0.002,
+            page_image_logging: true,
+            dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// What a torture run did and found. `violations` empty = pass.
+#[derive(Debug, Default, Clone)]
+pub struct TortureReport {
+    pub ops_done: u64,
+    pub txns: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub indeterminate_commits: u64,
+    pub crashes: u64,
+    pub torn_writes: u64,
+    pub fsync_errors: u64,
+    pub read_errors: u64,
+    pub crash_recoveries: u64,
+    pub versions_restamped: u64,
+    pub torn_pages_repaired: u64,
+    pub violations: Vec<String>,
+}
+
+impl TortureReport {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for TortureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ops={} txns={} commits={} aborts={} indeterminate_commits={}",
+            self.ops_done, self.txns, self.commits, self.aborts, self.indeterminate_commits
+        )?;
+        writeln!(
+            f,
+            "crashes={} recoveries={} torn_writes={} fsync_errors={} read_errors={}",
+            self.crashes,
+            self.crash_recoveries,
+            self.torn_writes,
+            self.fsync_errors,
+            self.read_errors
+        )?;
+        write!(
+            f,
+            "versions_restamped={} torn_pages_repaired={} violations={}",
+            self.versions_restamped,
+            self.torn_pages_repaired,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  VIOLATION: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a transaction's effects are unresolved at crash time.
+enum PendingKind {
+    /// Never reached commit: recovery must roll it back entirely.
+    MustAbort,
+    /// `commit()` returned an error: either outcome is legal, but it
+    /// must be all-or-nothing.
+    CommitAmbiguous,
+}
+
+struct Pending {
+    tid: u64,
+    staged: Vec<(i32, Option<String>)>,
+    kind: PendingKind,
+}
+
+enum TxnEnd {
+    Committed,
+    Aborted,
+    Crashed(Pending),
+}
+
+/// One version as the shadow model sees it: commit timestamp plus the
+/// row's value (`None` = deletion stub).
+type Version = (Timestamp, Option<String>);
+
+struct Harness {
+    cfg: TortureConfig,
+    dir: PathBuf,
+    clock: Arc<SimClock>,
+    metrics: MetricsRegistry,
+    vfs: Arc<FaultVfs>,
+    state: Arc<FaultState>,
+    rng: StdRng,
+    /// Shadow model: per key, committed versions in commit order.
+    model: BTreeMap<i32, Vec<Version>>,
+    commit_ts: Vec<Timestamp>,
+    aborted_tids: HashSet<u64>,
+    val_seq: u64,
+    report: TortureReport,
+}
+
+/// Run a torture workload; the returned report lists every invariant
+/// violation found (none = the engine survived).
+pub fn run(cfg: TortureConfig) -> TortureReport {
+    let dir = cfg.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "immortal-torture-{}-{}",
+            cfg.seed,
+            std::process::id()
+        ))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let vfs = Arc::new(FaultVfs::wrap_std(cfg.seed));
+    let state = vfs.state();
+    let metrics = MetricsRegistry::new();
+    state.set_metrics(metrics.clone());
+    state.set_error_rates(cfg.read_error_rate, cfg.fsync_error_rate);
+    state.disable(); // initial open is fault-free
+
+    let mut h = Harness {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cfg,
+        dir: dir.clone(),
+        clock: Arc::new(SimClock::new(1_000_000)),
+        metrics,
+        vfs,
+        state,
+        model: BTreeMap::new(),
+        commit_ts: Vec::new(),
+        aborted_tids: HashSet::new(),
+        val_seq: 0,
+        report: TortureReport::default(),
+    };
+    h.drive();
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish_report()
+}
+
+impl Harness {
+    fn open_db(&self) -> immortaldb::Result<Database> {
+        let clock: Arc<dyn Clock> = self.clock.clone();
+        let vfs: Arc<dyn Vfs> = self.vfs.clone();
+        let mut config = DbConfig::new(&self.dir)
+            .clock(clock)
+            .pool_pages(self.cfg.pool_pages)
+            .durability(Durability::Fsync)
+            .vfs(vfs)
+            .page_image_logging(self.cfg.page_image_logging)
+            .metrics(self.metrics.clone());
+        config.lock_timeout = Duration::from_millis(250);
+        Database::open(config)
+    }
+
+    fn violation(&mut self, msg: String) {
+        if self.cfg.verbose {
+            eprintln!("VIOLATION: {msg}");
+        }
+        self.report.violations.push(msg);
+    }
+
+    fn next_val(&mut self) -> String {
+        self.val_seq += 1;
+        format!("v{}", self.val_seq)
+    }
+
+    /// Committed-or-staged current value of a key.
+    fn live<'a>(&'a self, staged: &'a [(i32, Option<String>)], key: i32) -> Option<&'a String> {
+        if let Some((_, v)) = staged.iter().rev().find(|(k, _)| *k == key) {
+            return v.as_ref();
+        }
+        self.model
+            .get(&key)
+            .and_then(|versions| versions.last())
+            .and_then(|(_, v)| v.as_ref())
+    }
+
+    fn drive(&mut self) {
+        let mut db = match self.open_db() {
+            Ok(db) => db,
+            Err(e) => {
+                self.violation(format!("initial open failed: {e}"));
+                return;
+            }
+        };
+        if let Err(e) = db.create_table(TABLE, crate::kv_schema(), TableKind::Immortal) {
+            self.violation(format!("create table failed: {e}"));
+            return;
+        }
+        self.state.enable();
+
+        let total = self.cfg.ops;
+        let crashes = self.cfg.crashes as u64;
+        let mut crashes_done: u64 = 0;
+        while self.report.ops_done < total || crashes_done < crashes {
+            // Crash boundaries are spread evenly over the op budget.
+            let next_boundary = if crashes_done < crashes {
+                (crashes_done + 1) * total / (crashes + 1)
+            } else {
+                u64::MAX
+            };
+            if self.report.ops_done >= next_boundary {
+                crashes_done += 1;
+                db = match self.crash_episode(db) {
+                    Some(db) => db,
+                    None => return, // recovery failed: fatal violation
+                };
+                continue;
+            }
+            let budget = total.saturating_sub(self.report.ops_done).max(1);
+            match self.run_txn(&db, budget) {
+                TxnEnd::Committed | TxnEnd::Aborted => {}
+                TxnEnd::Crashed(pending) => {
+                    // An injected fault escalated to a crash outside the
+                    // planned schedule (e.g. a failed commit fsync).
+                    db = match self.recover(db, Some(pending)) {
+                        Some(db) => db,
+                        None => return,
+                    };
+                }
+            }
+        }
+
+        // Clean shutdown, fault-free reopen, final audit.
+        self.state.disable();
+        if let Err(e) = db.close() {
+            self.violation(format!("clean close failed: {e}"));
+        }
+        drop(db);
+        match self.open_db() {
+            Ok(db) => self.check_invariants(&db, "final"),
+            Err(e) => self.violation(format!("final reopen failed: {e}")),
+        }
+    }
+
+    /// One randomized transaction: 1–4 ops on distinct keys, then commit
+    /// or (10%) deliberate rollback. Any error while the fault layer
+    /// reports a crash — or any rollback failure — ends in `Crashed`.
+    fn run_txn(&mut self, db: &Database, budget: u64) -> TxnEnd {
+        self.clock.advance(20); // one timestamp tick per transaction
+        self.report.txns += 1;
+        let mut txn = db.begin(Isolation::Serializable);
+        let tid = txn.tid().0;
+        let n_ops = (self.rng.gen_range(1..5u64)).min(budget);
+        let mut staged: Vec<(i32, Option<String>)> = Vec::new();
+        for _ in 0..n_ops {
+            // Distinct keys per transaction keep the model one-version-
+            // per-key-per-commit.
+            let mut key = self.rng.gen_range(0..self.cfg.keys);
+            let mut tries = 0;
+            while staged.iter().any(|(k, _)| *k == key) && tries < 16 {
+                key = self.rng.gen_range(0..self.cfg.keys);
+                tries += 1;
+            }
+            if staged.iter().any(|(k, _)| *k == key) {
+                break;
+            }
+            let exists = self.live(&staged, key).is_some();
+            let (val, res) = if exists && self.rng.gen_bool(0.25) {
+                (None, db.delete_row(&mut txn, TABLE, &Value::Int(key)))
+            } else {
+                let v = self.next_val();
+                let row = vec![Value::Int(key), Value::Varchar(v.clone())];
+                let r = if exists {
+                    db.update_row(&mut txn, TABLE, row)
+                } else {
+                    db.insert_row(&mut txn, TABLE, row)
+                };
+                (Some(v), r)
+            };
+            self.report.ops_done += 1;
+            match res {
+                Ok(()) => staged.push((key, val)),
+                Err(_) if self.state.crashed() => {
+                    staged.push((key, val)); // attempted: must still be absent
+                    return TxnEnd::Crashed(Pending {
+                        tid,
+                        staged,
+                        kind: PendingKind::MustAbort,
+                    });
+                }
+                Err(_) => {
+                    // Transient fault (e.g. injected read error): the
+                    // whole transaction rolls back. A failed rollback
+                    // leaves unknown state — treat it as a crash.
+                    staged.push((key, val));
+                    return match db.rollback(&mut txn) {
+                        Ok(()) => {
+                            self.aborted_tids.insert(tid);
+                            self.report.aborts += 1;
+                            TxnEnd::Aborted
+                        }
+                        Err(_) => {
+                            if !self.state.crashed() {
+                                self.state.force_crash();
+                            }
+                            TxnEnd::Crashed(Pending {
+                                tid,
+                                staged,
+                                kind: PendingKind::MustAbort,
+                            })
+                        }
+                    };
+                }
+            }
+        }
+        if staged.is_empty() || self.rng.gen_bool(0.1) {
+            return match db.rollback(&mut txn) {
+                Ok(()) => {
+                    self.aborted_tids.insert(tid);
+                    self.report.aborts += 1;
+                    TxnEnd::Aborted
+                }
+                Err(_) => {
+                    if !self.state.crashed() {
+                        self.state.force_crash();
+                    }
+                    TxnEnd::Crashed(Pending {
+                        tid,
+                        staged,
+                        kind: PendingKind::MustAbort,
+                    })
+                }
+            };
+        }
+        match db.commit(&mut txn) {
+            Ok(ts) => {
+                self.apply_commit(ts, &staged);
+                self.report.commits += 1;
+                TxnEnd::Committed
+            }
+            Err(_) => {
+                // The commit record may or may not be durable (fsync
+                // failure semantics). Crash now and let recovery decide.
+                if !self.state.crashed() {
+                    self.state.force_crash();
+                }
+                self.report.indeterminate_commits += 1;
+                TxnEnd::Crashed(Pending {
+                    tid,
+                    staged,
+                    kind: PendingKind::CommitAmbiguous,
+                })
+            }
+        }
+    }
+
+    fn apply_commit(&mut self, ts: Timestamp, staged: &[(i32, Option<String>)]) {
+        if let Some(&last) = self.commit_ts.last() {
+            if ts <= last {
+                self.violation(format!(
+                    "commit timestamp not monotone: {ts:?} after {last:?}"
+                ));
+            }
+        }
+        self.commit_ts.push(ts);
+        for (key, val) in staged {
+            self.model.entry(*key).or_default().push((ts, val.clone()));
+        }
+    }
+
+    /// A scheduled crash: pick a flavour, make the engine die, recover.
+    fn crash_episode(&mut self, db: Database) -> Option<Database> {
+        match self.rng.gen_range(0..3u32) {
+            0 => {
+                // Cut-point: the file system dies after a few more
+                // mutating ops — whichever engine call is unlucky. Half
+                // of them also tear the interrupted write.
+                let tear = self.cfg.page_image_logging && self.rng.gen_bool(0.5);
+                let delta = self.rng.gen_range(1..30u64);
+                self.state.arm_crash_in(delta, tear);
+                for _ in 0..60 {
+                    let budget = self.cfg.ops.saturating_sub(self.report.ops_done).max(1);
+                    match self.run_txn(&db, budget) {
+                        TxnEnd::Crashed(p) => return self.recover(db, Some(p)),
+                        TxnEnd::Committed | TxnEnd::Aborted => {
+                            if self.state.crashed() {
+                                // Tripped after the txn's bookkeeping
+                                // completed; nothing is pending.
+                                return self.recover(db, None);
+                            }
+                        }
+                    }
+                }
+                self.state.force_crash();
+                self.recover(db, None)
+            }
+            1 => {
+                // Kill mid-transaction: stage some writes, optionally
+                // force the log so recovery has a loser to undo, die.
+                self.clock.advance(20);
+                self.report.txns += 1;
+                let mut txn = db.begin(Isolation::Serializable);
+                let tid = txn.tid().0;
+                let mut staged: Vec<(i32, Option<String>)> = Vec::new();
+                for _ in 0..self.rng.gen_range(1..4u32) {
+                    let key = self.rng.gen_range(0..self.cfg.keys);
+                    if staged.iter().any(|(k, _)| *k == key) {
+                        continue;
+                    }
+                    let v = self.next_val();
+                    let row = vec![Value::Int(key), Value::Varchar(v.clone())];
+                    let res = if self.live(&staged, key).is_some() {
+                        db.update_row(&mut txn, TABLE, row)
+                    } else {
+                        db.insert_row(&mut txn, TABLE, row)
+                    };
+                    self.report.ops_done += 1;
+                    match res {
+                        Ok(()) => staged.push((key, Some(v))),
+                        Err(_) => {
+                            staged.push((key, Some(v)));
+                            break;
+                        }
+                    }
+                }
+                if self.rng.gen_bool(0.5) {
+                    let _ = db.force_log(); // loser records reach disk
+                }
+                drop(txn); // never committed nor rolled back
+                self.state.force_crash();
+                self.recover(
+                    db,
+                    Some(Pending {
+                        tid,
+                        staged,
+                        kind: PendingKind::MustAbort,
+                    }),
+                )
+            }
+            _ => {
+                // Plain kill at a transaction boundary.
+                self.state.force_crash();
+                self.recover(db, None)
+            }
+        }
+    }
+
+    /// Drop the dead engine, bring the file system back, run recovery,
+    /// resolve any pending transaction, audit all invariants.
+    fn recover(&mut self, db: Database, pending: Option<Pending>) -> Option<Database> {
+        drop(db); // abandon every cached page and the WAL buffer
+        self.report.crashes += 1;
+        self.state.disable();
+        self.state.clear_crash();
+        let db = match self.open_db() {
+            Ok(db) => db,
+            Err(e) => {
+                self.violation(format!("recovery after crash failed: {e}"));
+                return None;
+            }
+        };
+        if let Some(p) = pending {
+            self.resolve_pending(&db, p);
+        }
+        self.check_invariants(&db, "post-crash");
+        self.state.enable();
+        if self.cfg.verbose {
+            eprintln!(
+                "crash {} recovered: ops={} commits={} aborts={}",
+                self.report.crashes, self.report.ops_done, self.report.commits, self.report.aborts
+            );
+        }
+        Some(db)
+    }
+
+    /// Per staged key, the versions recovery left that the model does not
+    /// know about (at most one expected: the pending transaction's).
+    fn new_versions(&mut self, db: &Database, key: i32) -> Option<Vec<Version>> {
+        let hist = match db.history_rows(TABLE, &Value::Int(key)) {
+            Ok(h) => h,
+            Err(e) => {
+                self.violation(format!("history({key}) failed during resolution: {e}"));
+                return None;
+            }
+        };
+        let known: HashSet<Timestamp> = self
+            .model
+            .get(&key)
+            .map(|v| v.iter().map(|(ts, _)| *ts).collect())
+            .unwrap_or_default();
+        let mut out = Vec::new();
+        for (ts, row) in hist {
+            match ts {
+                None => {
+                    self.violation(format!("key {key}: unstamped version survived recovery"));
+                    return None;
+                }
+                Some(ts) if !known.contains(&ts) => {
+                    out.push((ts, row.map(|r| r[1].to_string())));
+                }
+                Some(_) => {}
+            }
+        }
+        Some(out)
+    }
+
+    fn resolve_pending(&mut self, db: &Database, p: Pending) {
+        let mut per_key: Vec<(i32, Option<String>, Vec<Version>)> = Vec::new();
+        for (key, staged_val) in &p.staged {
+            match self.new_versions(db, *key) {
+                Some(new) => per_key.push((*key, staged_val.clone(), new)),
+                None => return, // violation already recorded
+            }
+        }
+        let survivors = per_key.iter().filter(|(_, _, n)| !n.is_empty()).count();
+        match p.kind {
+            PendingKind::MustAbort => {
+                if survivors > 0 {
+                    self.violation(format!(
+                        "tid {}: {survivors} write(s) of an uncommitted transaction \
+                         survived recovery",
+                        p.tid
+                    ));
+                } else {
+                    self.aborted_tids.insert(p.tid);
+                }
+            }
+            PendingKind::CommitAmbiguous => {
+                if survivors == 0 {
+                    // Resolved as aborted. The commit record (and thus a
+                    // PTT row) may still be durable with every update
+                    // CLR-undone, so the tid is NOT added to the aborted
+                    // set used for the PTT check.
+                    return;
+                }
+                if survivors != per_key.len() {
+                    self.violation(format!(
+                        "tid {}: atomicity broken — {survivors}/{} writes survived",
+                        p.tid,
+                        per_key.len()
+                    ));
+                    return;
+                }
+                // Committed: all keys must share one timestamp and carry
+                // the staged values.
+                let ts = per_key[0].2[0].0;
+                for (key, staged_val, new) in &per_key {
+                    if new.len() != 1 || new[0].0 != ts {
+                        self.violation(format!(
+                            "tid {}: key {key} resolved to {new:?}, expected one \
+                             version at {ts:?}",
+                            p.tid
+                        ));
+                        return;
+                    }
+                    if &new[0].1 != staged_val {
+                        self.violation(format!(
+                            "tid {}: key {key} committed value {:?} != staged {:?}",
+                            p.tid, new[0].1, staged_val
+                        ));
+                        return;
+                    }
+                }
+                let staged: Vec<(i32, Option<String>)> =
+                    per_key.into_iter().map(|(k, v, _)| (k, v)).collect();
+                self.apply_commit(ts, &staged);
+                self.report.commits += 1;
+            }
+        }
+    }
+
+    /// Full audit against the shadow model (fault layer disabled).
+    fn check_invariants(&mut self, db: &Database, label: &str) {
+        // Current state and complete history of every key.
+        for key in 0..self.cfg.keys {
+            let versions = self.model.get(&key).cloned().unwrap_or_default();
+            let expect_current = versions.last().and_then(|(_, v)| v.clone());
+            let mut txn = db.begin(Isolation::Serializable);
+            match db.get_row(&mut txn, TABLE, &Value::Int(key)) {
+                Ok(row) => {
+                    let got = row.map(|r| r[1].to_string());
+                    if got != expect_current {
+                        self.violation(format!(
+                            "[{label}] key {key}: current {got:?} != model \
+                             {expect_current:?}"
+                        ));
+                    }
+                }
+                Err(e) => self.violation(format!("[{label}] get({key}) failed: {e}")),
+            }
+            let _ = db.rollback(&mut txn);
+            match db.history_rows(TABLE, &Value::Int(key)) {
+                Ok(hist) => {
+                    if hist.len() != versions.len() {
+                        self.violation(format!(
+                            "[{label}] key {key}: history has {} versions, model {}",
+                            hist.len(),
+                            versions.len()
+                        ));
+                        continue;
+                    }
+                    let mut prev: Option<Timestamp> = None;
+                    for (i, (ts, row)) in hist.iter().enumerate() {
+                        let (want_ts, want_val) = &versions[versions.len() - 1 - i];
+                        match ts {
+                            None => self.violation(format!(
+                                "[{label}] key {key}: version {i} is unstamped"
+                            )),
+                            Some(ts) => {
+                                if let Some(p) = prev {
+                                    if *ts >= p {
+                                        self.violation(format!(
+                                            "[{label}] key {key}: timestamps not \
+                                             strictly descending"
+                                        ));
+                                    }
+                                }
+                                prev = Some(*ts);
+                                if ts != want_ts {
+                                    self.violation(format!(
+                                        "[{label}] key {key}: version {i} ts {ts:?} \
+                                         != model {want_ts:?}"
+                                    ));
+                                }
+                            }
+                        }
+                        let got_val = row.as_ref().map(|r| r[1].to_string());
+                        if &got_val != want_val {
+                            self.violation(format!(
+                                "[{label}] key {key}: version {i} value {got_val:?} \
+                                 != model {want_val:?}"
+                            ));
+                        }
+                    }
+                }
+                Err(e) => self.violation(format!("[{label}] history({key}) failed: {e}")),
+            }
+        }
+
+        // AS OF queries at sampled commit timestamps reconstruct the
+        // model state of that moment.
+        if !self.commit_ts.is_empty() {
+            for _ in 0..8usize {
+                let ts = self.commit_ts[self.rng.gen_range(0..self.commit_ts.len())];
+                let mut txn = db.begin_as_of_ts(ts);
+                for key in 0..self.cfg.keys {
+                    let expect = self
+                        .model
+                        .get(&key)
+                        .map(|versions| {
+                            versions
+                                .iter()
+                                .rev()
+                                .find(|(vts, _)| *vts <= ts)
+                                .and_then(|(_, v)| v.clone())
+                        })
+                        .unwrap_or(None);
+                    match db.get_row(&mut txn, TABLE, &Value::Int(key)) {
+                        Ok(row) => {
+                            let got = row.map(|r| r[1].to_string());
+                            if got != expect {
+                                self.violation(format!(
+                                    "[{label}] AS OF {ts:?} key {key}: {got:?} != \
+                                     model {expect:?}"
+                                ));
+                            }
+                        }
+                        Err(e) => {
+                            self.violation(format!("[{label}] AS OF {ts:?} get({key}) failed: {e}"))
+                        }
+                    }
+                }
+                let _ = db.rollback(&mut txn);
+            }
+        }
+
+        // The PTT must not remember a transaction known to have aborted.
+        match db.ptt_entries() {
+            Ok(entries) => {
+                for (tid, _) in entries {
+                    if self.aborted_tids.contains(&tid.0) {
+                        self.violation(format!(
+                            "[{label}] PTT contains aborted transaction {tid:?}"
+                        ));
+                    }
+                }
+            }
+            Err(e) => self.violation(format!("[{label}] PTT scan failed: {e}")),
+        }
+    }
+
+    fn finish_report(mut self) -> TortureReport {
+        let snap = self.metrics.snapshot();
+        self.report.crash_recoveries = snap.get("recovery.crash_recoveries").unwrap_or(0);
+        self.report.versions_restamped = snap.get("recovery.versions_restamped").unwrap_or(0);
+        self.report.torn_pages_repaired = snap.get("recovery.torn_pages_repaired").unwrap_or(0);
+        self.report.torn_writes = self
+            .state
+            .torn_writes
+            .load(std::sync::atomic::Ordering::SeqCst);
+        self.report.fsync_errors = self
+            .state
+            .fsync_errors
+            .load(std::sync::atomic::Ordering::SeqCst);
+        self.report.read_errors = self
+            .state
+            .read_errors
+            .load(std::sync::atomic::Ordering::SeqCst);
+        self.report
+    }
+}

@@ -19,6 +19,7 @@ use immortaldb_storage::disk::DiskManager;
 use immortaldb_storage::logrec::LogRecord;
 use immortaldb_storage::meta::MetaView;
 use immortaldb_storage::recovery::{self, TreeLocator};
+use immortaldb_storage::vfs::{std_fs, Vfs};
 use immortaldb_storage::wal::{Durability, Wal};
 use immortaldb_txn::{
     LockManager, Ptt, PttGc, StampingFlushHook, TimestampAuthority, TxnResolver, Vtt,
@@ -43,6 +44,18 @@ pub struct DbConfig {
     pub lock_timeout: Duration,
     /// Wall clock (inject a `SimClock` for deterministic runs).
     pub clock: Arc<dyn Clock>,
+    /// Virtual file system the data file, WAL and master record go
+    /// through. The default is the real OS filesystem; chaos tests swap
+    /// in a fault-injecting wrapper.
+    pub vfs: Arc<dyn Vfs>,
+    /// Log a full page image just before every buffer-pool write-back so
+    /// redo can repair torn (partially written) pages. Off by default:
+    /// it roughly doubles write-path log volume.
+    pub page_image_logging: bool,
+    /// Metrics registry to record into; `None` creates a private one.
+    /// Chaos harnesses share a registry between the engine and the fault
+    /// VFS so `faults.*` and `recovery.*` land in one snapshot.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl DbConfig {
@@ -54,6 +67,9 @@ impl DbConfig {
             timestamping: TimestampingMode::Lazy,
             lock_timeout: Duration::from_secs(5),
             clock: Arc::new(SystemClock),
+            vfs: std_fs(),
+            page_image_logging: false,
+            metrics: None,
         }
     }
 
@@ -74,6 +90,21 @@ impl DbConfig {
 
     pub fn timestamping(mut self, m: TimestampingMode) -> Self {
         self.timestamping = m;
+        self
+    }
+
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    pub fn page_image_logging(mut self, on: bool) -> Self {
+        self.page_image_logging = on;
+        self
+    }
+
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -110,13 +141,15 @@ impl Database {
     /// down cleanly.
     pub fn open(config: DbConfig) -> Result<Database> {
         std::fs::create_dir_all(&config.dir)?;
-        let (disk, fresh) = DiskManager::open(config.dir.join("data.idb"))?;
+        let (disk, fresh) =
+            DiskManager::open_with(Arc::clone(&config.vfs), config.dir.join("data.idb"))?;
         let disk = Arc::new(disk);
         // One registry for the whole engine: the WAL, buffer pool, lock
         // manager and (via the pool/WAL accessors) trees, resolver and
         // recovery all record into it.
-        let metrics = MetricsRegistry::new();
-        let wal = Arc::new(Wal::with_metrics(
+        let metrics = config.metrics.clone().unwrap_or_default();
+        let wal = Arc::new(Wal::open_with(
+            Arc::clone(&config.vfs),
             config.dir.join("wal.log"),
             metrics.clone(),
         )?);
@@ -126,10 +159,13 @@ impl Database {
             config.pool_pages,
             metrics.clone(),
         ));
+        pool.set_page_image_logging(config.page_image_logging);
         let authority = Arc::new(TimestampAuthority::new(Arc::clone(&config.clock)));
 
         // Analysis + redo (trivial for a fresh database).
+        let replayed_before = metrics.recovery.records_replayed.get();
         let analysis = recovery::analyze_and_redo(&wal, &pool)?;
+        let replayed = metrics.recovery.records_replayed.get() - replayed_before;
 
         // Restore watermarks: meta page (as of last checkpoint) plus
         // anything later found in the log.
@@ -241,6 +277,14 @@ impl Database {
         // Undo pass: roll back losers (requires the tree registry).
         let mut db = db;
         db.recovered_losers = recovery::undo(&db.wal, &db.pool, &db, &analysis.att)?;
+        // The open counts as a crash recovery when the log had work to
+        // repeat or losers to roll back. A clean shutdown's log ends at
+        // its CheckpointEnd with an empty ATT — redo may still re-apply
+        // the checkpoint's own page images, so that case is excluded.
+        let clean_shutdown = analysis.ends_at_checkpoint && analysis.att.is_empty();
+        if !clean_shutdown && (replayed > 0 || db.recovered_losers > 0) {
+            metrics.recovery.crash_recoveries.inc();
+        }
         // Post-recovery checkpoint establishes a fresh redo scan start.
         db.checkpoint()?;
         Ok(db)
@@ -275,6 +319,12 @@ impl Database {
     /// Persistent timestamp table size (experiments).
     pub fn ptt_len(&self) -> Result<usize> {
         self.ptt.len()
+    }
+
+    /// All PTT rows as `(tid, commit timestamp)` pairs (chaos-test
+    /// invariant checks: only committed transactions may appear here).
+    pub fn ptt_entries(&self) -> Result<Vec<(Tid, Timestamp)>> {
+        self.ptt.entries()
     }
 
     /// Volatile timestamp table size (experiments).

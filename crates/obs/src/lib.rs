@@ -224,6 +224,9 @@ pub struct BufferMetrics {
     pub evictions: Counter,
     /// Dirty pages written back to disk.
     pub flushes: Counter,
+    /// Write-backs that failed (WAL flush or page write error); the frame
+    /// stays dirty and cached.
+    pub flush_errors: Counter,
 }
 
 /// Write-ahead-log instruments.
@@ -254,6 +257,29 @@ pub struct RecoveryMetrics {
     pub losers_rolled_back: Counter,
     /// Checkpoints taken.
     pub checkpoints: Counter,
+    /// Restarts that actually recovered work (replayed records or rolled
+    /// back losers) rather than finding a clean shutdown.
+    pub crash_recoveries: Counter,
+    /// Versions that lost their timestamp in a crash (flushed TID-marked)
+    /// and were re-stamped from the persisted timestamp table afterwards.
+    pub versions_restamped: Counter,
+    /// Pages whose on-disk image failed CRC verification during redo and
+    /// were rebuilt from a logged full-page image.
+    pub torn_pages_repaired: Counter,
+}
+
+/// Injected-fault instruments (populated by the chaos crate's fault VFS;
+/// always zero in production).
+#[derive(Debug, Default)]
+pub struct FaultMetrics {
+    /// Page/WAL writes deliberately torn (partial write then crash).
+    pub torn_writes: Counter,
+    /// `fsync` calls failed by injection.
+    pub fsync_errors: Counter,
+    /// Reads failed by injection (transient).
+    pub read_errors: Counter,
+    /// Simulated crash cut-points hit.
+    pub crashes: Counter,
 }
 
 /// Multi-granularity lock-manager instruments.
@@ -331,6 +357,7 @@ pub struct Metrics {
     pub locks: LockMetrics,
     pub ts: TimestampMetrics,
     pub tree: TreeMetrics,
+    pub faults: FaultMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

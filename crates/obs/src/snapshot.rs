@@ -50,6 +50,7 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("buffer.misses".into(), m.buffer.misses.get()),
         ("buffer.evictions".into(), m.buffer.evictions.get()),
         ("buffer.flushes".into(), m.buffer.flushes.get()),
+        ("buffer.flush_errors".into(), m.buffer.flush_errors.get()),
         ("wal.appends".into(), m.wal.appends.get()),
         ("wal.bytes".into(), m.wal.bytes.get()),
         ("wal.fsyncs".into(), m.wal.fsyncs.get()),
@@ -65,6 +66,18 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
             m.recovery.losers_rolled_back.get(),
         ),
         ("recovery.checkpoints".into(), m.recovery.checkpoints.get()),
+        (
+            "recovery.crash_recoveries".into(),
+            m.recovery.crash_recoveries.get(),
+        ),
+        (
+            "recovery.versions_restamped".into(),
+            m.recovery.versions_restamped.get(),
+        ),
+        (
+            "recovery.torn_pages_repaired".into(),
+            m.recovery.torn_pages_repaired.get(),
+        ),
         ("locks.acquired.is".into(), m.locks.acquired_is.get()),
         ("locks.acquired.ix".into(), m.locks.acquired_ix.get()),
         ("locks.acquired.s".into(), m.locks.acquired_s.get()),
@@ -87,6 +100,10 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("tree.time_splits".into(), m.tree.time_splits.get()),
         ("tree.key_splits".into(), m.tree.key_splits.get()),
         ("tree.asof_hops".into(), m.tree.asof_hops.get()),
+        ("faults.torn_writes".into(), m.faults.torn_writes.get()),
+        ("faults.fsync_errors".into(), m.faults.fsync_errors.get()),
+        ("faults.read_errors".into(), m.faults.read_errors.get()),
+        ("faults.crashes".into(), m.faults.crashes.get()),
     ];
     let histograms = vec![
         ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
@@ -216,8 +233,14 @@ mod tests {
         r.buffer.hits.add(9);
         r.buffer.misses.inc();
         r.wal.fsync_ns.observe(1000);
+        r.faults.torn_writes.inc();
+        r.recovery.versions_restamped.add(3);
         let s = r.snapshot();
         assert_eq!(s.get("buffer.fetches"), Some(10));
+        assert_eq!(s.get("faults.torn_writes"), Some(1));
+        assert_eq!(s.get("recovery.versions_restamped"), Some(3));
+        assert_eq!(s.get("recovery.crash_recoveries"), Some(0));
+        assert_eq!(s.get("buffer.flush_errors"), Some(0));
         assert_eq!(s.get("wal.fsync_ns.count"), Some(1));
         assert_eq!(s.get("wal.fsync_ns.sum"), Some(1000));
         assert_eq!(s.get("no.such.metric"), None);

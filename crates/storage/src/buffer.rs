@@ -20,8 +20,11 @@ use immortaldb_common::{Lsn, PageId, Result, NULL_LSN};
 use immortaldb_obs::MetricsRegistry;
 
 use crate::disk::DiskManager;
+use crate::logrec::LogRecord;
 use crate::page::{Page, PageType};
-use crate::wal::Wal;
+use crate::wal::{Durability, Wal};
+
+use immortaldb_common::{Error, Tid};
 
 /// Hook invoked with a write-latched page right before its image is
 /// written to disk. The transaction manager installs a hook that stamps
@@ -101,6 +104,12 @@ pub struct BufferPool {
     capacity: usize,
     table: Mutex<HashMap<PageId, FrameRef>>,
     flush_hook: RwLock<Option<Arc<dyn FlushHook>>>,
+    /// When set, every page write-back first logs the full page image
+    /// (and flushes the WAL), so a torn data-page write — detected by the
+    /// page CRC on the next read — can be repaired during redo. Off by
+    /// default: it roughly doubles write volume and matters only under a
+    /// torn-write failure model.
+    page_image_logging: AtomicBool,
     metrics: MetricsRegistry,
 }
 
@@ -123,8 +132,19 @@ impl BufferPool {
             capacity: capacity.max(8),
             table: Mutex::new(HashMap::new()),
             flush_hook: RwLock::new(None),
+            page_image_logging: AtomicBool::new(false),
             metrics,
         }
+    }
+
+    /// Enable or disable full-page-image logging on write-back.
+    pub fn set_page_image_logging(&self, on: bool) {
+        self.page_image_logging.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether write-backs log full page images first.
+    pub fn page_image_logging(&self) -> bool {
+        self.page_image_logging.load(Ordering::SeqCst)
     }
 
     /// The registry this pool (and components reached through it) records
@@ -193,7 +213,15 @@ impl BufferPool {
                 // The victim is still in the table while we flush, so a
                 // concurrent fetch shares this frame instead of reading a
                 // stale image from disk.
-                self.write_back(&victim)?;
+                //
+                // A failed write-back must NOT fail this fetch or drop the
+                // victim: the frame stays dirty and cached (write_back
+                // only clears the dirty bit on success), the pool simply
+                // runs over capacity until a later flush succeeds.
+                if let Err(_e) = self.write_back(&victim) {
+                    self.metrics.buffer.flush_errors.inc();
+                    continue;
+                }
                 let mut table = self.table.lock();
                 // Only unmap if nobody re-dirtied or re-pinned it
                 // meanwhile (strong count: table + our clone).
@@ -204,6 +232,32 @@ impl BufferPool {
             }
         }
         Ok(frame)
+    }
+
+    /// [`Self::fetch`], but a page whose on-disk image fails CRC
+    /// verification is cached as a zeroed frame (page LSN 0) instead of
+    /// erroring. Recovery uses this so a torn page can be rebuilt from a
+    /// logged full-page image; returns whether the page was reset.
+    pub fn fetch_or_reset(&self, id: PageId) -> Result<(FrameRef, bool)> {
+        match self.fetch(id) {
+            Ok(f) => Ok((f, false)),
+            Err(Error::Corruption(_)) => {
+                let mut table = self.table.lock();
+                if let Some(f) = table.get(&id) {
+                    return Ok((Arc::clone(f), false));
+                }
+                let frame = Arc::new(Frame {
+                    id,
+                    data: Arc::new(RwLock::new(Page::zeroed())),
+                    dirty: AtomicBool::new(false),
+                    rec_lsn: AtomicU64::new(0),
+                    referenced: AtomicBool::new(true),
+                });
+                table.insert(id, Arc::clone(&frame));
+                Ok((frame, true))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Select up to `want` eviction victims (unpinned, second-chance) and
@@ -268,7 +322,22 @@ impl BufferPool {
         if let Some(hook) = hook {
             hook.before_flush(&mut guard);
         }
-        self.wal.flush_to(guard.page_lsn())?;
+        if self.page_image_logging() {
+            // Log the exact image about to hit disk (post-hook, so the
+            // stamps it applied are in the image too) and push it into the
+            // log file. If the page write then tears, redo rebuilds the
+            // page from this image.
+            self.wal.append(
+                Tid::SYSTEM,
+                NULL_LSN,
+                &LogRecord::PageImages {
+                    pages: vec![(frame.id, guard.as_bytes().to_vec())],
+                },
+            );
+            self.wal.flush(Durability::Buffered)?;
+        } else {
+            self.wal.flush_to(guard.page_lsn())?;
+        }
         self.disk.write_page(&guard)?;
         frame.dirty.store(false, Ordering::SeqCst);
         frame.rec_lsn.store(NULL_LSN.0, Ordering::SeqCst);
@@ -441,6 +510,126 @@ mod tests {
         );
         let _ = std::fs::remove_file(db);
         let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn failed_write_back_keeps_frame_dirty_and_data_safe() {
+        use crate::vfs::{StdFs, Vfs, VfsFile};
+
+        // A VFS whose data-file writes and syncs fail while `fail` is set.
+        struct FailFile {
+            inner: Arc<dyn VfsFile>,
+            fail: Arc<AtomicBool>,
+        }
+        impl VfsFile for FailFile {
+            fn read_exact_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+                self.inner.read_exact_at(buf, off)
+            }
+            fn write_all_at(&self, data: &[u8], off: u64) -> Result<()> {
+                if self.fail.load(Ordering::SeqCst) {
+                    return Err(Error::Io(std::io::Error::other("injected write error")));
+                }
+                self.inner.write_all_at(data, off)
+            }
+            fn sync(&self) -> Result<()> {
+                if self.fail.load(Ordering::SeqCst) {
+                    return Err(Error::Io(std::io::Error::other("injected fsync error")));
+                }
+                self.inner.sync()
+            }
+            fn len(&self) -> Result<u64> {
+                self.inner.len()
+            }
+            fn set_len(&self, len: u64) -> Result<()> {
+                self.inner.set_len(len)
+            }
+        }
+        struct FailVfs {
+            fail: Arc<AtomicBool>,
+        }
+        impl Vfs for FailVfs {
+            fn open(&self, path: &std::path::Path) -> Result<Arc<dyn VfsFile>> {
+                Ok(Arc::new(FailFile {
+                    inner: StdFs.open(path)?,
+                    fail: Arc::clone(&self.fail),
+                }))
+            }
+            fn read_file(&self, path: &std::path::Path) -> Result<Option<Vec<u8>>> {
+                StdFs.read_file(path)
+            }
+            fn write_file_atomic(&self, path: &std::path::Path, data: &[u8]) -> Result<()> {
+                StdFs.write_file_atomic(path, data)
+            }
+            fn remove_file(&self, path: &std::path::Path) -> Result<()> {
+                StdFs.remove_file(path)
+            }
+            fn exists(&self, path: &std::path::Path) -> bool {
+                StdFs.exists(path)
+            }
+        }
+
+        let mut db = std::env::temp_dir();
+        db.push(format!("immortal-buf-failvfs-{}.db", std::process::id()));
+        let mut wp = std::env::temp_dir();
+        wp.push(format!("immortal-buf-failvfs-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&wp);
+        let fail = Arc::new(AtomicBool::new(false));
+        let vfs: Arc<dyn Vfs> = Arc::new(FailVfs {
+            fail: Arc::clone(&fail),
+        });
+        let (disk, _) = DiskManager::open_with(Arc::clone(&vfs), &db).unwrap();
+        let disk = Arc::new(disk);
+        let w = Arc::new(Wal::open_with(Arc::clone(&vfs), &wp, MetricsRegistry::new()).unwrap());
+        let pool = BufferPool::new(Arc::clone(&disk), Arc::clone(&w), 8);
+
+        // Direct write-back failure: the dirty bit must survive the error.
+        let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+        let probe = f.page_id();
+        {
+            let mut g = f.write();
+            g.insert_sorted(b"probe", b"p", 0).unwrap();
+        }
+        drop(f);
+        pool.flush_all().unwrap();
+        pool.drop_all_dirty(); // forget clean frames; probe stays on disk
+
+        // 12 dirty pages in a capacity-8 pool.
+        let mut ids = Vec::new();
+        for i in 0..12u8 {
+            let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+            {
+                let mut g = f.write();
+                g.insert_sorted(&[i], &[i], 0).unwrap();
+            }
+            f.mark_dirty(Lsn(0));
+            ids.push(f.page_id());
+        }
+        fail.store(true, Ordering::SeqCst);
+        assert!(pool.flush_all().is_err(), "flush must report the I/O error");
+        assert_eq!(
+            pool.dirty_page_table().len(),
+            12,
+            "no dirty bit may be cleared by a failed flush"
+        );
+        // Eviction path: a fetch miss over capacity tries to evict, every
+        // victim write-back fails — the fetch itself must still succeed
+        // and the victims must stay cached and dirty.
+        let before = pool.metrics().buffer.flush_errors.get();
+        let pf = pool.fetch(probe).unwrap();
+        assert_eq!(pf.read().rec_key(pf.read().slot(0)), b"probe");
+        assert!(pool.metrics().buffer.flush_errors.get() > before);
+        assert_eq!(pool.dirty_page_table().len(), 12);
+        // Fault clears: everything drains to disk intact.
+        fail.store(false, Ordering::SeqCst);
+        pool.flush_all().unwrap();
+        assert!(pool.dirty_page_table().is_empty());
+        for (i, id) in ids.iter().enumerate() {
+            let p = disk.read_page(*id).unwrap();
+            assert_eq!(p.rec_key(p.slot(0)), &[i as u8]);
+        }
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&wp);
     }
 
     #[test]

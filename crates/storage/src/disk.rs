@@ -1,26 +1,32 @@
 //! Disk manager: the single database file of fixed-size pages.
 //!
-//! Pages are read and written with positioned I/O (`pread`/`pwrite`);
-//! allocation is a monotonic high-water mark derived from the file length,
-//! so it needs no logging — a page allocated but orphaned by a crash is
-//! merely leaked space (documented trade-off; nothing in this engine frees
-//! pages, historical pages are immortal by design).
+//! Pages are read and written with positioned I/O (`pread`/`pwrite`)
+//! through the [`crate::vfs`] seam; allocation is a monotonic high-water
+//! mark derived from the file length, so it needs no logging — a page
+//! allocated but orphaned by a crash is merely leaked space (documented
+//! trade-off; nothing in this engine frees pages, historical pages are
+//! immortal by design).
+//!
+//! Every page image is stamped with a whole-page CRC on write and
+//! verified on read, so a torn 8 KB write (some sectors old, some new)
+//! surfaces as [`Error::Corruption`] instead of silently wrong data.
+//! Recovery repairs such pages from full-page images in the WAL.
 
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use immortaldb_common::{Error, PageId, Result, PAGE_SIZE};
 
 use crate::meta::MetaView;
-use crate::page::Page;
+use crate::page::{self, Page};
+use crate::vfs::{std_fs, Vfs, VfsFile};
 
 /// Manages the database page file.
 pub struct DiskManager {
-    file: File,
+    file: Arc<dyn VfsFile>,
     path: PathBuf,
     /// Next page number to hand out (== current page count of the file).
     next_page: AtomicU32,
@@ -30,23 +36,29 @@ pub struct DiskManager {
 }
 
 impl DiskManager {
-    /// Open an existing database file or create a fresh one (with a
-    /// formatted meta page). Returns the manager and whether the file was
-    /// newly created.
+    /// Open through the production [`crate::vfs::StdFs`].
     pub fn open(path: impl AsRef<Path>) -> Result<(DiskManager, bool)> {
+        Self::open_with(std_fs(), path)
+    }
+
+    /// Open an existing database file or create a fresh one (with a
+    /// formatted, fsynced meta page) through the given VFS. Returns the
+    /// manager and whether the file was newly created.
+    ///
+    /// A file length that is not a page multiple — the footprint of a
+    /// crash in the middle of an extending write — is repaired by
+    /// truncating back to the last whole page.
+    pub fn open_with(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<(DiskManager, bool)> {
         let path = path.as_ref().to_path_buf();
-        let existed = path.exists();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false) // existing pages must survive reopen
-            .open(&path)?;
-        let len = file.metadata()?.len();
+        let existed = vfs.exists(&path);
+        let file = vfs.open(&path)?;
+        let mut len = file.len()?;
         if existed && len % PAGE_SIZE as u64 != 0 {
-            return Err(Error::Corruption(format!(
-                "database file length {len} is not a multiple of the page size"
-            )));
+            // Torn extension: drop the partial page; it was never
+            // acknowledged as allocated to any caller that could have
+            // logged against it.
+            len -= len % PAGE_SIZE as u64;
+            file.set_len(len)?;
         }
         let mgr = DiskManager {
             file,
@@ -59,11 +71,20 @@ impl DiskManager {
             let mut meta = Page::zeroed();
             MetaView::init(&mut meta);
             let _guard = mgr.alloc_lock.lock();
-            mgr.file.write_all_at(meta.as_bytes(), 0)?;
             mgr.next_page.store(1, Ordering::SeqCst);
+            mgr.write_page(&meta)?;
+            // Make the formatted meta page durable immediately: a crash
+            // right after create must not leave an unvalidatable file.
+            mgr.file.sync()?;
         } else {
-            let meta = mgr.read_page(PageId(0))?;
-            MetaView::validate(&meta)?;
+            // Validate the meta page, but tolerate a torn page 0: recovery
+            // repairs it from a logged full-page image, and the engine
+            // re-validates after redo.
+            match mgr.read_page(PageId(0)) {
+                Ok(meta) => MetaView::validate(&meta)?,
+                Err(Error::Corruption(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok((mgr, fresh))
     }
@@ -78,7 +99,7 @@ impl DiskManager {
         self.next_page.load(Ordering::SeqCst)
     }
 
-    /// Read a page image from disk.
+    /// Read a page image from disk, verifying its CRC.
     pub fn read_page(&self, id: PageId) -> Result<Page> {
         if id.0 >= self.num_pages() {
             return Err(Error::Corruption(format!(
@@ -89,17 +110,24 @@ impl DiskManager {
         let mut buf = vec![0u8; PAGE_SIZE];
         self.file
             .read_exact_at(&mut buf, id.file_offset(PAGE_SIZE))?;
+        if !page::verify_image_crc(&mut buf) {
+            return Err(Error::Corruption(format!(
+                "page {id:?} failed CRC verification (torn or corrupt write)"
+            )));
+        }
         Page::from_bytes(&buf)
     }
 
-    /// Write a page image to disk (no fsync; see [`Self::sync`]).
-    pub fn write_page(&self, page: &Page) -> Result<()> {
-        let id = page.page_id();
+    /// Write a page image to disk, stamping its CRC (no fsync; see
+    /// [`Self::sync`]).
+    pub fn write_page(&self, page_ref: &Page) -> Result<()> {
+        let id = page_ref.page_id();
         if id.0 >= self.num_pages() {
             return Err(Error::Internal(format!("write of unallocated page {id:?}")));
         }
-        self.file
-            .write_all_at(page.as_bytes(), id.file_offset(PAGE_SIZE))?;
+        let mut buf = page_ref.as_bytes().to_vec();
+        page::stamp_image_crc(&mut buf);
+        self.file.write_all_at(&buf, id.file_offset(PAGE_SIZE))?;
         Ok(())
     }
 
@@ -115,8 +143,7 @@ impl DiskManager {
 
     /// Flush file contents to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.file.sync_data()?;
-        Ok(())
+        self.file.sync()
     }
 }
 
@@ -189,10 +216,52 @@ mod tests {
     }
 
     #[test]
-    fn rejects_torn_file_length() {
+    fn torn_file_length_is_truncated_on_open() {
         let path = tmp("torn");
-        std::fs::write(&path, vec![0u8; PAGE_SIZE + 100]).unwrap();
-        assert!(DiskManager::open(&path).is_err());
+        {
+            let (d, _) = DiskManager::open(&path).unwrap();
+            let id = d.allocate().unwrap();
+            let mut p = Page::zeroed();
+            p.format(id, PageType::Leaf, 0, 0);
+            d.write_page(&p).unwrap();
+            d.sync().unwrap();
+        }
+        // Simulate a crash mid-extension: a dangling partial page.
+        let intact = std::fs::read(&path).unwrap();
+        std::fs::write(&path, [&intact[..], &[0xAAu8; 100][..]].concat()).unwrap();
+        let (d, fresh) = DiskManager::open(&path).unwrap();
+        assert!(!fresh);
+        assert_eq!(d.num_pages(), 2);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            2 * PAGE_SIZE as u64
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_page_fails_crc_on_read() {
+        let path = tmp("crc");
+        let id;
+        {
+            let (d, _) = DiskManager::open(&path).unwrap();
+            id = d.allocate().unwrap();
+            let mut p = Page::zeroed();
+            p.format(id, PageType::Leaf, 0, 0);
+            p.insert_sorted(b"k", b"v", 0).unwrap();
+            d.write_page(&p).unwrap();
+            d.sync().unwrap();
+        }
+        // Flip one byte in the middle of the stored record heap.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = id.file_offset(PAGE_SIZE) as usize + crate::page::HEADER_SIZE + 2;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (d, _) = DiskManager::open(&path).unwrap();
+        match d.read_page(id) {
+            Err(Error::Corruption(msg)) => assert!(msg.contains("CRC"), "{msg}"),
+            other => panic!("expected CRC corruption, got {other:?}"),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 }

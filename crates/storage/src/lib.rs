@@ -18,6 +18,7 @@ pub mod meta;
 pub mod page;
 pub mod recovery;
 pub mod version;
+pub mod vfs;
 pub mod wal;
 
 use immortaldb_common::{Tid, Timestamp};

@@ -18,7 +18,7 @@ use immortaldb_common::time::SN_TID_MARK;
 use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, PAGE_SIZE, VERSION_TAIL};
 
 /// Size of the fixed page header in bytes.
-pub const HEADER_SIZE: usize = 56;
+pub const HEADER_SIZE: usize = 64;
 
 /// Per-record header preceding the key bytes: `key_len:u16 | data_len:u16
 /// | flags:u8`.
@@ -39,6 +39,10 @@ const OFF_START_TTIME: usize = 32;
 const OFF_START_SN: usize = 40;
 const OFF_END_TTIME: usize = 44;
 const OFF_END_SN: usize = 52;
+/// Whole-page CRC, stamped by the disk manager on write and verified on
+/// read (the field itself is zeroed while computing). In-memory pages
+/// leave it zero. 4 bytes follow as reserved header space.
+const OFF_CRC: usize = 56;
 
 /// Page flags.
 pub const FLAG_HISTORICAL: u8 = 0b0000_0001;
@@ -635,6 +639,28 @@ impl Page {
     }
 }
 
+/// Stamp the page-image CRC into a raw [`PAGE_SIZE`] buffer about to hit
+/// disk. The CRC covers the whole image with the CRC field zeroed.
+pub fn stamp_image_crc(buf: &mut [u8]) {
+    debug_assert_eq!(buf.len(), PAGE_SIZE);
+    put_u32(buf, OFF_CRC, 0);
+    let crc = immortaldb_common::codec::crc32(buf);
+    put_u32(buf, OFF_CRC, crc);
+}
+
+/// Verify the page-image CRC of a raw buffer just read from disk, zeroing
+/// the CRC field in place (in-memory pages keep it zero). An all-zero
+/// image passes: it is a freshly allocated, never-written page.
+pub fn verify_image_crc(buf: &mut [u8]) -> bool {
+    debug_assert_eq!(buf.len(), PAGE_SIZE);
+    let stored = get_u32(buf, OFF_CRC);
+    put_u32(buf, OFF_CRC, 0);
+    if stored == 0 && buf.iter().all(|&b| b == 0) {
+        return true;
+    }
+    immortaldb_common::codec::crc32(buf) == stored
+}
+
 impl std::fmt::Debug for Page {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Page")
@@ -813,6 +839,22 @@ mod tests {
         assert_eq!(q.slot_count(), 1);
         assert_eq!(q.rec_key(q.slot(0)), b"x");
         assert!(Page::from_bytes(&[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn image_crc_roundtrip_and_detection() {
+        let mut p = leaf(false);
+        p.insert_sorted(b"k", b"v", 0).unwrap();
+        let mut buf = p.as_bytes().to_vec();
+        stamp_image_crc(&mut buf);
+        assert!(verify_image_crc(&mut buf.clone()));
+        // A single flipped byte (torn/corrupt write) is detected.
+        let mut torn = buf.clone();
+        torn[HEADER_SIZE + 1] ^= 0xFF;
+        assert!(!verify_image_crc(&mut torn));
+        // A never-written page (all zeroes) passes.
+        let mut zero = vec![0u8; PAGE_SIZE];
+        assert!(verify_image_crc(&mut zero));
     }
 
     #[test]

@@ -16,8 +16,7 @@
 //! [`checkpoint`] implements the fuzzy checkpoint whose redo-scan-start
 //! LSN gates PTT garbage collection.
 
-use std::collections::{BinaryHeap, HashMap};
-use std::io::Write;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId, NULL_LSN};
@@ -54,6 +53,10 @@ pub struct Analysis {
     pub max_tid: Tid,
     /// End of the scanned log.
     pub end_lsn: Lsn,
+    /// The scan's final record was a `CheckpointEnd`. Together with an
+    /// empty ATT this identifies a clean shutdown: redo may still
+    /// re-apply the checkpoint's own page images, but nothing was lost.
+    pub ends_at_checkpoint: bool,
 }
 
 impl Analysis {
@@ -83,7 +86,7 @@ fn master_path(wal: &Wal) -> PathBuf {
 
 /// Read the checkpoint-begin LSN from the master record, if present.
 pub fn read_master(wal: &Wal) -> Option<Lsn> {
-    let bytes = std::fs::read(master_path(wal)).ok()?;
+    let bytes = wal.vfs().read_file(&master_path(wal)).ok()??;
     if bytes.len() != 12 {
         return None;
     }
@@ -95,25 +98,18 @@ pub fn read_master(wal: &Wal) -> Option<Lsn> {
     Some(Lsn(lsn))
 }
 
-/// Atomically persist the checkpoint-begin LSN (write + rename).
+/// Atomically persist the checkpoint-begin LSN (write + rename, through
+/// the WAL's VFS).
 pub fn write_master(wal: &Wal, lsn: Lsn) -> Result<()> {
-    let path = master_path(wal);
-    let tmp = path.with_extension("master.tmp");
     let mut bytes = Vec::with_capacity(12);
     bytes.extend_from_slice(&lsn.0.to_le_bytes());
     bytes.extend_from_slice(&immortaldb_common::codec::crc32(&lsn.0.to_le_bytes()).to_le_bytes());
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_data()?;
-    }
-    std::fs::rename(&tmp, &path)?;
-    Ok(())
+    wal.vfs().write_file_atomic(&master_path(wal), &bytes)
 }
 
 /// Remove the master record (tests).
 pub fn clear_master(wal: &Wal) {
-    let _ = std::fs::remove_file(master_path(wal));
+    let _ = wal.vfs().remove_file(&master_path(wal));
 }
 
 // ---------------------------------------------------------------------
@@ -133,6 +129,7 @@ pub fn analyze(wal: &Wal, start: Lsn) -> Result<Analysis> {
     for entry in wal.iter_from(start)? {
         let e = entry?;
         a.end_lsn = e.next_lsn;
+        a.ends_at_checkpoint = matches!(e.record, LogRecord::CheckpointEnd { .. });
         if e.tid > a.max_tid {
             a.max_tid = e.tid;
         }
@@ -190,15 +187,27 @@ pub fn analyze(wal: &Wal, start: Lsn) -> Result<Analysis> {
 
 /// Repeat history from `redo_start`. Returns the number of operations
 /// actually re-applied (skipped ones were already on disk).
+///
+/// A page whose on-disk image fails CRC verification (torn write at the
+/// crash) is tolerated as long as a logged full-page image later in the
+/// scan rebuilds it: the page is cached as zeroed (page LSN 0), the image
+/// applies unconditionally, and any following logical records replay on
+/// top. If the scan ends with a torn page never repaired, redo fails —
+/// the database genuinely lost that page.
 pub fn redo(wal: &Wal, pool: &BufferPool, analysis: &Analysis, redo_start: Lsn) -> Result<usize> {
+    let metrics = pool.metrics().clone();
     let mut applied = 0usize;
+    let mut torn: HashSet<PageId> = HashSet::new();
     for entry in wal.iter_from(redo_start)? {
         let e = entry?;
         match &e.record {
             LogRecord::PageImages { pages } => {
                 for (id, img) in pages {
                     pool.ensure_allocated(*id)?;
-                    let frame = pool.fetch(*id)?;
+                    let (frame, was_reset) = pool.fetch_or_reset(*id)?;
+                    if was_reset {
+                        metrics.recovery.torn_pages_repaired.inc();
+                    }
                     let mut g = frame.write();
                     if g.page_lsn() < e.lsn {
                         let fresh = crate::page::Page::from_bytes(img)?;
@@ -207,6 +216,7 @@ pub fn redo(wal: &Wal, pool: &BufferPool, analysis: &Analysis, redo_start: Lsn) 
                         frame.mark_dirty(e.lsn);
                         applied += 1;
                     }
+                    torn.remove(id);
                 }
             }
             rec => {
@@ -218,7 +228,17 @@ pub fn redo(wal: &Wal, pool: &BufferPool, analysis: &Analysis, redo_start: Lsn) 
                     _ => continue,
                 }
                 pool.ensure_allocated(page_id)?;
-                let frame = pool.fetch(page_id)?;
+                let frame = match pool.fetch(page_id) {
+                    Ok(f) => f,
+                    Err(Error::Corruption(_)) => {
+                        // Torn on disk: its logical records are skipped —
+                        // the full-page image that must follow contains
+                        // their effects.
+                        torn.insert(page_id);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 let mut g = frame.write();
                 if g.page_lsn() >= e.lsn {
                     continue;
@@ -229,6 +249,12 @@ pub fn redo(wal: &Wal, pool: &BufferPool, analysis: &Analysis, redo_start: Lsn) 
                 applied += 1;
             }
         }
+    }
+    if !torn.is_empty() {
+        return Err(Error::Corruption(format!(
+            "redo finished with unrepaired torn pages {torn:?} \
+             (no full-page image in the log; enable page-image logging)"
+        )));
     }
     Ok(applied)
 }

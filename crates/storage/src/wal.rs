@@ -11,10 +11,9 @@
 //! optionally fsyncs) it. The buffer pool calls [`Wal::flush_to`] before
 //! writing any page, enforcing the WAL rule.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -23,6 +22,7 @@ use immortaldb_common::{Error, Lsn, Result, Tid};
 use immortaldb_obs::MetricsRegistry;
 
 use crate::logrec::LogRecord;
+use crate::vfs::{std_fs, Vfs, VfsFile};
 
 /// Size of the per-record frame header (`len` + `crc`).
 const FRAME_HDR: u64 = 8;
@@ -46,7 +46,6 @@ pub enum Durability {
 }
 
 struct WalInner {
-    file: File,
     /// File offset where the in-memory buffer begins (== durable length).
     buf_start: u64,
     buf: Vec<u8>,
@@ -55,6 +54,10 @@ struct WalInner {
 /// The write-ahead log.
 pub struct Wal {
     path: PathBuf,
+    /// The VFS the log (and the recovery master record next to it) lives
+    /// on.
+    vfs: Arc<dyn Vfs>,
+    file: Arc<dyn VfsFile>,
     inner: Mutex<WalInner>,
     /// Highest LSN guaranteed written to the file (not necessarily
     /// fsynced).
@@ -83,19 +86,21 @@ impl Wal {
 
     /// [`Self::open`], recording into a shared registry.
     pub fn with_metrics(path: impl AsRef<Path>, metrics: MetricsRegistry) -> Result<Wal> {
+        Self::open_with(std_fs(), path, metrics)
+    }
+
+    /// [`Self::open`] through the given VFS.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        metrics: MetricsRegistry,
+    ) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false) // never truncate: the log IS the durability
-            .open(&path)?;
-        if file.metadata()?.len() < WAL_START.0 {
+        let file = vfs.open(&path)?;
+        if file.len()? < WAL_START.0 {
             file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(WAL_MAGIC)?;
+            file.write_all_at(WAL_MAGIC, 0)?;
         } else {
-            use std::os::unix::fs::FileExt;
             let mut magic = [0u8; 8];
             file.read_exact_at(&mut magic, 0)?;
             if &magic != WAL_MAGIC {
@@ -103,13 +108,13 @@ impl Wal {
             }
         }
         // Find the end of the valid prefix so a torn tail is overwritten.
-        let end = scan_valid_end(&mut file)?;
-        file.seek(SeekFrom::Start(end))?;
+        let end = scan_valid_end(file.as_ref())?;
         file.set_len(end)?;
         Ok(Wal {
             path,
+            vfs,
+            file,
             inner: Mutex::new(WalInner {
-                file,
                 buf_start: end,
                 buf: Vec::with_capacity(64 * 1024),
             }),
@@ -120,6 +125,12 @@ impl Wal {
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The VFS this log lives on (also used for the recovery master
+    /// record, which sits next to the log file).
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// The registry this log records into.
@@ -161,19 +172,24 @@ impl Wal {
     }
 
     /// Write the whole buffer out (optionally fsync).
+    ///
+    /// The buffer is only consumed once the write succeeds: a failed (or
+    /// torn) write leaves it intact, and the positioned rewrite at
+    /// `buf_start` on the next flush is idempotent.
     pub fn flush(&self, durability: Durability) -> Result<()> {
         let mut inner = self.inner.lock();
         if !inner.buf.is_empty() {
-            let buf = std::mem::take(&mut inner.buf);
-            inner.file.write_all(&buf)?;
-            inner.buf_start += buf.len() as u64;
+            let start = inner.buf_start;
+            self.file.write_all_at(&inner.buf, start)?;
+            inner.buf_start += inner.buf.len() as u64;
+            inner.buf.clear();
             let start = inner.buf_start;
             self.written_lsn.store(start, Ordering::SeqCst);
         }
         if durability == Durability::Fsync {
             self.metrics.wal.fsyncs.inc();
             let _timer = self.metrics.wal.fsync_ns.start_timer();
-            inner.file.sync_data()?;
+            self.file.sync()?;
         }
         Ok(())
     }
@@ -192,10 +208,9 @@ impl Wal {
     pub fn iter_from(&self, from: Lsn) -> Result<WalIter> {
         // Make sure everything appended so far is scannable.
         self.flush(Durability::Buffered)?;
-        let file = OpenOptions::new().read(true).open(&self.path)?;
-        let len = file.metadata()?.len();
+        let len = self.file.len()?;
         Ok(WalIter {
-            file,
+            file: Arc::clone(&self.file),
             pos: from.0.max(WAL_START.0),
             end: len,
         })
@@ -210,17 +225,17 @@ impl Wal {
     }
 }
 
-/// Sequential reader over the log file.
+/// Sequential reader over the log file (shares the writer's handle;
+/// positioned reads carry no cursor state).
 pub struct WalIter {
-    file: File,
+    file: Arc<dyn VfsFile>,
     pos: u64,
     end: u64,
 }
 
 impl WalIter {
     fn read_exact_at(&mut self, buf: &mut [u8], off: u64) -> Result<()> {
-        use std::os::unix::fs::FileExt;
-        self.file.read_exact_at(buf, off).map_err(Error::from)
+        self.file.read_exact_at(buf, off)
     }
 }
 
@@ -269,10 +284,9 @@ impl Iterator for WalIter {
 
 /// Scan the file from the start and return the offset just past the last
 /// complete, CRC-valid record.
-fn scan_valid_end(file: &mut File) -> Result<u64> {
-    let len = file.metadata()?.len();
+fn scan_valid_end(file: &dyn VfsFile) -> Result<u64> {
+    let len = file.len()?;
     let mut pos = WAL_START.0;
-    use std::os::unix::fs::FileExt;
     loop {
         if pos + FRAME_HDR > len {
             return Ok(pos);
@@ -297,6 +311,7 @@ fn scan_valid_end(file: &mut File) -> Result<u64> {
 mod tests {
     use super::*;
     use immortaldb_common::{PageId, Timestamp, TreeId};
+    use std::fs::OpenOptions;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
@@ -376,6 +391,53 @@ mod tests {
         let entries: Vec<_> = wal.iter_from(Lsn(0)).unwrap().map(|e| e.unwrap()).collect();
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[2].lsn, l);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_every_truncation_point_replays_prefix() {
+        // Cut the file at every byte offset inside the last two records —
+        // both hard truncation and garbage-fill (a torn sector write) —
+        // and assert reopen replays exactly the records whose bytes fully
+        // survive, ignoring the tail.
+        let path = tmp("everyoff");
+        let wal = Wal::open(&path).unwrap();
+        wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        let l2 = wal.append(
+            Tid(1),
+            Lsn(0),
+            &LogRecord::Commit {
+                ts: Timestamp::new(20, 0),
+            },
+        );
+        let l3 = wal.append(Tid(1), l2, &LogRecord::End);
+        wal.flush(Durability::Fsync).unwrap();
+        let end = wal.end_lsn();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len() as u64, end.0);
+        for cut in l2.0..end.0 {
+            let expect = if cut >= l3.0 { 2 } else { 1 };
+            // Hard truncation at `cut`.
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let wal = Wal::open(&path).unwrap();
+            let n = wal.iter_from(Lsn(0)).unwrap().fold(0, |n, e| {
+                e.unwrap();
+                n + 1
+            });
+            assert_eq!(n, expect, "truncated at {cut}");
+            drop(wal);
+            // Garbage tail: the cut record's remaining bytes replaced.
+            let mut garbled = full.clone();
+            garbled[cut as usize..].fill(0xAA);
+            std::fs::write(&path, &garbled).unwrap();
+            let wal = Wal::open(&path).unwrap();
+            let n = wal.iter_from(Lsn(0)).unwrap().fold(0, |n, e| {
+                e.unwrap();
+                n + 1
+            });
+            assert_eq!(n, expect, "garbled from {cut}");
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -79,6 +79,11 @@ impl TimestampResolver for TxnResolver {
     }
 
     fn note_stamped(&self, tid: Tid, n: u32) {
+        // A PTT-cached entry means the transaction's volatile state was
+        // lost in a crash: these stamps are post-crash timestamp repair.
+        if self.vtt.is_ptt_cached(tid) {
+            self.metrics.recovery.versions_restamped.add(n as u64);
+        }
         self.vtt.note_stamped(tid, n as u64, self.wal.end_lsn());
     }
 }

@@ -205,6 +205,18 @@ impl Vtt {
     pub fn pending(&self, tid: Tid) -> Option<u64> {
         self.entries.lock().get(&tid).and_then(|e| e.refcount)
     }
+
+    /// Whether `tid`'s entry was cached back from the PTT (undefined
+    /// refcount). True exactly for transactions whose volatile state was
+    /// lost in a crash — stamping one of their versions is post-crash
+    /// timestamp *repair*.
+    pub fn is_ptt_cached(&self, tid: Tid) -> bool {
+        self.entries
+            .lock()
+            .get(&tid)
+            .map(|e| e.refcount.is_none())
+            .unwrap_or(false)
+    }
 }
 
 impl Vtt {

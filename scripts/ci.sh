@@ -4,7 +4,7 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally:
 #
 #   scripts/ci.sh          # everything
-#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test
+#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos
 #
 # The build environment has no route to crates.io (external deps come
 # from shims/), so everything runs offline.
@@ -35,17 +35,30 @@ run_test() {
     cargo test --workspace -q
 }
 
+run_chaos() {
+    echo "== chaos smoke (crash-recovery torture, fixed seeds) =="
+    # Bounded deterministic torture runs: each crashes the engine dozens
+    # of times mid-write and audits durability, rollback, timestamp
+    # repair and AS OF stability after every recovery.
+    for seed in 42 7 1337; do
+        cargo run --release -q -p immortaldb-chaos --bin torture -- \
+            --seed "$seed" --ops 600 --crashes 8
+    done
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
+    chaos) run_chaos ;;
     all)
         run_fmt
         run_clippy
         run_test
+        run_chaos
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|test|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos]" >&2
         exit 2
         ;;
 esac
