@@ -1,0 +1,195 @@
+//! Multi-threaded commit-throughput benchmark for the WAL group-commit
+//! pipeline: N writer threads each committing single-row transactions,
+//! grouped (leader/follower shared fsyncs) vs. per-commit fsync.
+//!
+//! The interesting number is commits/second at 8 writers: per-commit
+//! fsync serializes the hottest path in the engine, while the barrier
+//! amortizes one fsync over every committer that arrived during the
+//! previous sync.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use immortaldb::{Database, DbConfig, Durability, GroupCommitConfig, Isolation, Session, Value};
+
+use crate::harness::print_table;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct GcRow {
+    pub writers: usize,
+    pub grouped: bool,
+    pub commits: u64,
+    pub secs: f64,
+    /// fsyncs issued during the measured window.
+    pub fsyncs: u64,
+    /// Group batches synced (0 when grouping is disabled).
+    pub batches: u64,
+    /// Mean committers per group batch (1.0 when grouping is disabled).
+    pub mean_batch: f64,
+}
+
+impl GcRow {
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.secs
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("immortal-bench-gc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_one(writers: usize, commits_per_writer: u64, grouped: bool) -> GcRow {
+    let dir = scratch_dir(&format!("{writers}-{grouped}"));
+    let db = Database::open(
+        DbConfig::new(&dir)
+            .pool_pages(4 * 1024)
+            .durability(Durability::Fsync)
+            .group_commit(GroupCommitConfig {
+                enabled: grouped,
+                ..GroupCommitConfig::default()
+            }),
+    )
+    .expect("open bench db");
+    let mut s = Session::new(&db);
+    s.execute("CREATE IMMORTAL TABLE Commits (Id INT PRIMARY KEY, V INT)")
+        .expect("create table");
+
+    let m = db.metrics().clone();
+    let fsyncs0 = m.wal.fsyncs.get();
+    let batches0 = m.wal.group_commits.get();
+    let batch_sum0 = m.wal.batch_size.snapshot().sum;
+
+    let db = Arc::new(db);
+    let start = Barrier::new(writers + 1);
+    let committed = AtomicU64::new(0);
+    let t0;
+    let secs;
+    {
+        let db = &db;
+        let start = &start;
+        let committed = &committed;
+        t0 = std::thread::scope(|scope| {
+            for w in 0..writers {
+                scope.spawn(move || {
+                    start.wait();
+                    for i in 0..commits_per_writer {
+                        // Disjoint keys per writer: pure commit-path
+                        // contention, no lock conflicts.
+                        let id = (w as u64 * commits_per_writer + i) as i32;
+                        let mut txn = db.begin(Isolation::Serializable);
+                        db.insert_row(
+                            &mut txn,
+                            "Commits",
+                            vec![Value::Int(id), Value::Int(w as i32)],
+                        )
+                        .expect("insert");
+                        db.commit(&mut txn).expect("commit");
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            start.wait();
+            Instant::now()
+        });
+        secs = t0.elapsed().as_secs_f64();
+    }
+
+    let commits = committed.load(Ordering::Relaxed);
+    let fsyncs = m.wal.fsyncs.get() - fsyncs0;
+    let batches = m.wal.group_commits.get() - batches0;
+    let batch_sum = m.wal.batch_size.snapshot().sum - batch_sum0;
+    let mean_batch = if batches > 0 {
+        batch_sum as f64 / batches as f64
+    } else {
+        1.0
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    GcRow {
+        writers,
+        grouped,
+        commits,
+        secs,
+        fsyncs,
+        batches,
+        mean_batch,
+    }
+}
+
+/// Run the full writer sweep, grouped and per-commit.
+pub fn run(quick: bool) -> Vec<GcRow> {
+    let per_writer: u64 = if quick { 150 } else { 500 };
+    let mut rows = Vec::new();
+    for &writers in &[1usize, 4, 8, 16] {
+        for grouped in [false, true] {
+            rows.push(run_one(writers, per_writer, grouped));
+        }
+    }
+    rows
+}
+
+pub fn report(rows: &[GcRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.writers.to_string(),
+                if r.grouped { "grouped" } else { "per-commit" }.to_string(),
+                r.commits.to_string(),
+                format!("{:.0}", r.throughput()),
+                r.fsyncs.to_string(),
+                format!("{:.1}", r.mean_batch),
+            ]
+        })
+        .collect();
+    print_table(
+        "group commit — commit throughput (fsync durability)",
+        &[
+            "writers",
+            "mode",
+            "commits",
+            "commits/s",
+            "fsyncs",
+            "mean batch",
+        ],
+        &table,
+    );
+    for &w in &[1usize, 4, 8, 16] {
+        let per = rows.iter().find(|r| r.writers == w && !r.grouped);
+        let grp = rows.iter().find(|r| r.writers == w && r.grouped);
+        if let (Some(p), Some(g)) = (per, grp) {
+            println!(
+                "  {w:>2} writers: {:.0} -> {:.0} commits/s ({:.2}x)",
+                p.throughput(),
+                g.throughput(),
+                g.throughput() / p.throughput()
+            );
+        }
+    }
+}
+
+pub fn rows_json(rows: &[GcRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"writers\":{},\"grouped\":{},\"commits\":{},\"secs\":{:.6},\
+                 \"commits_per_sec\":{:.1},\"fsyncs\":{},\"group_commits\":{},\
+                 \"mean_batch\":{:.2}}}",
+                r.writers,
+                r.grouped,
+                r.commits,
+                r.secs,
+                r.throughput(),
+                r.fsyncs,
+                r.batches,
+                r.mean_batch
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}

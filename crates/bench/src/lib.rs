@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod fig5;
 pub mod fig6;
+pub mod group_commit;
 pub mod harness;
 
 pub use harness::{BenchDb, Mode};

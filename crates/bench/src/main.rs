@@ -2,14 +2,14 @@
 //! plus the ablations.
 //!
 //! ```text
-//! immortaldb-bench [--quick] [fig5|fig6|a1|a2|a3|a4|a5|all]
+//! immortaldb-bench [--quick] [fig5|fig6|gc|a1|a2|a3|a4|a5|all]
 //! ```
 //!
 //! Figure runs additionally write machine-readable `BENCH_<figure>.json`
 //! artifacts (rows plus an engine metrics snapshot) to the working
 //! directory.
 
-use immortaldb_bench::{ablations, fig5, fig6};
+use immortaldb_bench::{ablations, fig5, fig6, group_commit};
 use immortaldb_obs::MetricsSnapshot;
 
 /// Write a `BENCH_*.json` artifact, reporting rather than aborting on
@@ -77,6 +77,15 @@ fn main() {
             items.join(",")
         );
         write_artifact("BENCH_fig6.json", &body);
+    }
+    if wants("gc") || wants("group_commit") {
+        let rows = group_commit::run(quick);
+        group_commit::report(&rows);
+        let body = format!(
+            "{{\"figure\":\"group_commit\",\"quick\":{quick},\"rows\":{}}}\n",
+            group_commit::rows_json(&rows)
+        );
+        write_artifact("BENCH_group_commit.json", &body);
     }
     if wants("a1") {
         let rows = ablations::eager_vs_lazy(quick);

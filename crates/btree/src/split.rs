@@ -65,7 +65,12 @@ impl BTree {
             if split_ts <= left.start_ts() {
                 split_ts = bump(left.start_ts());
             }
-            if version::time_split_gain(&left, split_ts) > 0 {
+            // Splitting past the safe bound would strand an in-flight
+            // commit's versions above the new page start; skip the time
+            // split this round (the key split below still makes room) and
+            // retry once the pipeline drains.
+            let safe = split_ts <= self.split_time.max_safe_split_ts();
+            if safe && version::time_split_gain(&left, split_ts) > 0 {
                 let hist_id = self.pool.disk().allocate()?;
                 let (hist, fresh) = version::time_split(&left, split_ts, hist_id)?;
                 images.push(hist);

@@ -25,6 +25,16 @@ pub const MAX_RECORD: usize = 1900;
 /// "using the current time"). Implemented by the timestamp authority.
 pub trait SplitTimeSource: Send + Sync {
     fn current_split_ts(&self) -> Timestamp;
+
+    /// Upper bound a time split may use as its boundary. A split above
+    /// this value could cut below a commit timestamp that is already
+    /// issued but whose (TID-marked) versions must stay in the current
+    /// page — those versions would then be invisible to readers between
+    /// the commit timestamp and the page's new start. Sources that track
+    /// in-flight commits override this; the default imposes no bound.
+    fn max_safe_split_ts(&self) -> Timestamp {
+        Timestamp::MAX
+    }
 }
 
 /// A split-time source for unversioned trees and tests.

@@ -14,6 +14,10 @@
 //!   recovery and audits every invariant transaction-time support
 //!   promises (durability, rollback, timestamp repair through the PTT,
 //!   `AS OF` stability across crashes).
+//! * [`mt`] — the multi-writer variant (`torture --threads N`): crashes
+//!   land in the middle of group-commit batches and the audit asserts
+//!   acked-implies-durable and all-or-nothing for unacknowledged
+//!   commits.
 //!
 //! ```text
 //! cargo run -p immortaldb-chaos --bin torture -- --seed 42 --ops 2000 --crashes 25
@@ -22,9 +26,11 @@
 //! [`Vfs`]: immortaldb_storage::vfs::Vfs
 
 pub mod fault;
+pub mod mt;
 pub mod torture;
 
 pub use fault::{FaultState, FaultVfs};
+pub use mt::{run_mt, MtTortureConfig, MtTortureReport};
 pub use torture::{run, TortureConfig, TortureReport};
 
 use immortaldb::{ColType, Column, Schema};

@@ -223,3 +223,85 @@ fn torture_smoke_is_deterministic() {
     };
     assert_eq!(key(&reports[0]), key(&reports[1]));
 }
+
+/// A group-commit batch whose fsync fails must acknowledge nobody
+/// (all-or-nothing per batch): every committer gets the error, their
+/// writes are rolled back and invisible, and the barrier recovers for
+/// later commits once fsyncs succeed again.
+#[test]
+fn failed_group_batch_acknowledges_no_committer() {
+    let dir = tmp_dir("gcfail");
+    let fault = Arc::new(FaultVfs::wrap_std(33));
+    let state = fault.state();
+    let metrics = MetricsRegistry::new();
+    state.set_metrics(metrics.clone());
+    let vfs: Arc<dyn Vfs> = fault;
+    let db = Database::open(
+        DbConfig::new(&dir)
+            .durability(Durability::Fsync)
+            .vfs(vfs)
+            .metrics(metrics.clone()),
+    )
+    .unwrap();
+    db.create_table(TABLE, kv_schema(), TableKind::Immortal)
+        .unwrap();
+
+    // From here on every fsync fails, so every group batch — whatever
+    // its size — must fail as a unit.
+    state.set_error_rates(0.0, 1.0);
+    state.enable();
+    let writers: i32 = 4;
+    let results: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..writers)
+            .map(|t| {
+                let db = &db;
+                s.spawn(move || {
+                    let mut txn = db.begin(Isolation::Serializable);
+                    db.insert_row(
+                        &mut txn,
+                        TABLE,
+                        vec![Value::Int(t), Value::Varchar(format!("v{t}"))],
+                    )
+                    .unwrap();
+                    db.commit(&mut txn).is_ok()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        results.iter().all(|ok| !ok),
+        "a committer in a failed batch was acknowledged: {results:?}"
+    );
+    assert!(metrics.faults.fsync_errors.get() > 0);
+    state.disable();
+
+    // The barrier must not be wedged by the failed batches: a later
+    // commit leads a fresh sync, which also clears the sticky error.
+    let mut txn = db.begin(Isolation::Serializable);
+    db.insert_row(
+        &mut txn,
+        TABLE,
+        vec![Value::Int(100), Value::Varchar("ok".into())],
+    )
+    .unwrap();
+    db.commit(&mut txn).unwrap();
+
+    // Failed committers' writes were rolled back: invisible now.
+    let mut reader = db.begin(Isolation::Snapshot);
+    for t in 0..writers {
+        assert!(
+            db.get_row(&mut reader, TABLE, &Value::Int(t))
+                .unwrap()
+                .is_none(),
+            "unacknowledged write of key {t} became visible"
+        );
+    }
+    assert!(db
+        .get_row(&mut reader, TABLE, &Value::Int(100))
+        .unwrap()
+        .is_some());
+    db.rollback(&mut reader).unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,9 +20,10 @@ use immortaldb_storage::logrec::LogRecord;
 use immortaldb_storage::meta::MetaView;
 use immortaldb_storage::recovery::{self, TreeLocator};
 use immortaldb_storage::vfs::{std_fs, Vfs};
-use immortaldb_storage::wal::{Durability, Wal};
+use immortaldb_storage::wal::{Durability, GroupCommitConfig, Wal};
 use immortaldb_txn::{
-    LockManager, Ptt, PttGc, StampingFlushHook, TimestampAuthority, TxnResolver, Vtt,
+    CommitHorizon, HorizonSplitSource, LockManager, Ptt, PttGc, StampingFlushHook,
+    TimestampAuthority, TxnResolver, Vtt,
 };
 
 use crate::catalog::{TableDef, TableKind};
@@ -38,6 +39,10 @@ pub struct DbConfig {
     pub pool_pages: usize,
     /// Commit durability (fsync vs OS-buffered).
     pub durability: Durability,
+    /// Group-commit barrier tuning (leader/follower shared fsyncs at
+    /// commit; only relevant under `Durability::Fsync`). Enabled by
+    /// default; disable for strict fsync-per-commit.
+    pub group_commit: GroupCommitConfig,
     /// Lazy (the paper) or eager (baseline) timestamping.
     pub timestamping: TimestampingMode,
     /// Lock wait timeout (deadlock backstop).
@@ -64,6 +69,7 @@ impl DbConfig {
             dir: dir.as_ref().to_path_buf(),
             pool_pages: 1024,
             durability: Durability::Buffered,
+            group_commit: GroupCommitConfig::default(),
             timestamping: TimestampingMode::Lazy,
             lock_timeout: Duration::from_secs(5),
             clock: Arc::new(SystemClock),
@@ -85,6 +91,11 @@ impl DbConfig {
 
     pub fn durability(mut self, d: Durability) -> Self {
         self.durability = d;
+        self
+    }
+
+    pub fn group_commit(mut self, cfg: GroupCommitConfig) -> Self {
+        self.group_commit = cfg;
         self
     }
 
@@ -114,6 +125,13 @@ pub struct Database {
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) wal: Arc<Wal>,
     pub(crate) authority: Arc<TimestampAuthority>,
+    /// Issued-but-not-yet-visible commit timestamps; snapshots are taken
+    /// below this boundary so they never straddle an in-flight group
+    /// commit, and time splits never cut above it (shared with every
+    /// tree's split-time source).
+    horizon: Arc<CommitHorizon>,
+    /// Horizon-aware split-time source shared by every tree.
+    split_time: Arc<dyn SplitTimeSource>,
     pub(crate) vtt: Arc<Vtt>,
     pub(crate) ptt: Arc<Ptt>,
     pub(crate) resolver: Arc<TxnResolver>,
@@ -148,11 +166,13 @@ impl Database {
         // manager and (via the pool/WAL accessors) trees, resolver and
         // recovery all record into it.
         let metrics = config.metrics.clone().unwrap_or_default();
-        let wal = Arc::new(Wal::open_with(
+        let mut wal = Wal::open_with(
             Arc::clone(&config.vfs),
             config.dir.join("wal.log"),
             metrics.clone(),
-        )?);
+        )?;
+        wal.set_group_commit(config.group_commit);
+        let wal = Arc::new(wal);
         let pool = Arc::new(BufferPool::with_metrics(
             Arc::clone(&disk),
             Arc::clone(&wal),
@@ -186,7 +206,14 @@ impl Database {
         let next_tid = meta_max_tid.0.max(analysis.max_tid.0) + 1;
 
         let vtt = Arc::new(Vtt::new());
-        let split_time: Arc<dyn SplitTimeSource> = Arc::clone(&authority) as _;
+        let horizon = Arc::new(CommitHorizon::new());
+        // Time splits must not cut above an issued-but-unretired commit
+        // timestamp (its TID-marked versions stay in the current page);
+        // the horizon-aware source clamps the split boundary accordingly.
+        let split_time: Arc<dyn SplitTimeSource> = Arc::new(HorizonSplitSource::new(
+            Arc::clone(&authority),
+            Arc::clone(&horizon),
+        ));
         let ptt = Arc::new(if fresh {
             Ptt::create(Arc::clone(&pool), Arc::clone(&wal), Arc::clone(&split_time))?
         } else {
@@ -254,6 +281,8 @@ impl Database {
             pool,
             wal,
             authority,
+            horizon,
+            split_time,
             vtt,
             ptt,
             resolver,
@@ -413,13 +442,13 @@ impl Database {
                 Arc::clone(&self.wal),
                 tree,
                 kind.is_versioned(),
-                Arc::clone(&self.authority) as Arc<dyn SplitTimeSource>,
+                Arc::clone(&self.split_time),
             )?)),
             IndexKind::Tsb => TableIndex::Tsb(Arc::new(immortaldb_tsb::TsbTree::create(
                 Arc::clone(&self.pool),
                 Arc::clone(&self.wal),
                 tree,
-                Arc::clone(&self.authority) as Arc<dyn SplitTimeSource>,
+                Arc::clone(&self.split_time),
             )?)),
         };
         let def = Arc::new(TableDef {
@@ -457,7 +486,7 @@ impl Database {
             Arc::clone(&self.wal),
             tree,
             true,
-            Arc::clone(&self.authority) as Arc<dyn SplitTimeSource>,
+            Arc::clone(&self.split_time),
         )?));
         let new_def = Arc::new(TableDef {
             name: def.name.clone(),
@@ -475,11 +504,22 @@ impl Database {
 
     // -- transaction lifecycle ----------------------------------------------
 
+    /// Newest timestamp at which a reader sees a stable world: every
+    /// commit at or below it is visible, and none newer can appear below
+    /// it later (in-flight group-committed transactions are all above).
+    pub fn visible_horizon(&self) -> Timestamp {
+        self.horizon.snapshot(&self.authority)
+    }
+
     /// Begin a read-write transaction.
     pub fn begin(&self, isolation: Isolation) -> Transaction {
         let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
         self.vtt.begin(tid);
-        let snapshot = self.authority.latest();
+        // Snapshot below the commit-visibility horizon, *not* at
+        // `authority.latest()`: a timestamp issued to a commit still in
+        // the group-commit pipeline must stay invisible to this snapshot
+        // forever, or the same read would change mid-transaction.
+        let snapshot = self.horizon.snapshot(&self.authority);
         if isolation == Isolation::Snapshot {
             *self.snapshots.lock().entry(snapshot).or_insert(0) += 1;
         }
@@ -488,16 +528,18 @@ impl Database {
 
     /// Begin a read-only historical transaction (`BEGIN TRAN AS OF …`).
     /// `as_of` is a wall-clock millisecond value; every transaction that
-    /// committed within or before its 20 ms tick is visible.
+    /// committed within or before its 20 ms tick is visible. Requests at
+    /// (or past) the current time are clamped to the visibility horizon
+    /// so the view cannot change while the transaction reads it.
     pub fn begin_as_of(&self, as_of_ms: u64) -> Transaction {
-        let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
-        Transaction::new_as_of(tid, Timestamp::as_of_clock(as_of_ms))
+        self.begin_as_of_ts(Timestamp::as_of_clock(as_of_ms))
     }
 
-    /// Begin a read-only transaction at an exact timestamp.
+    /// Begin a read-only transaction at an exact timestamp (clamped to
+    /// the visibility horizon like [`Self::begin_as_of`]).
     pub fn begin_as_of_ts(&self, as_of: Timestamp) -> Transaction {
         let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
-        Transaction::new_as_of(tid, as_of)
+        Transaction::new_as_of(tid, as_of.min(self.visible_horizon()))
     }
 
     fn ensure_begin_logged(&self, txn: &mut Transaction) {
@@ -533,23 +575,33 @@ impl Database {
             self.vtt.remove(txn.tid);
             return Ok(txn.snapshot);
         }
-        match self.commit_inner(txn) {
-            Ok(ts) => Ok(ts),
+        // Issue the commit timestamp through the horizon so concurrent
+        // `begin()`s keep their snapshots below us until we are visible.
+        let ts = self.horizon.issue(&self.authority);
+        match self.commit_inner(txn, ts) {
+            Ok(()) => {
+                // Visible (VTT entry made after the group fsync): let the
+                // horizon advance past us.
+                self.horizon.retire(ts);
+                Ok(ts)
+            }
             Err(e) => {
-                // A commit-path failure (I/O, PTT insert) must not leak
-                // locks or leave the transaction half-visible: roll it
-                // back like an abort.
+                // A commit-path failure (I/O, PTT insert, failed group
+                // batch) must not leak locks or leave the transaction
+                // half-visible: roll it back like an abort. Retire the
+                // timestamp only afterwards — and unconditionally, or the
+                // horizon would wedge every future snapshot in the past.
                 self.vtt.abort(txn.tid);
                 let _ = recovery::rollback_txn(&self.wal, &self.pool, self, txn.tid, txn.last_lsn);
                 self.vtt.remove(txn.tid);
                 self.finish_bookkeeping(txn);
+                self.horizon.retire(ts);
                 Err(e)
             }
         }
     }
 
-    fn commit_inner(&self, txn: &mut Transaction) -> Result<Timestamp> {
-        let ts = self.authority.issue_commit_ts();
+    fn commit_inner(&self, txn: &mut Transaction, ts: Timestamp) -> Result<()> {
         let mut in_ptt = false;
         match self.timestamping {
             TimestampingMode::Eager => {
@@ -579,11 +631,19 @@ impl Database {
         let clsn = self
             .wal
             .append(txn.tid, txn.last_lsn, &LogRecord::Commit { ts });
-        self.wal.append(txn.tid, clsn, &LogRecord::End);
-        self.wal.flush(self.durability)?;
+        let elsn = self.wal.append(txn.tid, clsn, &LogRecord::End);
+        // Park on the group-commit barrier until a leader's fsync covers
+        // our End record (first byte past its start: buffer writes are
+        // whole-record, so covering that byte covers the record — and
+        // unlike `end_lsn()`, it doesn't grow with other transactions'
+        // concurrent appends). Locks are released and the VTT entry
+        // committed only after this returns: lazy timestamping order
+        // keeps matching serialization order, and nothing becomes
+        // visible before it is durable.
+        self.wal.commit_durable(Lsn(elsn.0 + 1), self.durability)?;
         self.vtt.commit(txn.tid, ts, in_ptt, self.wal.end_lsn());
         self.finish_bookkeeping(txn);
-        Ok(ts)
+        Ok(())
     }
 
     /// Roll back: undo the transaction's operations (writing CLRs), then
@@ -901,6 +961,19 @@ impl Database {
     /// while their pages are not, so recovery has losers to undo.
     pub fn force_log(&self) -> Result<()> {
         self.wal.flush(Durability::Fsync)
+    }
+}
+
+impl Drop for Database {
+    /// Best-effort shutdown drain: push any still-buffered log records
+    /// (e.g. system actions like DDL that never went through a commit
+    /// flush) into the file so recovery can replay them, and give
+    /// acknowledged commits their durability level one last time. Errors
+    /// are ignored — in chaos runs the fault VFS is already "crashed"
+    /// here and the write is *supposed* to fail, which preserves the
+    /// crash semantics torture tests rely on.
+    fn drop(&mut self) {
+        let _ = self.wal.flush(self.durability);
     }
 }
 

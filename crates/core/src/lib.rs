@@ -63,4 +63,4 @@ pub use txn::{Isolation, TimestampingMode, Transaction};
 
 // Re-exports for downstream crates (benches, examples).
 pub use immortaldb_common::{Clock, Error, Result, SimClock, SystemClock, Timestamp};
-pub use immortaldb_storage::wal::Durability;
+pub use immortaldb_storage::wal::{Durability, GroupCommitConfig};

@@ -240,6 +240,13 @@ pub struct WalMetrics {
     pub fsyncs: Counter,
     /// Latency of each fsync, in nanoseconds.
     pub fsync_ns: Histogram,
+    /// Group-commit batches synced (one leader fsync each).
+    pub group_commits: Counter,
+    /// Committers covered per group-commit batch.
+    pub batch_size: Histogram,
+    /// Time a group-commit leader spent gathering stragglers, in
+    /// nanoseconds (only recorded when `max_wait` > 0).
+    pub leader_waits_ns: Histogram,
 }
 
 /// Restart-recovery instruments (set once per `Database::open`).

@@ -54,6 +54,7 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("wal.appends".into(), m.wal.appends.get()),
         ("wal.bytes".into(), m.wal.bytes.get()),
         ("wal.fsyncs".into(), m.wal.fsyncs.get()),
+        ("wal.group_commits".into(), m.wal.group_commits.get()),
         ("recovery.analyze_us".into(), m.recovery.analyze_us.get()),
         ("recovery.redo_us".into(), m.recovery.redo_us.get()),
         ("recovery.undo_us".into(), m.recovery.undo_us.get()),
@@ -107,6 +108,11 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
     ];
     let histograms = vec![
         ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
+        ("wal.batch_size".into(), m.wal.batch_size.snapshot()),
+        (
+            "wal.leader_waits_ns".into(),
+            m.wal.leader_waits_ns.snapshot(),
+        ),
         ("locks.wait_ns".into(), m.locks.wait_ns.snapshot()),
         (
             "tree.version_chain_len".into(),

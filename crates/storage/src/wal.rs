@@ -14,8 +14,9 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use immortaldb_common::codec::crc32;
 use immortaldb_common::{Error, Lsn, Result, Tid};
@@ -45,10 +46,67 @@ pub enum Durability {
     Fsync,
 }
 
+/// Group-commit tuning for [`Wal::commit_durable`].
+///
+/// With group commit enabled, concurrent committers share fsyncs through
+/// a leader/follower barrier: the first committer to reach the barrier
+/// becomes the leader and syncs once for everyone queued behind it.
+/// Batches form naturally while a sync is in flight — committers that
+/// arrive during the leader's fsync pile up and are covered by the next
+/// leader's single sync.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupCommitConfig {
+    pub enabled: bool,
+    /// Stop gathering early once this many committers are at the barrier.
+    /// Only bounds the explicit gather wait; a single write+fsync always
+    /// covers the whole buffer regardless.
+    pub max_batch: usize,
+    /// How long a leader waits for stragglers before syncing. Zero (the
+    /// default) means sync immediately and rely on in-flight-sync
+    /// piggybacking, which adds no latency for a lone committer.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            enabled: true,
+            max_batch: 64,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
 struct WalInner {
     /// File offset where the in-memory buffer begins (== durable length).
     buf_start: u64,
     buf: Vec<u8>,
+}
+
+/// Shared state of the commit barrier, guarded by `GroupBarrier::inner`.
+struct GroupInner {
+    /// Highest LSN known fsynced by a group leader.
+    durable: u64,
+    /// A leader currently owns the sync (holds the barrier lock while
+    /// writing + fsyncing, so this is only observed `true` by threads
+    /// that slipped in during a leader's condvar gather wait).
+    leader_active: bool,
+    /// Followers parked on `done` (used by a gathering leader to size its
+    /// batch against `max_batch`).
+    parked: usize,
+    /// A leader's failed sync attempt: `(attempted end LSN, error)`.
+    /// Every committer whose records the attempt covered must see the
+    /// error — no one in a failed batch is acknowledged. Cleared once a
+    /// later successful sync covers the attempted LSN.
+    failed: Option<(u64, String)>,
+}
+
+struct GroupBarrier {
+    inner: Mutex<GroupInner>,
+    /// Signalled by arriving followers; wakes a gathering leader.
+    arrivals: Condvar,
+    /// Signalled when a sync attempt (success or failure) completes.
+    done: Condvar,
 }
 
 /// The write-ahead log.
@@ -62,6 +120,15 @@ pub struct Wal {
     /// Highest LSN guaranteed written to the file (not necessarily
     /// fsynced).
     written_lsn: AtomicU64,
+    /// Highest LSN known fsynced via the group-commit path (fast-path
+    /// mirror of `GroupInner::durable`).
+    durable_lsn: AtomicU64,
+    /// Committers currently inside `commit_durable` (sizes batches for
+    /// the `wal.batch_size` metric; includes threads still blocked on the
+    /// barrier mutex, which `GroupInner::parked` cannot see).
+    commit_waiters: AtomicU64,
+    group_cfg: GroupCommitConfig,
+    group: GroupBarrier,
     metrics: MetricsRegistry,
 }
 
@@ -119,8 +186,33 @@ impl Wal {
                 buf: Vec::with_capacity(64 * 1024),
             }),
             written_lsn: AtomicU64::new(end),
+            durable_lsn: AtomicU64::new(0),
+            commit_waiters: AtomicU64::new(0),
+            group_cfg: GroupCommitConfig::default(),
+            group: GroupBarrier {
+                inner: Mutex::new(GroupInner {
+                    durable: 0,
+                    leader_active: false,
+                    parked: 0,
+                    failed: None,
+                }),
+                arrivals: Condvar::new(),
+                done: Condvar::new(),
+            },
             metrics,
         })
+    }
+
+    /// Configure the group-commit barrier (call before sharing the log
+    /// across threads; the engine sets this from `DbConfig::group_commit`
+    /// at open).
+    pub fn set_group_commit(&mut self, cfg: GroupCommitConfig) {
+        self.group_cfg = cfg;
+    }
+
+    /// The active group-commit configuration.
+    pub fn group_commit(&self) -> GroupCommitConfig {
+        self.group_cfg
     }
 
     pub fn path(&self) -> &Path {
@@ -192,6 +284,154 @@ impl Wal {
             self.file.sync()?;
         }
         Ok(())
+    }
+
+    /// Write the buffer out without fsyncing and without holding the
+    /// buffer lock any longer than the write itself. Returns the covered
+    /// LSN: everything below it is in the file once this call returns.
+    /// Unlike [`Self::flush`], a group leader can fsync *after* this
+    /// returns while new appends proceed — that overlap is what lets the
+    /// next batch form during the current batch's fsync.
+    fn write_buffer(&self) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        if !inner.buf.is_empty() {
+            let start = inner.buf_start;
+            self.file.write_all_at(&inner.buf, start)?;
+            inner.buf_start += inner.buf.len() as u64;
+            inner.buf.clear();
+            let start = inner.buf_start;
+            self.written_lsn.store(start, Ordering::SeqCst);
+        }
+        Ok(Lsn(inner.buf_start))
+    }
+
+    /// Highest LSN known durable (fsynced) through the group-commit path.
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.durable_lsn.load(Ordering::SeqCst))
+    }
+
+    /// Make everything up to `upto` durable at the given durability level,
+    /// sharing fsyncs between concurrent committers when group commit is
+    /// enabled (the commit barrier).
+    ///
+    /// `Buffered` just writes the buffer (the off-switch semantics of
+    /// [`Durability`] are preserved: with group commit disabled, `Fsync`
+    /// falls back to one [`Self::flush`]` + fsync per caller). Returns
+    /// only once the caller's records at or below `upto` are durable, or
+    /// with the error of the sync attempt that covered them — a failed
+    /// batch acknowledges nobody.
+    pub fn commit_durable(&self, upto: Lsn, durability: Durability) -> Result<()> {
+        if durability == Durability::Buffered {
+            return self.flush(Durability::Buffered);
+        }
+        if !self.group_cfg.enabled {
+            return self.flush(Durability::Fsync);
+        }
+        // Fast path: a leader already synced past us.
+        if self.durable_lsn.load(Ordering::SeqCst) >= upto.0 {
+            return Ok(());
+        }
+        self.commit_waiters.fetch_add(1, Ordering::SeqCst);
+        let res = self.commit_barrier(upto);
+        self.commit_waiters.fetch_sub(1, Ordering::SeqCst);
+        res
+    }
+
+    fn commit_barrier(&self, upto: Lsn) -> Result<()> {
+        let mut g = self.group.inner.lock();
+        loop {
+            if let Some((attempted, msg)) = &g.failed {
+                // Our records were part of a sync attempt that failed:
+                // all-or-nothing, nobody in that batch commits.
+                if *attempted >= upto.0 {
+                    return Err(Error::Io(std::io::Error::other(format!(
+                        "group commit batch failed: {msg}"
+                    ))));
+                }
+            }
+            if g.durable >= upto.0 {
+                return Ok(());
+            }
+            if !g.leader_active {
+                // Become the leader for the next batch.
+                g.leader_active = true;
+                let cfg = self.group_cfg;
+                if cfg.max_wait > Duration::ZERO {
+                    // Gather: give stragglers a bounded window to join
+                    // (the condvar wait releases the barrier lock so
+                    // they can park).
+                    let timer = self.metrics.wal.leader_waits_ns.start_timer();
+                    let deadline = Instant::now() + cfg.max_wait;
+                    while g.parked + 1 < cfg.max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        if self
+                            .group
+                            .arrivals
+                            .wait_for(&mut g, deadline - now)
+                            .timed_out()
+                        {
+                            break;
+                        }
+                    }
+                    drop(timer);
+                }
+                let batch = self.commit_waiters.load(Ordering::SeqCst).max(1);
+                // Sync with the barrier UNLOCKED: committers arriving
+                // during the fsync append their records and park, forming
+                // the next batch, and followers satisfied by an earlier
+                // sync drain without waiting on us. `leader_active` keeps
+                // the sync single-flight.
+                drop(g);
+                let res = match self.write_buffer() {
+                    Ok(covered) => {
+                        self.metrics.wal.fsyncs.inc();
+                        let timer = self.metrics.wal.fsync_ns.start_timer();
+                        let sync = self.file.sync();
+                        drop(timer);
+                        match sync {
+                            Ok(()) => Ok(covered),
+                            // Failed fsync: exactly the records the write
+                            // covered were attempted and are not durable.
+                            Err(e) => Err((covered.0, e)),
+                        }
+                    }
+                    // Failed write: the buffer (everything appended so
+                    // far) stays queued; treat it all as attempted.
+                    Err(e) => Err((self.end_lsn().0, e)),
+                };
+                g = self.group.inner.lock();
+                match res {
+                    Ok(covered) => {
+                        g.durable = g.durable.max(covered.0);
+                        self.durable_lsn.store(g.durable, Ordering::SeqCst);
+                        if let Some((attempted, _)) = g.failed {
+                            if attempted <= g.durable {
+                                g.failed = None;
+                            }
+                        }
+                        self.metrics.wal.group_commits.inc();
+                        self.metrics.wal.batch_size.observe(batch);
+                    }
+                    Err((attempted, e)) => {
+                        // No committer whose records the attempt covered
+                        // may be acknowledged: all-or-nothing per batch.
+                        g.failed = Some((attempted.max(g.durable), e.to_string()));
+                    }
+                }
+                g.leader_active = false;
+                self.group.done.notify_all();
+                // Loop to observe the outcome exactly like a follower
+                // would (our own records were covered by the attempt).
+            } else {
+                g.parked += 1;
+                self.group.arrivals.notify_one();
+                self.group.done.wait(&mut g);
+                g.parked -= 1;
+            }
+        }
     }
 
     /// Ensure everything up to and including `lsn` is in the file (the
@@ -478,6 +718,129 @@ mod tests {
         let e0 = wal.end_lsn();
         wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
         assert!(wal.end_lsn() > e0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The LSN just past a single appended record (commit_durable's wait
+    /// target for that record).
+    fn past(wal: &Wal, tid: u64) -> Lsn {
+        let lsn = wal.append(Tid(tid), Lsn(0), &LogRecord::Begin);
+        Lsn(lsn.0 + 1)
+    }
+
+    #[test]
+    fn group_commit_batches_under_contention() {
+        // 8 committer threads with a gather window: far fewer fsyncs
+        // than commits, and at least one multi-committer batch.
+        let path = tmp("gcbatch");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.set_group_commit(GroupCommitConfig {
+            enabled: true,
+            max_batch: 8,
+            max_wait: Duration::from_millis(10),
+        });
+        let wal = std::sync::Arc::new(wal);
+        let threads: u64 = 8;
+        let per: u64 = 25;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let wal = std::sync::Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let upto = past(&wal, t * 1000 + i);
+                        wal.commit_durable(upto, Durability::Fsync).unwrap();
+                        assert!(wal.durable_lsn() >= upto);
+                    }
+                });
+            }
+        });
+        let m = wal.metrics();
+        let commits = threads * per;
+        assert!(
+            m.wal.fsyncs.get() < commits,
+            "no batching: {} fsyncs for {commits} commits",
+            m.wal.fsyncs.get()
+        );
+        assert!(m.wal.group_commits.get() >= 1);
+        assert!(
+            m.wal.batch_size.snapshot().max >= 2,
+            "no batch ever had more than one committer"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_max_wait_flushes_singleton_batch() {
+        // A lone committer with a gather window must not wait for
+        // followers that never come: the max-wait timeout fires and the
+        // batch of one syncs.
+        let path = tmp("gcsingle");
+        let mut wal = Wal::open(&path).unwrap();
+        let wait = Duration::from_millis(20);
+        wal.set_group_commit(GroupCommitConfig {
+            enabled: true,
+            max_batch: 64,
+            max_wait: wait,
+        });
+        let upto = past(&wal, 1);
+        let t0 = std::time::Instant::now();
+        wal.commit_durable(upto, Durability::Fsync).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(15),
+            "leader skipped the gather window: {elapsed:?}"
+        );
+        assert!(wal.durable_lsn() >= upto);
+        let m = wal.metrics();
+        assert_eq!(m.wal.group_commits.get(), 1);
+        assert_eq!(m.wal.batch_size.snapshot().max, 1);
+        assert_eq!(m.wal.leader_waits_ns.snapshot().count, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_zero_wait_adds_no_latency_for_lone_committer() {
+        // The default config (max_wait = 0) must behave like a plain
+        // fsync for a single committer: no gather stall.
+        let path = tmp("gczero");
+        let wal = Wal::open(&path).unwrap();
+        assert!(wal.group_commit().enabled);
+        let upto = past(&wal, 1);
+        wal.commit_durable(upto, Durability::Fsync).unwrap();
+        assert!(wal.durable_lsn() >= upto);
+        assert_eq!(wal.metrics().wal.leader_waits_ns.snapshot().count, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_disabled_falls_back_to_per_commit_fsync() {
+        let path = tmp("gcoff");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.set_group_commit(GroupCommitConfig {
+            enabled: false,
+            ..GroupCommitConfig::default()
+        });
+        for i in 0..5 {
+            let upto = past(&wal, i);
+            wal.commit_durable(upto, Durability::Fsync).unwrap();
+        }
+        let m = wal.metrics();
+        assert_eq!(m.wal.fsyncs.get(), 5);
+        assert_eq!(m.wal.group_commits.get(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_buffered_durability_skips_fsync() {
+        let path = tmp("gcbuf");
+        let wal = Wal::open(&path).unwrap();
+        let upto = past(&wal, 1);
+        wal.commit_durable(upto, Durability::Buffered).unwrap();
+        // Written to the file (scannable) but never fsynced.
+        assert!(wal.written_lsn() >= upto);
+        assert_eq!(wal.metrics().wal.fsyncs.get(), 0);
+        let n = wal.iter_from(Lsn(0)).unwrap().count();
+        assert_eq!(n, 1);
         std::fs::remove_file(&path).unwrap();
     }
 }

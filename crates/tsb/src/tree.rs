@@ -740,7 +740,11 @@ impl TsbTree {
         if split_ts <= leaf.start_ts() {
             split_ts = Timestamp::new(leaf.start_ts().ttime, leaf.start_ts().sn + 1);
         }
-        if version::time_split_gain(&leaf, split_ts) > 0 {
+        // Never split past the source's safe bound: an in-flight commit's
+        // TID-marked versions stay in the current page and must not end
+        // up below its start timestamp.
+        let safe = split_ts <= self.split_time.max_safe_split_ts();
+        if safe && version::time_split_gain(&leaf, split_ts) > 0 {
             let hist_id = self.pool.disk().allocate()?;
             let (hist, fresh) = version::time_split(&leaf, split_ts, hist_id)?;
             images.push(hist);

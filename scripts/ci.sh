@@ -44,6 +44,14 @@ run_chaos() {
         cargo run --release -q -p immortaldb-chaos --bin torture -- \
             --seed "$seed" --ops 600 --crashes 8
     done
+    echo "== chaos smoke (multi-writer group-commit torture, fixed seeds) =="
+    # Concurrent committers share group-commit batches; every round the
+    # crash lands mid-batch and the audit asserts acked-implies-durable
+    # and all-or-nothing recovery of unacknowledged commits.
+    for seed in 42 7; do
+        cargo run --release -q -p immortaldb-chaos --bin torture -- \
+            --threads 4 --seed "$seed" --rounds 6
+    done
 }
 
 case "$stage" in

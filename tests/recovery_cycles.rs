@@ -201,3 +201,36 @@ fn as_of_correctness_across_restart_with_cold_cache() {
         );
     }
 }
+
+#[test]
+fn drop_without_close_preserves_ddl_and_commits() {
+    // Dropping the engine without `close()` (no checkpoint) must not
+    // lose acknowledged work: `Drop` drains the WAL buffer, so DDL
+    // system records and committed rows replay on the next open even
+    // though no page was ever flushed.
+    let env = Env::new("drop-no-close");
+    {
+        let db = env.open();
+        let mut s = Session::new(&db);
+        s.execute("CREATE IMMORTAL TABLE d (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        for id in 0..10 {
+            s.execute(&format!("INSERT INTO d VALUES ({id}, {})", id * 7))
+                .unwrap();
+        }
+        env.tick();
+        drop(db); // no close(), no checkpoint
+    }
+    let db = env.open();
+    let mut txn = db.begin(Isolation::Serializable);
+    let rows = db.scan_rows(&mut txn, "d").unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(rows.len(), 10, "all committed rows replayed");
+    for row in rows {
+        let id = match row[0] {
+            Value::Int(i) => i,
+            ref other => panic!("unexpected id {other:?}"),
+        };
+        assert_eq!(row[1], Value::Int(id * 7));
+    }
+}
