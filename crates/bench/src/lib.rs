@@ -10,5 +10,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod group_commit;
 pub mod harness;
+pub mod netbench;
 
 pub use harness::{BenchDb, Mode};

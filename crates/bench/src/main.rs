@@ -2,14 +2,14 @@
 //! plus the ablations.
 //!
 //! ```text
-//! immortaldb-bench [--quick] [fig5|fig6|gc|a1|a2|a3|a4|a5|all]
+//! immortaldb-bench [--quick] [fig5|fig6|gc|net|a1|a2|a3|a4|a5|all]
 //! ```
 //!
 //! Figure runs additionally write machine-readable `BENCH_<figure>.json`
 //! artifacts (rows plus an engine metrics snapshot) to the working
 //! directory.
 
-use immortaldb_bench::{ablations, fig5, fig6, group_commit};
+use immortaldb_bench::{ablations, fig5, fig6, group_commit, netbench};
 use immortaldb_obs::MetricsSnapshot;
 
 /// Write a `BENCH_*.json` artifact, reporting rather than aborting on
@@ -86,6 +86,15 @@ fn main() {
             group_commit::rows_json(&rows)
         );
         write_artifact("BENCH_group_commit.json", &body);
+    }
+    if wants("net") || wants("server") {
+        let rows = netbench::run(quick);
+        netbench::report(&rows);
+        let body = format!(
+            "{{\"figure\":\"server\",\"quick\":{quick},\"rows\":{}}}\n",
+            netbench::rows_json(&rows)
+        );
+        write_artifact("BENCH_server.json", &body);
     }
     if wants("a1") {
         let rows = ablations::eager_vs_lazy(quick);

@@ -5,6 +5,78 @@ use std::io;
 
 use crate::ids::{PageId, Tid};
 
+/// Stable, coarse error classification carried across process boundaries.
+///
+/// The wire protocol maps engine errors to ERROR frames by this code —
+/// never by matching `Display` strings — so clients can branch on it
+/// (retry conflicts, report parse positions, back off on `Busy`).
+/// Codes are a public interface: the `u8` values are part of the wire
+/// format and must not be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// SQL lexing/parsing/binding failure (client's statement is at fault).
+    Parse = 1,
+    /// Transaction-level conflict: deadlock victim, write-write conflict,
+    /// engine-initiated abort, duplicate key. Roll back and retry.
+    Conflict = 2,
+    /// A required key/row/transaction was not found.
+    NotFound = 3,
+    /// The server is saturated (accept-queue shed, admission control).
+    /// Transient by design: back off and reconnect.
+    Busy = 4,
+    /// On-disk bytes failed validation; data may be damaged.
+    Corruption = 5,
+    /// Underlying file or socket I/O failed.
+    Io = 6,
+    /// Catalog/schema misuse: unknown table, AS OF on a non-immortal
+    /// table, over-large record, etc.
+    Catalog = 7,
+    /// Write attempted through a read-only (AS OF) transaction.
+    ReadOnly = 8,
+    /// Internal invariant violation: a bug in the engine.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Stable lowercase name (diagnostics, logs, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Conflict => "conflict",
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Corruption => "corruption",
+            ErrorCode::Io => "io",
+            ErrorCode::Catalog => "catalog",
+            ErrorCode::ReadOnly => "read-only",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Inverse of the wire encoding; unknown bytes decode to `Internal`
+    /// rather than failing (forward compatibility).
+    pub fn from_u8(v: u8) -> ErrorCode {
+        match v {
+            1 => ErrorCode::Parse,
+            2 => ErrorCode::Conflict,
+            3 => ErrorCode::NotFound,
+            4 => ErrorCode::Busy,
+            5 => ErrorCode::Corruption,
+            6 => ErrorCode::Io,
+            7 => ErrorCode::Catalog,
+            8 => ErrorCode::ReadOnly,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// All fallible engine operations return this error.
 #[derive(Debug)]
 pub enum Error {
@@ -45,6 +117,20 @@ pub enum Error {
     Catalog(String),
     /// SQL front-end parse or binding failure.
     Sql(String),
+    /// SQL parse failure with the byte offset of the offending token in
+    /// the statement text (the wire protocol echoes it to clients).
+    Parse { offset: usize, message: String },
+    /// The server shed this connection/request under load (accept-queue
+    /// overflow). Clients should back off and retry.
+    ServerBusy,
+    /// An error reported by a remote server over the wire protocol,
+    /// reconstructed client-side from an ERROR frame.
+    Remote {
+        code: ErrorCode,
+        /// Byte offset for `Parse`-coded errors, when the server knew it.
+        offset: Option<u32>,
+        message: String,
+    },
     /// Internal invariant violation: a bug in the engine.
     Internal(String),
 }
@@ -76,6 +162,18 @@ impl fmt::Display for Error {
             Error::ReadOnlyTransaction => write!(f, "write attempted in a read-only transaction"),
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Sql(m) => write!(f, "SQL error: {m}"),
+            Error::Parse { offset, message } => {
+                write!(f, "SQL error: {message} (at byte {offset})")
+            }
+            Error::ServerBusy => write!(f, "server busy: connection shed, retry later"),
+            Error::Remote {
+                code,
+                offset,
+                message,
+            } => match offset {
+                Some(o) => write!(f, "server error [{code}]: {message} (at byte {o})"),
+                None => write!(f, "server error [{code}]: {message}"),
+            },
             Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
@@ -100,10 +198,44 @@ impl Error {
     /// True if the error means the *transaction* is doomed but the engine
     /// itself is healthy (the caller should roll back and may retry).
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
-            Error::Deadlock(_) | Error::WriteConflict(_) | Error::TransactionAborted { .. }
-        )
+        match self {
+            Error::Deadlock(_) | Error::WriteConflict(_) | Error::TransactionAborted { .. } => true,
+            // A remote conflict is the same doomed-but-retryable situation
+            // observed through the wire protocol.
+            Error::Remote { code, .. } => *code == ErrorCode::Conflict,
+            _ => false,
+        }
+    }
+
+    /// Stable classification of this error (what the wire protocol puts
+    /// in ERROR frames). Every variant maps to exactly one code.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::Io(_) => ErrorCode::Io,
+            Error::Corruption(_) | Error::WrongPageType { .. } => ErrorCode::Corruption,
+            Error::KeyNotFound | Error::UnknownTransaction(_) => ErrorCode::NotFound,
+            Error::DuplicateKey
+            | Error::TransactionAborted { .. }
+            | Error::Deadlock(_)
+            | Error::WriteConflict(_) => ErrorCode::Conflict,
+            // RecordTooLarge is the client handing us an impossible row;
+            // PageFull is internal flow control and should never escape.
+            Error::RecordTooLarge(_) | Error::Catalog(_) => ErrorCode::Catalog,
+            Error::PageFull | Error::Internal(_) => ErrorCode::Internal,
+            Error::ReadOnlyTransaction => ErrorCode::ReadOnly,
+            Error::Sql(_) | Error::Parse { .. } => ErrorCode::Parse,
+            Error::ServerBusy => ErrorCode::Busy,
+            Error::Remote { code, .. } => *code,
+        }
+    }
+
+    /// Byte offset into the statement text for parse errors, if known.
+    pub fn parse_offset(&self) -> Option<u32> {
+        match self {
+            Error::Parse { offset, .. } => Some(*offset as u32),
+            Error::Remote { offset, .. } => *offset,
+            _ => None,
+        }
     }
 }
 
@@ -134,5 +266,65 @@ mod tests {
     fn io_conversion_preserves_source() {
         let e: Error = io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn every_variant_has_a_stable_code() {
+        assert_eq!(Error::Io(io::Error::other("x")).code(), ErrorCode::Io);
+        assert_eq!(Error::Corruption("x".into()).code(), ErrorCode::Corruption);
+        assert_eq!(Error::KeyNotFound.code(), ErrorCode::NotFound);
+        assert_eq!(Error::DuplicateKey.code(), ErrorCode::Conflict);
+        assert_eq!(Error::Deadlock(Tid(1)).code(), ErrorCode::Conflict);
+        assert_eq!(Error::WriteConflict(Tid(1)).code(), ErrorCode::Conflict);
+        assert_eq!(Error::Catalog("x".into()).code(), ErrorCode::Catalog);
+        assert_eq!(Error::Sql("x".into()).code(), ErrorCode::Parse);
+        assert_eq!(
+            Error::Parse {
+                offset: 3,
+                message: "x".into()
+            }
+            .code(),
+            ErrorCode::Parse
+        );
+        assert_eq!(Error::ServerBusy.code(), ErrorCode::Busy);
+        assert_eq!(Error::ReadOnlyTransaction.code(), ErrorCode::ReadOnly);
+        assert_eq!(Error::Internal("x".into()).code(), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn code_roundtrips_through_wire_byte() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::Conflict,
+            ErrorCode::NotFound,
+            ErrorCode::Busy,
+            ErrorCode::Corruption,
+            ErrorCode::Io,
+            ErrorCode::Catalog,
+            ErrorCode::ReadOnly,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), code);
+        }
+        // Unknown bytes degrade to Internal instead of failing.
+        assert_eq!(ErrorCode::from_u8(255), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn parse_error_carries_offset() {
+        let e = Error::Parse {
+            offset: 17,
+            message: "expected FROM".into(),
+        };
+        assert_eq!(e.parse_offset(), Some(17));
+        assert!(e.to_string().contains("at byte 17"));
+        // Remote conflicts are transient like their local counterparts.
+        let r = Error::Remote {
+            code: ErrorCode::Conflict,
+            offset: None,
+            message: "write conflict".into(),
+        };
+        assert!(r.is_transient());
+        assert_eq!(r.parse_offset(), None);
     }
 }

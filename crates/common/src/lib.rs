@@ -15,7 +15,7 @@ pub mod error;
 pub mod ids;
 pub mod time;
 
-pub use error::{Error, Result};
+pub use error::{Error, ErrorCode, Result};
 pub use ids::{Lsn, PageId, Tid, TreeId, INVALID_PAGE, NULL_LSN};
 pub use time::{Clock, SimClock, SystemClock, Timestamp, TICK_MS};
 

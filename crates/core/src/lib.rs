@@ -62,5 +62,5 @@ pub use sql::{QueryResult, Session};
 pub use txn::{Isolation, TimestampingMode, Transaction};
 
 // Re-exports for downstream crates (benches, examples).
-pub use immortaldb_common::{Clock, Error, Result, SimClock, SystemClock, Timestamp};
+pub use immortaldb_common::{Clock, Error, ErrorCode, Result, SimClock, SystemClock, Timestamp};
 pub use immortaldb_storage::wal::{Durability, GroupCommitConfig};

@@ -24,58 +24,64 @@ pub enum Token {
     Minus,
 }
 
-/// Tokenize a statement. Fails on unterminated strings and unknown
-/// characters.
-pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+/// A token together with the byte offset of its first character in the
+/// statement text. Offsets flow into [`Error::Parse`] so clients (and
+/// the wire protocol's ERROR frames) can point at the offending token.
+pub type SpannedToken = (Token, usize);
+
+/// Tokenize a statement, recording each token's byte offset. Fails on
+/// unterminated strings and unknown characters, reporting where.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>> {
     let mut out = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let at = i;
         match c {
             c if c.is_whitespace() => i += 1,
             '(' => {
-                out.push(Token::LParen);
+                out.push((Token::LParen, at));
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                out.push((Token::RParen, at));
                 i += 1;
             }
             ',' => {
-                out.push(Token::Comma);
+                out.push((Token::Comma, at));
                 i += 1;
             }
             '*' => {
-                out.push(Token::Star);
+                out.push((Token::Star, at));
                 i += 1;
             }
             '=' => {
-                out.push(Token::Eq);
+                out.push((Token::Eq, at));
                 i += 1;
             }
             '-' => {
-                out.push(Token::Minus);
+                out.push((Token::Minus, at));
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Le);
+                    out.push((Token::Le, at));
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token::Ne);
+                    out.push((Token::Ne, at));
                     i += 2;
                 } else {
-                    out.push(Token::Lt);
+                    out.push((Token::Lt, at));
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Ge);
+                    out.push((Token::Ge, at));
                     i += 2;
                 } else {
-                    out.push(Token::Gt);
+                    out.push((Token::Gt, at));
                     i += 1;
                 }
             }
@@ -87,9 +93,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(Error::Sql("unterminated string literal".into()));
+                    return Err(Error::Parse {
+                        offset: at,
+                        message: "unterminated string literal".into(),
+                    });
                 }
-                out.push(Token::Str(input[start..j].to_string()));
+                out.push((Token::Str(input[start..j].to_string()), at));
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
@@ -97,10 +106,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                let n: i64 = input[start..i]
-                    .parse()
-                    .map_err(|_| Error::Sql(format!("bad number {}", &input[start..i])))?;
-                out.push(Token::Number(n));
+                let n: i64 = input[start..i].parse().map_err(|_| Error::Parse {
+                    offset: at,
+                    message: format!("bad number {}", &input[start..i]),
+                })?;
+                out.push((Token::Number(n), at));
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '[' => {
                 // `[PRIMARY]`-style bracketed identifiers appear in the
@@ -112,9 +122,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         j += 1;
                     }
                     if j >= bytes.len() {
-                        return Err(Error::Sql("unterminated [identifier]".into()));
+                        return Err(Error::Parse {
+                            offset: at,
+                            message: "unterminated [identifier]".into(),
+                        });
                     }
-                    out.push(Token::Ident(input[start..j].to_string()));
+                    out.push((Token::Ident(input[start..j].to_string()), at));
                     i = j + 1;
                 } else {
                     let start = i;
@@ -126,15 +139,27 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             break;
                         }
                     }
-                    out.push(Token::Ident(input[start..i].to_string()));
+                    out.push((Token::Ident(input[start..i].to_string()), at));
                 }
             }
             other => {
-                return Err(Error::Sql(format!("unexpected character {other:?}")));
+                return Err(Error::Parse {
+                    offset: at,
+                    message: format!("unexpected character {other:?}"),
+                });
             }
         }
     }
     Ok(out)
+}
+
+/// Tokenize a statement, discarding positions (tests and callers that
+/// don't report offsets).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(input)?
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect())
 }
 
 #[cfg(test)]
@@ -177,5 +202,19 @@ mod tests {
         assert!(tokenize("SELECT ;").is_err());
         assert!(tokenize("'unterminated").is_err());
         assert!(tokenize("[unterminated").is_err());
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let toks = tokenize_spanned("SELECT *  FROM t").unwrap();
+        assert_eq!(toks[0], (Token::Ident("SELECT".into()), 0));
+        assert_eq!(toks[1], (Token::Star, 7));
+        assert_eq!(toks[2], (Token::Ident("FROM".into()), 10));
+        assert_eq!(toks[3], (Token::Ident("t".into()), 15));
+        // Lexer errors carry the offset of the offending character.
+        match tokenize_spanned("SELECT ;") {
+            Err(e) => assert_eq!(e.parse_offset(), Some(7)),
+            Ok(t) => panic!("lexed {t:?}"),
+        }
     }
 }

@@ -6,7 +6,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-use immortaldb_common::{Error, Result};
+use immortaldb_common::{Error, Result, Timestamp};
 
 use crate::db::Database;
 use crate::row::{Column, Schema, Value};
@@ -64,38 +64,89 @@ impl<'a> Session<'a> {
         self.current.is_some()
     }
 
+    // -- typed transaction surface (the wire protocol's BEGIN / COMMIT /
+    // -- ROLLBACK opcodes call these instead of round-tripping through
+    // -- SQL text, so they can return real timestamps) -------------------
+
+    /// Begin an explicit read-write transaction; returns its begin
+    /// snapshot (the newest timestamp its reads observe).
+    pub fn begin(&mut self, isolation: Isolation) -> Result<Timestamp> {
+        if self.current.is_some() {
+            return Err(Error::Sql("transaction already open".into()));
+        }
+        let txn = self.db.begin(isolation);
+        let snapshot = txn.snapshot();
+        self.current = Some(txn);
+        Ok(snapshot)
+    }
+
+    /// Begin a read-only historical transaction at an exact timestamp
+    /// (routed through [`Database::begin_as_of_ts`]; the engine clamps to
+    /// the visibility horizon). Returns the effective AS OF timestamp.
+    pub fn begin_as_of_ts(&mut self, as_of: Timestamp) -> Result<Timestamp> {
+        if self.current.is_some() {
+            return Err(Error::Sql("transaction already open".into()));
+        }
+        let txn = self.db.begin_as_of_ts(as_of);
+        let snapshot = txn.snapshot();
+        self.current = Some(txn);
+        Ok(snapshot)
+    }
+
+    /// Begin a read-only historical transaction from a wall-clock
+    /// millisecond value (`BEGIN TRAN AS OF ms(N)` equivalent).
+    pub fn begin_as_of_ms(&mut self, as_of_ms: u64) -> Result<Timestamp> {
+        self.begin_as_of_ts(Timestamp::as_of_clock(as_of_ms))
+    }
+
+    /// Commit the open explicit transaction; returns its commit timestamp
+    /// (the begin snapshot for read-only transactions).
+    pub fn commit(&mut self) -> Result<Timestamp> {
+        let mut txn = self
+            .current
+            .take()
+            .ok_or_else(|| Error::Sql("no open transaction".into()))?;
+        self.db.commit(&mut txn)
+    }
+
+    /// Roll back the open explicit transaction.
+    pub fn rollback(&mut self) -> Result<()> {
+        let mut txn = self
+            .current
+            .take()
+            .ok_or_else(|| Error::Sql("no open transaction".into()))?;
+        self.db.rollback(&mut txn)
+    }
+
+    /// Abandon the session: roll back any open transaction, releasing its
+    /// locks and versions. Used by the server for disconnects, idle
+    /// timeouts and shutdown; a no-op outside a transaction.
+    pub fn reset(&mut self) {
+        if let Some(mut txn) = self.current.take() {
+            let _ = self.db.rollback(&mut txn);
+        }
+    }
+
     /// Execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = Parser::parse(sql)?;
         match stmt {
             Statement::Begin { as_of, isolation } => {
-                if self.current.is_some() {
-                    return Err(Error::Sql("transaction already open".into()));
-                }
-                let txn = match as_of {
-                    Some(spec) => self.db.begin_as_of(resolve_as_of(&spec)?),
-                    None => self.db.begin(isolation),
+                match as_of {
+                    Some(spec) => self.begin_as_of_ms(resolve_as_of(&spec)?)?,
+                    None => self.begin(isolation)?,
                 };
-                self.current = Some(txn);
                 Ok(QueryResult::message("transaction started"))
             }
             Statement::Commit => {
-                let mut txn = self
-                    .current
-                    .take()
-                    .ok_or_else(|| Error::Sql("no open transaction".into()))?;
-                let ts = self.db.commit(&mut txn)?;
+                let ts = self.commit()?;
                 Ok(QueryResult::message(format!(
                     "committed at {}.{}",
                     ts.ttime, ts.sn
                 )))
             }
             Statement::Rollback => {
-                let mut txn = self
-                    .current
-                    .take()
-                    .ok_or_else(|| Error::Sql("no open transaction".into()))?;
-                self.db.rollback(&mut txn)?;
+                self.rollback()?;
                 Ok(QueryResult::message("rolled back"))
             }
             Statement::CreateTable {

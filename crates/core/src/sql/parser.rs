@@ -26,27 +26,48 @@ use crate::row::{ColType, Value};
 use crate::txn::Isolation;
 
 use super::ast::{AsOfSpec, CmpOp, Condition, Predicate, Statement};
-use super::lexer::{tokenize, Token};
+use super::lexer::{tokenize_spanned, Token};
 
 pub struct Parser {
     tokens: Vec<Token>,
+    /// Byte offset of each token's first character in the input.
+    spans: Vec<usize>,
+    /// Total input length (offset reported for "unexpected end").
+    end: usize,
     pos: usize,
 }
 
 impl Parser {
     pub fn parse(input: &str) -> Result<Statement> {
+        let spanned = tokenize_spanned(input)?;
+        let (tokens, spans): (Vec<Token>, Vec<usize>) = spanned.into_iter().unzip();
         let mut p = Parser {
-            tokens: tokenize(input)?,
+            tokens,
+            spans,
+            end: input.len(),
             pos: 0,
         };
         let stmt = p.statement()?;
         if p.pos != p.tokens.len() {
-            return Err(Error::Sql(format!(
+            return Err(p.err(format!(
                 "trailing input after statement: {:?}",
                 &p.tokens[p.pos..]
             )));
         }
         Ok(stmt)
+    }
+
+    /// Byte offset of the token at the cursor (input length at EOF).
+    fn offset(&self) -> usize {
+        self.spans.get(self.pos).copied().unwrap_or(self.end)
+    }
+
+    /// A parse error anchored at the current token.
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -58,7 +79,7 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| Error::Sql("unexpected end of statement".into()))?;
+            .ok_or_else(|| self.err("unexpected end of statement"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -78,10 +99,7 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Sql(format!(
-                "expected {kw}, found {:?}",
-                self.peek()
-            )))
+            Err(self.err(format!("expected {kw}, found {:?}", self.peek())))
         }
     }
 
@@ -90,14 +108,26 @@ impl Parser {
         if t == tok {
             Ok(())
         } else {
-            Err(Error::Sql(format!("expected {tok:?}, found {t:?}")))
+            Err(self.err_prev(format!("expected {tok:?}, found {t:?}")))
+        }
+    }
+
+    /// A parse error anchored at the token just consumed.
+    fn err_prev(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            offset: self
+                .spans
+                .get(self.pos.saturating_sub(1))
+                .copied()
+                .unwrap_or(self.end),
+            message: message.into(),
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(Error::Sql(format!("expected identifier, found {other:?}"))),
+            other => Err(self.err_prev(format!("expected identifier, found {other:?}"))),
         }
     }
 
@@ -144,10 +174,7 @@ impl Parser {
             self.expect_kw("STATS")?;
             return Ok(Statement::ShowStats);
         }
-        Err(Error::Sql(format!(
-            "unknown statement start: {:?}",
-            self.peek()
-        )))
+        Err(self.err(format!("unknown statement start: {:?}", self.peek())))
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -167,14 +194,14 @@ impl Parser {
             if self.eat_kw("PRIMARY") {
                 self.expect_kw("KEY")?;
                 if pk.replace(columns.len()).is_some() {
-                    return Err(Error::Sql("multiple PRIMARY KEY columns".into()));
+                    return Err(self.err_prev("multiple PRIMARY KEY columns"));
                 }
             }
             columns.push((cname, ctype));
             match self.next()? {
                 Token::Comma => continue,
                 Token::RParen => break,
-                other => return Err(Error::Sql(format!("expected , or ), found {other:?}"))),
+                other => return Err(self.err_prev(format!("expected , or ), found {other:?}"))),
             }
         }
         // Optional filegroup clause from the paper's example: ON [PRIMARY].
@@ -190,10 +217,10 @@ impl Parser {
             } else if self.eat_kw("CHAIN") {
                 IndexKind::Chain
             } else {
-                return Err(Error::Sql("USING expects TSB or CHAIN".into()));
+                return Err(self.err("USING expects TSB or CHAIN"));
             };
         }
-        let pk = pk.ok_or_else(|| Error::Sql("a PRIMARY KEY column is required".into()))?;
+        let pk = pk.ok_or_else(|| self.err("a PRIMARY KEY column is required"))?;
         Ok(Statement::CreateTable {
             name,
             kind,
@@ -213,12 +240,12 @@ impl Parser {
                 self.expect(Token::LParen)?;
                 let n = match self.next()? {
                     Token::Number(n) if n > 0 && n <= u16::MAX as i64 => n as u16,
-                    other => return Err(Error::Sql(format!("bad VARCHAR length {other:?}"))),
+                    other => return Err(self.err_prev(format!("bad VARCHAR length {other:?}"))),
                 };
                 self.expect(Token::RParen)?;
                 ColType::Varchar(n)
             }
-            other => return Err(Error::Sql(format!("unknown type {other}"))),
+            other => return Err(self.err_prev(format!("unknown type {other}"))),
         })
     }
 
@@ -243,13 +270,13 @@ impl Parser {
                         self.expect(Token::LParen)?;
                         let n = match self.next()? {
                             Token::Number(n) if n >= 0 => n as u64,
-                            other => return Err(Error::Sql(format!("bad ms() value {other:?}"))),
+                            other => return Err(self.err_prev(format!("bad ms() value {other:?}"))),
                         };
                         self.expect(Token::RParen)?;
                         AsOfSpec::Millis(n)
                     }
                     other => {
-                        return Err(Error::Sql(format!(
+                        return Err(self.err_prev(format!(
                             "AS OF expects a datetime string or ms(N), found {other:?}"
                         )))
                     }
@@ -260,9 +287,7 @@ impl Parser {
                 } else if self.eat_kw("SERIALIZABLE") {
                     Isolation::Serializable
                 } else {
-                    return Err(Error::Sql(
-                        "ISOLATION expects SNAPSHOT or SERIALIZABLE".into(),
-                    ));
+                    return Err(self.err("ISOLATION expects SNAPSHOT or SERIALIZABLE"));
                 };
             } else {
                 break;
@@ -284,7 +309,7 @@ impl Parser {
                 match self.next()? {
                     Token::Comma => continue,
                     Token::RParen => break,
-                    other => return Err(Error::Sql(format!("expected , or ), found {other:?}"))),
+                    other => return Err(self.err_prev(format!("expected , or ), found {other:?}"))),
                 }
             }
             rows.push(row);
@@ -378,7 +403,7 @@ impl Parser {
             Token::Le => CmpOp::Le,
             Token::Gt => CmpOp::Gt,
             Token::Ge => CmpOp::Ge,
-            other => return Err(Error::Sql(format!("expected comparison, found {other:?}"))),
+            other => return Err(self.err_prev(format!("expected comparison, found {other:?}"))),
         };
         let value = self.literal()?;
         Ok(Condition { column, op, value })
@@ -389,12 +414,10 @@ impl Parser {
             Token::Number(n) => Ok(Value::BigInt(n)),
             Token::Minus => match self.next()? {
                 Token::Number(n) => Ok(Value::BigInt(-n)),
-                other => Err(Error::Sql(format!(
-                    "expected number after -, found {other:?}"
-                ))),
+                other => Err(self.err_prev(format!("expected number after -, found {other:?}"))),
             },
             Token::Str(s) => Ok(Value::Varchar(s)),
-            other => Err(Error::Sql(format!("expected literal, found {other:?}"))),
+            other => Err(self.err_prev(format!("expected literal, found {other:?}"))),
         }
     }
 }
@@ -514,6 +537,34 @@ mod tests {
             Parser::parse("ALTER TABLE t ENABLE SNAPSHOT").unwrap(),
             Statement::AlterEnableSnapshot { table: "t".into() }
         );
+    }
+
+    #[test]
+    fn parse_errors_report_byte_offsets() {
+        // "FORM" lexes as an identifier; expect_kw(FROM) fails at its
+        // position (byte 9).
+        match Parser::parse("SELECT * FORM t") {
+            Err(e) => {
+                assert_eq!(e.parse_offset(), Some(9), "{e}");
+                assert!(e.to_string().contains("at byte 9"), "{e}");
+            }
+            Ok(s) => panic!("parsed {s:?}"),
+        }
+        // Offset of a bad literal inside a longer statement.
+        match Parser::parse("INSERT INTO t VALUES (1, FROM)") {
+            Err(e) => assert_eq!(e.parse_offset(), Some(25), "{e}"),
+            Ok(s) => panic!("parsed {s:?}"),
+        }
+        // Truncated input points one past the end.
+        match Parser::parse("SELECT * FROM") {
+            Err(e) => assert_eq!(e.parse_offset(), Some(13), "{e}"),
+            Ok(s) => panic!("parsed {s:?}"),
+        }
+        // Trailing garbage points at the first unconsumed token.
+        match Parser::parse("CHECKPOINT now") {
+            Err(e) => assert_eq!(e.parse_offset(), Some(11), "{e}"),
+            Ok(s) => panic!("parsed {s:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! `immortaldb-server` — serve one database over the wire protocol.
+//!
+//! ```text
+//! immortaldb-server [--dir DIR] [--addr HOST:PORT] [--workers N]
+//!                   [--accept-queue N] [--idle-timeout-secs N] [--buffered]
+//! ```
+//!
+//! Commits are fsync-durable by default (group commit amortizes the log
+//! forces across connections); `--buffered` trades durability for speed.
+//! The server runs until stdin closes or a `quit` line arrives, then
+//! shuts down gracefully: in-flight commits drain, abandoned transactions
+//! roll back, and the database closes with a final WAL force so the next
+//! open replays nothing.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use immortaldb::{Database, DbConfig, Durability};
+use immortaldb_net::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut dir = "immortal-data".to_string();
+    let mut addr = "127.0.0.1:5433".to_string();
+    let mut workers = 8usize;
+    let mut accept_queue = 16usize;
+    let mut idle_secs = 300u64;
+    let mut durability = Durability::Fsync;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--dir" => dir = take("--dir"),
+            "--addr" => addr = take("--addr"),
+            "--workers" => workers = take("--workers").parse().expect("--workers: number"),
+            "--accept-queue" => {
+                accept_queue = take("--accept-queue")
+                    .parse()
+                    .expect("--accept-queue: number")
+            }
+            "--idle-timeout-secs" => {
+                idle_secs = take("--idle-timeout-secs")
+                    .parse()
+                    .expect("--idle-timeout-secs: number")
+            }
+            "--buffered" => durability = Durability::Buffered,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: immortaldb-server [--dir DIR] [--addr HOST:PORT] [--workers N] \
+                     [--accept-queue N] [--idle-timeout-secs N] [--buffered]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let db = match Database::open(DbConfig::new(&dir).durability(durability)) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("failed to open database at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = ServerConfig::new(addr)
+        .workers(workers)
+        .accept_queue(accept_queue)
+        .idle_timeout(Duration::from_secs(idle_secs));
+    let server = match Server::start(db, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "immortaldb-server listening on {} (dir: {dir}, workers: {workers}); \
+         type 'quit' or close stdin to stop",
+        server.local_addr()
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim().eq_ignore_ascii_case("quit") => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    eprintln!("shutting down...");
+    match server.shutdown() {
+        Ok(()) => {
+            eprintln!("clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! `net-smoke` — the CI "serve" stage, in one process.
+//!
+//! Opens a fresh store, starts the wire server on an ephemeral port,
+//! drives a mixed workload from several concurrent `net::Client`s
+//! (autocommit writes, explicit transactions, AS OF reads, a parse error
+//! checking the byte offset), shuts the server down gracefully, then
+//! reopens the store and verifies the shutdown was clean: recovery must
+//! replay nothing (`recovery.crash_recoveries` stays 0) and the data must
+//! survive. Exits non-zero on any failure.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+
+use immortaldb::{Database, DbConfig, Durability, Session, Value};
+use immortaldb_common::Error;
+use immortaldb_net::{Client, Server, ServerConfig};
+
+const CLIENTS: usize = 4;
+const ROWS_PER_CLIENT: i32 = 25;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("net-smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("net-smoke: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn retry<T>(mut f: impl FnMut() -> immortaldb_common::Result<T>) -> immortaldb_common::Result<T> {
+    loop {
+        match f() {
+            Err(e) if e.is_transient() => continue,
+            other => return other,
+        }
+    }
+}
+
+fn run() -> immortaldb_common::Result<()> {
+    let dir = std::env::var("SMOKE_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|_| {
+            std::env::temp_dir().join(format!("immortal-net-smoke-{}", std::process::id()))
+        });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let db = Arc::new(Database::open(
+        DbConfig::new(&dir).durability(Durability::Fsync),
+    )?);
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig::new("127.0.0.1:0").workers(CLIENTS),
+    )?;
+    let addr = server.local_addr();
+    println!("net-smoke: serving on {addr}");
+
+    let mut admin = Client::connect(addr)?;
+    admin.query("CREATE IMMORTAL TABLE smoke (id INT PRIMARY KEY, worker INT, v VARCHAR(32))")?;
+
+    // A parse error must come back typed, with the byte offset.
+    match admin.query("SELECT * FORM smoke") {
+        Err(Error::Remote {
+            offset: Some(9), ..
+        }) => {}
+        other => {
+            return Err(Error::Internal(format!(
+                "expected parse error at byte 9 over the wire, got {other:?}"
+            )))
+        }
+    }
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|w| {
+            thread::spawn(move || -> immortaldb_common::Result<()> {
+                let mut c = Client::connect(addr)?;
+                for i in 0..ROWS_PER_CLIENT {
+                    let id = w as i32 * 1000 + i;
+                    // Autocommit write.
+                    retry(|| c.query(&format!("INSERT INTO smoke VALUES ({id}, {w}, 'v0')")))?;
+                    // Explicit transaction: update then commit.
+                    let commit_ts = retry(|| {
+                        if c.in_transaction() {
+                            c.rollback()?;
+                        }
+                        c.query("BEGIN TRAN")?;
+                        c.query(&format!("UPDATE smoke SET v = 'v1' WHERE id = {id}"))?;
+                        c.commit()
+                    })?;
+                    // AS OF read at the commit timestamp sees the update.
+                    // The engine clamps AS OF to the commit-visibility
+                    // horizon (snapshots never straddle an in-flight
+                    // group commit); the BEGIN_AS_OF reply carries the
+                    // effective timestamp, so wait the horizon out.
+                    if i % 5 == 0 {
+                        let rows = loop {
+                            let eff = c.begin_as_of_ts(commit_ts)?;
+                            if eff < commit_ts {
+                                c.commit()?;
+                                thread::sleep(std::time::Duration::from_millis(5));
+                                continue;
+                            }
+                            let rows = c.query(&format!("SELECT v FROM smoke WHERE id = {id}"))?;
+                            c.commit()?;
+                            break rows;
+                        };
+                        if rows.rows != vec![vec![Value::Varchar("v1".into())]] {
+                            return Err(Error::Internal(format!(
+                                "AS OF read at {commit_ts:?} saw {:?}",
+                                rows.rows
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked")?;
+    }
+
+    // Group commit must have engaged across connections, observable over
+    // the wire via SHOW STATS.
+    let stats = admin.query("SHOW STATS")?;
+    let metric = |name: &str| -> i64 {
+        stats
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Varchar(name.into()))
+            .map(|r| match r[1] {
+                Value::BigInt(v) => v,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    };
+    let expect_rows = (CLIENTS as i64) * (ROWS_PER_CLIENT as i64);
+    println!(
+        "net-smoke: {} requests, {} group commits, {} fsyncs",
+        metric("server.requests"),
+        metric("wal.group_commits"),
+        metric("wal.fsyncs"),
+    );
+
+    let count = admin.query("SELECT id FROM smoke")?;
+    if count.rows.len() as i64 != expect_rows {
+        return Err(Error::Internal(format!(
+            "expected {expect_rows} rows before shutdown, found {}",
+            count.rows.len()
+        )));
+    }
+
+    drop(admin);
+    server.shutdown()?;
+
+    // Clean-shutdown check: reopening must not be a crash recovery, and
+    // the data must still be there.
+    let db = Database::open(DbConfig::new(&dir).durability(Durability::Fsync))?;
+    let crash = db.metrics_snapshot().get("recovery.crash_recoveries");
+    if crash != Some(0) {
+        return Err(Error::Internal(format!(
+            "graceful shutdown was not clean: crash_recoveries = {crash:?}"
+        )));
+    }
+    let mut session = Session::new(&db);
+    let rows = session.execute("SELECT id, v FROM smoke")?;
+    if rows.rows.len() as i64 != expect_rows {
+        return Err(Error::Internal(format!(
+            "expected {expect_rows} rows after reopen, found {}",
+            rows.rows.len()
+        )));
+    }
+    if rows
+        .rows
+        .iter()
+        .any(|r| r[1] != Value::Varchar("v1".into()))
+    {
+        return Err(Error::Internal("a committed update was lost".into()));
+    }
+    db.close()?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

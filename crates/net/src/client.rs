@@ -1,0 +1,174 @@
+//! Blocking client for the Immortal DB wire protocol.
+//!
+//! [`Client::connect`] performs the HELLO handshake; after that,
+//! [`Client::query`] runs one statement per round trip, and the typed
+//! [`Client::begin`] / [`Client::commit`] / [`Client::rollback`] /
+//! [`Client::begin_as_of_ms`] calls return real timestamps instead of
+//! parsing messages. For pipelining, [`Client::send_query`] writes a
+//! request without waiting and [`Client::recv_response`] collects the
+//! replies in order — the server executes pipelined requests
+//! back-to-back, letting group commit batch across connections.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use immortaldb::{Isolation, Value};
+use immortaldb_common::{Error, ErrorCode, Result, Timestamp};
+
+use crate::proto::{self, AsOfTarget, Reply, Request, VERSION};
+
+/// A decoded non-error server response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    pub affected: u64,
+    pub message: String,
+    /// Commit timestamp (COMMIT) or begin snapshot (BEGIN variants).
+    pub ts: Option<Timestamp>,
+}
+
+/// One connection to an `immortaldb-server`.
+pub struct Client {
+    stream: TcpStream,
+    txn_open: bool,
+    /// Requests sent but not yet answered (pipelining depth).
+    in_flight: usize,
+}
+
+impl Client {
+    /// Connect and handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            txn_open: false,
+            in_flight: 0,
+        };
+        client.send(&Request::Hello { version: VERSION })?;
+        client.recv_response()?;
+        Ok(client)
+    }
+
+    /// Whether the server reports an open transaction on this session.
+    pub fn in_transaction(&self) -> bool {
+        self.txn_open
+    }
+
+    /// Execute one SQL statement and wait for its result.
+    pub fn query(&mut self, sql: &str) -> Result<Response> {
+        self.send_query(sql)?;
+        self.recv_response()
+    }
+
+    /// Begin an explicit transaction; returns its begin snapshot.
+    pub fn begin(&mut self, isolation: Isolation) -> Result<Timestamp> {
+        self.round_trip_ts(&Request::Begin(isolation))
+    }
+
+    /// Begin a read-only AS OF transaction from epoch milliseconds;
+    /// returns the effective (horizon-clamped) timestamp.
+    pub fn begin_as_of_ms(&mut self, ms: u64) -> Result<Timestamp> {
+        self.round_trip_ts(&Request::BeginAsOf(AsOfTarget::ClockMs(ms)))
+    }
+
+    /// Begin a read-only AS OF transaction at an exact timestamp, e.g.
+    /// one returned by [`Client::commit`].
+    pub fn begin_as_of_ts(&mut self, ts: Timestamp) -> Result<Timestamp> {
+        self.round_trip_ts(&Request::BeginAsOf(AsOfTarget::Exact(ts)))
+    }
+
+    /// Commit the open transaction; returns its commit timestamp.
+    pub fn commit(&mut self) -> Result<Timestamp> {
+        self.round_trip_ts(&Request::Commit)
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> Result<()> {
+        self.send(&Request::Rollback)?;
+        self.recv_response().map(|_| ())
+    }
+
+    /// Send a QUERY without waiting for the reply (pipelining). Pair
+    /// each call with one [`Client::recv_response`]; replies arrive in
+    /// request order.
+    pub fn send_query(&mut self, sql: &str) -> Result<()> {
+        self.send(&Request::Query(sql.to_string()))
+    }
+
+    /// Receive the next pending response. Error frames are surfaced as
+    /// [`Error::ServerBusy`] or [`Error::Remote`] (with the typed code
+    /// and, for parse errors, the byte offset).
+    pub fn recv_response(&mut self) -> Result<Response> {
+        let (op, payload) = proto::read_frame(&mut self.stream)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        match Reply::decode(op, &payload)? {
+            Reply::Ok {
+                txn_open,
+                ts,
+                affected,
+                message,
+            } => {
+                self.txn_open = txn_open;
+                Ok(Response {
+                    columns: Vec::new(),
+                    rows: Vec::new(),
+                    affected,
+                    message,
+                    ts,
+                })
+            }
+            Reply::Rows {
+                txn_open,
+                columns,
+                rows,
+                message,
+            } => {
+                self.txn_open = txn_open;
+                Ok(Response {
+                    columns,
+                    rows,
+                    affected: 0,
+                    message,
+                    ts: None,
+                })
+            }
+            Reply::Error {
+                txn_open,
+                code,
+                offset,
+                message,
+            } => {
+                self.txn_open = txn_open;
+                if code == ErrorCode::Busy {
+                    Err(Error::ServerBusy)
+                } else {
+                    Err(Error::Remote {
+                        code,
+                        offset,
+                        message,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Responses still owed by the server (sent-but-unreceived queries).
+    pub fn pending(&self) -> usize {
+        self.in_flight
+    }
+
+    fn send(&mut self, req: &Request) -> Result<()> {
+        let (op, payload) = req.encode();
+        proto::write_frame(&mut self.stream, op, &payload)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    fn round_trip_ts(&mut self, req: &Request) -> Result<Timestamp> {
+        self.send(req)?;
+        let resp = self.recv_response()?;
+        resp.ts
+            .ok_or_else(|| Error::Corruption("server reply missing timestamp".into()))
+    }
+}

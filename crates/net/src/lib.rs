@@ -1,0 +1,36 @@
+//! Wire-protocol front door for Immortal DB.
+//!
+//! The paper's engine lived inside SQL Server, which clients reached over
+//! a wire protocol; this crate gives the reproduction the same shape. It
+//! provides:
+//!
+//! * [`proto`] — a small length-prefixed binary protocol: every frame is
+//!   `u32 len | u8 opcode | payload`, with request opcodes for HELLO,
+//!   QUERY, BEGIN, BEGIN AS OF, COMMIT and ROLLBACK and response opcodes
+//!   OK, ROWS and ERROR. ERROR frames carry the engine's stable
+//!   [`ErrorCode`](immortaldb_common::ErrorCode) plus the byte offset of
+//!   parse errors, never matched-on strings.
+//! * [`server`] — a TCP server owning one [`Database`](immortaldb::Database)
+//!   and a **fixed worker pool**. Each connection gets a session wrapping
+//!   the SQL [`Session`](immortaldb::Session) (one open transaction,
+//!   explicit or autocommit; AS OF sessions route through
+//!   `Database::begin_as_of_ts`). Connections beyond the pool wait in a
+//!   bounded accept queue; overflow is shed with a typed SERVER_BUSY
+//!   error. Idle sessions are rolled back and closed; shutdown drains
+//!   in-flight commits before the final WAL force. Requests are read
+//!   through a streaming frame buffer, so pipelined clients keep a worker
+//!   busy back-to-back and group commit batches across connections.
+//! * [`client`] — [`Client`]: connect/handshake, `query()` with typed row
+//!   decoding, native BEGIN/COMMIT/ROLLBACK returning real
+//!   [`Timestamp`](immortaldb_common::Timestamp)s, and a split
+//!   `send_query()`/`recv_response()` pair for pipelining.
+//!
+//! Server-side traffic is observable via the engine registry's `server.*`
+//! metrics (`SHOW STATS` works over the wire, too).
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use server::{Server, ServerConfig};

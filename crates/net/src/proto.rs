@@ -1,0 +1,568 @@
+//! The wire protocol: framing, opcodes and payload codecs.
+//!
+//! Every frame is `u32 len (LE) | u8 opcode | payload`, where `len`
+//! counts the opcode byte plus the payload. Integers are little-endian;
+//! strings and byte blobs are `u32 len + bytes` (the engine's standard
+//! [`Writer`]/[`Reader`] codec). The layout is versioned by the HELLO
+//! handshake: a client opens with `HELLO{magic "IMDB", version}` and the
+//! server refuses mismatches, so both sides always agree on the frame
+//! grammar below.
+//!
+//! Requests:
+//!
+//! | op | name        | payload |
+//! |----|-------------|---------|
+//! | 01 | HELLO       | `"IMDB"` + `u16 version` |
+//! | 02 | QUERY       | SQL text (raw UTF-8, rest of frame) |
+//! | 03 | BEGIN       | `u8` isolation (0 = serializable, 1 = snapshot) |
+//! | 04 | BEGIN_AS_OF | `u8` kind (0 = clock ms, 1 = exact) + `u64` ms/ttime + `u32` sn |
+//! | 05 | COMMIT      | empty |
+//! | 06 | ROLLBACK    | empty |
+//!
+//! Responses (every response starts with `u8 txn_open` so the client can
+//! mirror the session's transaction state without guessing):
+//!
+//! | op | name  | payload |
+//! |----|-------|---------|
+//! | 80 | OK    | `u8 txn_open` + `u8 has_ts` \[+ `u64 ttime` + `u32 sn`\] + `u64 affected` + `str message` |
+//! | 81 | ROWS  | `u8 txn_open` + `u16 ncols` + cols + `u32 nrows` + rows + `str message` |
+//! | 82 | ERROR | `u8 txn_open` + `u8 code` + `u8 has_offset` \[+ `u32 offset`\] + `str message` |
+//!
+//! Row values are tagged: `1` SMALLINT (`i16`), `2` INT (`i32`),
+//! `3` BIGINT (`i64`), `4` VARCHAR (`u32 len + bytes`).
+
+use std::io::{self, Read, Write};
+
+use immortaldb::{Isolation, Value};
+use immortaldb_common::codec::{Reader, Writer};
+use immortaldb_common::{Error, ErrorCode, Result, Timestamp};
+
+/// Handshake magic: first bytes of every HELLO payload.
+pub const MAGIC: &[u8; 4] = b"IMDB";
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+/// Upper bound on a frame's `len` field; anything larger is a corrupt or
+/// hostile stream and the connection is dropped.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Request and response opcodes.
+pub mod op {
+    pub const HELLO: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const BEGIN: u8 = 0x03;
+    pub const BEGIN_AS_OF: u8 = 0x04;
+    pub const COMMIT: u8 = 0x05;
+    pub const ROLLBACK: u8 = 0x06;
+
+    pub const OK: u8 = 0x80;
+    pub const ROWS: u8 = 0x81;
+    pub const ERROR: u8 = 0x82;
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Write one frame (single `write_all`, so frames are never interleaved
+/// even if the caller races — each connection has one writer anyway).
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(opcode);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame, blocking until it is complete (client side).
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut hdr = [0u8; 4];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    body.remove(0);
+    Ok((opcode, body))
+}
+
+/// Incremental frame parser for the server's polled reads: bytes arrive
+/// in arbitrary chunks (with read timeouts between them) and complete
+/// frames are peeled off the front. This is what makes pipelining work —
+/// a burst of requests parses into frames one `next_frame` call at a
+/// time with no further socket reads.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Feed raw bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let opcode = self.buf[4];
+        let payload = self.buf[5..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some((opcode, payload)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// The AS OF target of a `BEGIN_AS_OF` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsOfTarget {
+    /// Wall-clock milliseconds; the server quantizes to the 20 ms tick
+    /// (everything committed within or before the tick is visible).
+    ClockMs(u64),
+    /// An exact `(ttime, sn)` timestamp, e.g. one returned by COMMIT.
+    Exact(Timestamp),
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Hello { version: u16 },
+    Query(String),
+    Begin(Isolation),
+    BeginAsOf(AsOfTarget),
+    Commit,
+    Rollback,
+}
+
+impl Request {
+    /// Encode to `(opcode, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Hello { version } => {
+                let mut w = Writer::new();
+                w.raw(MAGIC).u16(*version);
+                (op::HELLO, w.finish())
+            }
+            Request::Query(sql) => (op::QUERY, sql.as_bytes().to_vec()),
+            Request::Begin(iso) => {
+                let b = match iso {
+                    Isolation::Serializable => 0u8,
+                    Isolation::Snapshot => 1u8,
+                };
+                (op::BEGIN, vec![b])
+            }
+            Request::BeginAsOf(target) => {
+                let mut w = Writer::new();
+                match target {
+                    AsOfTarget::ClockMs(ms) => {
+                        w.u8(0).u64(*ms).u32(0);
+                    }
+                    AsOfTarget::Exact(ts) => {
+                        w.u8(1).u64(ts.ttime).u32(ts.sn);
+                    }
+                }
+                (op::BEGIN_AS_OF, w.finish())
+            }
+            Request::Commit => (op::COMMIT, Vec::new()),
+            Request::Rollback => (op::ROLLBACK, Vec::new()),
+        }
+    }
+
+    /// Decode from `(opcode, payload)`. Malformed payloads surface as
+    /// [`Error::Corruption`] (the server answers with an ERROR frame and
+    /// drops the connection).
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request> {
+        match opcode {
+            op::HELLO => {
+                let mut r = Reader::new(payload);
+                let magic = r.raw(4)?;
+                if magic != MAGIC {
+                    return Err(Error::Corruption("bad HELLO magic".into()));
+                }
+                let version = r.u16()?;
+                Ok(Request::Hello { version })
+            }
+            op::QUERY => {
+                let sql = std::str::from_utf8(payload)
+                    .map_err(|_| Error::Corruption("QUERY payload is not UTF-8".into()))?;
+                Ok(Request::Query(sql.to_string()))
+            }
+            op::BEGIN => {
+                let mut r = Reader::new(payload);
+                let iso = match r.u8()? {
+                    0 => Isolation::Serializable,
+                    1 => Isolation::Snapshot,
+                    other => return Err(Error::Corruption(format!("bad isolation byte {other}"))),
+                };
+                Ok(Request::Begin(iso))
+            }
+            op::BEGIN_AS_OF => {
+                let mut r = Reader::new(payload);
+                let kind = r.u8()?;
+                let t = r.u64()?;
+                let sn = r.u32()?;
+                match kind {
+                    0 => Ok(Request::BeginAsOf(AsOfTarget::ClockMs(t))),
+                    1 => Ok(Request::BeginAsOf(AsOfTarget::Exact(Timestamp::new(t, sn)))),
+                    other => Err(Error::Corruption(format!("bad AS OF kind {other}"))),
+                }
+            }
+            op::COMMIT => Ok(Request::Commit),
+            op::ROLLBACK => Ok(Request::Rollback),
+            other => Err(Error::Corruption(format!(
+                "unknown request opcode {other:#x}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Ok {
+        txn_open: bool,
+        /// Commit timestamp (COMMIT) or begin snapshot (BEGIN variants).
+        ts: Option<Timestamp>,
+        affected: u64,
+        message: String,
+    },
+    Rows {
+        txn_open: bool,
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        message: String,
+    },
+    Error {
+        txn_open: bool,
+        code: ErrorCode,
+        /// Byte offset into the statement for parse errors.
+        offset: Option<u32>,
+        message: String,
+    },
+}
+
+fn put_str(w: &mut Writer, s: &str) {
+    w.bytes(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader<'_>) -> Result<String> {
+    let b = r.bytes()?;
+    String::from_utf8(b.to_vec()).map_err(|_| Error::Corruption("non-UTF8 string".into()))
+}
+
+fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::SmallInt(n) => {
+            w.u8(1).u16(*n as u16);
+        }
+        Value::Int(n) => {
+            w.u8(2).u32(*n as u32);
+        }
+        Value::BigInt(n) => {
+            w.u8(3).u64(*n as u64);
+        }
+        Value::Varchar(s) => {
+            w.u8(4).bytes(s.as_bytes());
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        1 => Value::SmallInt(r.u16()? as i16),
+        2 => Value::Int(r.u32()? as i32),
+        3 => Value::BigInt(r.u64()? as i64),
+        4 => Value::Varchar(get_str(r)?),
+        other => return Err(Error::Corruption(format!("unknown value tag {other}"))),
+    })
+}
+
+impl Reply {
+    /// Encode to `(opcode, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Reply::Ok {
+                txn_open,
+                ts,
+                affected,
+                message,
+            } => {
+                let mut w = Writer::new();
+                w.u8(*txn_open as u8);
+                match ts {
+                    Some(ts) => {
+                        w.u8(1).u64(ts.ttime).u32(ts.sn);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+                w.u64(*affected);
+                put_str(&mut w, message);
+                (op::OK, w.finish())
+            }
+            Reply::Rows {
+                txn_open,
+                columns,
+                rows,
+                message,
+            } => {
+                let mut w = Writer::new();
+                w.u8(*txn_open as u8).u16(columns.len() as u16);
+                for c in columns {
+                    put_str(&mut w, c);
+                }
+                w.u32(rows.len() as u32);
+                for row in rows {
+                    for v in row {
+                        put_value(&mut w, v);
+                    }
+                }
+                put_str(&mut w, message);
+                (op::ROWS, w.finish())
+            }
+            Reply::Error {
+                txn_open,
+                code,
+                offset,
+                message,
+            } => {
+                let mut w = Writer::new();
+                w.u8(*txn_open as u8).u8(*code as u8);
+                match offset {
+                    Some(o) => {
+                        w.u8(1).u32(*o);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+                put_str(&mut w, message);
+                (op::ERROR, w.finish())
+            }
+        }
+    }
+
+    /// Decode from `(opcode, payload)`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Reply> {
+        let mut r = Reader::new(payload);
+        match opcode {
+            op::OK => {
+                let txn_open = r.u8()? != 0;
+                let ts = if r.u8()? != 0 {
+                    Some(Timestamp::new(r.u64()?, r.u32()?))
+                } else {
+                    None
+                };
+                let affected = r.u64()?;
+                let message = get_str(&mut r)?;
+                Ok(Reply::Ok {
+                    txn_open,
+                    ts,
+                    affected,
+                    message,
+                })
+            }
+            op::ROWS => {
+                let txn_open = r.u8()? != 0;
+                let ncols = r.u16()? as usize;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(get_str(&mut r)?);
+                }
+                let nrows = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(get_value(&mut r)?);
+                    }
+                    rows.push(row);
+                }
+                let message = get_str(&mut r)?;
+                Ok(Reply::Rows {
+                    txn_open,
+                    columns,
+                    rows,
+                    message,
+                })
+            }
+            op::ERROR => {
+                let txn_open = r.u8()? != 0;
+                let code = ErrorCode::from_u8(r.u8()?);
+                let offset = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+                let message = get_str(&mut r)?;
+                Ok(Reply::Error {
+                    txn_open,
+                    code,
+                    offset,
+                    message,
+                })
+            }
+            other => Err(Error::Corruption(format!(
+                "unknown response opcode {other:#x}"
+            ))),
+        }
+    }
+
+    /// Build the ERROR reply for an engine error.
+    pub fn from_error(e: &Error, txn_open: bool) -> Reply {
+        Reply::Error {
+            txn_open,
+            code: e.code(),
+            offset: e.parse_offset(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Hello { version: VERSION },
+            Request::Query("SELECT * FROM t WHERE a = 'x y'".into()),
+            Request::Begin(Isolation::Serializable),
+            Request::Begin(Isolation::Snapshot),
+            Request::BeginAsOf(AsOfTarget::ClockMs(123_456)),
+            Request::BeginAsOf(AsOfTarget::Exact(Timestamp::new(1000, 7))),
+            Request::Commit,
+            Request::Rollback,
+        ] {
+            let (op, payload) = req.encode();
+            assert_eq!(Request::decode(op, &payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for reply in [
+            Reply::Ok {
+                txn_open: true,
+                ts: Some(Timestamp::new(2000, 3)),
+                affected: 42,
+                message: "committed".into(),
+            },
+            Reply::Ok {
+                txn_open: false,
+                ts: None,
+                affected: 0,
+                message: String::new(),
+            },
+            Reply::Rows {
+                txn_open: false,
+                columns: vec!["id".into(), "v".into()],
+                rows: vec![
+                    vec![Value::Int(1), Value::Varchar("a".into())],
+                    vec![Value::Int(-7), Value::Varchar(String::new())],
+                ],
+                message: "2 rows".into(),
+            },
+            Reply::Error {
+                txn_open: true,
+                code: ErrorCode::Parse,
+                offset: Some(9),
+                message: "expected FROM".into(),
+            },
+            Reply::Error {
+                txn_open: false,
+                code: ErrorCode::Busy,
+                offset: None,
+                message: "server busy".into(),
+            },
+        ] {
+            let (op, payload) = reply.encode();
+            assert_eq!(Reply::decode(op, &payload).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn value_tags_cover_negative_integers() {
+        let mut w = Writer::new();
+        put_value(&mut w, &Value::SmallInt(-5));
+        put_value(&mut w, &Value::Int(-100_000));
+        put_value(&mut w, &Value::BigInt(i64::MIN));
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_value(&mut r).unwrap(), Value::SmallInt(-5));
+        assert_eq!(get_value(&mut r).unwrap(), Value::Int(-100_000));
+        assert_eq!(get_value(&mut r).unwrap(), Value::BigInt(i64::MIN));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_and_pipelined_frames() {
+        let (op1, p1) = Request::Query("SELECT 1".into()).encode();
+        let (op2, p2) = Request::Commit.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, op1, &p1).unwrap();
+        write_frame(&mut wire, op2, &p2).unwrap();
+
+        // Feed a byte at a time: frames pop exactly when complete.
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, op1);
+        assert_eq!(got[1].0, op2);
+        assert_eq!(
+            Request::decode(got[0].0, &got[0].1).unwrap(),
+            Request::Query("SELECT 1".into())
+        );
+
+        // Feeding everything at once pipelines both frames.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_rejects_hostile_lengths() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(fb.next_frame().is_err());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! TCP server: acceptor, fixed worker pool, per-connection sessions.
+//!
+//! One acceptor thread pushes connections into a bounded queue; `workers`
+//! threads pop them and serve one connection at a time. When every worker
+//! is busy and the queue is full, new connections are shed immediately
+//! with a typed SERVER_BUSY error instead of queueing unboundedly — the
+//! client sees the rejection in one round trip and can back off.
+//!
+//! Each worker reads with a short timeout ("tick") so it can notice
+//! shutdown and idle sessions between frames. Bytes accumulate in a
+//! [`FrameBuffer`], so pipelined requests (many frames in one burst) are
+//! served back-to-back without extra socket reads — which is what lets
+//! group commit batch log forces across connections.
+//!
+//! Shutdown is graceful: the accept loop stops, workers finish the
+//! requests already buffered on their connection (draining in-flight
+//! commits), abandoned transactions are rolled back, and finally
+//! [`Database::close`] forces the WAL so a subsequent open replays
+//! nothing.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use immortaldb::{Database, Session};
+use immortaldb_common::{Error, Result};
+
+use crate::proto::{self, FrameBuffer, Reply, Request, VERSION};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Fixed number of worker threads (= max concurrently served
+    /// connections).
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before new ones are shed
+    /// with SERVER_BUSY.
+    pub accept_queue: usize,
+    /// Sessions idle longer than this are rolled back and disconnected.
+    pub idle_timeout: Duration,
+    /// Poll granularity for shutdown/idle checks between frames.
+    pub tick: Duration,
+}
+
+impl ServerConfig {
+    pub fn new(addr: impl Into<String>) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            workers: 8,
+            accept_queue: 16,
+            idle_timeout: Duration::from_secs(300),
+            tick: Duration::from_millis(25),
+        }
+    }
+
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    pub fn accept_queue(mut self, n: usize) -> Self {
+        self.accept_queue = n;
+        self
+    }
+
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+
+    pub fn tick(mut self, d: Duration) -> Self {
+        self.tick = d.max(Duration::from_millis(1));
+        self
+    }
+}
+
+/// State shared by the acceptor and the workers.
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queued: Condvar,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn set_active(&self, delta: isize) {
+        let prev = if delta > 0 {
+            self.active.fetch_add(delta as usize, Ordering::Relaxed) + delta as usize
+        } else {
+            self.active.fetch_sub((-delta) as usize, Ordering::Relaxed) - (-delta) as usize
+        };
+        self.db.metrics().server.active_sessions.set(prev as u64);
+    }
+}
+
+/// A running wire-protocol server. Dropping it without calling
+/// [`Server::shutdown`] aborts the threads non-gracefully (the test
+/// harness should always shut down).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr` and start the accept loop plus the worker pool.
+    pub fn start(db: Arc<Database>, cfg: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queued: Condvar::new(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let sh = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("imdb-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .map_err(Error::Io)?,
+            );
+        }
+        let sh = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("imdb-acceptor".into())
+            .spawn(move || accept_loop(&sh, listener))
+            .map_err(Error::Io)?;
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, let workers drain the requests
+    /// already buffered on their connections (rolling back abandoned
+    /// transactions), then close the database — the final WAL force. The
+    /// store is cleanly recoverable afterwards: reopening it replays no
+    /// log and does not count as a crash recovery.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.queued.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.db.close()
+    }
+}
+
+fn accept_loop(sh: &Shared, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if sh.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let m = &sh.db.metrics().server;
+        m.connections_accepted.inc();
+        let mut q = sh.queue.lock().unwrap();
+        let busy = sh.active.load(Ordering::Relaxed) >= sh.cfg.workers;
+        if busy && q.len() >= sh.cfg.accept_queue {
+            drop(q);
+            m.connections_rejected.inc();
+            shed(stream);
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        sh.queued.notify_one();
+    }
+}
+
+/// Tell an overflowing connection to go away, politely and in one frame.
+fn shed(stream: TcpStream) {
+    let reply = Reply::Error {
+        txn_open: false,
+        code: immortaldb_common::ErrorCode::Busy,
+        offset: None,
+        message: Error::ServerBusy.to_string(),
+    };
+    let (op, payload) = reply.encode();
+    let _ = proto::write_frame(&mut &stream, op, &payload);
+    // Dropping the stream closes it.
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let stream = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match q.pop_front() {
+                    Some(s) => break s,
+                    None => q = sh.queued.wait(q).unwrap(),
+                }
+            }
+        };
+        sh.set_active(1);
+        serve_connection(sh, stream);
+        sh.set_active(-1);
+        sh.db.metrics().server.connections_closed.inc();
+    }
+}
+
+/// Serve one connection until disconnect, idle timeout, protocol error
+/// or shutdown.
+fn serve_connection(sh: &Shared, stream: TcpStream) {
+    let m = &sh.db.metrics().server;
+    // Replies must not sit in Nagle's buffer waiting for ACKs: pipelined
+    // clients have several requests outstanding, and a delayed reply
+    // stalls their whole window.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(sh.cfg.tick)).is_err() {
+        return;
+    }
+    let mut session = Session::new(sh.db.as_ref());
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut reader = &stream;
+    let mut greeted = false;
+    let mut last_activity = Instant::now();
+
+    'conn: loop {
+        // Drain every complete frame already buffered before touching the
+        // socket again: this is the pipelining path.
+        loop {
+            let (opcode, payload) = match frames.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => break 'conn, // hostile framing: hang up
+            };
+            m.requests.inc();
+            let timer = m.request_ns.start_timer();
+            let reply = match Request::decode(opcode, &payload) {
+                Ok(Request::Hello { version }) if !greeted => {
+                    if version == VERSION {
+                        greeted = true;
+                        Reply::Ok {
+                            txn_open: false,
+                            ts: None,
+                            affected: 0,
+                            message: format!("immortaldb protocol {VERSION}"),
+                        }
+                    } else {
+                        let e = Error::Sql(format!(
+                            "protocol version mismatch: client {version}, server {VERSION}"
+                        ));
+                        let r = Reply::from_error(&e, false);
+                        m.errors.inc();
+                        send(&stream, &r);
+                        break 'conn;
+                    }
+                }
+                Ok(req) => {
+                    if !greeted {
+                        m.errors.inc();
+                        send(
+                            &stream,
+                            &Reply::from_error(&Error::Sql("expected HELLO first".into()), false),
+                        );
+                        break 'conn;
+                    }
+                    handle_request(sh, &mut session, req)
+                }
+                Err(e) => {
+                    // Undecodable payload: answer, then hang up — the
+                    // stream state is untrustworthy.
+                    m.errors.inc();
+                    send(&stream, &Reply::from_error(&e, session.in_transaction()));
+                    break 'conn;
+                }
+            };
+            timer.stop();
+            if matches!(reply, Reply::Error { .. }) {
+                m.errors.inc();
+            }
+            if !send(&stream, &reply) {
+                break 'conn;
+            }
+        }
+
+        if sh.shutdown.load(Ordering::SeqCst) {
+            break; // buffered requests were drained above
+        }
+
+        match reader.read(&mut chunk) {
+            Ok(0) => break, // client disconnected
+            Ok(n) => {
+                frames.extend(&chunk[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if last_activity.elapsed() >= sh.cfg.idle_timeout {
+                    if session.in_transaction() {
+                        m.idle_rollbacks.inc();
+                    }
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // Whatever path got us here: abandon the session so its locks and
+    // uncommitted versions disappear.
+    session.reset();
+}
+
+fn send(stream: &TcpStream, reply: &Reply) -> bool {
+    let (op, payload) = reply.encode();
+    proto::write_frame(&mut &*stream, op, &payload).is_ok()
+}
+
+/// Execute one request against the connection's session.
+fn handle_request(sh: &Shared, session: &mut Session<'_>, req: Request) -> Reply {
+    let m = &sh.db.metrics().server;
+    let result: Result<Reply> = (|| match req {
+        Request::Hello { .. } => Err(Error::Sql("unexpected HELLO".into())),
+        Request::Query(sql) => {
+            let is_commit = session.in_transaction()
+                && sql
+                    .trim_start()
+                    .get(..6)
+                    .is_some_and(|p| p.eq_ignore_ascii_case("COMMIT"));
+            let timer = is_commit.then(|| m.commit_ns.start_timer());
+            let res = session.execute(&sql);
+            drop(timer);
+            let res = res?;
+            let txn_open = session.in_transaction();
+            if res.columns.is_empty() {
+                Ok(Reply::Ok {
+                    txn_open,
+                    ts: None,
+                    affected: res.affected as u64,
+                    message: res.message,
+                })
+            } else {
+                Ok(Reply::Rows {
+                    txn_open,
+                    columns: res.columns,
+                    rows: res.rows,
+                    message: res.message,
+                })
+            }
+        }
+        Request::Begin(iso) => {
+            let snapshot = session.begin(iso)?;
+            Ok(Reply::Ok {
+                txn_open: true,
+                ts: Some(snapshot),
+                affected: 0,
+                message: "transaction started".into(),
+            })
+        }
+        Request::BeginAsOf(target) => {
+            let effective = match target {
+                proto::AsOfTarget::ClockMs(ms) => session.begin_as_of_ms(ms)?,
+                proto::AsOfTarget::Exact(ts) => session.begin_as_of_ts(ts)?,
+            };
+            Ok(Reply::Ok {
+                txn_open: true,
+                ts: Some(effective),
+                affected: 0,
+                message: "historical transaction started".into(),
+            })
+        }
+        Request::Commit => {
+            let timer = m.commit_ns.start_timer();
+            let ts = session.commit();
+            drop(timer);
+            let ts = ts?;
+            Ok(Reply::Ok {
+                txn_open: false,
+                ts: Some(ts),
+                affected: 0,
+                message: format!("committed at {}.{}", ts.ttime, ts.sn),
+            })
+        }
+        Request::Rollback => {
+            session.rollback()?;
+            Ok(Reply::Ok {
+                txn_open: false,
+                ts: None,
+                affected: 0,
+                message: "rolled back".into(),
+            })
+        }
+    })();
+    match result {
+        Ok(reply) => reply,
+        Err(e) => Reply::from_error(&e, session.in_transaction()),
+    }
+}

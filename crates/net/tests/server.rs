@@ -1,0 +1,302 @@
+//! Integration tests for the wire-protocol server: round trips, typed
+//! errors, backpressure shedding, idle-session rollback, pipelining and
+//! graceful shutdown.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use immortaldb::{Database, DbConfig, Durability, Isolation, Session, Value};
+use immortaldb_common::{Error, ErrorCode};
+use immortaldb_net::proto::{self, Reply, Request, VERSION};
+use immortaldb_net::{Client, Server, ServerConfig};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("immortal-net-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str, cfg: ServerConfig) -> (Arc<Database>, Server, PathBuf) {
+    let dir = scratch(name);
+    let db = Arc::new(Database::open(DbConfig::new(&dir).durability(Durability::Fsync)).unwrap());
+    let server = Server::start(Arc::clone(&db), cfg).unwrap();
+    (db, server, dir)
+}
+
+#[test]
+fn wire_round_trip_with_as_of() {
+    let (db, server, dir) = start("roundtrip", ServerConfig::new("127.0.0.1:0"));
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.query("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v VARCHAR(16))")
+        .unwrap();
+    let r = c.query("INSERT INTO t VALUES (1, 'old')").unwrap();
+    assert_eq!(r.affected, 1);
+
+    // Typed transaction surface returns real timestamps.
+    let snap = c.begin(Isolation::Serializable).unwrap();
+    c.query("UPDATE t SET v = 'new' WHERE id = 1").unwrap();
+    assert!(c.in_transaction());
+    let commit_ts = c.commit().unwrap();
+    assert!(!c.in_transaction());
+    assert!(commit_ts >= snap);
+
+    // Current read sees the update...
+    let now = c.query("SELECT v FROM t WHERE id = 1").unwrap();
+    assert_eq!(now.rows, vec![vec![Value::Varchar("new".into())]]);
+
+    // ...while an AS OF transaction pinned at the update's begin
+    // snapshot (before its commit timestamp) sees the old version.
+    let eff = c.begin_as_of_ts(snap).unwrap();
+    assert!(eff < commit_ts);
+    let old = c.query("SELECT v FROM t WHERE id = 1").unwrap();
+    c.commit().unwrap();
+    assert_eq!(old.rows, vec![vec![Value::Varchar("old".into())]]);
+
+    // SHOW STATS works over the wire and includes the server counters.
+    let stats = c.query("SHOW STATS").unwrap();
+    let get = |name: &str| {
+        stats
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Varchar(name.into()))
+            .map(|r| match r[1] {
+                Value::BigInt(v) => v,
+                _ => -1,
+            })
+    };
+    assert!(get("server.requests").unwrap() > 0);
+    assert_eq!(get("server.active_sessions"), Some(1));
+    assert!(get("wal.group_commits").is_some());
+
+    drop(c);
+    server.shutdown().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parse_errors_carry_code_and_offset() {
+    let (db, server, dir) = start("parse-err", ServerConfig::new("127.0.0.1:0"));
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    match c.query("SELECT * FORM t") {
+        Err(Error::Remote {
+            code,
+            offset,
+            message,
+        }) => {
+            assert_eq!(code, ErrorCode::Parse);
+            assert_eq!(offset, Some(9));
+            assert!(message.contains("FROM"), "message: {message}");
+        }
+        other => panic!("expected remote parse error, got {other:?}"),
+    }
+
+    // Non-parse errors carry their own codes and no offset.
+    match c.query("SELECT * FROM missing") {
+        Err(Error::Remote { code, offset, .. }) => {
+            assert_eq!(code, ErrorCode::Catalog);
+            assert_eq!(offset, None);
+        }
+        other => panic!("expected catalog error, got {other:?}"),
+    }
+
+    drop(c);
+    server.shutdown().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_is_shed_with_server_busy() {
+    // One worker, no queue: the second concurrent connection is shed.
+    let (db, server, dir) = start(
+        "busy",
+        ServerConfig::new("127.0.0.1:0").workers(1).accept_queue(0),
+    );
+    let addr = server.local_addr();
+
+    // First client occupies the only worker (its handshake completed, so
+    // the worker is pinned to this connection).
+    let c1 = Client::connect(addr).unwrap();
+
+    match Client::connect(addr) {
+        Err(Error::ServerBusy) => {}
+        Err(e) => panic!("expected SERVER_BUSY, got error {e}"),
+        Ok(_) => panic!("expected SERVER_BUSY, got a connection"),
+    }
+    assert_eq!(db.metrics().server.connections_rejected.get(), 1);
+
+    // Capacity frees up when the first client leaves.
+    drop(c1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut c3 = loop {
+        match Client::connect(addr) {
+            Ok(c) => break c,
+            Err(Error::ServerBusy) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    c3.query("SHOW STATS").unwrap();
+
+    drop(c3);
+    server.shutdown().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_sessions_are_rolled_back() {
+    let (db, server, dir) = start(
+        "idle",
+        ServerConfig::new("127.0.0.1:0")
+            .idle_timeout(Duration::from_millis(200))
+            .tick(Duration::from_millis(20)),
+    );
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.query("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    c.begin(Isolation::Serializable).unwrap();
+    c.query("INSERT INTO t VALUES (1, 1)").unwrap();
+
+    // Abandon the session: the server must roll the transaction back and
+    // hang up once the idle timeout elapses.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.metrics().server.idle_rollbacks.get() == 0 {
+        assert!(Instant::now() < deadline, "idle rollback never happened");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The abandoned insert is gone and its lock is released: a fresh
+    // client can claim the same key immediately.
+    let mut c2 = Client::connect(addr).unwrap();
+    let r = c2.query("SELECT id FROM t").unwrap();
+    assert!(r.rows.is_empty(), "uncommitted insert leaked: {:?}", r.rows);
+    assert_eq!(c2.query("INSERT INTO t VALUES (1, 2)").unwrap().affected, 1);
+
+    // The idle client's connection was closed server-side.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match c.query("SELECT id FROM t") {
+            Err(Error::Io(_)) => break,
+            Ok(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("expected closed connection, got {other:?}"),
+        }
+    }
+
+    drop(c2);
+    server.shutdown().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let (db, server, dir) = start("pipeline", ServerConfig::new("127.0.0.1:0"));
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.query("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+
+    // Fire a burst of autocommit writes without reading any replies.
+    const N: usize = 32;
+    for i in 0..N {
+        c.send_query(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    assert_eq!(c.pending(), N);
+    for _ in 0..N {
+        assert_eq!(c.recv_response().unwrap().affected, 1);
+    }
+    assert_eq!(c.pending(), 0);
+
+    let r = c.query("SELECT id FROM t").unwrap();
+    assert_eq!(r.rows.len(), N);
+
+    drop(c);
+    server.shutdown().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hello_is_required_and_version_checked() {
+    let (db, server, dir) = start("hello", ServerConfig::new("127.0.0.1:0"));
+    let addr = server.local_addr();
+
+    // Skipping HELLO: first real request is refused and the connection
+    // closed.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let (op, payload) = Request::Query("SELECT 1".into()).encode();
+    proto::write_frame(&mut raw, op, &payload).unwrap();
+    let (op, payload) = proto::read_frame(&mut raw).unwrap();
+    match Reply::decode(op, &payload).unwrap() {
+        Reply::Error { message, .. } => assert!(message.contains("HELLO"), "{message}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Wrong protocol version: typed refusal.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let (op, payload) = Request::Hello {
+        version: VERSION + 1,
+    }
+    .encode();
+    proto::write_frame(&mut raw, op, &payload).unwrap();
+    let (op, payload) = proto::read_frame(&mut raw).unwrap();
+    match Reply::decode(op, &payload).unwrap() {
+        Reply::Error { message, .. } => {
+            assert!(message.contains("version mismatch"), "{message}")
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    server.shutdown().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_reopens_cleanly() {
+    let dir = scratch("shutdown");
+    let db = Arc::new(Database::open(DbConfig::new(&dir).durability(Durability::Fsync)).unwrap());
+    let server = Server::start(Arc::clone(&db), ServerConfig::new("127.0.0.1:0")).unwrap();
+
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.query("CREATE IMMORTAL TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 0..20 {
+        c.query(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    // Leave a transaction open on a second connection: shutdown must roll
+    // it back rather than leak it into the log as a loser.
+    let mut open = Client::connect(server.local_addr()).unwrap();
+    open.begin(Isolation::Serializable).unwrap();
+    open.query("INSERT INTO t VALUES (999, 999)").unwrap();
+
+    drop(c);
+    server.shutdown().unwrap();
+    drop(open);
+    drop(db);
+
+    // Clean reopen: no crash recovery, committed data intact, the
+    // abandoned transaction's write gone.
+    let db = Database::open(DbConfig::new(&dir).durability(Durability::Fsync)).unwrap();
+    assert_eq!(
+        db.metrics_snapshot().get("recovery.crash_recoveries"),
+        Some(0),
+        "graceful shutdown must not require crash recovery"
+    );
+    let mut s = Session::new(&db);
+    let rows = s.execute("SELECT id FROM t").unwrap();
+    assert_eq!(rows.rows.len(), 20);
+    db.close().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -354,6 +354,32 @@ pub struct TreeMetrics {
     pub version_chain_len: Histogram,
 }
 
+/// Wire-protocol server instruments (populated by `crates/net`; always
+/// zero in embedded use).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// TCP connections accepted (including ones later shed).
+    pub connections_accepted: Counter,
+    /// Connections shed with SERVER_BUSY by accept-queue backpressure.
+    pub connections_rejected: Counter,
+    /// Connections closed (client disconnect, idle timeout, shutdown).
+    pub connections_closed: Counter,
+    /// Sessions currently being served by a worker.
+    pub active_sessions: Gauge,
+    /// Request frames processed (all opcodes).
+    pub requests: Counter,
+    /// Requests answered with an ERROR frame.
+    pub errors: Counter,
+    /// Open transactions rolled back by the idle-session timeout.
+    pub idle_rollbacks: Counter,
+    /// End-to-end server-side request latency (decode → response
+    /// flushed), nanoseconds.
+    pub request_ns: Histogram,
+    /// Server-side latency of commit requests (explicit COMMIT frames and
+    /// autocommitted statements), nanoseconds.
+    pub commit_ns: Histogram,
+}
+
 /// Every instrument in the engine, grouped by layer. Constructed once
 /// per [`MetricsRegistry`] and shared via `Arc`.
 #[derive(Debug, Default)]
@@ -365,6 +391,7 @@ pub struct Metrics {
     pub ts: TimestampMetrics,
     pub tree: TreeMetrics,
     pub faults: FaultMetrics,
+    pub server: ServerMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

@@ -105,6 +105,28 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("faults.fsync_errors".into(), m.faults.fsync_errors.get()),
         ("faults.read_errors".into(), m.faults.read_errors.get()),
         ("faults.crashes".into(), m.faults.crashes.get()),
+        (
+            "server.connections.accepted".into(),
+            m.server.connections_accepted.get(),
+        ),
+        (
+            "server.connections.rejected".into(),
+            m.server.connections_rejected.get(),
+        ),
+        (
+            "server.connections.closed".into(),
+            m.server.connections_closed.get(),
+        ),
+        (
+            "server.active_sessions".into(),
+            m.server.active_sessions.get(),
+        ),
+        ("server.requests".into(), m.server.requests.get()),
+        ("server.errors".into(), m.server.errors.get()),
+        (
+            "server.idle_rollbacks".into(),
+            m.server.idle_rollbacks.get(),
+        ),
     ];
     let histograms = vec![
         ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
@@ -118,6 +140,8 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
             "tree.version_chain_len".into(),
             m.tree.version_chain_len.snapshot(),
         ),
+        ("server.request_ns".into(), m.server.request_ns.snapshot()),
+        ("server.commit_ns".into(), m.server.commit_ns.snapshot()),
     ];
     MetricsSnapshot {
         scalars,
@@ -241,9 +265,14 @@ mod tests {
         r.wal.fsync_ns.observe(1000);
         r.faults.torn_writes.inc();
         r.recovery.versions_restamped.add(3);
+        r.server.connections_accepted.add(2);
+        r.server.request_ns.observe(500);
         let s = r.snapshot();
         assert_eq!(s.get("buffer.fetches"), Some(10));
         assert_eq!(s.get("faults.torn_writes"), Some(1));
+        assert_eq!(s.get("server.connections.accepted"), Some(2));
+        assert_eq!(s.get("server.connections.rejected"), Some(0));
+        assert_eq!(s.get("server.request_ns.count"), Some(1));
         assert_eq!(s.get("recovery.versions_restamped"), Some(3));
         assert_eq!(s.get("recovery.crash_recoveries"), Some(0));
         assert_eq!(s.get("buffer.flush_errors"), Some(0));

@@ -4,7 +4,7 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally:
 #
 #   scripts/ci.sh          # everything
-#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos
+#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos | serve
 #
 # The build environment has no route to crates.io (external deps come
 # from shims/), so everything runs offline.
@@ -54,19 +54,29 @@ run_chaos() {
     done
 }
 
+run_serve() {
+    echo "== serve smoke (wire server: mixed workload, graceful shutdown, clean reopen) =="
+    # Ephemeral port, 4 concurrent net::Client workers doing autocommit
+    # writes, explicit transactions and AS OF reads; then a graceful
+    # shutdown and a reopen that must NOT count as a crash recovery.
+    cargo run --release -q -p immortaldb-net --bin net-smoke
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
     chaos) run_chaos ;;
+    serve) run_serve ;;
     all)
         run_fmt
         run_clippy
         run_test
         run_chaos
+        run_serve
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve]" >&2
         exit 2
         ;;
 esac
