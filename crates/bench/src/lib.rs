@@ -11,5 +11,6 @@ pub mod fig6;
 pub mod group_commit;
 pub mod harness;
 pub mod netbench;
+pub mod replbench;
 
 pub use harness::{BenchDb, Mode};

@@ -2,14 +2,14 @@
 //! plus the ablations.
 //!
 //! ```text
-//! immortaldb-bench [--quick] [fig5|fig6|gc|net|a1|a2|a3|a4|a5|all]
+//! immortaldb-bench [--quick] [fig5|fig6|gc|net|repl|a1|a2|a3|a4|a5|all]
 //! ```
 //!
 //! Figure runs additionally write machine-readable `BENCH_<figure>.json`
 //! artifacts (rows plus an engine metrics snapshot) to the working
 //! directory.
 
-use immortaldb_bench::{ablations, fig5, fig6, group_commit, netbench};
+use immortaldb_bench::{ablations, fig5, fig6, group_commit, netbench, replbench};
 use immortaldb_obs::MetricsSnapshot;
 
 /// Write a `BENCH_*.json` artifact, reporting rather than aborting on
@@ -95,6 +95,15 @@ fn main() {
             netbench::rows_json(&rows)
         );
         write_artifact("BENCH_server.json", &body);
+    }
+    if wants("repl") {
+        let rows = replbench::run(quick);
+        replbench::report(&rows);
+        let body = format!(
+            "{{\"figure\":\"repl\",\"quick\":{quick},\"rows\":{}}}\n",
+            replbench::rows_json(&rows)
+        );
+        write_artifact("BENCH_repl.json", &body);
     }
     if wants("a1") {
         let rows = ablations::eager_vs_lazy(quick);

@@ -112,6 +112,10 @@ pub enum Error {
     PageFull,
     /// Attempted to write through a read-only (AS OF) transaction.
     ReadOnlyTransaction,
+    /// Attempted a write or DDL on a read replica; writes must go to the
+    /// primary. Shares the `ReadOnly` wire code with
+    /// [`Error::ReadOnlyTransaction`] so clients branch the same way.
+    ReplicaReadOnly,
     /// Catalog-level misuse: unknown table, duplicate table, querying
     /// history of a non-immortal table, etc.
     Catalog(String),
@@ -160,6 +164,9 @@ impl fmt::Display for Error {
             Error::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page capacity"),
             Error::PageFull => write!(f, "page full; split required"),
             Error::ReadOnlyTransaction => write!(f, "write attempted in a read-only transaction"),
+            Error::ReplicaReadOnly => {
+                write!(f, "replica is read-only; route writes to the primary")
+            }
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Sql(m) => write!(f, "SQL error: {m}"),
             Error::Parse { offset, message } => {
@@ -222,7 +229,7 @@ impl Error {
             // PageFull is internal flow control and should never escape.
             Error::RecordTooLarge(_) | Error::Catalog(_) => ErrorCode::Catalog,
             Error::PageFull | Error::Internal(_) => ErrorCode::Internal,
-            Error::ReadOnlyTransaction => ErrorCode::ReadOnly,
+            Error::ReadOnlyTransaction | Error::ReplicaReadOnly => ErrorCode::ReadOnly,
             Error::Sql(_) | Error::Parse { .. } => ErrorCode::Parse,
             Error::ServerBusy => ErrorCode::Busy,
             Error::Remote { code, .. } => *code,
@@ -288,6 +295,7 @@ mod tests {
         );
         assert_eq!(Error::ServerBusy.code(), ErrorCode::Busy);
         assert_eq!(Error::ReadOnlyTransaction.code(), ErrorCode::ReadOnly);
+        assert_eq!(Error::ReplicaReadOnly.code(), ErrorCode::ReadOnly);
         assert_eq!(Error::Internal("x".into()).code(), ErrorCode::Internal);
     }
 

@@ -20,7 +20,7 @@ use immortaldb_storage::logrec::LogRecord;
 use immortaldb_storage::meta::MetaView;
 use immortaldb_storage::recovery::{self, TreeLocator};
 use immortaldb_storage::vfs::{std_fs, Vfs};
-use immortaldb_storage::wal::{Durability, GroupCommitConfig, Wal};
+use immortaldb_storage::wal::{Durability, GroupCommitConfig, Wal, WAL_START};
 use immortaldb_txn::{
     CommitHorizon, HorizonSplitSource, LockManager, Ptt, PttGc, StampingFlushHook,
     TimestampAuthority, TxnResolver, Vtt,
@@ -149,15 +149,44 @@ pub struct Database {
     snapshots: Mutex<std::collections::BTreeMap<Timestamp, usize>>,
     timestamping: TimestampingMode,
     durability: Durability,
+    /// Read-replica mode: the engine only ever applies a log shipped from
+    /// a primary ([`Self::replica_apply`]) and rejects local writes, DDL
+    /// and maintenance that would append to the WAL — the local log must
+    /// stay a byte-identical prefix of the primary's.
+    replica: bool,
+    /// Replication horizon (replicas only): the newest primary commit
+    /// timestamp whose transaction is known fully applied locally. The
+    /// visibility horizon of every replica read.
+    repl_horizon: Mutex<Timestamp>,
     /// Losers rolled back during the last open (metrics/tests).
     pub recovered_losers: usize,
 }
+
+/// Base of the TID range replicas hand to their (read-only) local
+/// transactions, far above anything a primary will ever assign — a
+/// replica reader's VTT entry must never shadow a shipped transaction's
+/// committed timestamp.
+const REPLICA_TID_BASE: u64 = 1 << 48;
 
 impl Database {
     /// Open (or create) a database in `config.dir`, running full crash
     /// recovery (analysis, redo, undo) if the previous run did not shut
     /// down cleanly.
     pub fn open(config: DbConfig) -> Result<Database> {
+        Self::open_impl(config, false)
+    }
+
+    /// Open a read replica over a WAL prefix shipped from a primary
+    /// (`crates/repl` bootstraps the log, then calls this). The engine
+    /// replays the shipped log (analysis + redo, no undo: in-flight
+    /// primary transactions resolve through later shipped records),
+    /// rejects every local write, and serves `AS OF` reads at the
+    /// replication horizon maintained by [`Self::replica_apply`].
+    pub fn open_replica(config: DbConfig) -> Result<Database> {
+        Self::open_impl(config, true)
+    }
+
+    fn open_impl(config: DbConfig, replica: bool) -> Result<Database> {
         std::fs::create_dir_all(&config.dir)?;
         let (disk, fresh) =
             DiskManager::open_with(Arc::clone(&config.vfs), config.dir.join("data.idb"))?;
@@ -182,7 +211,15 @@ impl Database {
         pool.set_page_image_logging(config.page_image_logging);
         let authority = Arc::new(TimestampAuthority::new(Arc::clone(&config.clock)));
 
-        // Analysis + redo (trivial for a fresh database).
+        if replica && wal.end_lsn() == WAL_START {
+            return Err(Error::Internal(
+                "replica open requires a shipped log prefix (bootstrap the WAL from the primary first)".into(),
+            ));
+        }
+
+        // Analysis + redo (trivial for a fresh database). On a replica
+        // this replays the whole shipped prefix onto the (typically
+        // empty) local data file.
         let replayed_before = metrics.recovery.records_replayed.get();
         let analysis = recovery::analyze_and_redo(&wal, &pool)?;
         let replayed = metrics.recovery.records_replayed.get() - replayed_before;
@@ -203,7 +240,14 @@ impl Database {
             let g = meta.read();
             MetaView::max_tid(&g)
         };
-        let next_tid = meta_max_tid.0.max(analysis.max_tid.0) + 1;
+        let mut next_tid = meta_max_tid.0.max(analysis.max_tid.0) + 1;
+        if replica {
+            // Replica readers register in the VTT; a TID colliding with a
+            // shipped (possibly not-yet-committed-here) primary
+            // transaction would make that transaction's versions resolve
+            // as "active" and vanish from reads.
+            next_tid = next_tid.max(REPLICA_TID_BASE);
+        }
 
         let vtt = Arc::new(Vtt::new());
         let horizon = Arc::new(CommitHorizon::new());
@@ -214,12 +258,16 @@ impl Database {
             Arc::clone(&authority),
             Arc::clone(&horizon),
         ));
-        let ptt = Arc::new(if fresh {
+        // A replica never *creates* system trees — creation appends log
+        // records, and the replica's log must stay a byte prefix of the
+        // primary's. The shipped prefix contains the primary's creation
+        // records, so after redo the trees exist and plain opens succeed.
+        let ptt = Arc::new(if fresh && !replica {
             Ptt::create(Arc::clone(&pool), Arc::clone(&wal), Arc::clone(&split_time))?
         } else {
             Ptt::open(Arc::clone(&pool), Arc::clone(&wal), Arc::clone(&split_time))?
         });
-        let catalog_tree = Arc::new(if fresh {
+        let catalog_tree = Arc::new(if fresh && !replica {
             BTree::create(
                 Arc::clone(&pool),
                 Arc::clone(&wal),
@@ -300,8 +348,20 @@ impl Database {
             snapshots: Mutex::new(std::collections::BTreeMap::new()),
             timestamping: config.timestamping,
             durability: config.durability,
+            replica,
+            repl_horizon: Mutex::new(Timestamp::ZERO),
             recovered_losers: 0,
         };
+
+        if replica {
+            // No undo: transactions open at the end of the shipped prefix
+            // are the primary's in-flight writers, and their outcomes
+            // arrive through later shipped records. No checkpoint either
+            // (it would append local records). Reads stay correct because
+            // visibility is bounded by the replication horizon, which
+            // never covers an unresolved transaction.
+            return Ok(db);
+        }
 
         // Undo pass: roll back losers (requires the tree registry).
         let mut db = db;
@@ -426,6 +486,9 @@ impl Database {
         kind: TableKind,
         index: IndexKind,
     ) -> Result<Arc<TableDef>> {
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
+        }
         if index == IndexKind::Tsb && kind != TableKind::Immortal {
             return Err(Error::Catalog(
                 "the TSB-tree index requires an IMMORTAL table".into(),
@@ -469,6 +532,9 @@ impl Database {
     /// (`ALTER TABLE … ENABLE SNAPSHOT`). Converting populated tables
     /// would require rewriting record formats and is out of scope.
     pub fn enable_snapshot(&self, name: &str) -> Result<()> {
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
+        }
         let def = self.table(name)?;
         if def.kind != TableKind::Conventional {
             return Ok(()); // already versioned
@@ -508,6 +574,15 @@ impl Database {
     /// commit at or below it is visible, and none newer can appear below
     /// it later (in-flight group-committed transactions are all above).
     pub fn visible_horizon(&self) -> Timestamp {
+        if self.replica {
+            // Shipped Commit records arrive in *log* order, which is not
+            // timestamp order across the group-commit pipeline, so
+            // `authority.latest()` may name a commit whose smaller-ts
+            // sibling is still in flight on the primary. The replication
+            // horizon — sampled on the primary before the batch bytes —
+            // is the newest timestamp with no such gap.
+            return *self.repl_horizon.lock();
+        }
         self.horizon.snapshot(&self.authority)
     }
 
@@ -518,8 +593,9 @@ impl Database {
         // Snapshot below the commit-visibility horizon, *not* at
         // `authority.latest()`: a timestamp issued to a commit still in
         // the group-commit pipeline must stay invisible to this snapshot
-        // forever, or the same read would change mid-transaction.
-        let snapshot = self.horizon.snapshot(&self.authority);
+        // forever, or the same read would change mid-transaction. (On a
+        // replica `visible_horizon()` is the replication horizon.)
+        let snapshot = self.visible_horizon();
         if isolation == Isolation::Snapshot {
             *self.snapshots.lock().entry(snapshot).or_insert(0) += 1;
         }
@@ -553,6 +629,9 @@ impl Database {
     fn ensure_writable(&self, txn: &Transaction) -> Result<()> {
         if txn.finished {
             return Err(Error::UnknownTransaction(txn.tid));
+        }
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
         }
         if txn.is_read_only() {
             return Err(Error::ReadOnlyTransaction);
@@ -894,6 +973,13 @@ impl Database {
     /// garbage collection against the new redo-scan-start LSN. Returns the
     /// number of PTT entries reclaimed.
     pub fn checkpoint(&self) -> Result<usize> {
+        if self.replica {
+            // A checkpoint appends log records and rewrites the meta
+            // watermarks — both would diverge the local log/meta from the
+            // primary's shipped prefix. Replicas re-run redo at open
+            // instead of maintaining a redo scan start.
+            return Ok(0);
+        }
         {
             let meta = self.pool.fetch(PageId(0))?;
             let mut g = meta.write();
@@ -924,6 +1010,9 @@ impl Database {
     /// no record anywhere still needs them. Returns the number of PTT
     /// entries reclaimed.
     pub fn vacuum(&self) -> Result<usize> {
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
+        }
         // Snapshot the reclaim set first: entries appearing *after* this
         // point belong to transactions committing during the sweep, whose
         // records may be stamped lazily later.
@@ -948,6 +1037,176 @@ impl Database {
             self.vtt.remove(tid);
         }
         Ok(reclaimed)
+    }
+
+    // -- replication ---------------------------------------------------------
+
+    /// The write-ahead log (the replication shipper reads raw frames off
+    /// it; everyone else should go through the engine API).
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// True when this engine was opened with [`Self::open_replica`].
+    pub fn is_replica(&self) -> bool {
+        self.replica
+    }
+
+    /// Current replication horizon (== [`Self::visible_horizon`] on a
+    /// replica; `Timestamp::ZERO` on a primary).
+    pub fn replication_horizon(&self) -> Timestamp {
+        *self.repl_horizon.lock()
+    }
+
+    /// Advance the replication horizon (monotonic). Called by the
+    /// follower after it has *fully applied* every shipped byte the
+    /// horizon covers — never before, or a reader could take a snapshot
+    /// whose versions have not landed yet.
+    pub fn set_replication_horizon(&self, ts: Timestamp) {
+        let mut h = self.repl_horizon.lock();
+        if ts > *h {
+            *h = ts;
+            self.metrics().repl.horizon_ms.set(ts.ttime);
+        }
+    }
+
+    /// Apply one shipped WAL batch: append the raw bytes at `start`
+    /// (must equal the local log end), redo every record onto the buffer
+    /// pool, then publish `horizon`. Returns the number of log records
+    /// applied. Replicas only.
+    pub fn replica_apply(&self, start: Lsn, bytes: &[u8], horizon: Timestamp) -> Result<u64> {
+        if !self.replica {
+            return Err(Error::Internal(
+                "replica_apply on a primary would fork the log".into(),
+            ));
+        }
+        let mut records = 0u64;
+        if !bytes.is_empty() {
+            self.wal.append_raw(start, bytes)?;
+            for entry in self.wal.iter_from(start)? {
+                let e = entry?;
+                recovery::apply_entry(&self.pool, &e)?;
+                if let LogRecord::Commit { ts } = &e.record {
+                    // Track the primary's clock so `now_ms`-relative AS OF
+                    // requests and split times stay sensible.
+                    self.authority.restore(*ts);
+                }
+                records += 1;
+            }
+            self.refresh_catalog()?;
+            let metrics = self.metrics();
+            metrics.repl.records_applied.add(records);
+            metrics.repl.applied_lsn.set(self.wal.end_lsn().0);
+        }
+        // Horizon last: every commit it covers is now applied.
+        self.set_replication_horizon(horizon);
+        self.metrics().repl.batches_applied.inc();
+        Ok(records)
+    }
+
+    /// Pick up tables the primary created (or converted with
+    /// `ENABLE SNAPSHOT`) since the catalog was last scanned, opening
+    /// local tree handles for them.
+    fn refresh_catalog(&self) -> Result<()> {
+        for item in self.catalog_tree.u_scan()? {
+            let name = String::from_utf8(item.key.clone())
+                .map_err(|_| Error::Corruption("non-UTF8 table name".into()))?;
+            let def = Arc::new(TableDef::decode(&name, &item.data)?);
+            if let Some(existing) = self.tables.read().get(&name) {
+                if existing.tree == def.tree {
+                    continue;
+                }
+            }
+            let handle = match def.index {
+                IndexKind::Chain => TableIndex::Chain(Arc::new(BTree::open(
+                    Arc::clone(&self.pool),
+                    Arc::clone(&self.wal),
+                    def.tree,
+                    def.kind.is_versioned(),
+                    Arc::clone(&self.split_time),
+                )?)),
+                IndexKind::Tsb => TableIndex::Tsb(Arc::new(immortaldb_tsb::TsbTree::open(
+                    Arc::clone(&self.pool),
+                    Arc::clone(&self.wal),
+                    def.tree,
+                    Arc::clone(&self.split_time),
+                )?)),
+            };
+            // Keep next_tree above everything the primary has allocated
+            // (only relevant if this replica is ever promoted).
+            self.next_tree.fetch_max(def.tree.0 + 1, Ordering::SeqCst);
+            self.trees.write().insert(def.tree, handle);
+            self.tables.write().insert(name, def);
+        }
+        Ok(())
+    }
+
+    /// Log-based point-in-time restore: rewrite `table`'s current state
+    /// to what an `AS OF as_of` reader sees, as one serializable
+    /// transaction (`RESTORE TABLE … AS OF …`). History is preserved —
+    /// the pre-restore state remains readable at its own timestamps, the
+    /// restore itself is just another set of stamped updates. Returns
+    /// `(rows changed, effective timestamp)` after clamping `as_of` to
+    /// the visibility horizon.
+    pub fn restore_table_as_of(&self, table: &str, as_of: Timestamp) -> Result<(usize, Timestamp)> {
+        let def = self.table(table)?;
+        self.check_as_of_allowed(&def)?;
+        let as_of = as_of.min(self.visible_horizon());
+        let mut txn = self.begin(Isolation::Serializable);
+        match self.restore_diff(&mut txn, &def, as_of) {
+            Ok(n) => {
+                self.commit(&mut txn)?;
+                Ok((n, as_of))
+            }
+            Err(e) => {
+                let _ = self.rollback(&mut txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn restore_diff(
+        &self,
+        txn: &mut Transaction,
+        def: &Arc<TableDef>,
+        as_of: Timestamp,
+    ) -> Result<usize> {
+        self.ensure_writable(txn)?;
+        let handle = self.tree_handle(def.tree)?;
+        // Whole-table lock: the diff and the writes must see one state.
+        self.locks.lock_scan(txn.tid, def.tree)?;
+        let old: HashMap<Vec<u8>, Vec<u8>> = handle
+            .scan_as_of(as_of, None, self.resolver.as_ref())?
+            .into_iter()
+            .map(|item| (item.key, item.data))
+            .collect();
+        let current = handle.scan_current(Some(txn.tid), self.resolver.as_ref())?;
+        let mut changed = 0;
+        let mut live_keys = std::collections::HashSet::new();
+        for item in &current {
+            live_keys.insert(item.key.clone());
+            match old.get(&item.key) {
+                Some(data) if *data == item.data => {}
+                Some(data) => {
+                    let values = def.schema.decode_row(data)?;
+                    self.update_row(txn, &def.name, values)?;
+                    changed += 1;
+                }
+                None => {
+                    let row = def.schema.decode_row(&item.data)?;
+                    self.delete_row(txn, &def.name, &row[def.schema.pk])?;
+                    changed += 1;
+                }
+            }
+        }
+        for (key, data) in &old {
+            if !live_keys.contains(key) {
+                let values = def.schema.decode_row(data)?;
+                self.insert_row(txn, &def.name, values)?;
+                changed += 1;
+            }
+        }
+        Ok(changed)
     }
 
     /// Flush everything and fsync (clean shutdown).

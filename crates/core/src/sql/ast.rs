@@ -95,6 +95,13 @@ pub enum Statement {
         table: String,
         pk: Value,
     },
+    /// `RESTORE TABLE t AS OF …` — log-based point-in-time restore:
+    /// rewrite the table's current state back to what an AS OF reader
+    /// sees, as one transaction (history is preserved).
+    RestoreTable {
+        table: String,
+        as_of: AsOfSpec,
+    },
     /// `CHECKPOINT` — engine maintenance.
     Checkpoint,
     /// `VACUUM` — stamp everything and reclaim all PTT entries (§2.2).

@@ -172,6 +172,25 @@ impl<'a> Session<'a> {
                     "snapshot versioning enabled on {table}"
                 )))
             }
+            Statement::RestoreTable { table, as_of } => {
+                if self.current.is_some() {
+                    return Err(Error::Sql(
+                        "RESTORE TABLE runs as its own transaction; COMMIT or ROLLBACK first"
+                            .into(),
+                    ));
+                }
+                let ms = resolve_as_of(&as_of)?;
+                let (n, ts) = self
+                    .db
+                    .restore_table_as_of(&table, Timestamp::as_of_clock(ms))?;
+                Ok(QueryResult::affected(
+                    n,
+                    format!(
+                        "restored {table} to {}.{} ({n} rows changed)",
+                        ts.ttime, ts.sn
+                    ),
+                ))
+            }
             Statement::Checkpoint => {
                 let reclaimed = self.db.checkpoint()?;
                 Ok(QueryResult::message(format!(

@@ -14,6 +14,7 @@
 //! DELETE FROM t [WHERE conds]
 //! SELECT * | col[, col...] FROM t [WHERE conds]
 //! HISTORY OF t WHERE pkcol = lit
+//! RESTORE TABLE t AS OF "M/D/YYYY HH:MM:SS" | AS OF ms(N)
 //! CHECKPOINT
 //! SHOW STATS
 //! ```
@@ -164,6 +165,9 @@ impl Parser {
         if self.eat_kw("HISTORY") {
             return self.history();
         }
+        if self.eat_kw("RESTORE") {
+            return self.restore();
+        }
         if self.eat_kw("CHECKPOINT") {
             return Ok(Statement::Checkpoint);
         }
@@ -264,23 +268,7 @@ impl Parser {
         loop {
             if self.eat_kw("AS") {
                 self.expect_kw("OF")?;
-                as_of = Some(match self.next()? {
-                    Token::Str(s) => AsOfSpec::DateTime(s),
-                    Token::Ident(f) if f.eq_ignore_ascii_case("ms") => {
-                        self.expect(Token::LParen)?;
-                        let n = match self.next()? {
-                            Token::Number(n) if n >= 0 => n as u64,
-                            other => return Err(self.err_prev(format!("bad ms() value {other:?}"))),
-                        };
-                        self.expect(Token::RParen)?;
-                        AsOfSpec::Millis(n)
-                    }
-                    other => {
-                        return Err(self.err_prev(format!(
-                            "AS OF expects a datetime string or ms(N), found {other:?}"
-                        )))
-                    }
-                });
+                as_of = Some(self.as_of_spec()?);
             } else if self.eat_kw("ISOLATION") {
                 isolation = if self.eat_kw("SNAPSHOT") {
                     Isolation::Snapshot
@@ -294,6 +282,35 @@ impl Parser {
             }
         }
         Ok(Statement::Begin { as_of, isolation })
+    }
+
+    /// The time operand shared by `BEGIN TRAN AS OF` and
+    /// `RESTORE TABLE … AS OF`: a datetime string or `ms(N)`.
+    fn as_of_spec(&mut self) -> Result<AsOfSpec> {
+        match self.next()? {
+            Token::Str(s) => Ok(AsOfSpec::DateTime(s)),
+            Token::Ident(f) if f.eq_ignore_ascii_case("ms") => {
+                self.expect(Token::LParen)?;
+                let n = match self.next()? {
+                    Token::Number(n) if n >= 0 => n as u64,
+                    other => return Err(self.err_prev(format!("bad ms() value {other:?}"))),
+                };
+                self.expect(Token::RParen)?;
+                Ok(AsOfSpec::Millis(n))
+            }
+            other => Err(self.err_prev(format!(
+                "AS OF expects a datetime string or ms(N), found {other:?}"
+            ))),
+        }
+    }
+
+    fn restore(&mut self) -> Result<Statement> {
+        self.expect_kw("TABLE")?;
+        let table = self.ident()?;
+        self.expect_kw("AS")?;
+        self.expect_kw("OF")?;
+        let as_of = self.as_of_spec()?;
+        Ok(Statement::RestoreTable { table, as_of })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -533,6 +550,21 @@ mod tests {
             }
         );
         assert_eq!(Parser::parse("CHECKPOINT").unwrap(), Statement::Checkpoint);
+        assert_eq!(
+            Parser::parse("RESTORE TABLE t AS OF ms(42)").unwrap(),
+            Statement::RestoreTable {
+                table: "t".into(),
+                as_of: AsOfSpec::Millis(42),
+            }
+        );
+        assert_eq!(
+            Parser::parse("RESTORE TABLE t AS OF \"8/12/2004 10:15:20\"").unwrap(),
+            Statement::RestoreTable {
+                table: "t".into(),
+                as_of: AsOfSpec::DateTime("8/12/2004 10:15:20".into()),
+            }
+        );
+        assert!(Parser::parse("RESTORE TABLE t").is_err());
         assert_eq!(
             Parser::parse("ALTER TABLE t ENABLE SNAPSHOT").unwrap(),
             Statement::AlterEnableSnapshot { table: "t".into() }

@@ -10,11 +10,12 @@
 //! back-to-back, letting group commit batch across connections.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use immortaldb::{Isolation, Value};
 use immortaldb_common::{Error, ErrorCode, Result, Timestamp};
 
-use crate::proto::{self, AsOfTarget, Reply, Request, VERSION};
+use crate::proto::{self, AsOfTarget, Reply, Request, WalBatch, VERSION};
 
 /// A decoded non-error server response.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,5 +171,46 @@ impl Client {
         let resp = self.recv_response()?;
         resp.ts
             .ok_or_else(|| Error::Corruption("server reply missing timestamp".into()))
+    }
+
+    /// Switch this connection into a WAL subscription starting at
+    /// `from_lsn` (byte offset into the primary's log). From here on the
+    /// server pushes [`WalBatch`] frames; ordinary requests are no longer
+    /// possible, so the `Client` is consumed.
+    pub fn subscribe_wal(mut self, from_lsn: u64) -> Result<WalSubscription> {
+        let (op, payload) = Request::SubscribeWal { from_lsn }.encode();
+        proto::write_frame(&mut self.stream, op, &payload)?;
+        Ok(WalSubscription {
+            stream: self.stream,
+        })
+    }
+}
+
+/// The receiving end of a WAL subscription (see [`Client::subscribe_wal`]).
+pub struct WalSubscription {
+    stream: TcpStream,
+}
+
+impl WalSubscription {
+    /// Block until the next pushed batch arrives (or the read timeout
+    /// expires, surfacing the I/O error).
+    pub fn next_batch(&mut self) -> Result<WalBatch> {
+        let (op, payload) = proto::read_frame(&mut self.stream)?;
+        WalBatch::decode(op, &payload)
+    }
+
+    /// Report how far this follower has applied (informational; the
+    /// primary uses it for observability, not retention).
+    pub fn ack(&mut self, applied_lsn: u64) -> Result<()> {
+        let (op, payload) = Request::ReplAck { applied_lsn }.encode();
+        proto::write_frame(&mut self.stream, op, &payload)?;
+        Ok(())
+    }
+
+    /// Bound how long [`WalSubscription::next_batch`] blocks; reconnect
+    /// loops use this to notice shutdown between batches.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(d)?;
+        Ok(())
     }
 }

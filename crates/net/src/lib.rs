@@ -24,6 +24,10 @@
 //!   decoding, native BEGIN/COMMIT/ROLLBACK returning real
 //!   [`Timestamp`](immortaldb_common::Timestamp)s, and a split
 //!   `send_query()`/`recv_response()` pair for pipelining.
+//! * Replication frames — SUBSCRIBE_WAL flips a connection into a
+//!   server-push stream of WAL_BATCH frames (raw log bytes plus the
+//!   primary's visibility horizon); `crates/repl` builds read replicas
+//!   on top ([`Client::subscribe_wal`] / [`WalSubscription`]).
 //!
 //! Server-side traffic is observable via the engine registry's `server.*`
 //! metrics (`SHOW STATS` works over the wire, too).
@@ -32,5 +36,5 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, Response};
+pub use client::{Client, Response, WalSubscription};
 pub use server::{Server, ServerConfig};

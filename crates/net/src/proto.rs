@@ -19,6 +19,15 @@
 //! | 05 | COMMIT      | empty |
 //! | 06 | ROLLBACK    | empty |
 //!
+//! Replication (a SUBSCRIBE_WAL upgrades the connection into a one-way
+//! log stream; only REPL_ACK frames flow back):
+//!
+//! | op | name          | payload |
+//! |----|---------------|---------|
+//! | 10 | SUBSCRIBE_WAL | `u64 from_lsn` (end of the follower's local log prefix) |
+//! | 11 | REPL_ACK      | `u64 applied_lsn` |
+//! | 90 | WAL_BATCH     | `u64 start_lsn` + `u64 horizon_ttime` + `u32 horizon_sn` + `bytes` raw frame-aligned log bytes |
+//!
 //! Responses (every response starts with `u8 txn_open` so the client can
 //! mirror the session's transaction state without guessing):
 //!
@@ -54,9 +63,14 @@ pub mod op {
     pub const COMMIT: u8 = 0x05;
     pub const ROLLBACK: u8 = 0x06;
 
+    pub const SUBSCRIBE_WAL: u8 = 0x10;
+    pub const REPL_ACK: u8 = 0x11;
+
     pub const OK: u8 = 0x80;
     pub const ROWS: u8 = 0x81;
     pub const ERROR: u8 = 0x82;
+
+    pub const WAL_BATCH: u8 = 0x90;
 }
 
 // ---------------------------------------------------------------------
@@ -153,12 +167,24 @@ pub enum AsOfTarget {
 /// A decoded request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    Hello { version: u16 },
+    Hello {
+        version: u16,
+    },
     Query(String),
     Begin(Isolation),
     BeginAsOf(AsOfTarget),
     Commit,
     Rollback,
+    /// Upgrade this connection into a WAL-shipping stream starting at
+    /// `from_lsn` (the end of the follower's locally valid log prefix).
+    SubscribeWal {
+        from_lsn: u64,
+    },
+    /// Follower progress report: everything below `applied_lsn` has been
+    /// appended locally and replayed.
+    ReplAck {
+        applied_lsn: u64,
+    },
 }
 
 impl Request {
@@ -192,6 +218,16 @@ impl Request {
             }
             Request::Commit => (op::COMMIT, Vec::new()),
             Request::Rollback => (op::ROLLBACK, Vec::new()),
+            Request::SubscribeWal { from_lsn } => {
+                let mut w = Writer::new();
+                w.u64(*from_lsn);
+                (op::SUBSCRIBE_WAL, w.finish())
+            }
+            Request::ReplAck { applied_lsn } => {
+                let mut w = Writer::new();
+                w.u64(*applied_lsn);
+                (op::REPL_ACK, w.finish())
+            }
         }
     }
 
@@ -236,10 +272,75 @@ impl Request {
             }
             op::COMMIT => Ok(Request::Commit),
             op::ROLLBACK => Ok(Request::Rollback),
+            op::SUBSCRIBE_WAL => {
+                let mut r = Reader::new(payload);
+                Ok(Request::SubscribeWal { from_lsn: r.u64()? })
+            }
+            op::REPL_ACK => {
+                let mut r = Reader::new(payload);
+                Ok(Request::ReplAck {
+                    applied_lsn: r.u64()?,
+                })
+            }
             other => Err(Error::Corruption(format!(
                 "unknown request opcode {other:#x}"
             ))),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replication push frames
+// ---------------------------------------------------------------------
+
+/// One shipped chunk of raw WAL bytes (server → follower push frame).
+///
+/// `horizon` is the primary's visible commit horizon sampled *before* the
+/// byte range was: every transaction with commit timestamp ≤ `horizon`
+/// has all its log records at LSNs below `next_lsn()`, so a follower that
+/// has applied this batch may safely serve `AS OF ts` reads for any
+/// `ts ≤ horizon`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    /// File offset (LSN) of the first shipped byte; must equal the end of
+    /// the follower's local log.
+    pub start_lsn: u64,
+    /// Safe read horizon covered by this batch.
+    pub horizon: Timestamp,
+    /// Raw frame-aligned log bytes (may be empty: a pure horizon bump).
+    pub bytes: Vec<u8>,
+}
+
+impl WalBatch {
+    /// LSN one past the shipped bytes.
+    pub fn next_lsn(&self) -> u64 {
+        self.start_lsn + self.bytes.len() as u64
+    }
+
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = Writer::new();
+        w.u64(self.start_lsn)
+            .u64(self.horizon.ttime)
+            .u32(self.horizon.sn)
+            .bytes(&self.bytes);
+        (op::WAL_BATCH, w.finish())
+    }
+
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<WalBatch> {
+        if opcode != op::WAL_BATCH {
+            return Err(Error::Corruption(format!(
+                "expected WAL_BATCH, got opcode {opcode:#x}"
+            )));
+        }
+        let mut r = Reader::new(payload);
+        let start_lsn = r.u64()?;
+        let horizon = Timestamp::new(r.u64()?, r.u32()?);
+        let bytes = r.bytes()?.to_vec();
+        Ok(WalBatch {
+            start_lsn,
+            horizon,
+            bytes,
+        })
     }
 }
 
@@ -462,10 +563,38 @@ mod tests {
             Request::BeginAsOf(AsOfTarget::Exact(Timestamp::new(1000, 7))),
             Request::Commit,
             Request::Rollback,
+            Request::SubscribeWal { from_lsn: 8 },
+            Request::ReplAck {
+                applied_lsn: 1 << 40,
+            },
         ] {
             let (op, payload) = req.encode();
             assert_eq!(Request::decode(op, &payload).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn wal_batch_roundtrip() {
+        for batch in [
+            WalBatch {
+                start_lsn: 8,
+                horizon: Timestamp::new(1234, 5),
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            // Pure horizon bump: no bytes.
+            WalBatch {
+                start_lsn: 99,
+                horizon: Timestamp::new(40, 0),
+                bytes: Vec::new(),
+            },
+        ] {
+            let (op, payload) = batch.encode();
+            assert_eq!(op, super::op::WAL_BATCH);
+            let got = WalBatch::decode(op, &payload).unwrap();
+            assert_eq!(got, batch);
+            assert_eq!(got.next_lsn(), batch.start_lsn + batch.bytes.len() as u64);
+        }
+        assert!(WalBatch::decode(super::op::OK, &[]).is_err());
     }
 
     #[test]

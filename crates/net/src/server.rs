@@ -27,9 +27,14 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use immortaldb::{Database, Session};
-use immortaldb_common::{Error, Result};
+use immortaldb_common::{Error, Lsn, Result};
 
-use crate::proto::{self, FrameBuffer, Reply, Request, VERSION};
+use crate::proto::{self, FrameBuffer, Reply, Request, WalBatch, VERSION};
+
+/// Upper bound on the WAL bytes in one replication batch. Record
+/// boundaries are respected, so a single oversized record still ships
+/// alone.
+const SHIP_BATCH_BYTES: usize = 256 * 1024;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -287,6 +292,20 @@ fn serve_connection(sh: &Shared, stream: TcpStream) {
                         break 'conn;
                     }
                 }
+                Ok(Request::SubscribeWal { from_lsn }) => {
+                    if !greeted {
+                        m.errors.inc();
+                        send(
+                            &stream,
+                            &Reply::from_error(&Error::Sql("expected HELLO first".into()), false),
+                        );
+                        break 'conn;
+                    }
+                    // The connection becomes a one-way push stream (it
+                    // keeps this worker until the subscriber goes away).
+                    ship_wal(sh, &stream, from_lsn);
+                    break 'conn;
+                }
                 Ok(req) => {
                     if !greeted {
                         m.errors.inc();
@@ -340,6 +359,89 @@ fn serve_connection(sh: &Shared, stream: TcpStream) {
     // Whatever path got us here: abandon the session so its locks and
     // uncommitted versions disappear.
     session.reset();
+}
+
+/// Stream WAL batches to a subscribed replica until it disconnects or
+/// the server shuts down.
+///
+/// Ordering is the whole correctness story: the visibility horizon is
+/// sampled *before* the log bytes. Commit records land in the log before
+/// `CommitHorizon::retire` makes their timestamp visible, so every
+/// commit at or below a horizon sampled first is already inside the
+/// bytes read afterwards — the follower may safely serve `AS OF ts` for
+/// any `ts ≤` that horizon once the batch is applied. An empty batch is
+/// still sent when only the horizon moved (the idle-primary heartbeat).
+fn ship_wal(sh: &Shared, stream: &TcpStream, from_lsn: u64) {
+    let m = &sh.db.metrics().repl;
+    let mut from = from_lsn;
+    let mut last_horizon = None;
+    // An empty batch is the explicit "caught up" signal (bootstrap stops
+    // on it); send exactly one per catch-up, then only when the horizon
+    // moves again.
+    let mut caught_up_signalled = false;
+    let mut acks = FrameBuffer::new();
+    let mut chunk = [0u8; 4 * 1024];
+    let mut reader = stream;
+    loop {
+        if sh.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let horizon = sh.db.visible_horizon();
+        let (bytes, next) = match sh.db.wal().read_raw(Lsn(from), SHIP_BATCH_BYTES) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let send_now = if bytes.is_empty() {
+            let due = last_horizon != Some(horizon) || !caught_up_signalled;
+            caught_up_signalled = true;
+            due
+        } else {
+            caught_up_signalled = false;
+            true
+        };
+        if send_now {
+            let batch = WalBatch {
+                start_lsn: from,
+                horizon,
+                bytes,
+            };
+            let (op, payload) = batch.encode();
+            if proto::write_frame(&mut &*stream, op, &payload).is_err() {
+                return;
+            }
+            m.batches_shipped.inc();
+            m.bytes_shipped.add(payload.len() as u64);
+            last_horizon = Some(horizon);
+            from = next.0;
+        }
+        // One tick on the socket: pick up acks, notice disconnects, and
+        // pace the catch-up loop when there is nothing new to ship.
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // subscriber went away
+            Ok(n) => {
+                acks.extend(&chunk[..n]);
+                loop {
+                    match acks.next_frame() {
+                        Ok(Some((opcode, payload))) => {
+                            // Acks are informational; anything else on a
+                            // subscribed connection is a protocol error.
+                            if Request::decode(opcode, &payload)
+                                .map(|r| !matches!(r, Request::ReplAck { .. }))
+                                .unwrap_or(true)
+                            {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
 }
 
 fn send(stream: &TcpStream, reply: &Reply) -> bool {
@@ -421,6 +523,12 @@ fn handle_request(sh: &Shared, session: &mut Session<'_>, req: Request) -> Reply
                 message: "rolled back".into(),
             })
         }
+        // Subscriptions are intercepted in `serve_connection` (they take
+        // over the whole connection); an ack outside one is a protocol
+        // error.
+        Request::SubscribeWal { .. } | Request::ReplAck { .. } => Err(Error::Sql(
+            "replication frame outside a WAL subscription".into(),
+        )),
     })();
     match result {
         Ok(reply) => reply,

@@ -247,6 +247,32 @@ pub struct WalMetrics {
     /// Time a group-commit leader spent gathering stragglers, in
     /// nanoseconds (only recorded when `max_wait` > 0).
     pub leader_waits_ns: Histogram,
+    /// End of log: the LSN one past the last appended record.
+    pub end_lsn: Gauge,
+    /// Highest LSN known fsynced through the group-commit path.
+    pub durable_lsn: Gauge,
+}
+
+/// WAL-shipping / replication instruments. On a primary the `shipped`
+/// side counts per subscriber; on a replica the `applied` side tracks
+/// the continuous-redo loop and the horizon gauges expose lag.
+#[derive(Debug, Default)]
+pub struct ReplMetrics {
+    /// WAL_BATCH frames shipped to subscribers (primary side).
+    pub batches_shipped: Counter,
+    /// Raw log bytes shipped (primary side).
+    pub bytes_shipped: Counter,
+    /// WAL_BATCH frames received and fully applied (replica side).
+    pub batches_applied: Counter,
+    /// Log records replayed by the continuous-redo loop (replica side).
+    pub records_applied: Counter,
+    /// Reconnect attempts after a broken primary connection.
+    pub reconnects: Counter,
+    /// Replication horizon: newest primary commit time (ms) known safe
+    /// to read on this replica.
+    pub horizon_ms: Gauge,
+    /// End of the locally applied log prefix (replica side).
+    pub applied_lsn: Gauge,
 }
 
 /// Restart-recovery instruments (set once per `Database::open`).
@@ -392,6 +418,7 @@ pub struct Metrics {
     pub tree: TreeMetrics,
     pub faults: FaultMetrics,
     pub server: ServerMetrics,
+    pub repl: ReplMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

@@ -55,6 +55,8 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("wal.bytes".into(), m.wal.bytes.get()),
         ("wal.fsyncs".into(), m.wal.fsyncs.get()),
         ("wal.group_commits".into(), m.wal.group_commits.get()),
+        ("wal.end_lsn".into(), m.wal.end_lsn.get()),
+        ("wal.durable_lsn".into(), m.wal.durable_lsn.get()),
         ("recovery.analyze_us".into(), m.recovery.analyze_us.get()),
         ("recovery.redo_us".into(), m.recovery.redo_us.get()),
         ("recovery.undo_us".into(), m.recovery.undo_us.get()),
@@ -127,6 +129,13 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
             "server.idle_rollbacks".into(),
             m.server.idle_rollbacks.get(),
         ),
+        ("repl.batches_shipped".into(), m.repl.batches_shipped.get()),
+        ("repl.bytes_shipped".into(), m.repl.bytes_shipped.get()),
+        ("repl.batches_applied".into(), m.repl.batches_applied.get()),
+        ("repl.records_applied".into(), m.repl.records_applied.get()),
+        ("repl.reconnects".into(), m.repl.reconnects.get()),
+        ("repl.horizon_ms".into(), m.repl.horizon_ms.get()),
+        ("repl.applied_lsn".into(), m.repl.applied_lsn.get()),
     ];
     let histograms = vec![
         ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
@@ -280,6 +289,24 @@ mod tests {
         assert_eq!(s.get("wal.fsync_ns.sum"), Some(1000));
         assert_eq!(s.get("no.such.metric"), None);
         assert!((s.buffer_hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wal_and_repl_gauges_have_stable_names() {
+        let r = MetricsRegistry::new();
+        r.wal.end_lsn.set(4096);
+        r.wal.durable_lsn.set(2048);
+        r.repl.batches_shipped.add(3);
+        r.repl.horizon_ms.set(12_345);
+        r.repl.applied_lsn.set(512);
+        let s = r.snapshot();
+        assert_eq!(s.get("wal.end_lsn"), Some(4096));
+        assert_eq!(s.get("wal.durable_lsn"), Some(2048));
+        assert_eq!(s.get("repl.batches_shipped"), Some(3));
+        assert_eq!(s.get("repl.bytes_shipped"), Some(0));
+        assert_eq!(s.get("repl.horizon_ms"), Some(12_345));
+        assert_eq!(s.get("repl.applied_lsn"), Some(512));
+        assert!(s.to_json().contains("\"repl.reconnects\":0"));
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! `immortaldb-server` — serve one database over the wire protocol.
+//! `immortaldb-server` — serve one database over the wire protocol,
+//! as a primary or as a read replica.
 //!
 //! ```text
 //! immortaldb-server [--dir DIR] [--addr HOST:PORT] [--workers N]
 //!                   [--accept-queue N] [--idle-timeout-secs N] [--buffered]
+//!                   [--replica-of HOST:PORT]
 //! ```
 //!
 //! Commits are fsync-durable by default (group commit amortizes the log
 //! forces across connections); `--buffered` trades durability for speed.
+//!
+//! With `--replica-of`, the server bootstraps a replica of the given
+//! primary into `--dir` (shipping its WAL over the replication frames),
+//! keeps following it, and serves read-only sessions: `BEGIN AS OF` reads
+//! up to the replication horizon work exactly as on the primary; writes
+//! are rejected with the typed READ_ONLY error.
+//!
 //! The server runs until stdin closes or a `quit` line arrives, then
 //! shuts down gracefully: in-flight commits drain, abandoned transactions
 //! roll back, and the database closes with a final WAL force so the next
@@ -19,6 +28,7 @@ use std::time::Duration;
 
 use immortaldb::{Database, DbConfig, Durability};
 use immortaldb_net::{Server, ServerConfig};
+use immortaldb_repl::{Replica, ReplicaConfig};
 
 fn main() -> ExitCode {
     let mut dir = "immortal-data".to_string();
@@ -27,6 +37,7 @@ fn main() -> ExitCode {
     let mut accept_queue = 16usize;
     let mut idle_secs = 300u64;
     let mut durability = Durability::Fsync;
+    let mut replica_of: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,10 +60,12 @@ fn main() -> ExitCode {
                     .expect("--idle-timeout-secs: number")
             }
             "--buffered" => durability = Durability::Buffered,
+            "--replica-of" => replica_of = Some(take("--replica-of")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: immortaldb-server [--dir DIR] [--addr HOST:PORT] [--workers N] \
-                     [--accept-queue N] [--idle-timeout-secs N] [--buffered]"
+                     [--accept-queue N] [--idle-timeout-secs N] [--buffered] \
+                     [--replica-of HOST:PORT]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -63,12 +76,21 @@ fn main() -> ExitCode {
         }
     }
 
-    let db = match Database::open(DbConfig::new(&dir).durability(durability)) {
-        Ok(db) => Arc::new(db),
-        Err(e) => {
-            eprintln!("failed to open database at {dir}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let (db, replica): (Arc<Database>, Option<Replica>) = match &replica_of {
+        Some(primary) => match Replica::start(ReplicaConfig::new(&dir, primary.clone())) {
+            Ok(r) => (Arc::clone(r.db()), Some(r)),
+            Err(e) => {
+                eprintln!("failed to start replica of {primary} at {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match Database::open(DbConfig::new(&dir).durability(durability)) {
+            Ok(db) => (Arc::new(db), None),
+            Err(e) => {
+                eprintln!("failed to open database at {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
 
     let cfg = ServerConfig::new(addr)
@@ -82,8 +104,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let role = match &replica_of {
+        Some(p) => format!("replica of {p}"),
+        None => "primary".to_string(),
+    };
     eprintln!(
-        "immortaldb-server listening on {} (dir: {dir}, workers: {workers}); \
+        "immortaldb-server listening on {} (dir: {dir}, workers: {workers}, {role}); \
          type 'quit' or close stdin to stop",
         server.local_addr()
     );
@@ -98,6 +124,9 @@ fn main() -> ExitCode {
     }
 
     eprintln!("shutting down...");
+    if let Some(r) = replica {
+        r.stop();
+    }
     match server.shutdown() {
         Ok(()) => {
             eprintln!("clean shutdown");

@@ -1,0 +1,246 @@
+//! WAL shipping: read replicas over the wire protocol.
+//!
+//! A [`Replica`] connects to a primary `immortaldb-net` server, bootstraps
+//! a byte-identical copy of its write-ahead log (SUBSCRIBE_WAL from the
+//! local log end), opens the engine in replica mode over that prefix, and
+//! then keeps applying pushed WAL_BATCH frames on a follower thread:
+//!
+//! 1. **Bootstrap** — before the engine exists, raw batches are appended
+//!    straight to the local `wal.log` until the primary signals catch-up
+//!    with an empty batch. LSNs are file offsets and the stream is a byte
+//!    prefix of the primary's log, so the copy is LSN-for-LSN identical.
+//! 2. **Open** — [`Database::open_replica`] replays the shipped prefix
+//!    (analysis + redo, no undo: the primary's in-flight transactions
+//!    resolve through later shipped records).
+//! 3. **Follow** — each pushed batch is appended, redone, and acked; the
+//!    batch's *horizon* (sampled on the primary before its bytes) becomes
+//!    the replica's visibility horizon once fully applied. Readers get
+//!    `BEGIN AS OF ts` for any `ts ≤` horizon with the same isolation
+//!    guarantees as on the primary; writes are rejected with the typed
+//!    READ_ONLY error.
+//!
+//! Disconnects are retried with capped exponential backoff, resubscribing
+//! from the local log end — replication is idempotent at record
+//! granularity because the log position *is* the replication position.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use immortaldb::{Database, DbConfig};
+use immortaldb_common::{Error, Lsn, Result, Timestamp};
+use immortaldb_net::{Client, WalSubscription};
+use immortaldb_obs::MetricsRegistry;
+use immortaldb_storage::vfs::std_fs;
+use immortaldb_storage::wal::Wal;
+
+/// Replica tuning knobs.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    /// Local directory for the replica's data file and shipped log.
+    pub dir: PathBuf,
+    /// Primary server address (`HOST:PORT`).
+    pub primary: String,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// How long the follower blocks on one batch before re-checking for
+    /// shutdown (and how long bootstrap waits before giving up).
+    pub batch_timeout: Duration,
+    /// First retry delay after a lost connection; doubles per attempt.
+    pub backoff_min: Duration,
+    /// Retry delay cap.
+    pub backoff_max: Duration,
+    /// Metrics registry to share; `None` creates a private one.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+impl ReplicaConfig {
+    pub fn new(dir: impl Into<PathBuf>, primary: impl Into<String>) -> ReplicaConfig {
+        ReplicaConfig {
+            dir: dir.into(),
+            primary: primary.into(),
+            pool_pages: 1024,
+            batch_timeout: Duration::from_secs(10),
+            backoff_min: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+            metrics: None,
+        }
+    }
+
+    pub fn pool_pages(mut self, n: usize) -> Self {
+        self.pool_pages = n;
+        self
+    }
+
+    pub fn batch_timeout(mut self, d: Duration) -> Self {
+        self.batch_timeout = d;
+        self
+    }
+
+    pub fn backoff(mut self, min: Duration, max: Duration) -> Self {
+        self.backoff_min = min;
+        self.backoff_max = max.max(min);
+        self
+    }
+
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// A running read replica: a replica-mode [`Database`] plus the follower
+/// thread keeping it fed from the primary.
+pub struct Replica {
+    db: Arc<Database>,
+    stop: Arc<AtomicBool>,
+    follower: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Bootstrap (or resume) a replica of `cfg.primary` in `cfg.dir` and
+    /// start following. Returns once the replica has caught up with the
+    /// primary's log as of connect time and the engine is open — reads
+    /// can be served immediately.
+    pub fn start(cfg: ReplicaConfig) -> Result<Replica> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let metrics = cfg.metrics.clone().unwrap_or_default();
+
+        // Phase 1: catch the local log up before the engine exists. A
+        // standalone Wal handle gives us `append_raw` plus torn-tail
+        // trimming of whatever a previous run left behind.
+        let horizon = {
+            let wal = Wal::open_with(std_fs(), cfg.dir.join("wal.log"), metrics.clone())?;
+            let mut sub = subscribe(&cfg.primary, wal.end_lsn().0)?;
+            sub.set_read_timeout(Some(cfg.batch_timeout))?;
+            let mut horizon = Timestamp::ZERO;
+            loop {
+                let batch = sub.next_batch()?;
+                horizon = horizon.max(batch.horizon);
+                if batch.bytes.is_empty() {
+                    break; // the primary's catch-up signal
+                }
+                let end = wal.append_raw(Lsn(batch.start_lsn), &batch.bytes)?;
+                let _ = sub.ack(end.0);
+            }
+            horizon
+        };
+
+        // Phase 2: open the engine over the shipped prefix (full redo).
+        let db = Arc::new(Database::open_replica(
+            DbConfig::new(&cfg.dir)
+                .pool_pages(cfg.pool_pages)
+                .metrics(metrics.clone()),
+        )?);
+        db.set_replication_horizon(horizon);
+
+        // Phase 3: follow continuously.
+        let stop = Arc::new(AtomicBool::new(false));
+        let follower = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("imdb-follower".into())
+                .spawn(move || follower_loop(&db, &cfg, &stop))
+                .map_err(Error::Io)?
+        };
+        Ok(Replica {
+            db,
+            stop,
+            follower: Some(follower),
+        })
+    }
+
+    /// The replica engine (serve it over `immortaldb_net::Server`, or
+    /// read from it directly).
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Newest timestamp this replica can serve `AS OF` reads at.
+    pub fn horizon(&self) -> Timestamp {
+        self.db.replication_horizon()
+    }
+
+    /// Stop the follower thread and return the engine (still open, still
+    /// readable — it just stops advancing).
+    pub fn stop(mut self) -> Arc<Database> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(f) = self.follower.take() {
+            let _ = f.join();
+        }
+        Arc::clone(&self.db)
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(f) = self.follower.take() {
+            let _ = f.join();
+        }
+    }
+}
+
+/// Connect, handshake, and flip the connection into a WAL subscription.
+fn subscribe(primary: &str, from_lsn: u64) -> Result<WalSubscription> {
+    Client::connect(primary)?.subscribe_wal(from_lsn)
+}
+
+/// Apply pushed batches forever, reconnecting with capped exponential
+/// backoff. Every (re)subscription starts at the local log end, so a
+/// batch that died mid-socket is simply re-shipped.
+fn follower_loop(db: &Arc<Database>, cfg: &ReplicaConfig, stop: &AtomicBool) {
+    let mut backoff = cfg.backoff_min;
+    let mut first_attempt = true;
+    while !stop.load(Ordering::SeqCst) {
+        if !first_attempt {
+            db.metrics().repl.reconnects.inc();
+            // Sleep in small slices so `stop` stays responsive.
+            let deadline = std::time::Instant::now() + backoff;
+            while std::time::Instant::now() < deadline {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10).min(backoff));
+            }
+            backoff = (backoff * 2).min(cfg.backoff_max);
+        }
+        first_attempt = false;
+
+        let mut sub = match subscribe(&cfg.primary, db.wal().end_lsn().0) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if sub
+            .set_read_timeout(Some(cfg.batch_timeout.min(Duration::from_millis(250))))
+            .is_err()
+        {
+            continue;
+        }
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let batch = match sub.next_batch() {
+                Ok(b) => b,
+                Err(Error::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue; // idle tick; check stop and keep waiting
+                }
+                Err(_) => break, // lost or corrupted stream: resubscribe
+            };
+            match db.replica_apply(Lsn(batch.start_lsn), &batch.bytes, batch.horizon) {
+                Ok(_) => {
+                    backoff = cfg.backoff_min; // healthy stream
+                    let _ = sub.ack(db.wal().end_lsn().0);
+                }
+                Err(_) => break, // misaligned batch: resubscribe from our end
+            }
+        }
+    }
+}

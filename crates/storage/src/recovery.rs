@@ -306,6 +306,51 @@ fn apply_redo(page: &mut crate::page::Page, e: &WalEntry) -> Result<()> {
     Ok(())
 }
 
+/// Continuous redo for replication: apply one shipped log entry to the
+/// buffer pool, guarded only by page LSNs — no dirty-page table, because
+/// a replica replays *everything* not already reflected in its pages.
+/// Non-page records (Begin / Commit / End / Abort / checkpoint markers)
+/// are no-ops here; the caller tracks commit state separately. Returns
+/// whether the entry mutated a page.
+///
+/// New pages always enter the log as full `PageImages` (tree creation and
+/// splits log them), so replaying a shipped prefix in order onto an empty
+/// or previously-recovered store needs no other bootstrap.
+pub fn apply_entry(pool: &BufferPool, e: &WalEntry) -> Result<bool> {
+    match &e.record {
+        LogRecord::PageImages { pages } => {
+            let mut applied = false;
+            for (id, img) in pages {
+                pool.ensure_allocated(*id)?;
+                let (frame, _) = pool.fetch_or_reset(*id)?;
+                let mut g = frame.write();
+                if g.page_lsn() < e.lsn {
+                    *g = crate::page::Page::from_bytes(img)?;
+                    g.set_page_lsn(e.lsn);
+                    frame.mark_dirty(e.lsn);
+                    applied = true;
+                }
+            }
+            Ok(applied)
+        }
+        rec => {
+            let Some(page_id) = rec.target_page() else {
+                return Ok(false);
+            };
+            pool.ensure_allocated(page_id)?;
+            let frame = pool.fetch(page_id)?;
+            let mut g = frame.write();
+            if g.page_lsn() >= e.lsn {
+                return Ok(false);
+            }
+            apply_redo(&mut g, e)?;
+            g.set_page_lsn(e.lsn);
+            frame.mark_dirty(e.lsn);
+            Ok(true)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Undo
 // ---------------------------------------------------------------------

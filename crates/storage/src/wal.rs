@@ -177,6 +177,7 @@ impl Wal {
         // Find the end of the valid prefix so a torn tail is overwritten.
         let end = scan_valid_end(file.as_ref())?;
         file.set_len(end)?;
+        metrics.wal.end_lsn.set(end);
         Ok(Wal {
             path,
             vfs,
@@ -248,6 +249,10 @@ impl Wal {
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
         inner.buf.extend_from_slice(&crc.to_le_bytes());
         inner.buf.extend_from_slice(&body);
+        self.metrics
+            .wal
+            .end_lsn
+            .set(inner.buf_start + inner.buf.len() as u64);
         lsn
     }
 
@@ -407,6 +412,7 @@ impl Wal {
                     Ok(covered) => {
                         g.durable = g.durable.max(covered.0);
                         self.durable_lsn.store(g.durable, Ordering::SeqCst);
+                        self.metrics.wal.durable_lsn.set(g.durable);
                         if let Some((attempted, _)) = g.failed {
                             if attempted <= g.durable {
                                 g.failed = None;
@@ -462,6 +468,65 @@ impl Wal {
         it.next()
             .transpose()?
             .ok_or_else(|| Error::Corruption(format!("no log record at {lsn:?}")))
+    }
+
+    /// Read raw, frame-aligned log bytes starting at `from` for WAL
+    /// shipping: flushes the append buffer, then returns up to
+    /// `max_bytes` of *complete* records (always at least one whole
+    /// record when any exists, so a record larger than the budget still
+    /// ships) together with the LSN just past them. An empty slice with
+    /// `next == from` means the subscriber is caught up.
+    pub fn read_raw(&self, from: Lsn, max_bytes: usize) -> Result<(Vec<u8>, Lsn)> {
+        self.flush(Durability::Buffered)?;
+        let end = self.file.len()?;
+        let start = from.0.max(WAL_START.0);
+        let mut pos = start;
+        while pos + FRAME_HDR <= end {
+            let mut hdr = [0u8; 8];
+            self.file.read_exact_at(&mut hdr, pos)?;
+            let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as u64;
+            if len == 0 || pos + FRAME_HDR + len > end {
+                // Never ship a torn tail (only possible under fault
+                // injection; normal flushes end on record boundaries).
+                break;
+            }
+            let next = pos + FRAME_HDR + len;
+            if pos > start && (next - start) as usize > max_bytes {
+                break;
+            }
+            pos = next;
+        }
+        let mut buf = vec![0u8; (pos - start) as usize];
+        if !buf.is_empty() {
+            self.file.read_exact_at(&mut buf, start)?;
+        }
+        Ok((buf, Lsn(pos)))
+    }
+
+    /// Replication apply: append raw frame-aligned bytes shipped from a
+    /// primary at exactly offset `at` (which must be the current end of
+    /// this log). The local append buffer must be empty — replicas never
+    /// write their own records — so the shipped file stays a
+    /// byte-identical prefix of the primary's and primary LSNs remain
+    /// valid here. Returns the new end-of-log LSN.
+    pub fn append_raw(&self, at: Lsn, bytes: &[u8]) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        if !inner.buf.is_empty() {
+            return Err(Error::Internal(
+                "append_raw: local records buffered on a replica log".into(),
+            ));
+        }
+        if at.0 != inner.buf_start {
+            return Err(Error::Corruption(format!(
+                "replication stream out of order: batch starts at {}, log ends at {}",
+                at.0, inner.buf_start
+            )));
+        }
+        self.file.write_all_at(bytes, at.0)?;
+        inner.buf_start += bytes.len() as u64;
+        self.written_lsn.store(inner.buf_start, Ordering::SeqCst);
+        self.metrics.wal.end_lsn.set(inner.buf_start);
+        Ok(Lsn(inner.buf_start))
     }
 }
 
@@ -827,6 +892,135 @@ mod tests {
         let m = wal.metrics();
         assert_eq!(m.wal.fsyncs.get(), 5);
         assert_eq!(m.wal.group_commits.get(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn iter_stops_at_torn_tail_and_resumes_after_next_flush() {
+        // The shipper's core loop: an iterator taken while a torn tail
+        // sits past the valid prefix must stop cleanly (no error), and a
+        // fresh iterator from the stop point must pick up the records the
+        // next flush lays down over the garbage.
+        let path = tmp("resume");
+        let wal = Wal::open(&path).unwrap();
+        wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        let l2 = wal.append(Tid(1), Lsn(0), &LogRecord::End);
+        wal.flush(Durability::Fsync).unwrap();
+        let valid_end = wal.end_lsn();
+        // Torn tail: garbage written past the valid prefix, as a crashed
+        // writer would leave it (bypassing the Wal's own buffer).
+        wal.file
+            .write_all_at(&[0x2C, 0x00, 0x00, 0x00, 0xAA, 0xBB], valid_end.0)
+            .unwrap();
+        let mut it = wal.iter_from(Lsn(0)).unwrap();
+        let mut last_end = Lsn(0);
+        let mut n = 0;
+        for e in &mut it {
+            let e = e.unwrap();
+            last_end = e.next_lsn;
+            n += 1;
+        }
+        assert_eq!(n, 2, "torn tail must end the scan cleanly");
+        assert_eq!(last_end, valid_end);
+        assert!(last_end > l2);
+        // Writer keeps going: the next flush overwrites the garbage.
+        let l3 = wal.append(Tid(2), Lsn(0), &LogRecord::Begin);
+        let l4 = wal.append(Tid(2), l3, &LogRecord::Abort);
+        wal.flush(Durability::Buffered).unwrap();
+        // Resume exactly where the last scan stopped: a fresh iterator
+        // (iter_from snapshots the file length) sees only the new records.
+        let resumed: Vec<_> = wal
+            .iter_from(last_end)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
+        assert_eq!(resumed.len(), 2);
+        assert_eq!(resumed[0].lsn, l3);
+        assert_eq!(resumed[1].lsn, l4);
+        assert_eq!(resumed[1].record, LogRecord::Abort);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_raw_ships_whole_records_within_budget() {
+        let path = tmp("readraw");
+        let wal = Wal::open(&path).unwrap();
+        let l1 = wal.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        let l2 = wal.append(Tid(1), l1, &LogRecord::End);
+        let l3 = wal.append(Tid(2), Lsn(0), &LogRecord::Begin);
+        let end = wal.end_lsn();
+        // Tiny budget: still ships the first whole record.
+        let (bytes, next) = wal.read_raw(WAL_START, 1).unwrap();
+        assert_eq!(next, l2);
+        assert_eq!(bytes.len() as u64, l2.0 - l1.0);
+        // Budget for two records exactly.
+        let (bytes, next) = wal.read_raw(WAL_START, (l3.0 - l1.0) as usize).unwrap();
+        assert_eq!(next, l3);
+        assert_eq!(bytes.len() as u64, l3.0 - l1.0);
+        // Large budget: everything; then caught-up returns empty.
+        let (bytes, next) = wal.read_raw(WAL_START, 1 << 20).unwrap();
+        assert_eq!(next, end);
+        assert_eq!(bytes.len() as u64, end.0 - WAL_START.0);
+        let (bytes, next) = wal.read_raw(end, 1 << 20).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(next, end);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_raw_replays_byte_identical_prefix() {
+        let src = tmp("rawsrc");
+        let dst = tmp("rawdst");
+        let primary = Wal::open(&src).unwrap();
+        let l1 = primary.append(Tid(1), Lsn(0), &LogRecord::Begin);
+        primary.append(
+            Tid(1),
+            l1,
+            &LogRecord::Commit {
+                ts: Timestamp::new(40, 1),
+            },
+        );
+        let replica = Wal::open(&dst).unwrap();
+        // Ship in two batches and verify LSN-for-LSN equality.
+        let (b1, n1) = primary.read_raw(WAL_START, 1).unwrap();
+        assert_eq!(replica.append_raw(WAL_START, &b1).unwrap(), n1);
+        // Out-of-order batch is rejected.
+        assert!(replica.append_raw(WAL_START, &b1).is_err());
+        let (b2, n2) = primary.read_raw(n1, 1 << 20).unwrap();
+        assert_eq!(replica.append_raw(n1, &b2).unwrap(), n2);
+        let a: Vec<_> = primary
+            .iter_from(Lsn(0))
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.lsn, e.tid, e.record)
+            })
+            .collect();
+        let b: Vec<_> = replica
+            .iter_from(Lsn(0))
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.lsn, e.tid, e.record)
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        std::fs::remove_file(&src).unwrap();
+        std::fs::remove_file(&dst).unwrap();
+    }
+
+    #[test]
+    fn end_and_durable_lsn_gauges_track_log_state() {
+        let path = tmp("gauges");
+        let wal = Wal::open(&path).unwrap();
+        let m = wal.metrics().clone();
+        assert_eq!(m.wal.end_lsn.get(), WAL_START.0);
+        let upto = past(&wal, 1);
+        assert_eq!(m.wal.end_lsn.get(), wal.end_lsn().0);
+        wal.commit_durable(upto, Durability::Fsync).unwrap();
+        assert_eq!(m.wal.durable_lsn.get(), wal.durable_lsn().0);
+        assert!(m.wal.durable_lsn.get() >= upto.0);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -4,7 +4,7 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally:
 #
 #   scripts/ci.sh          # everything
-#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos | serve
+#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos | serve | repl
 #
 # The build environment has no route to crates.io (external deps come
 # from shims/), so everything runs offline.
@@ -62,21 +62,32 @@ run_serve() {
     cargo run --release -q -p immortaldb-net --bin net-smoke
 }
 
+run_repl() {
+    echo "== repl smoke (WAL shipping: primary + 2 followers, mixed load, restore) =="
+    # One primary, two read replicas following over the wire. Asserts
+    # bounded replication lag, zero AS OF isolation violations at the
+    # replicas, typed READ_ONLY rejection of replica writes, and a
+    # RESTORE TABLE ... AS OF round trip that itself replicates.
+    cargo run --release -q -p immortaldb-repl --bin repl-smoke
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
     chaos) run_chaos ;;
     serve) run_serve ;;
+    repl) run_repl ;;
     all)
         run_fmt
         run_clippy
         run_test
         run_chaos
         run_serve
+        run_repl
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve|repl]" >&2
         exit 2
         ;;
 esac
