@@ -12,5 +12,6 @@ pub mod group_commit;
 pub mod harness;
 pub mod netbench;
 pub mod replbench;
+pub mod temporal;
 
 pub use harness::{BenchDb, Mode};

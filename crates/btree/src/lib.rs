@@ -20,7 +20,10 @@ mod read;
 mod split;
 mod tree;
 
-pub use read::{HistoryVersion, ScanItem, StorageStats};
+pub use read::{
+    collect_chain_window, trim_version_window, HistoryVersion, ScanItem, StorageStats,
+    TemporalVersion,
+};
 pub use tree::{BTree, FixedSplitTime, HeadVersion, SplitTimeSource, MAX_RECORD};
 
 #[cfg(test)]

@@ -46,6 +46,88 @@ pub struct HistoryVersion {
     pub data: Option<Vec<u8>>,
 }
 
+/// One committed version emitted by a time-range scan
+/// (`versions_between`). Uncommitted versions never appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalVersion {
+    pub key: Vec<u8>,
+    /// Commit timestamp of this version.
+    pub ts: Timestamp,
+    /// `None` marks a delete tombstone.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Collect the committed versions of slot `i` relevant to the time
+/// window `[lo, hi]`: every version with `lo <= ts <= hi`, plus the
+/// newest version below `lo` (the *base* — the state a reader at `lo`
+/// would see). Chains are newest-first, so the walk stops at the first
+/// below-window version. Unresolved (still-active) versions are skipped.
+pub fn collect_chain_window(
+    page: &Page,
+    i: usize,
+    lo: Timestamp,
+    hi: Timestamp,
+    resolver: &dyn TimestampResolver,
+    out: &mut Vec<TemporalVersion>,
+) {
+    let key = page.rec_key(page.slot(i)).to_vec();
+    for off in version::chain_offsets(page, i) {
+        let ts = if page.rec_is_tid_marked(off) {
+            match resolver.resolve(page.rec_tid(off)) {
+                Some(ts) => ts,
+                None => continue, // uncommitted: invisible to temporal reads
+            }
+        } else {
+            page.rec_timestamp(off)
+        };
+        if ts > hi {
+            continue;
+        }
+        out.push(TemporalVersion {
+            key: key.clone(),
+            ts,
+            data: if page.rec_is_stub(off) {
+                None
+            } else {
+                Some(page.rec_data(off).to_vec())
+            },
+        });
+        if ts < lo {
+            break; // base version collected; older ones are irrelevant
+        }
+    }
+}
+
+/// Normalise raw time-range scan output: sort by `(key, ts)`, remove
+/// spanning duplicates (time splits copy the boundary version into both
+/// the history and the current page), and trim each key's below-window
+/// versions to just the newest one (the base). Result is key-ascending,
+/// oldest version first within a key.
+pub fn trim_version_window(mut raw: Vec<TemporalVersion>, lo: Timestamp) -> Vec<TemporalVersion> {
+    raw.sort_by(|a, b| a.key.cmp(&b.key).then(b.ts.cmp(&a.ts)));
+    raw.dedup_by(|a, b| a.key == b.key && a.ts == b.ts);
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let start = i;
+        while i < raw.len() && raw[i].key == raw[start].key {
+            i += 1;
+        }
+        // Newest-first group: keep in-window versions and one base.
+        let mut kept: Vec<TemporalVersion> = Vec::new();
+        for v in &raw[start..i] {
+            let below = v.ts < lo;
+            kept.push(v.clone());
+            if below {
+                break;
+            }
+        }
+        kept.reverse();
+        out.extend(kept);
+    }
+    out
+}
+
 impl BTree {
     /// Read the current version of `key` as seen by `own_tid` (its own
     /// uncommitted writes are visible). Opportunistically applies
@@ -306,6 +388,55 @@ impl BTree {
             }
             page_id = hist;
         }
+    }
+
+    /// Time-range scan over the page chains: every committed version with
+    /// a commit timestamp in `[lo, hi]`, plus each key's base version
+    /// (newest below `lo`), across the whole tree. Each leaf's history
+    /// chain is walked once, stopping at the first page whose time range
+    /// covers `lo` — pages older than that cannot contribute.
+    pub fn versions_between(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<TemporalVersion>> {
+        debug_assert!(self.versioned);
+        let _s = self.structure.read();
+        let leaves = self.leaves_with_bounds()?;
+        let mut raw = Vec::new();
+        for (idx, (leaf_id, low)) in leaves.iter().enumerate() {
+            let upper: Option<&[u8]> = leaves.get(idx + 1).map(|(_, k)| k.as_slice());
+            let mut page_id = *leaf_id;
+            loop {
+                let frame = self.pool.fetch(page_id)?;
+                let g = frame.read();
+                for i in 0..g.slot_count() {
+                    let off = g.slot(i);
+                    let key = g.rec_key(off);
+                    if key < low.as_slice() {
+                        continue;
+                    }
+                    if let Some(up) = upper {
+                        if key >= up {
+                            break;
+                        }
+                    }
+                    collect_chain_window(&g, i, lo, hi, resolver, &mut raw);
+                }
+                // The page covering `lo` holds every base version; older
+                // chain pages cannot contribute to the window.
+                let done = g.start_ts() <= lo;
+                let hist = g.history_page();
+                drop(g);
+                if done || !hist.is_valid() {
+                    break;
+                }
+                self.pool.metrics().tree.asof_hops.inc();
+                page_id = hist;
+            }
+        }
+        Ok(trim_version_window(raw, lo))
     }
 
     /// Storage statistics over the *current* leaves, for the

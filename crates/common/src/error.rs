@@ -36,6 +36,9 @@ pub enum ErrorCode {
     ReadOnly = 8,
     /// Internal invariant violation: a bug in the engine.
     Internal = 9,
+    /// Temporal-query misuse: reversed VERSIONS BETWEEN bounds, unknown
+    /// snapshot name, snapshot already exists.
+    Temporal = 10,
 }
 
 impl ErrorCode {
@@ -51,6 +54,7 @@ impl ErrorCode {
             ErrorCode::Catalog => "catalog",
             ErrorCode::ReadOnly => "read-only",
             ErrorCode::Internal => "internal",
+            ErrorCode::Temporal => "temporal",
         }
     }
 
@@ -66,6 +70,7 @@ impl ErrorCode {
             6 => ErrorCode::Io,
             7 => ErrorCode::Catalog,
             8 => ErrorCode::ReadOnly,
+            10 => ErrorCode::Temporal,
             _ => ErrorCode::Internal,
         }
     }
@@ -124,6 +129,11 @@ pub enum Error {
     /// SQL parse failure with the byte offset of the offending token in
     /// the statement text (the wire protocol echoes it to clients).
     Parse { offset: usize, message: String },
+    /// A named snapshot was referenced that does not exist.
+    UnknownSnapshot(String),
+    /// Temporal-query misuse: reversed bounds, duplicate snapshot name,
+    /// and similar semantic failures of the temporal surface.
+    Temporal(String),
     /// The server shed this connection/request under load (accept-queue
     /// overflow). Clients should back off and retry.
     ServerBusy,
@@ -172,6 +182,8 @@ impl fmt::Display for Error {
             Error::Parse { offset, message } => {
                 write!(f, "SQL error: {message} (at byte {offset})")
             }
+            Error::UnknownSnapshot(name) => write!(f, "unknown snapshot {name}"),
+            Error::Temporal(m) => write!(f, "temporal error: {m}"),
             Error::ServerBusy => write!(f, "server busy: connection shed, retry later"),
             Error::Remote {
                 code,
@@ -231,6 +243,7 @@ impl Error {
             Error::PageFull | Error::Internal(_) => ErrorCode::Internal,
             Error::ReadOnlyTransaction | Error::ReplicaReadOnly => ErrorCode::ReadOnly,
             Error::Sql(_) | Error::Parse { .. } => ErrorCode::Parse,
+            Error::UnknownSnapshot(_) | Error::Temporal(_) => ErrorCode::Temporal,
             Error::ServerBusy => ErrorCode::Busy,
             Error::Remote { code, .. } => *code,
         }
@@ -297,6 +310,11 @@ mod tests {
         assert_eq!(Error::ReadOnlyTransaction.code(), ErrorCode::ReadOnly);
         assert_eq!(Error::ReplicaReadOnly.code(), ErrorCode::ReadOnly);
         assert_eq!(Error::Internal("x".into()).code(), ErrorCode::Internal);
+        assert_eq!(
+            Error::UnknownSnapshot("s".into()).code(),
+            ErrorCode::Temporal
+        );
+        assert_eq!(Error::Temporal("x".into()).code(), ErrorCode::Temporal);
     }
 
     #[test]
@@ -311,6 +329,7 @@ mod tests {
             ErrorCode::Catalog,
             ErrorCode::ReadOnly,
             ErrorCode::Internal,
+            ErrorCode::Temporal,
         ] {
             assert_eq!(ErrorCode::from_u8(code as u8), code);
         }

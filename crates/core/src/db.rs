@@ -26,10 +26,13 @@ use immortaldb_txn::{
     TimestampAuthority, TxnResolver, Vtt,
 };
 
-use crate::catalog::{TableDef, TableKind};
+use crate::catalog::{snapshot_key, SnapshotDef, TableDef, TableKind, SNAPSHOT_KEY_PREFIX};
 use crate::index::{IndexKind, TableIndex};
 use crate::row::{Schema, Value};
+use crate::temporal::{self, DiffRow};
 use crate::txn::{Isolation, TimestampingMode, Transaction};
+
+use immortaldb_btree::TemporalVersion;
 
 /// Engine configuration.
 pub struct DbConfig {
@@ -139,6 +142,9 @@ pub struct Database {
     pub(crate) locks: Arc<LockManager>,
     catalog_tree: Arc<BTree>,
     tables: RwLock<HashMap<String, Arc<TableDef>>>,
+    /// Named snapshots (`CREATE SNAPSHOT`): catalog-persisted pins of a
+    /// transaction-time timestamp, usable anywhere an AS OF operand is.
+    named_snapshots: RwLock<HashMap<String, SnapshotDef>>,
     trees: RwLock<HashMap<TreeId, TableIndex>>,
     next_tid: AtomicU64,
     next_tree: AtomicU32,
@@ -300,7 +306,13 @@ impl Database {
             TableIndex::Chain(Arc::clone(&catalog_tree)),
         );
         let mut max_tree = TreeId::FIRST_USER.0;
+        let mut named_snapshots = HashMap::new();
         for item in catalog_tree.u_scan()? {
+            if item.key.first() == Some(&SNAPSHOT_KEY_PREFIX) {
+                let snap = SnapshotDef::decode(&item.data)?;
+                named_snapshots.insert(snap.name.clone(), snap);
+                continue;
+            }
             let name = String::from_utf8(item.key.clone())
                 .map_err(|_| Error::Corruption("non-UTF8 table name".into()))?;
             let def = Arc::new(TableDef::decode(&name, &item.data)?);
@@ -324,6 +336,8 @@ impl Database {
             tables.insert(name, def);
         }
 
+        metrics.temporal.snapshots.set(named_snapshots.len() as u64);
+
         let gc = PttGc::new(Arc::clone(&vtt), Arc::clone(&ptt));
         let db = Database {
             pool,
@@ -341,6 +355,7 @@ impl Database {
             )),
             catalog_tree,
             tables: RwLock::new(tables),
+            named_snapshots: RwLock::new(named_snapshots),
             trees: RwLock::new(trees),
             next_tid: AtomicU64::new(next_tid),
             next_tree: AtomicU32::new(max_tree),
@@ -566,6 +581,67 @@ impl Database {
         self.trees.write().insert(tree, new_handle);
         self.tables.write().insert(name.to_string(), new_def);
         Ok(())
+    }
+
+    // -- named snapshots -----------------------------------------------------
+
+    /// `CREATE SNAPSHOT name [AS OF …]`: pin a transaction-time
+    /// timestamp under a stable name. With no explicit time the current
+    /// visibility horizon is pinned; an explicit time is clamped to the
+    /// horizon exactly like `BEGIN TRAN AS OF`. The pin is persisted in
+    /// the catalog, so it survives restarts and ships to replicas
+    /// through the WAL like any other catalog change.
+    pub fn create_named_snapshot(&self, name: &str, ts: Option<Timestamp>) -> Result<SnapshotDef> {
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
+        }
+        let mut snaps = self.named_snapshots.write();
+        if snaps.contains_key(name) {
+            return Err(Error::Temporal(format!("snapshot {name} already exists")));
+        }
+        let horizon = self.visible_horizon();
+        let def = SnapshotDef {
+            name: name.to_string(),
+            ts: ts.unwrap_or(horizon).min(horizon),
+            created_ms: self.now_ms(),
+        };
+        self.catalog_tree
+            .u_insert(Tid::SYSTEM, NULL_LSN, &snapshot_key(name), &def.encode())?;
+        snaps.insert(name.to_string(), def.clone());
+        self.metrics().temporal.snapshots.set(snaps.len() as u64);
+        Ok(def)
+    }
+
+    /// `DROP SNAPSHOT name`: unpin a named snapshot. The history it
+    /// pointed at remains queryable by timestamp — only the name goes.
+    pub fn drop_named_snapshot(&self, name: &str) -> Result<()> {
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
+        }
+        let mut snaps = self.named_snapshots.write();
+        if snaps.remove(name).is_none() {
+            return Err(Error::UnknownSnapshot(name.to_string()));
+        }
+        self.catalog_tree
+            .u_delete(Tid::SYSTEM, NULL_LSN, &snapshot_key(name))?;
+        self.metrics().temporal.snapshots.set(snaps.len() as u64);
+        Ok(())
+    }
+
+    /// The pinned timestamp behind a snapshot name.
+    pub fn resolve_snapshot(&self, name: &str) -> Result<SnapshotDef> {
+        self.named_snapshots
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownSnapshot(name.to_string()))
+    }
+
+    /// All named snapshots, name-ascending (`SHOW SNAPSHOTS`).
+    pub fn list_snapshots(&self) -> Vec<SnapshotDef> {
+        let mut v: Vec<SnapshotDef> = self.named_snapshots.read().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
     }
 
     // -- transaction lifecycle ----------------------------------------------
@@ -966,6 +1042,65 @@ impl Database {
             .collect()
     }
 
+    /// `SELECT … VERSIONS BETWEEN`: every committed version of `table`
+    /// whose timestamp falls in `[lo, hi]`, key-ascending then
+    /// timestamp-ascending, delete tombstones included. Executes as one
+    /// time-range index walk — on a TSB table the walk prunes key-time
+    /// rectangles against the window and visits each historical page
+    /// once; it is not a replay of per-timestamp AS OF lookups.
+    pub fn versions_between(
+        &self,
+        table: &str,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Result<Vec<TemporalVersion>> {
+        let (def, lo, hi) = self.temporal_window(table, lo, hi)?;
+        let handle = self.tree_handle(def.tree)?;
+        let out = temporal::in_window(handle.versions_between(lo, hi, self.resolver.as_ref())?, lo);
+        self.metrics()
+            .temporal
+            .versions_returned
+            .add(out.len() as u64);
+        Ok(out)
+    }
+
+    /// `DIFF TABLE … BETWEEN t1 AND t2`: the net change set between the
+    /// table's states at the two instants, folded from the same single
+    /// version-range walk `VERSIONS BETWEEN` uses.
+    pub fn diff_table(&self, table: &str, t1: Timestamp, t2: Timestamp) -> Result<Vec<DiffRow>> {
+        let (def, t1, t2) = self.temporal_window(table, t1, t2)?;
+        let handle = self.tree_handle(def.tree)?;
+        let versions = handle.versions_between(t1, t2, self.resolver.as_ref())?;
+        let out = temporal::fold_diff(&versions, t1);
+        self.metrics().temporal.diff_rows.add(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Shared validation for the temporal read surface: the table must
+    /// be IMMORTAL and the bounds ordered. Both bounds are then clamped
+    /// to the visibility horizon — on a replica that is the replication
+    /// horizon, so a follower answers from the history it has instead
+    /// of erroring, mirroring `BEGIN TRAN AS OF` clamping.
+    fn temporal_window(
+        &self,
+        table: &str,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Result<(Arc<TableDef>, Timestamp, Timestamp)> {
+        let def = self.table(table)?;
+        self.check_as_of_allowed(&def)?;
+        if lo > hi {
+            return Err(Error::Temporal(format!(
+                "reversed time window: lower bound {}.{} is above upper bound {}.{}",
+                lo.ttime, lo.sn, hi.ttime, hi.sn
+            )));
+        }
+        let horizon = self.visible_horizon();
+        let hi = hi.min(horizon);
+        let lo = lo.min(hi);
+        Ok((def, lo, hi))
+    }
+
     // -- maintenance ---------------------------------------------------------
 
     /// Take a checkpoint: persist watermarks, flush dirty pages (which
@@ -1108,7 +1243,15 @@ impl Database {
     /// `ENABLE SNAPSHOT`) since the catalog was last scanned, opening
     /// local tree handles for them.
     fn refresh_catalog(&self) -> Result<()> {
+        // Rebuilt from scratch each refresh: a snapshot the primary
+        // dropped must disappear here too.
+        let mut named_snapshots = HashMap::new();
         for item in self.catalog_tree.u_scan()? {
+            if item.key.first() == Some(&SNAPSHOT_KEY_PREFIX) {
+                let snap = SnapshotDef::decode(&item.data)?;
+                named_snapshots.insert(snap.name.clone(), snap);
+                continue;
+            }
             let name = String::from_utf8(item.key.clone())
                 .map_err(|_| Error::Corruption("non-UTF8 table name".into()))?;
             let def = Arc::new(TableDef::decode(&name, &item.data)?);
@@ -1138,6 +1281,11 @@ impl Database {
             self.trees.write().insert(def.tree, handle);
             self.tables.write().insert(name, def);
         }
+        self.metrics()
+            .temporal
+            .snapshots
+            .set(named_snapshots.len() as u64);
+        *self.named_snapshots.write() = named_snapshots;
         Ok(())
     }
 

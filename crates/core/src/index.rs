@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use immortaldb_btree::{BTree, HeadVersion, HistoryVersion, ScanItem};
+use immortaldb_btree::{BTree, HeadVersion, HistoryVersion, ScanItem, TemporalVersion};
 use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId};
 use immortaldb_storage::TimestampResolver;
 use immortaldb_tsb::TsbTree;
@@ -155,6 +155,23 @@ impl TableIndex {
         match self {
             TableIndex::Chain(t) => t.head_version(key, r),
             TableIndex::Tsb(t) => t.head_version(key, r),
+        }
+    }
+
+    /// Time-range scan: every committed version with a timestamp in
+    /// `[lo, hi]` plus each key's base version (newest below `lo`). On a
+    /// TSB table this is ONE rectangle-filtered index walk that visits
+    /// each historical page once; on a chain table each leaf's history
+    /// chain is walked once.
+    pub fn versions_between(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+        r: &dyn TimestampResolver,
+    ) -> Result<Vec<TemporalVersion>> {
+        match self {
+            TableIndex::Chain(t) => t.versions_between(lo, hi, r),
+            TableIndex::Tsb(t) => t.versions_between(lo, hi, r),
         }
     }
 

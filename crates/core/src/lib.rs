@@ -49,18 +49,21 @@ pub mod db;
 pub mod index;
 pub mod row;
 pub mod sql;
+pub mod temporal;
 pub mod txn;
 
 #[cfg(test)]
 mod tests;
 
-pub use catalog::{TableDef, TableKind};
+pub use catalog::{SnapshotDef, TableDef, TableKind};
 pub use db::{Database, DbConfig};
 pub use index::{IndexKind, TableIndex};
 pub use row::{ColType, Column, Schema, Value};
 pub use sql::{QueryResult, Session};
+pub use temporal::{DiffOp, DiffRow};
 pub use txn::{Isolation, TimestampingMode, Transaction};
 
 // Re-exports for downstream crates (benches, examples).
+pub use immortaldb_btree::TemporalVersion;
 pub use immortaldb_common::{Clock, Error, ErrorCode, Result, SimClock, SystemClock, Timestamp};
 pub use immortaldb_storage::wal::{Durability, GroupCommitConfig};

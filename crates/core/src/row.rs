@@ -223,6 +223,44 @@ pub fn encode_key(v: &Value) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Inverse of [`encode_key`]: recover the key value from its
+/// memcomparable bytes (used to label tombstone rows in temporal
+/// results, where no row image survives to decode).
+pub fn decode_key(data: &[u8]) -> Result<Value> {
+    let (&tag, rest) = data
+        .split_first()
+        .ok_or_else(|| Error::Corruption("empty key".into()))?;
+    let fixed = |n: usize| -> Result<&[u8]> {
+        if rest.len() == n {
+            Ok(rest)
+        } else {
+            Err(Error::Corruption(format!(
+                "key tag {tag} wants {n} bytes, got {}",
+                rest.len()
+            )))
+        }
+    };
+    Ok(match tag {
+        1 => {
+            let b: [u8; 2] = fixed(2)?.try_into().unwrap();
+            Value::SmallInt((u16::from_be_bytes(b) ^ 0x8000) as i16)
+        }
+        2 => {
+            let b: [u8; 4] = fixed(4)?.try_into().unwrap();
+            Value::Int((u32::from_be_bytes(b) ^ 0x8000_0000) as i32)
+        }
+        3 => {
+            let b: [u8; 8] = fixed(8)?.try_into().unwrap();
+            Value::BigInt((u64::from_be_bytes(b) ^ (1 << 63)) as i64)
+        }
+        4 => Value::Varchar(
+            String::from_utf8(rest.to_vec())
+                .map_err(|_| Error::Corruption("non-UTF8 varchar key".into()))?,
+        ),
+        t => return Err(Error::Corruption(format!("bad key tag {t}"))),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +296,21 @@ mod tests {
         ];
         let enc = s.encode_row(&row);
         assert_eq!(s.decode_row(&enc).unwrap(), row);
+    }
+
+    #[test]
+    fn keys_roundtrip_through_decode_key() {
+        for v in [
+            Value::SmallInt(-7),
+            Value::Int(123_456),
+            Value::BigInt(-9_999_999_999),
+            Value::Varchar("obj-17".into()),
+        ] {
+            assert_eq!(decode_key(&encode_key(&v).unwrap()).unwrap(), v);
+        }
+        assert!(decode_key(&[]).is_err());
+        assert!(decode_key(&[9, 1, 2]).is_err());
+        assert!(decode_key(&[2, 1]).is_err());
     }
 
     #[test]

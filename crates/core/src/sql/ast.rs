@@ -48,6 +48,8 @@ pub enum AsOfSpec {
     DateTime(String),
     /// `AS OF ms(1234567)` — raw milliseconds since the epoch.
     Millis(u64),
+    /// `AS OF SNAPSHOT name` — a named snapshot's pinned timestamp.
+    Snapshot(String),
 }
 
 /// A parsed statement.
@@ -102,6 +104,35 @@ pub enum Statement {
         table: String,
         as_of: AsOfSpec,
     },
+    /// `SELECT … FROM t VERSIONS BETWEEN a AND b [WHERE …]` — every
+    /// version of matching keys committed in the window, delete
+    /// tombstones included, each row carrying its commit timestamp.
+    VersionsBetween {
+        table: String,
+        /// `None` = `*`.
+        columns: Option<Vec<String>>,
+        t1: AsOfSpec,
+        t2: AsOfSpec,
+        predicate: Predicate,
+    },
+    /// `DIFF TABLE t BETWEEN a AND b` — the net change set between the
+    /// table's states at the two instants.
+    DiffTable {
+        table: String,
+        t1: AsOfSpec,
+        t2: AsOfSpec,
+    },
+    /// `CREATE SNAPSHOT s [AS OF …]` — pin a timestamp under a name.
+    CreateSnapshot {
+        name: String,
+        as_of: Option<AsOfSpec>,
+    },
+    /// `DROP SNAPSHOT s`.
+    DropSnapshot {
+        name: String,
+    },
+    /// `SHOW SNAPSHOTS` — every named snapshot and its pinned time.
+    ShowSnapshots,
     /// `CHECKPOINT` — engine maintenance.
     Checkpoint,
     /// `VACUUM` — stamp everything and reclaim all PTT entries (§2.2).

@@ -127,13 +127,38 @@ impl<'a> Session<'a> {
         }
     }
 
+    // -- temporal bound resolution ---------------------------------------
+
+    /// Resolve an AS OF operand to a point in time: a named snapshot's
+    /// exact pinned timestamp, or the end of a clock operand's 20 ms
+    /// tick (what `BEGIN TRAN AS OF` has always meant).
+    fn point_ts(&self, spec: &AsOfSpec) -> Result<Timestamp> {
+        match spec {
+            AsOfSpec::Snapshot(name) => Ok(self.db.resolve_snapshot(name)?.ts),
+            other => Ok(Timestamp::as_of_clock(resolve_as_of(other)?)),
+        }
+    }
+
+    /// Resolve the lower bound of a `VERSIONS BETWEEN` window: the
+    /// *start* of a clock operand's tick (the window covers the whole
+    /// tick), a named snapshot's exact timestamp otherwise.
+    fn window_lo_ts(&self, spec: &AsOfSpec) -> Result<Timestamp> {
+        match spec {
+            AsOfSpec::Snapshot(name) => Ok(self.db.resolve_snapshot(name)?.ts),
+            other => Ok(crate::temporal::window_lo(resolve_as_of(other)?)),
+        }
+    }
+
     /// Execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = Parser::parse(sql)?;
         match stmt {
             Statement::Begin { as_of, isolation } => {
                 match as_of {
-                    Some(spec) => self.begin_as_of_ms(resolve_as_of(&spec)?)?,
+                    Some(spec) => {
+                        let ts = self.point_ts(&spec)?;
+                        self.begin_as_of_ts(ts)?
+                    }
                     None => self.begin(isolation)?,
                 };
                 Ok(QueryResult::message("transaction started"))
@@ -179,10 +204,8 @@ impl<'a> Session<'a> {
                             .into(),
                     ));
                 }
-                let ms = resolve_as_of(&as_of)?;
-                let (n, ts) = self
-                    .db
-                    .restore_table_as_of(&table, Timestamp::as_of_clock(ms))?;
+                let restore_ts = self.point_ts(&as_of)?;
+                let (n, ts) = self.db.restore_table_as_of(&table, restore_ts)?;
                 Ok(QueryResult::affected(
                     n,
                     format!(
@@ -202,6 +225,43 @@ impl<'a> Session<'a> {
                 Ok(QueryResult::message(format!(
                     "vacuum complete, {reclaimed} PTT entries reclaimed"
                 )))
+            }
+            Statement::CreateSnapshot { name, as_of } => {
+                let ts = as_of.map(|s| self.point_ts(&s)).transpose()?;
+                let def = self.db.create_named_snapshot(&name, ts)?;
+                Ok(QueryResult::message(format!(
+                    "snapshot {name} created at {}.{}",
+                    def.ts.ttime, def.ts.sn
+                )))
+            }
+            Statement::DropSnapshot { name } => {
+                self.db.drop_named_snapshot(&name)?;
+                Ok(QueryResult::message(format!("snapshot {name} dropped")))
+            }
+            Statement::ShowSnapshots => {
+                let rows: Vec<Vec<Value>> = self
+                    .db
+                    .list_snapshots()
+                    .into_iter()
+                    .map(|s| {
+                        vec![
+                            Value::Varchar(s.name),
+                            Value::BigInt(s.ts.ttime as i64),
+                            Value::Int(s.ts.sn as i32),
+                            Value::BigInt(s.created_ms as i64),
+                        ]
+                    })
+                    .collect();
+                let n = rows.len();
+                Ok(QueryResult {
+                    columns: ["name", "_ts_ms", "_ts_sn", "created_ms"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    rows,
+                    affected: 0,
+                    message: format!("{n} snapshots"),
+                })
             }
             Statement::ShowStats => {
                 let snap = self.db.metrics_snapshot();
@@ -368,6 +428,139 @@ impl<'a> Session<'a> {
                     message: format!("{n} versions"),
                 })
             }
+            Statement::VersionsBetween {
+                table,
+                columns,
+                t1,
+                t2,
+                predicate,
+            } => {
+                let def = self.db.table(&table)?;
+                let lo = self.window_lo_ts(&t1)?;
+                let hi = self.point_ts(&t2)?;
+                let versions = self.db.versions_between(&table, lo, hi)?;
+                let (names, idxs): (Vec<String>, Vec<usize>) = match columns {
+                    None => (
+                        def.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                        (0..def.schema.columns.len()).collect(),
+                    ),
+                    Some(cols) => {
+                        let idxs: Vec<usize> = cols
+                            .iter()
+                            .map(|c| def.schema.col_index(c))
+                            .collect::<Result<_>>()?;
+                        (cols, idxs)
+                    }
+                };
+                // A key matches when any live version of it inside the
+                // window satisfies the predicate; every version of a
+                // matching key (tombstones included) is then returned.
+                let mut rows = Vec::new();
+                let mut i = 0;
+                while i < versions.len() {
+                    let mut j = i;
+                    while j < versions.len() && versions[j].key == versions[i].key {
+                        j += 1;
+                    }
+                    let group = &versions[i..j];
+                    i = j;
+                    let mut matched = predicate.is_empty();
+                    let mut decoded: Vec<Option<Vec<Value>>> = Vec::with_capacity(group.len());
+                    for v in group {
+                        let row = v
+                            .data
+                            .as_deref()
+                            .map(|d| def.schema.decode_row(d))
+                            .transpose()?;
+                        if let Some(r) = &row {
+                            if !matched && eval_predicate(&def.schema, &predicate, r)? {
+                                matched = true;
+                            }
+                        }
+                        decoded.push(row);
+                    }
+                    if !matched {
+                        continue;
+                    }
+                    for (v, row) in group.iter().zip(decoded) {
+                        let mut out = vec![
+                            Value::BigInt(v.ts.ttime as i64),
+                            Value::Int(v.ts.sn as i32),
+                            Value::Varchar(if row.is_some() { "WRITE" } else { "DELETE" }.into()),
+                        ];
+                        match row {
+                            Some(vals) => out.extend(idxs.iter().map(|&k| vals[k].clone())),
+                            // A tombstone has no row image; recover the
+                            // primary key from the index key so the row
+                            // still says *what* was deleted.
+                            None => {
+                                let pk = crate::row::decode_key(&v.key)?;
+                                for &k in &idxs {
+                                    out.push(if k == def.schema.pk {
+                                        pk.clone()
+                                    } else {
+                                        Value::Varchar(String::new())
+                                    });
+                                }
+                            }
+                        }
+                        rows.push(out);
+                    }
+                }
+                let mut cols = vec![
+                    "_commit_ms".to_string(),
+                    "_commit_sn".to_string(),
+                    "_op".to_string(),
+                ];
+                cols.extend(names);
+                let n = rows.len();
+                Ok(QueryResult {
+                    columns: cols,
+                    rows,
+                    affected: 0,
+                    message: format!("{n} versions"),
+                })
+            }
+            Statement::DiffTable { table, t1, t2 } => {
+                let def = self.db.table(&table)?;
+                let a = self.point_ts(&t1)?;
+                let b = self.point_ts(&t2)?;
+                let diff = self.db.diff_table(&table, a, b)?;
+                let mut cols = vec![
+                    "_op".to_string(),
+                    "_commit_ms".to_string(),
+                    "_commit_sn".to_string(),
+                ];
+                for c in &def.schema.columns {
+                    cols.push(format!("old_{}", c.name));
+                }
+                for c in &def.schema.columns {
+                    cols.push(format!("new_{}", c.name));
+                }
+                let ncols = def.schema.columns.len();
+                let mut rows = Vec::new();
+                for d in diff {
+                    let mut out = vec![
+                        Value::Varchar(d.op.name().into()),
+                        Value::BigInt(d.ts.ttime as i64),
+                        Value::Int(d.ts.sn as i32),
+                    ];
+                    for side in [&d.before, &d.after] {
+                        match side {
+                            Some(data) => out.extend(def.schema.decode_row(data)?),
+                            None => out.extend((0..ncols).map(|_| Value::Varchar(String::new()))),
+                        }
+                    }
+                    rows.push(out);
+                }
+                let n = rows.len();
+                Ok(QueryResult {
+                    columns: cols,
+                    rows,
+                    affected: 0,
+                    message: format!("{n} changes"),
+                })
+            }
             other => Err(Error::Sql(format!("not a DML statement: {other:?}"))),
         }
     }
@@ -420,11 +613,16 @@ fn eval_predicate(schema: &Schema, predicate: &Predicate, row: &[Value]) -> Resu
     Ok(true)
 }
 
-/// Convert an AS OF spec to milliseconds since the UNIX epoch.
+/// Convert a clock-valued AS OF spec to milliseconds since the UNIX
+/// epoch. Snapshot names carry an exact timestamp, not a clock value —
+/// they resolve through [`Session::point_ts`] instead.
 fn resolve_as_of(spec: &AsOfSpec) -> Result<u64> {
     match spec {
         AsOfSpec::Millis(ms) => Ok(*ms),
         AsOfSpec::DateTime(s) => parse_datetime_ms(s),
+        AsOfSpec::Snapshot(name) => Err(Error::Internal(format!(
+            "snapshot bound {name} must resolve through the session"
+        ))),
     }
 }
 

@@ -13,11 +13,18 @@
 //! UPDATE t SET col = lit [, ...] [WHERE conds]
 //! DELETE FROM t [WHERE conds]
 //! SELECT * | col[, col...] FROM t [WHERE conds]
+//! SELECT * | col[, col...] FROM t VERSIONS BETWEEN time AND time [WHERE conds]
+//! DIFF TABLE t BETWEEN time AND time
 //! HISTORY OF t WHERE pkcol = lit
-//! RESTORE TABLE t AS OF "M/D/YYYY HH:MM:SS" | AS OF ms(N)
+//! RESTORE TABLE t AS OF time
+//! CREATE SNAPSHOT s [AS OF time]
+//! DROP SNAPSHOT s
 //! CHECKPOINT
-//! SHOW STATS
+//! SHOW STATS | SHOW SNAPSHOTS
 //! ```
+//!
+//! where `time` is `"M/D/YYYY HH:MM:SS"`, `ms(N)`, or `SNAPSHOT name`
+//! (a named snapshot; also valid after `BEGIN TRAN AS OF`).
 
 use immortaldb_common::{Error, Result};
 
@@ -134,7 +141,15 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("CREATE") {
+            if self.eat_kw("SNAPSHOT") {
+                return self.create_snapshot();
+            }
             return self.create_table();
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("SNAPSHOT")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropSnapshot { name });
         }
         if self.eat_kw("ALTER") {
             return self.alter_table();
@@ -162,6 +177,9 @@ impl Parser {
         if self.eat_kw("SELECT") {
             return self.select();
         }
+        if self.eat_kw("DIFF") {
+            return self.diff();
+        }
         if self.eat_kw("HISTORY") {
             return self.history();
         }
@@ -175,8 +193,13 @@ impl Parser {
             return Ok(Statement::Vacuum);
         }
         if self.eat_kw("SHOW") {
-            self.expect_kw("STATS")?;
-            return Ok(Statement::ShowStats);
+            if self.eat_kw("STATS") {
+                return Ok(Statement::ShowStats);
+            }
+            if self.eat_kw("SNAPSHOTS") {
+                return Ok(Statement::ShowSnapshots);
+            }
+            return Err(self.err("SHOW expects STATS or SNAPSHOTS"));
         }
         Err(self.err(format!("unknown statement start: {:?}", self.peek())))
     }
@@ -284,9 +307,14 @@ impl Parser {
         Ok(Statement::Begin { as_of, isolation })
     }
 
-    /// The time operand shared by `BEGIN TRAN AS OF` and
-    /// `RESTORE TABLE … AS OF`: a datetime string or `ms(N)`.
+    /// The time operand shared by `BEGIN TRAN AS OF`, `RESTORE TABLE …
+    /// AS OF`, `VERSIONS BETWEEN` and `DIFF TABLE`: a datetime string,
+    /// `ms(N)`, or `SNAPSHOT name` (a named snapshot's pinned time).
     fn as_of_spec(&mut self) -> Result<AsOfSpec> {
+        if self.eat_kw("SNAPSHOT") {
+            let name = self.ident()?;
+            return Ok(AsOfSpec::Snapshot(name));
+        }
         match self.next()? {
             Token::Str(s) => Ok(AsOfSpec::DateTime(s)),
             Token::Ident(f) if f.eq_ignore_ascii_case("ms") => {
@@ -299,9 +327,49 @@ impl Parser {
                 Ok(AsOfSpec::Millis(n))
             }
             other => Err(self.err_prev(format!(
-                "AS OF expects a datetime string or ms(N), found {other:?}"
+                "AS OF expects a datetime string, ms(N) or SNAPSHOT name, found {other:?}"
             ))),
         }
+    }
+
+    fn create_snapshot(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        let mut as_of = None;
+        if self.eat_kw("AS") {
+            self.expect_kw("OF")?;
+            as_of = Some(self.as_of_spec()?);
+        }
+        Ok(Statement::CreateSnapshot { name, as_of })
+    }
+
+    fn diff(&mut self) -> Result<Statement> {
+        self.expect_kw("TABLE")?;
+        let table = self.ident()?;
+        self.expect_kw("BETWEEN")?;
+        let (t1, t2) = self.window_bounds()?;
+        Ok(Statement::DiffTable { table, t1, t2 })
+    }
+
+    /// `time AND time` after BETWEEN. Rejects a reversed window at
+    /// parse time when both bounds are literals (the error points at
+    /// the upper bound's byte offset); snapshot bounds resolve at
+    /// execution instead.
+    fn window_bounds(&mut self) -> Result<(AsOfSpec, AsOfSpec)> {
+        let t1 = self.as_of_spec()?;
+        self.expect_kw("AND")?;
+        let t2_off = self.offset();
+        let t2 = self.as_of_spec()?;
+        if let (Some(a), Some(b)) = (literal_ms(&t1), literal_ms(&t2)) {
+            if b < a {
+                return Err(Error::Parse {
+                    offset: t2_off,
+                    message: format!(
+                        "reversed time window: upper bound ms({b}) is below lower bound ms({a})"
+                    ),
+                });
+            }
+        }
+        Ok((t1, t2))
     }
 
     fn restore(&mut self) -> Result<Statement> {
@@ -382,6 +450,18 @@ impl Parser {
         };
         self.expect_kw("FROM")?;
         let table = self.ident()?;
+        if self.eat_kw("VERSIONS") {
+            self.expect_kw("BETWEEN")?;
+            let (t1, t2) = self.window_bounds()?;
+            let predicate = self.opt_where()?;
+            return Ok(Statement::VersionsBetween {
+                table,
+                columns,
+                t1,
+                t2,
+                predicate,
+            });
+        }
         let predicate = self.opt_where()?;
         Ok(Statement::Select {
             table,
@@ -436,6 +516,17 @@ impl Parser {
             Token::Str(s) => Ok(Value::Varchar(s)),
             other => Err(self.err_prev(format!("expected literal, found {other:?}"))),
         }
+    }
+}
+
+/// Milliseconds of a bound known at parse time (`None` for snapshot
+/// names and unparseable datetimes, which resolve — or fail — at
+/// execution).
+fn literal_ms(spec: &AsOfSpec) -> Option<u64> {
+    match spec {
+        AsOfSpec::Millis(ms) => Some(*ms),
+        AsOfSpec::DateTime(s) => super::parse_datetime_ms(s).ok(),
+        AsOfSpec::Snapshot(_) => None,
     }
 }
 
@@ -569,6 +660,99 @@ mod tests {
             Parser::parse("ALTER TABLE t ENABLE SNAPSHOT").unwrap(),
             Statement::AlterEnableSnapshot { table: "t".into() }
         );
+    }
+
+    #[test]
+    fn parses_temporal_statements() {
+        assert_eq!(
+            Parser::parse("SELECT * FROM t VERSIONS BETWEEN ms(100) AND ms(200) WHERE Oid = 1")
+                .unwrap(),
+            Statement::VersionsBetween {
+                table: "t".into(),
+                columns: None,
+                t1: AsOfSpec::Millis(100),
+                t2: AsOfSpec::Millis(200),
+                predicate: vec![Condition {
+                    column: "Oid".into(),
+                    op: CmpOp::Eq,
+                    value: Value::BigInt(1),
+                }],
+            }
+        );
+        assert_eq!(
+            Parser::parse("SELECT a, b FROM t VERSIONS BETWEEN SNAPSHOT s1 AND ms(99)").unwrap(),
+            Statement::VersionsBetween {
+                table: "t".into(),
+                columns: Some(vec!["a".into(), "b".into()]),
+                t1: AsOfSpec::Snapshot("s1".into()),
+                t2: AsOfSpec::Millis(99),
+                predicate: vec![],
+            }
+        );
+        assert_eq!(
+            Parser::parse("DIFF TABLE t BETWEEN \"1/1/1970 00:00:01\" AND SNAPSHOT end").unwrap(),
+            Statement::DiffTable {
+                table: "t".into(),
+                t1: AsOfSpec::DateTime("1/1/1970 00:00:01".into()),
+                t2: AsOfSpec::Snapshot("end".into()),
+            }
+        );
+        assert_eq!(
+            Parser::parse("CREATE SNAPSHOT s1").unwrap(),
+            Statement::CreateSnapshot {
+                name: "s1".into(),
+                as_of: None,
+            }
+        );
+        assert_eq!(
+            Parser::parse("CREATE SNAPSHOT s1 AS OF ms(42)").unwrap(),
+            Statement::CreateSnapshot {
+                name: "s1".into(),
+                as_of: Some(AsOfSpec::Millis(42)),
+            }
+        );
+        assert_eq!(
+            Parser::parse("DROP SNAPSHOT s1").unwrap(),
+            Statement::DropSnapshot { name: "s1".into() }
+        );
+        assert_eq!(
+            Parser::parse("SHOW SNAPSHOTS").unwrap(),
+            Statement::ShowSnapshots
+        );
+        assert_eq!(
+            Parser::parse("BEGIN TRAN AS OF SNAPSHOT s1").unwrap(),
+            Statement::Begin {
+                as_of: Some(AsOfSpec::Snapshot("s1".into())),
+                isolation: Isolation::Serializable,
+            }
+        );
+    }
+
+    #[test]
+    fn temporal_parse_errors_report_byte_offsets() {
+        // Reversed literal bounds: the error points at the upper bound.
+        match Parser::parse("SELECT * FROM t VERSIONS BETWEEN ms(200) AND ms(100)") {
+            Err(e) => {
+                assert_eq!(e.parse_offset(), Some(45), "{e}");
+                assert!(e.to_string().contains("reversed"), "{e}");
+            }
+            Ok(s) => panic!("parsed {s:?}"),
+        }
+        match Parser::parse("DIFF TABLE t BETWEEN ms(9) AND ms(3)") {
+            Err(e) => assert_eq!(e.parse_offset(), Some(31), "{e}"),
+            Ok(s) => panic!("parsed {s:?}"),
+        }
+        // Missing AND: anchored at the offending token.
+        match Parser::parse("SELECT * FROM t VERSIONS BETWEEN ms(1) ms(2)") {
+            Err(e) => assert_eq!(e.parse_offset(), Some(39), "{e}"),
+            Ok(s) => panic!("parsed {s:?}"),
+        }
+        // Snapshot bounds defer ordering to execution.
+        assert!(Parser::parse("DIFF TABLE t BETWEEN SNAPSHOT b AND SNAPSHOT a").is_ok());
+        assert!(Parser::parse("DIFF TABLE t BETWEEN ms(5)").is_err());
+        assert!(Parser::parse("CREATE SNAPSHOT").is_err());
+        assert!(Parser::parse("DROP SNAPSHOT").is_err());
+        assert!(Parser::parse("SHOW NOTHING").is_err());
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Temporal query subsystem: the window-bound semantics shared by
+//! `VERSIONS BETWEEN` and `DIFF TABLE`, and the fold that turns one
+//! version-range walk into a net change set.
+//!
+//! Both query shapes execute as a **single** time-range index walk
+//! ([`crate::index::TableIndex::versions_between`]): the TSB-tree prunes
+//! its key-time rectangles against the window and visits each historical
+//! page once; the page-chain B+tree walks each leaf's history chain once.
+//! Neither replays per-timestamp `AS OF` point lookups.
+//!
+//! Window semantics (DESIGN.md §10):
+//!
+//! * `VERSIONS BETWEEN a AND b` is **interval**-shaped: a clock bound's
+//!   whole 20 ms tick is inside the window — the lower bound resolves to
+//!   the start of its tick ([`window_lo`]), the upper to the end of its
+//!   tick ([`window_hi`]); both ends are inclusive. A named-snapshot
+//!   bound contributes its exact pinned timestamp.
+//! * `DIFF TABLE … BETWEEN a AND b` is **point**-shaped: it compares the
+//!   states *at* the two instants (each resolved like `BEGIN TRAN AS
+//!   OF`), so a row changed and changed back reports nothing.
+
+use immortaldb_btree::TemporalVersion;
+use immortaldb_common::time::quantize;
+use immortaldb_common::Timestamp;
+
+/// Lower bound of a `VERSIONS BETWEEN` window from a wall-clock
+/// millisecond operand: the start of its 20 ms tick, so every commit
+/// within the named tick is inside the window.
+pub fn window_lo(ms: u64) -> Timestamp {
+    Timestamp::new(quantize(ms), 0)
+}
+
+/// Upper bound of a temporal window from a wall-clock millisecond
+/// operand: the end of its tick — identical to how `BEGIN TRAN AS OF`
+/// resolves its operand.
+pub fn window_hi(ms: u64) -> Timestamp {
+    Timestamp::as_of_clock(ms)
+}
+
+/// Drop the per-key base versions a range walk carries (newest version
+/// *below* the window, kept for DIFF's before-state), leaving only the
+/// versions that committed inside `[lo, hi]`.
+pub fn in_window(versions: Vec<TemporalVersion>, lo: Timestamp) -> Vec<TemporalVersion> {
+    versions.into_iter().filter(|v| v.ts >= lo).collect()
+}
+
+/// Net effect of a window on one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffOp {
+    Insert,
+    Update,
+    Delete,
+}
+
+impl DiffOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            DiffOp::Insert => "INSERT",
+            DiffOp::Update => "UPDATE",
+            DiffOp::Delete => "DELETE",
+        }
+    }
+}
+
+/// One row of a `DIFF TABLE` result: a key whose state at `t2` differs
+/// from its state at `t1`, with both states attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRow {
+    pub key: Vec<u8>,
+    pub op: DiffOp,
+    /// Commit timestamp of the version that put the key into its `t2`
+    /// state (the tombstone's timestamp for a delete).
+    pub ts: Timestamp,
+    /// Encoded row at `t1` (`None` — absent or deleted).
+    pub before: Option<Vec<u8>>,
+    /// Encoded row at `t2` (`None` — deleted).
+    pub after: Option<Vec<u8>>,
+}
+
+/// Fold the output of a `versions_between(t1, t2)` walk (key-ascending,
+/// timestamp-ascending within key, per-key base versions included) into
+/// the net change set between the states at `t1` and `t2`. Keys whose
+/// two states are byte-identical are omitted.
+pub fn fold_diff(versions: &[TemporalVersion], t1: Timestamp) -> Vec<DiffRow> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < versions.len() {
+        let mut j = i;
+        while j < versions.len() && versions[j].key == versions[i].key {
+            j += 1;
+        }
+        let group = &versions[i..j];
+        i = j;
+        // State at t1: newest version at or below it. State at t2: the
+        // group's last version (the walk returns nothing above t2).
+        let before = group.iter().rev().find(|v| v.ts <= t1);
+        let after = group.last().expect("key group is non-empty");
+        if let Some(b) = before {
+            if std::ptr::eq(b, after) {
+                continue; // no version in the window: unchanged
+            }
+        }
+        let before_data = before.and_then(|v| v.data.as_ref());
+        let row = match (before_data, after.data.as_ref()) {
+            (None, Some(a)) => DiffRow {
+                key: after.key.clone(),
+                op: DiffOp::Insert,
+                ts: after.ts,
+                before: None,
+                after: Some(a.clone()),
+            },
+            (Some(b), None) => DiffRow {
+                key: after.key.clone(),
+                op: DiffOp::Delete,
+                ts: after.ts,
+                before: Some(b.clone()),
+                after: None,
+            },
+            (Some(b), Some(a)) => {
+                if b == a {
+                    continue; // changed and changed back
+                }
+                DiffRow {
+                    key: after.key.clone(),
+                    op: DiffOp::Update,
+                    ts: after.ts,
+                    before: Some(b.clone()),
+                    after: Some(a.clone()),
+                }
+            }
+            // Absent at both points (e.g. inserted and deleted inside
+            // the window): no net change.
+            (None, None) => continue,
+        };
+        out.push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(key: u8, ms: u64, data: Option<&str>) -> TemporalVersion {
+        TemporalVersion {
+            key: vec![key],
+            ts: Timestamp::new(ms, 0),
+            data: data.map(|s| s.as_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn window_bounds_cover_the_whole_tick() {
+        let lo = window_lo(47); // tick [40, 60)
+        let hi = window_hi(47);
+        assert_eq!(lo, Timestamp::new(40, 0));
+        assert_eq!(hi.ttime, 40);
+        assert!(lo <= hi);
+        // Every serial number within the tick is inside the window.
+        assert!(Timestamp::new(40, 123) > lo && Timestamp::new(40, 123) < hi);
+    }
+
+    #[test]
+    fn diff_classifies_insert_update_delete() {
+        let t1 = Timestamp::new(100, 0);
+        let versions = vec![
+            // key 1: existed at t1, updated twice in the window → UPDATE
+            v(1, 80, Some("a")),
+            v(1, 120, Some("b")),
+            v(1, 140, Some("c")),
+            // key 2: born in the window → INSERT
+            v(2, 130, Some("x")),
+            // key 3: existed at t1, deleted in the window → DELETE
+            v(3, 90, Some("y")),
+            v(3, 150, None),
+            // key 4: unchanged (base only) → omitted
+            v(4, 70, Some("z")),
+            // key 5: inserted and deleted inside the window → omitted
+            v(5, 110, Some("w")),
+            v(5, 160, None),
+        ];
+        let diff = fold_diff(&versions, t1);
+        assert_eq!(diff.len(), 3);
+        assert_eq!(diff[0].op, DiffOp::Update);
+        assert_eq!(diff[0].before.as_deref(), Some(b"a".as_ref()));
+        assert_eq!(diff[0].after.as_deref(), Some(b"c".as_ref()));
+        assert_eq!(diff[0].ts, Timestamp::new(140, 0));
+        assert_eq!(diff[1].op, DiffOp::Insert);
+        assert_eq!(diff[1].before, None);
+        assert_eq!(diff[2].op, DiffOp::Delete);
+        assert_eq!(diff[2].after, None);
+    }
+
+    #[test]
+    fn diff_omits_change_and_change_back() {
+        let t1 = Timestamp::new(100, 0);
+        let versions = vec![
+            v(1, 80, Some("a")),
+            v(1, 120, Some("b")),
+            v(1, 140, Some("a")),
+        ];
+        assert!(fold_diff(&versions, t1).is_empty());
+    }
+
+    #[test]
+    fn diff_sees_redelete_of_a_dead_key_as_nothing() {
+        // Dead at t1 (tombstone base), still dead at t2.
+        let t1 = Timestamp::new(100, 0);
+        let versions = vec![v(1, 80, None), v(1, 120, Some("a")), v(1, 140, None)];
+        assert!(fold_diff(&versions, t1).is_empty());
+    }
+
+    #[test]
+    fn in_window_drops_base_versions() {
+        let lo = Timestamp::new(100, 0);
+        let versions = vec![v(1, 80, Some("a")), v(1, 120, Some("b"))];
+        let w = in_window(versions, lo);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].ts, Timestamp::new(120, 0));
+    }
+}

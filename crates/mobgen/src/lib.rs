@@ -16,9 +16,11 @@
 
 pub mod network;
 pub mod objects;
+pub mod temporal;
 
 pub use network::RoadNetwork;
 pub use objects::{Event, Generator, Op};
+pub use temporal::{temporal_history, TemporalOp};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,108 @@
+//! Deep-history workload for the temporal query subsystem.
+//!
+//! The base moving-objects stream ([`crate::Generator`]) only inserts and
+//! updates — fine for Figures 5/6, but `VERSIONS BETWEEN` / `DIFF`
+//! correctness hinges on delete tombstones and keys that die and come
+//! back. Here objects also *leave the map* (one delete transaction) and
+//! later reappear (a fresh insert under the same oid), so a fixed seed
+//! yields a history with multi-update keys, deletes, and re-inserts in
+//! one deterministic stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a temporal history. Unlike [`crate::Op`] this
+/// includes deletion, so replaying the stream exercises tombstones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalOp {
+    Insert { oid: u32, x: i32, y: i32 },
+    Update { oid: u32, x: i32, y: i32 },
+    Delete { oid: u32 },
+}
+
+impl TemporalOp {
+    pub fn oid(&self) -> u32 {
+        match *self {
+            TemporalOp::Insert { oid, .. }
+            | TemporalOp::Update { oid, .. }
+            | TemporalOp::Delete { oid } => oid,
+        }
+    }
+}
+
+/// Generate `steps` operations over `objects` oids, deterministic per
+/// seed. Invariants: the first operation for an oid is an insert; deletes
+/// only target live oids; a deleted oid can reappear via a later insert.
+/// Roughly one in seven operations on a live object is a departure, so
+/// any history longer than a few dozen steps contains deletes and
+/// re-inserts.
+pub fn temporal_history(seed: u64, objects: u32, steps: u32) -> Vec<TemporalOp> {
+    assert!(objects > 0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7465_6D70);
+    let mut live = vec![false; objects as usize];
+    let mut out = Vec::with_capacity(steps as usize);
+    for _ in 0..steps {
+        let oid = rng.gen_range(0..objects);
+        let (x, y) = (rng.gen_range(0..24_000), rng.gen_range(0..24_000));
+        let op = if !live[oid as usize] {
+            live[oid as usize] = true;
+            TemporalOp::Insert { oid, x, y }
+        } else if rng.gen_range(0..7) == 0 {
+            live[oid as usize] = false;
+            TemporalOp::Delete { oid }
+        } else {
+            TemporalOp::Update { oid, x, y }
+        };
+        out.push(op);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_well_formed() {
+        let a = temporal_history(9, 8, 400);
+        assert_eq!(a, temporal_history(9, 8, 400));
+        let mut live = std::collections::HashSet::new();
+        for op in &a {
+            match *op {
+                TemporalOp::Insert { oid, .. } => assert!(live.insert(oid)),
+                TemporalOp::Update { oid, .. } => assert!(live.contains(&oid)),
+                TemporalOp::Delete { oid } => assert!(live.remove(&oid)),
+            }
+        }
+    }
+
+    #[test]
+    fn history_contains_deletes_and_reinserts() {
+        let ops = temporal_history(9, 8, 400);
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, TemporalOp::Delete { .. }))
+            .count();
+        assert!(deletes > 5, "only {deletes} deletes");
+        // A re-insert = an insert for an oid that was inserted before.
+        let mut inserted = std::collections::HashMap::new();
+        let mut reinserts = 0;
+        for op in &ops {
+            if let TemporalOp::Insert { oid, .. } = op {
+                *inserted.entry(*oid).or_insert(0) += 1;
+                if inserted[oid] > 1 {
+                    reinserts += 1;
+                }
+            }
+        }
+        assert!(reinserts > 0, "no key ever came back");
+        // Multi-update keys: some oid updated more than once.
+        let mut updates = std::collections::HashMap::new();
+        for op in &ops {
+            if let TemporalOp::Update { oid, .. } = op {
+                *updates.entry(*oid).or_insert(0) += 1;
+            }
+        }
+        assert!(updates.values().any(|&n| n > 3));
+    }
+}

@@ -380,6 +380,21 @@ pub struct TreeMetrics {
     pub version_chain_len: Histogram,
 }
 
+/// Temporal query-subsystem instruments (VERSIONS BETWEEN / DIFF /
+/// named snapshots).
+#[derive(Debug, Default)]
+pub struct TemporalMetrics {
+    /// Pages visited by TSB-tree time-range scans (index + leaf +
+    /// history pages, each counted once per scan).
+    pub range_scan_pages: Counter,
+    /// Versions emitted by VERSIONS BETWEEN queries.
+    pub versions_returned: Counter,
+    /// Net change rows emitted by DIFF queries.
+    pub diff_rows: Counter,
+    /// Named snapshots currently registered in the catalog.
+    pub snapshots: Gauge,
+}
+
 /// Wire-protocol server instruments (populated by `crates/net`; always
 /// zero in embedded use).
 #[derive(Debug, Default)]
@@ -419,6 +434,7 @@ pub struct Metrics {
     pub faults: FaultMetrics,
     pub server: ServerMetrics,
     pub repl: ReplMetrics,
+    pub temporal: TemporalMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

@@ -136,6 +136,16 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("repl.reconnects".into(), m.repl.reconnects.get()),
         ("repl.horizon_ms".into(), m.repl.horizon_ms.get()),
         ("repl.applied_lsn".into(), m.repl.applied_lsn.get()),
+        (
+            "tsb.range_scan_pages".into(),
+            m.temporal.range_scan_pages.get(),
+        ),
+        (
+            "temporal.versions_returned".into(),
+            m.temporal.versions_returned.get(),
+        ),
+        ("temporal.diff_rows".into(), m.temporal.diff_rows.get()),
+        ("catalog.snapshots".into(), m.temporal.snapshots.get()),
     ];
     let histograms = vec![
         ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
@@ -307,6 +317,20 @@ mod tests {
         assert_eq!(s.get("repl.horizon_ms"), Some(12_345));
         assert_eq!(s.get("repl.applied_lsn"), Some(512));
         assert!(s.to_json().contains("\"repl.reconnects\":0"));
+    }
+
+    #[test]
+    fn temporal_metrics_have_stable_names() {
+        let r = MetricsRegistry::new();
+        r.temporal.range_scan_pages.add(12);
+        r.temporal.versions_returned.add(40);
+        r.temporal.diff_rows.add(7);
+        r.temporal.snapshots.set(2);
+        let s = r.snapshot();
+        assert_eq!(s.get("tsb.range_scan_pages"), Some(12));
+        assert_eq!(s.get("temporal.versions_returned"), Some(40));
+        assert_eq!(s.get("temporal.diff_rows"), Some(7));
+        assert_eq!(s.get("catalog.snapshots"), Some(2));
     }
 
     #[test]

@@ -397,6 +397,116 @@ impl TsbTree {
         }
     }
 
+    /// Time-range scan: every committed version with a commit timestamp
+    /// in `[lo, hi]`, plus each key's base version (newest below `lo`),
+    /// across the whole key space — in ONE index walk. Index entries are
+    /// filtered by rectangle-intersects-window, so each historical page
+    /// is visited once instead of once per AS OF replay; visited pages
+    /// feed the `tsb.range_scan_pages` counter.
+    pub fn versions_between(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Vec<immortaldb_btree::TemporalVersion>> {
+        let _s = self.structure.read();
+        let mut raw = Vec::new();
+        let mut pages = std::collections::HashSet::new();
+        self.range_node(
+            self.root(),
+            lo,
+            hi,
+            &[],
+            None,
+            resolver,
+            &mut pages,
+            &mut raw,
+        )?;
+        self.pool
+            .metrics()
+            .temporal
+            .range_scan_pages
+            .add(pages.len() as u64);
+        Ok(immortaldb_btree::trim_version_window(raw, lo))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn range_node(
+        &self,
+        page_id: PageId,
+        lo: Timestamp,
+        hi: Timestamp,
+        low: &[u8],
+        upper: Option<&[u8]>,
+        resolver: &dyn TimestampResolver,
+        pages: &mut std::collections::HashSet<PageId>,
+        out: &mut Vec<immortaldb_btree::TemporalVersion>,
+    ) -> Result<()> {
+        let frame = self.pool.fetch(page_id)?;
+        pages.insert(page_id);
+        let g = frame.read();
+        match g.page_type()? {
+            PageType::Leaf => {
+                for i in 0..g.slot_count() {
+                    let off = g.slot(i);
+                    let key = g.rec_key(off);
+                    if key < low {
+                        continue;
+                    }
+                    if let Some(up) = upper {
+                        if key >= up {
+                            break;
+                        }
+                    }
+                    immortaldb_btree::collect_chain_window(&g, i, lo, hi, resolver, out);
+                }
+                Ok(())
+            }
+            PageType::Index => {
+                // Entries whose rectangles intersect `[lo, hi]`, in key
+                // order. A page covering `lo` also matches, so each key's
+                // base version is reached. Unlike the point-time scan,
+                // SEVERAL time slices of one key boundary may match, so
+                // the key partition uses the next DISTINCT boundary.
+                let matching: Vec<Entry> = entries(&g)
+                    .into_iter()
+                    .filter(|e| e.t_low <= hi && (e.is_open() || e.t_high > lo))
+                    .collect();
+                drop(g);
+                for (i, e) in matching.iter().enumerate() {
+                    let child_low: &[u8] = if e.key_low.as_slice() > low {
+                        &e.key_low
+                    } else {
+                        low
+                    };
+                    let next_low = matching[i + 1..]
+                        .iter()
+                        .map(|n| n.key_low.as_slice())
+                        .find(|k| *k > e.key_low.as_slice());
+                    let child_upper = match (next_low, upper) {
+                        (Some(a), Some(b)) => Some(if a < b { a } else { b }),
+                        (Some(a), None) => Some(a),
+                        (None, b) => b,
+                    };
+                    self.range_node(
+                        e.child,
+                        lo,
+                        hi,
+                        child_low,
+                        child_upper,
+                        resolver,
+                        pages,
+                        out,
+                    )?;
+                }
+                Ok(())
+            }
+            other => Err(Error::Corruption(format!(
+                "TSB range scan hit {other:?} page {page_id:?}"
+            ))),
+        }
+    }
+
     /// State of the newest version of `key` (for first-committer-wins
     /// checks; mirrors `BTree::head_version`).
     pub fn head_version(

@@ -4,7 +4,7 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally:
 #
 #   scripts/ci.sh          # everything
-#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos | serve | repl
+#   scripts/ci.sh fmt      # just one stage: fmt | clippy | test | chaos | serve | repl | temporal
 #
 # The build environment has no route to crates.io (external deps come
 # from shims/), so everything runs offline.
@@ -71,6 +71,24 @@ run_repl() {
     cargo run --release -q -p immortaldb-repl --bin repl-smoke
 }
 
+run_temporal() {
+    echo "== temporal sweep (range walk vs per-timestamp AS OF replay) =="
+    # Deep-history workload (100+ updates/object); the VERSIONS BETWEEN
+    # range walk must read at least 5x fewer pages than replaying the
+    # window with one AS OF scan per commit tick.
+    cargo run --release -q -p immortaldb-bench -- --quick temporal
+    python3 - <<'EOF'
+import json
+with open("BENCH_temporal.json") as f:
+    r = json.load(f)
+ratio = r["fetch_ratio"]
+assert r["versions"] > 0, "temporal sweep returned no versions"
+assert ratio >= 5.0, f"range walk only {ratio:.1f}x cheaper than AS OF replay"
+print(f"temporal: walk {r['walk_fetches']} fetches vs replay "
+      f"{r['replay_fetches']} ({ratio:.1f}x, floor 5x)")
+EOF
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
@@ -78,6 +96,7 @@ case "$stage" in
     chaos) run_chaos ;;
     serve) run_serve ;;
     repl) run_repl ;;
+    temporal) run_temporal ;;
     all)
         run_fmt
         run_clippy
@@ -85,9 +104,10 @@ case "$stage" in
         run_chaos
         run_serve
         run_repl
+        run_temporal
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve|repl]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve|repl|temporal]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,512 @@
+//! Shadow-model checker for the temporal query subsystem.
+//!
+//! A deterministic history (inserts, multi-updates, deletes, re-inserts
+//! from `mobgen::temporal_history`) is replayed against the engine while
+//! a shadow model records every commit's exact `(timestamp, key, state)`.
+//! Afterwards `VERSIONS BETWEEN`, `DIFF TABLE`, and snapshot reads are
+//! checked against answers recomputed from the shadow log — zero
+//! mismatches allowed — on fixed seeds, for both the TSB index and the
+//! default version-chain index, with per-commit and grouped transactions,
+//! on the primary `Session` and over the wire.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use immortaldb::temporal::{window_hi, window_lo};
+use immortaldb::{Database, DbConfig, Durability, Isolation, Session, SimClock, Value};
+use immortaldb_common::{Error, ErrorCode, Timestamp};
+use immortaldb_mobgen::{temporal_history, TemporalOp};
+use immortaldb_net::{Client, Server, ServerConfig};
+use immortaldb_repl::{Replica, ReplicaConfig};
+
+const OBJECTS: u32 = 6;
+const STEPS: u32 = 240;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "temporal-shadow-{}-{tag}-{nanos}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One committed change: `(commit ts, oid, Some((x, y)) | None for delete)`.
+type Log = Vec<(Timestamp, i32, Option<(i32, i32)>)>;
+
+struct Fixture {
+    db: Arc<Database>,
+    log: Log,
+    dir: std::path::PathBuf,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Replay `ops` in transactions of up to `batch` operations (flushing
+/// early if an oid repeats, so each key has at most one version per
+/// commit), advancing the simulated clock one 20 ms tick per commit.
+fn build(tag: &str, using_tsb: bool, seed: u64, batch: usize) -> Fixture {
+    let dir = tempdir(tag);
+    let clock = Arc::new(SimClock::new(5_000_000));
+    let db = Arc::new(
+        Database::open(
+            DbConfig::new(&dir)
+                .durability(Durability::Buffered)
+                .clock(clock.clone()),
+        )
+        .unwrap(),
+    );
+    let mut s = Session::new(&db);
+    let ddl = format!(
+        "CREATE IMMORTAL TABLE obj (Oid INT PRIMARY KEY, LocationX INT, LocationY INT){}",
+        if using_tsb { " USING TSB" } else { "" }
+    );
+    s.execute(&ddl).unwrap();
+
+    let ops = temporal_history(seed, OBJECTS, STEPS);
+    let mut log: Log = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        let mut in_txn: Vec<TemporalOp> = Vec::new();
+        while i < ops.len()
+            && in_txn.len() < batch
+            && !in_txn.iter().any(|o| o.oid() == ops[i].oid())
+        {
+            in_txn.push(ops[i]);
+            i += 1;
+        }
+        let mut txn = db.begin(Isolation::Serializable);
+        for op in &in_txn {
+            match *op {
+                TemporalOp::Insert { oid, x, y } => db
+                    .insert_row(
+                        &mut txn,
+                        "obj",
+                        vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)],
+                    )
+                    .unwrap(),
+                TemporalOp::Update { oid, x, y } => db
+                    .update_row(
+                        &mut txn,
+                        "obj",
+                        vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)],
+                    )
+                    .unwrap(),
+                TemporalOp::Delete { oid } => db
+                    .delete_row(&mut txn, "obj", &Value::Int(oid as i32))
+                    .unwrap(),
+            }
+        }
+        let ts = db.commit(&mut txn).unwrap();
+        for op in &in_txn {
+            match *op {
+                TemporalOp::Insert { oid, x, y } | TemporalOp::Update { oid, x, y } => {
+                    log.push((ts, oid as i32, Some((x, y))))
+                }
+                TemporalOp::Delete { oid } => log.push((ts, oid as i32, None)),
+            }
+        }
+        clock.advance(20);
+    }
+    Fixture { db, log, dir }
+}
+
+/// Table state at `ts` per the shadow: newest change at or below `ts`.
+fn state_at(log: &Log, ts: Timestamp) -> BTreeMap<i32, (i32, i32)> {
+    let mut m = BTreeMap::new();
+    for (cts, oid, val) in log {
+        if *cts <= ts {
+            match val {
+                Some(xy) => {
+                    m.insert(*oid, *xy);
+                }
+                None => {
+                    m.remove(oid);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Expected `VERSIONS BETWEEN` rows: every change in `[lo, hi]`, sorted
+/// key-major then time, as `(ms, sn, op, oid, x, y)` with empty x/y on
+/// tombstones (mirroring the SQL projection).
+type VersionRow = (u64, u32, String, i32, String, String);
+
+fn expected_versions(log: &Log, lo: Timestamp, hi: Timestamp) -> Vec<VersionRow> {
+    let mut rows: Vec<_> = log
+        .iter()
+        .filter(|(ts, _, _)| lo <= *ts && *ts <= hi)
+        .collect();
+    rows.sort_by_key(|(ts, oid, _)| (*oid, *ts));
+    rows.iter()
+        .map(|(ts, oid, val)| match val {
+            Some((x, y)) => (
+                ts.ttime,
+                ts.sn,
+                "WRITE".to_string(),
+                *oid,
+                x.to_string(),
+                y.to_string(),
+            ),
+            None => (
+                ts.ttime,
+                ts.sn,
+                "DELETE".to_string(),
+                *oid,
+                String::new(),
+                String::new(),
+            ),
+        })
+        .collect()
+}
+
+fn got_versions(rows: &[Vec<Value>]) -> Vec<VersionRow> {
+    rows.iter()
+        .map(|r| match (&r[0], &r[1], &r[2], &r[3], &r[4], &r[5]) {
+            (Value::BigInt(ms), Value::Int(sn), Value::Varchar(op), Value::Int(oid), x, y) => (
+                *ms as u64,
+                *sn as u32,
+                op.clone(),
+                *oid,
+                x.to_string(),
+                y.to_string(),
+            ),
+            other => panic!("bad VERSIONS row: {other:?}"),
+        })
+        .collect()
+}
+
+/// Expected `DIFF` rows `(op, ts, oid, before, after)` sorted by key; the
+/// row timestamp is the newest change of the key at or below `t2`.
+type DiffRow = (
+    String,
+    u64,
+    u32,
+    i32,
+    Option<(i32, i32)>,
+    Option<(i32, i32)>,
+);
+
+fn expected_diff(log: &Log, t1: Timestamp, t2: Timestamp) -> Vec<DiffRow> {
+    let before = state_at(log, t1);
+    let after = state_at(log, t2);
+    let keys: std::collections::BTreeSet<i32> =
+        before.keys().chain(after.keys()).copied().collect();
+    let mut out = Vec::new();
+    for oid in keys {
+        let (b, a) = (before.get(&oid).copied(), after.get(&oid).copied());
+        let op = match (b, a) {
+            (None, Some(_)) => "INSERT",
+            (Some(_), None) => "DELETE",
+            (Some(x), Some(y)) if x != y => "UPDATE",
+            _ => continue,
+        };
+        let ts = log
+            .iter()
+            .filter(|(ts, k, _)| *k == oid && *ts <= t2)
+            .map(|(ts, _, _)| *ts)
+            .max()
+            .unwrap();
+        out.push((op.to_string(), ts.ttime, ts.sn, oid, b, a));
+    }
+    out
+}
+
+fn got_diff(rows: &[Vec<Value>]) -> Vec<DiffRow> {
+    let side = |cells: &[Value]| match cells {
+        [Value::Int(_), Value::Int(x), Value::Int(y)] => Some((*x, *y)),
+        [Value::Varchar(e), ..] if e.is_empty() => None,
+        other => panic!("bad DIFF side: {other:?}"),
+    };
+    let mut out: Vec<DiffRow> = rows
+        .iter()
+        .map(|r| {
+            let (op, ms, sn) = match (&r[0], &r[1], &r[2]) {
+                (Value::Varchar(op), Value::BigInt(ms), Value::Int(sn)) => {
+                    (op.clone(), *ms as u64, *sn as u32)
+                }
+                other => panic!("bad DIFF row head: {other:?}"),
+            };
+            let (b, a) = (side(&r[3..6]), side(&r[6..9]));
+            let oid = match (&r[3], &r[6]) {
+                (Value::Int(k), _) | (_, Value::Int(k)) => *k,
+                other => panic!("DIFF row lost its key: {other:?}"),
+            };
+            (op, ms, sn, oid, b, a)
+        })
+        .collect();
+    out.sort_by_key(|r| r.3);
+    out
+}
+
+/// Run the full battery of shadow checks through `query` (a closure so
+/// the same assertions run against a local Session and a wire client).
+fn check_against_shadow<F>(log: &Log, mut query: F)
+where
+    F: FnMut(&str) -> immortaldb::QueryResult,
+{
+    let times: Vec<Timestamp> = log.iter().map(|e| e.0).collect();
+    let span = (times[0].ttime, times[times.len() - 1].ttime);
+    // Windows: whole history, a mid slice, a single tick, and an upper
+    // bound far past the horizon (the engine clamps it; the shadow sees
+    // the same rows because nothing committed out there).
+    let mid = (span.0 + span.1) / 2;
+    let windows = [
+        (span.0, span.1),
+        (mid - 400, mid + 400),
+        (times[times.len() / 3].ttime, times[times.len() / 3].ttime),
+        (span.0, span.1 + 1_000_000),
+    ];
+    for (a, b) in windows {
+        let sql = format!("SELECT * FROM obj VERSIONS BETWEEN ms({a}) AND ms({b})");
+        let res = query(&sql);
+        assert_eq!(
+            res.columns,
+            vec![
+                "_commit_ms",
+                "_commit_sn",
+                "_op",
+                "Oid",
+                "LocationX",
+                "LocationY"
+            ]
+        );
+        assert_eq!(
+            got_versions(&res.rows),
+            expected_versions(log, window_lo(a), window_hi(b)),
+            "VERSIONS BETWEEN ms({a}) AND ms({b}) diverged from the shadow"
+        );
+
+        let sql = format!("DIFF TABLE obj BETWEEN ms({a}) AND ms({b})");
+        let res = query(&sql);
+        assert_eq!(
+            got_diff(&res.rows),
+            expected_diff(log, window_hi(a), window_hi(b)),
+            "DIFF BETWEEN ms({a}) AND ms({b}) diverged from the shadow"
+        );
+    }
+
+    // Snapshot pinned mid-history reads exactly the shadow state there,
+    // both via BEGIN AS OF SNAPSHOT and as a VERSIONS BETWEEN bound.
+    query(&format!("CREATE SNAPSHOT mid AS OF ms({mid})"));
+    query("BEGIN TRAN AS OF SNAPSHOT mid");
+    let res = query("SELECT * FROM obj");
+    query("COMMIT TRAN");
+    let got: BTreeMap<i32, (i32, i32)> = res
+        .rows
+        .iter()
+        .map(|r| match (&r[0], &r[1], &r[2]) {
+            (Value::Int(k), Value::Int(x), Value::Int(y)) => (*k, (*x, *y)),
+            other => panic!("bad row {other:?}"),
+        })
+        .collect();
+    assert_eq!(got, state_at(log, window_hi(mid)), "snapshot read diverged");
+
+    let res = query(&format!(
+        "SELECT * FROM obj VERSIONS BETWEEN SNAPSHOT mid AND ms({})",
+        span.1
+    ));
+    // Snapshot bounds are exact (no tick-widening).
+    let snap_ts = window_hi(mid);
+    assert_eq!(
+        got_versions(&res.rows),
+        expected_versions(log, snap_ts, window_hi(span.1)),
+        "snapshot-bounded VERSIONS diverged"
+    );
+
+    let res = query("SHOW SNAPSHOTS");
+    assert!(
+        res.rows
+            .iter()
+            .any(|r| matches!(&r[0], Value::Varchar(n) if n == "mid")),
+        "SHOW SNAPSHOTS lost the snapshot"
+    );
+    query("DROP SNAPSHOT mid");
+
+    // WHERE on VERSIONS BETWEEN: a key qualifies if any live version in
+    // the window matches; all of its versions are then returned.
+    let res = query(&format!(
+        "SELECT * FROM obj VERSIONS BETWEEN ms({}) AND ms({}) WHERE Oid = 3",
+        span.0, span.1
+    ));
+    let expected: Vec<VersionRow> = expected_versions(log, window_lo(span.0), window_hi(span.1))
+        .into_iter()
+        .filter(|r| r.3 == 3)
+        .collect();
+    assert_eq!(
+        got_versions(&res.rows),
+        expected,
+        "predicate filtering diverged"
+    );
+}
+
+#[test]
+fn versions_diff_and_snapshots_match_shadow_on_fixed_seeds() {
+    // (seed, grouped batch size) × (TSB, version-chain) — per-commit
+    // histories and grouped transactions both replayed.
+    for (seed, batch) in [(0xA11CE, 1), (0xB0B, 3)] {
+        for using_tsb in [true, false] {
+            let tag = format!("s{seed}-b{batch}-t{using_tsb}");
+            let f = build(&tag, using_tsb, seed, batch);
+            let mut session = Session::new(&f.db);
+            check_against_shadow(&f.log, |sql| {
+                session
+                    .execute(sql)
+                    .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            });
+        }
+    }
+}
+
+#[test]
+fn wire_results_match_shadow_and_errors_stay_typed() {
+    let f = build("wire", true, 0xA11CE, 1);
+    let server = Server::start(
+        Arc::clone(&f.db),
+        ServerConfig::new("127.0.0.1:0").workers(2),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    check_against_shadow(&f.log, |sql| {
+        let resp = c.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        immortaldb::QueryResult {
+            columns: resp.columns,
+            rows: resp.rows,
+            affected: resp.affected as usize,
+            message: resp.message,
+        }
+    });
+
+    // Reversed literal bounds: a parse error anchored at the second
+    // bound's byte offset, surviving the wire round trip.
+    let sql = "SELECT * FROM obj VERSIONS BETWEEN ms(200) AND ms(100)";
+    match c.query(sql) {
+        Err(Error::Remote {
+            code,
+            offset,
+            message,
+        }) => {
+            assert_eq!(code, ErrorCode::Parse);
+            assert_eq!(offset, Some(sql.find("ms(100)").unwrap() as u32));
+            assert!(message.contains("reversed"), "unhelpful: {message}");
+        }
+        other => panic!("reversed bounds accepted: {other:?}"),
+    }
+
+    // Unknown snapshot name: the typed temporal code crosses the wire.
+    match c.query("BEGIN TRAN AS OF SNAPSHOT no_such_snap") {
+        Err(Error::Remote { code, message, .. }) => {
+            assert_eq!(code, ErrorCode::Temporal);
+            assert!(message.contains("no_such_snap"), "unhelpful: {message}");
+        }
+        other => panic!("unknown snapshot accepted: {other:?}"),
+    }
+    match c.query("DIFF TABLE obj BETWEEN SNAPSHOT no_such_snap AND ms(99999999999)") {
+        Err(Error::Remote { code, .. }) => assert_eq!(code, ErrorCode::Temporal),
+        other => panic!("unknown snapshot accepted: {other:?}"),
+    }
+    // Duplicate snapshot names are temporal errors too.
+    c.query("CREATE SNAPSHOT dup").unwrap();
+    match c.query("CREATE SNAPSHOT dup") {
+        Err(Error::Remote { code, .. }) => assert_eq!(code, ErrorCode::Temporal),
+        other => panic!("duplicate snapshot accepted: {other:?}"),
+    }
+    c.query("DROP SNAPSHOT dup").unwrap();
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn replica_clamps_temporal_upper_bound_to_its_horizon() {
+    let f = build("repl-clamp", true, 0xB0B, 1);
+    let server = Server::start(
+        Arc::clone(&f.db),
+        ServerConfig::new("127.0.0.1:0").workers(2),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let replica = Replica::start(ReplicaConfig::new(tempdir("replica"), addr)).unwrap();
+    let last = f.log.last().unwrap().0;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while replica.db().visible_horizon() < last {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never caught up to {last:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let replica_server = Server::start(
+        Arc::clone(replica.db()),
+        ServerConfig::new("127.0.0.1:0").workers(2),
+    )
+    .unwrap();
+    let mut c = Client::connect(replica_server.local_addr().to_string()).unwrap();
+
+    // An upper bound far beyond the replication horizon must be clamped,
+    // not rejected, and the rows must match the shadow's full history.
+    let (a, b) = (f.log[0].0.ttime, last.ttime + 1_000_000_000);
+    let resp = c
+        .query(&format!(
+            "SELECT * FROM obj VERSIONS BETWEEN ms({a}) AND ms({b})"
+        ))
+        .expect("replica rejected a past-horizon VERSIONS upper bound");
+    assert_eq!(
+        got_versions(&resp.rows),
+        expected_versions(&f.log, window_lo(a), window_hi(b)),
+        "replica VERSIONS diverged from the primary history"
+    );
+    let resp = c
+        .query(&format!("DIFF TABLE obj BETWEEN ms({a}) AND ms({b})"))
+        .expect("replica rejected a past-horizon DIFF upper bound");
+    assert_eq!(
+        got_diff(&resp.rows),
+        expected_diff(&f.log, window_hi(a), window_hi(b)),
+        "replica DIFF diverged from the primary history"
+    );
+
+    // Snapshots created on the primary replicate; creating one on the
+    // replica is refused as read-only.
+    let mut p = Client::connect(server.local_addr().to_string()).unwrap();
+    p.query(&format!(
+        "CREATE SNAPSHOT replicated AS OF ms({})",
+        last.ttime
+    ))
+    .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let resp = c.query("SHOW SNAPSHOTS").unwrap();
+        if resp
+            .rows
+            .iter()
+            .any(|r| matches!(&r[0], Value::Varchar(n) if n == "replicated"))
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "snapshot never reached the replica"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    match c.query("CREATE SNAPSHOT local_on_replica") {
+        Err(Error::Remote { code, .. }) => assert_eq!(code, ErrorCode::ReadOnly),
+        other => panic!("replica accepted snapshot DDL: {other:?}"),
+    }
+
+    replica_server.shutdown().unwrap();
+    replica.stop();
+    server.shutdown().unwrap();
+}
