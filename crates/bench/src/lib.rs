@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod group_commit;
 pub mod harness;
 pub mod netbench;
+pub mod read_scaling;
 pub mod replbench;
 pub mod temporal;
 

@@ -2,14 +2,16 @@
 //! plus the ablations.
 //!
 //! ```text
-//! immortaldb-bench [--quick] [fig5|fig6|gc|net|repl|temporal|a1|a2|a3|a4|a5|all]
+//! immortaldb-bench [--quick] [fig5|fig6|gc|net|repl|temporal|read-scaling|a1|a2|a3|a4|a5|all]
 //! ```
 //!
 //! Figure runs additionally write machine-readable `BENCH_<figure>.json`
 //! artifacts (rows plus an engine metrics snapshot) to the working
 //! directory.
 
-use immortaldb_bench::{ablations, fig5, fig6, group_commit, netbench, replbench, temporal};
+use immortaldb_bench::{
+    ablations, fig5, fig6, group_commit, netbench, read_scaling, replbench, temporal,
+};
 use immortaldb_obs::MetricsSnapshot;
 
 /// Write a `BENCH_*.json` artifact, reporting rather than aborting on
@@ -109,6 +111,14 @@ fn main() {
         let r = temporal::run(quick);
         temporal::report(&r);
         write_artifact("BENCH_temporal.json", &temporal::result_json(&r, quick));
+    }
+    if wants("read-scaling") || wants("read_scaling") {
+        let r = read_scaling::run(quick);
+        read_scaling::report(&r);
+        write_artifact(
+            "BENCH_read_scaling.json",
+            &read_scaling::result_json(&r, quick),
+        );
     }
     if wants("a1") {
         let rows = ablations::eager_vs_lazy(quick);

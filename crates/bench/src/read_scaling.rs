@@ -1,0 +1,283 @@
+//! **Read-scaling sweep** — aggregate read throughput at 1/2/4/8 reader
+//! threads over a deep-history table, answering the ROADMAP's orphaned
+//! sharding experiment with the landed design: sharded buffer-pool frame
+//! table, miss singleflight, and optimistic page latching on the read
+//! path.
+//!
+//! The workload is the paper's ideal case for latch-free reading: a
+//! fully loaded history (every object updated dozens of times), then a
+//! read-only phase mixing current-time point reads (snapshot isolation,
+//! lock-free) with `AS OF` point reads replayed at random commit
+//! timestamps from the load phase. The pool is sized so the working set
+//! is resident — the sweep measures latch/shard contention, not disk.
+//!
+//! The artifact (`BENCH_read_scaling.json`) records reads/s per thread
+//! count, speedup vs one reader, and the new concurrency counters
+//! (`latch.optimistic_reads`, `latch.optimistic_retries`,
+//! `buffer.shard_conflicts`, `buffer.singleflight_waits`). CI enforces a
+//! conservative ≥1.5x floor at 4 readers only on multi-core runners —
+//! on a single hardware thread the sweep degenerates to time-slicing
+//! (the original experiment's mistake was reading that as a regression).
+
+use std::sync::Arc;
+
+use immortaldb::{Database, DbConfig, Durability, Isolation, Session, SimClock, Timestamp, Value};
+use immortaldb_mobgen::{Generator, Op};
+use immortaldb_obs::MetricsSnapshot;
+
+use crate::harness::print_table;
+
+/// One thread-count point of the sweep.
+pub struct ScaleRow {
+    pub readers: usize,
+    pub total_reads: u64,
+    pub elapsed_s: f64,
+    pub reads_per_s: f64,
+    /// Aggregate throughput relative to the 1-reader row.
+    pub speedup: f64,
+    /// Deltas of the concurrency counters across this row's run.
+    pub optimistic_reads: u64,
+    pub optimistic_retries: u64,
+    pub pessimistic_fallbacks: u64,
+    pub shard_conflicts: u64,
+    pub singleflight_waits: u64,
+}
+
+pub struct ScalingResult {
+    pub objects: u32,
+    pub updates_per_object: u32,
+    pub ops_per_reader: u64,
+    pub shards: usize,
+    pub cores: usize,
+    pub rows: Vec<ScaleRow>,
+    pub metrics: MetricsSnapshot,
+}
+
+/// Point reads per AS OF transaction; current-time reads reuse one
+/// snapshot transaction per thread. Amortizes `Database::begin`'s global
+/// snapshot-table lock so the sweep measures the page-read path.
+const BATCH: usize = 64;
+
+pub fn run(quick: bool) -> ScalingResult {
+    let (objects, updates_per_object) = if quick { (64u32, 40u32) } else { (128, 80) };
+    let ops_per_reader: u64 = if quick { 4_000 } else { 24_000 };
+    let dir = std::env::temp_dir().join(format!(
+        "immortal-bench-readscale-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Pool large enough that the whole history stays resident: the sweep
+    // isolates latch and shard-table behaviour, not disk bandwidth.
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let db = Database::open(
+        DbConfig::new(&dir)
+            .pool_pages(8 * 1024)
+            .durability(Durability::Buffered)
+            .clock(clock.clone()),
+    )
+    .expect("open bench db");
+    let mut s = Session::new(&db);
+    s.execute(
+        "CREATE IMMORTAL TABLE MovingObjects \
+         (Oid INT PRIMARY KEY, LocationX INT, LocationY INT)",
+    )
+    .expect("create table");
+
+    // Load phase: deep history with distinct commit timestamps.
+    let events = Generator::events_exact(0x5CA1E, objects, updates_per_object);
+    let mut commit_ts: Vec<Timestamp> = Vec::with_capacity(events.len());
+    for e in &events {
+        let mut txn = db.begin(Isolation::Serializable);
+        let (oid, x, y) = match e.op {
+            Op::Insert { oid, x, y } | Op::Update { oid, x, y } => (oid, x, y),
+        };
+        let row = vec![Value::Int(oid as i32), Value::Int(x), Value::Int(y)];
+        match e.op {
+            Op::Insert { .. } => db
+                .insert_row(&mut txn, "MovingObjects", row)
+                .expect("insert"),
+            Op::Update { .. } => db
+                .update_row(&mut txn, "MovingObjects", row)
+                .expect("update"),
+        }
+        commit_ts.push(db.commit(&mut txn).expect("commit"));
+        clock.advance(20);
+    }
+
+    let m = db.metrics();
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for readers in [1usize, 2, 4, 8] {
+        let o0 = m.latch.optimistic_reads.get();
+        let r0 = m.latch.optimistic_retries.get();
+        let p0 = m.latch.pessimistic_fallbacks.get();
+        let c0 = m.buffer.shard_conflicts.get();
+        let w0 = m.buffer.singleflight_waits.get();
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for worker in 0..readers {
+                let db = &db;
+                let commit_ts = &commit_ts;
+                scope.spawn(move || {
+                    reader_loop(db, commit_ts, objects, ops_per_reader, worker as u64);
+                });
+            }
+        });
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        let total_reads = ops_per_reader * readers as u64;
+        let reads_per_s = total_reads as f64 / elapsed_s;
+        let speedup = rows
+            .first()
+            .map(|base: &ScaleRow| reads_per_s / base.reads_per_s)
+            .unwrap_or(1.0);
+        rows.push(ScaleRow {
+            readers,
+            total_reads,
+            elapsed_s,
+            reads_per_s,
+            speedup,
+            optimistic_reads: m.latch.optimistic_reads.get() - o0,
+            optimistic_retries: m.latch.optimistic_retries.get() - r0,
+            pessimistic_fallbacks: m.latch.pessimistic_fallbacks.get() - p0,
+            shard_conflicts: m.buffer.shard_conflicts.get() - c0,
+            singleflight_waits: m.buffer.singleflight_waits.get() - w0,
+        });
+    }
+
+    let result = ScalingResult {
+        objects,
+        updates_per_object,
+        ops_per_reader,
+        shards: db.pool_shards(),
+        cores: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        rows,
+        metrics: db.metrics_snapshot(),
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One reader thread: alternating batches of current-time point reads
+/// (snapshot isolation, latch-free `get_as_of` at the snapshot) and
+/// AS OF replay at a random commit timestamp from the load phase.
+fn reader_loop(db: &Database, commit_ts: &[Timestamp], objects: u32, ops: u64, seed: u64) {
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        // xorshift64*: cheap, deterministic per thread.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut cur = db.begin(Isolation::Snapshot);
+    let mut done = 0u64;
+    while done < ops {
+        for _ in 0..BATCH.min((ops - done) as usize) {
+            let oid = (next() % objects as u64) as i32;
+            let _ = db
+                .get_row(&mut cur, "MovingObjects", &Value::Int(oid))
+                .expect("current read");
+            done += 1;
+        }
+        if done >= ops {
+            break;
+        }
+        let ts = commit_ts[(next() % commit_ts.len() as u64) as usize];
+        let mut asof = db.begin_as_of_ts(ts);
+        for _ in 0..BATCH.min((ops - done) as usize) {
+            let oid = (next() % objects as u64) as i32;
+            let _ = db
+                .get_row(&mut asof, "MovingObjects", &Value::Int(oid))
+                .expect("as of read");
+            done += 1;
+        }
+        db.commit(&mut asof).expect("commit as of txn");
+    }
+    db.commit(&mut cur).expect("commit snapshot txn");
+}
+
+pub fn report(r: &ScalingResult) {
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{}", row.readers),
+                format!("{:.0}", row.reads_per_s),
+                format!("{:.2}x", row.speedup),
+                format!("{}", row.optimistic_reads),
+                format!("{}", row.optimistic_retries),
+                format!("{}", row.shard_conflicts),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Read scaling: {} objects x {} updates, {} reads/thread, {} shards, {} cores",
+            r.objects, r.updates_per_object, r.ops_per_reader, r.shards, r.cores
+        ),
+        &[
+            "readers",
+            "reads/s",
+            "speedup",
+            "opt reads",
+            "opt retries",
+            "shard conflicts",
+        ],
+        &rows,
+    );
+    if r.cores < 4 {
+        println!(
+            "note: only {} hardware thread(s) — speedup reflects time-slicing, \
+             not the latch protocol; the CI floor applies on multi-core runners only",
+            r.cores
+        );
+    }
+}
+
+pub fn rows_json(rows: &[ScaleRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"readers\":{},\"total_reads\":{},\"elapsed_s\":{:.6},\
+                 \"reads_per_s\":{:.1},\"speedup\":{:.4},\
+                 \"optimistic_reads\":{},\"optimistic_retries\":{},\
+                 \"pessimistic_fallbacks\":{},\"shard_conflicts\":{},\
+                 \"singleflight_waits\":{}}}",
+                r.readers,
+                r.total_reads,
+                r.elapsed_s,
+                r.reads_per_s,
+                r.speedup,
+                r.optimistic_reads,
+                r.optimistic_retries,
+                r.pessimistic_fallbacks,
+                r.shard_conflicts,
+                r.singleflight_waits
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+pub fn result_json(r: &ScalingResult, quick: bool) -> String {
+    format!(
+        "{{\"figure\":\"read_scaling\",\"quick\":{quick},\"objects\":{},\
+         \"updates_per_object\":{},\"ops_per_reader\":{},\"shards\":{},\
+         \"cores\":{},\"rows\":{},\"metrics\":{}}}\n",
+        r.objects,
+        r.updates_per_object,
+        r.ops_per_reader,
+        r.shards,
+        r.cores,
+        rows_json(&r.rows),
+        r.metrics.to_json()
+    )
+}

@@ -140,24 +140,21 @@ impl BTree {
         resolver: &dyn TimestampResolver,
     ) -> Result<Option<Vec<u8>>> {
         debug_assert!(self.versioned);
+        let metrics = self.pool.metrics();
         let _s = self.structure.read();
         let frame = self.descend(key)?;
         // Opportunistic stamping needs the write latch; check cheaply
-        // under the read latch first.
-        let needs_stamp = {
-            let g = frame.read();
-            match g.find_slot(key) {
-                Ok(i) => {
-                    let off = g.slot(i);
-                    g.rec_is_tid_marked(off)
-                        && Some(g.rec_tid(off)) != own_tid
-                        && resolver.resolve(g.rec_tid(off)).is_some()
-                }
-                Err(_) => false,
+        // with an optimistic (latch-free) read first.
+        let needs_stamp = frame.read_optimistic(metrics, |g| match g.find_slot(key) {
+            Ok(i) => {
+                let off = g.slot(i);
+                g.rec_is_tid_marked(off)
+                    && Some(g.rec_tid(off)) != own_tid
+                    && resolver.resolve(g.rec_tid(off)).is_some()
             }
-        };
+            Err(_) => false,
+        });
         if needs_stamp {
-            let metrics = self.pool.metrics();
             let mut g = frame.write();
             if let Ok(i) = g.find_slot(key) {
                 metrics
@@ -171,14 +168,15 @@ impl BTree {
                 frame.mark_dirty_unlogged();
             }
         }
-        let g = frame.read();
-        let Ok(i) = g.find_slot(key) else {
-            return Ok(None);
-        };
-        match version::visible_as_of(&g, i, Timestamp::MAX, own_tid, resolver) {
-            Visible::Version(off) => Ok(Some(g.rec_data(off).to_vec())),
-            Visible::Deleted | Visible::NotHere => Ok(None),
-        }
+        Ok(frame.read_optimistic(metrics, |g| {
+            let Ok(i) = g.find_slot(key) else {
+                return None;
+            };
+            match version::visible_as_of(g, i, Timestamp::MAX, own_tid, resolver) {
+                Visible::Version(off) => Some(g.rec_data(off).to_vec()),
+                Visible::Deleted | Visible::NotHere => None,
+            }
+        }))
     }
 
     /// Read the version of `key` current AS OF `as_of`. Historical (AS OF)
@@ -192,33 +190,53 @@ impl BTree {
         resolver: &dyn TimestampResolver,
     ) -> Result<Option<Vec<u8>>> {
         debug_assert!(self.versioned);
+        let metrics = self.pool.metrics();
         let _s = self.structure.read();
         let frame = self.descend(key)?;
-        let g = frame.read();
-        // Own uncommitted versions live ONLY in the current page (time
-        // splits keep them there, case 4), so an own write must be found
-        // here even when a concurrent time split pushed the page's start
-        // past the reader's snapshot.
-        if let Some(own) = own_tid {
-            if let Ok(i) = g.find_slot(key) {
-                if chain_has_own(&g, i, own) {
-                    return Ok(lookup_in_page(&g, key, as_of, own_tid, resolver));
+        // One optimistic step per page of the chain. `Hop` carries the
+        // next history page to follow; `Done` the answer.
+        enum Step {
+            Done(Option<Vec<u8>>),
+            Hop(PageId),
+        }
+        let step = frame.read_optimistic(metrics, |g| {
+            // Own uncommitted versions live ONLY in the current page (time
+            // splits keep them there, case 4), so an own write must be
+            // found here even when a concurrent time split pushed the
+            // page's start past the reader's snapshot.
+            if let Some(own) = own_tid {
+                if let Ok(i) = g.find_slot(key) {
+                    if chain_has_own(g, i, own) {
+                        return Step::Done(lookup_in_page(g, key, as_of, own_tid, resolver));
+                    }
                 }
             }
-        }
-        if as_of >= g.start_ts() {
-            return Ok(lookup_in_page(&g, key, as_of, own_tid, resolver));
-        }
-        let mut hist = g.history_page();
-        drop(g);
-        while hist.is_valid() {
-            self.pool.metrics().tree.asof_hops.inc();
-            let hframe = self.pool.fetch(hist)?;
-            let hg = hframe.read();
-            if as_of >= hg.start_ts() {
-                return Ok(lookup_in_page(&hg, key, as_of, own_tid, resolver));
+            if as_of >= g.start_ts() {
+                return Step::Done(lookup_in_page(g, key, as_of, own_tid, resolver));
             }
-            hist = hg.history_page();
+            Step::Hop(g.history_page())
+        });
+        let mut hist = match step {
+            Step::Done(r) => return Ok(r),
+            Step::Hop(h) => h,
+        };
+        // History pages are immutable once carved off by a time split —
+        // the ideal latch-free workload: optimistic reads here never see
+        // a writer and never retry.
+        while hist.is_valid() {
+            metrics.tree.asof_hops.inc();
+            let hframe = self.pool.fetch(hist)?;
+            let step = hframe.read_optimistic(metrics, |hg| {
+                if as_of >= hg.start_ts() {
+                    Step::Done(lookup_in_page(hg, key, as_of, own_tid, resolver))
+                } else {
+                    Step::Hop(hg.history_page())
+                }
+            });
+            match step {
+                Step::Done(r) => return Ok(r),
+                Step::Hop(h) => hist = h,
+            }
         }
         // Requested time precedes all recorded history.
         Ok(None)

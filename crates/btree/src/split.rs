@@ -38,6 +38,16 @@ impl BTree {
         resolver: &dyn TimestampResolver,
     ) -> Result<()> {
         let _s = self.structure.write();
+        // Sample the split-time bound BEFORE the stamping pass below: a
+        // transaction still in flight while we stamp leaves TID-marked
+        // versions in the page, and sampling afterwards could observe it
+        // retired and lift the bound above its commit timestamp — the
+        // time split would then set the fresh page's start past versions
+        // that stay current (case 4), stranding them from every AS OF
+        // read at their commit time. Sampling first pins the bound at or
+        // below any commit the stamping pass can leave unstamped.
+        let desired_split_ts = self.split_time.current_split_ts();
+        let max_safe_ts = self.split_time.max_safe_split_ts();
         let path = self.descend_path(key)?;
         let leaf_id = *path.last().expect("descent path never empty");
         let leaf_frame = self.pool.fetch(leaf_id)?;
@@ -61,7 +71,7 @@ impl BTree {
 
         // -- step 2: time split ------------------------------------------
         if left.is_versioned() {
-            let mut split_ts = self.split_time.current_split_ts();
+            let mut split_ts = desired_split_ts;
             if split_ts <= left.start_ts() {
                 split_ts = bump(left.start_ts());
             }
@@ -69,7 +79,7 @@ impl BTree {
             // commit's versions above the new page start; skip the time
             // split this round (the key split below still makes room) and
             // retry once the pipeline drains.
-            let safe = split_ts <= self.split_time.max_safe_split_ts();
+            let safe = split_ts <= max_safe_ts;
             if safe && version::time_split_gain(&left, split_ts) > 0 {
                 let hist_id = self.pool.disk().allocate()?;
                 let (hist, fresh) = version::time_split(&left, split_ts, hist_id)?;

@@ -226,66 +226,64 @@ impl BTree {
     /// must hold (at least) the structure read latch so the path cannot
     /// move underneath.
     pub(crate) fn descend(&self, key: &[u8]) -> Result<FrameRef> {
+        let metrics = self.pool.metrics();
         let mut page_id = self.root();
         loop {
             let frame = self.pool.fetch(page_id)?;
-            let g = frame.read();
-            match g.page_type()? {
-                PageType::Leaf => {
-                    drop(g);
-                    return Ok(frame);
-                }
-                PageType::Index => {
-                    page_id = Self::pick_child(&g, key)?;
-                }
-                other => {
-                    return Err(Error::Corruption(format!(
-                        "descent hit {other:?} page {page_id:?}"
-                    )))
-                }
+            // Optimistic step: validate the version counter around a
+            // latch-free copy; a racing split retries or falls back.
+            let step = frame.read_optimistic(metrics, |g| match g.page_type()? {
+                PageType::Leaf => Ok(None),
+                PageType::Index => Ok(Some(Self::pick_child(g, key)?)),
+                other => Err(Error::Corruption(format!(
+                    "descent hit {other:?} page {page_id:?}"
+                ))),
+            })?;
+            match step {
+                None => return Ok(frame),
+                Some(child) => page_id = child,
             }
         }
     }
 
     /// Descend recording the whole root→leaf path (for splits).
     pub(crate) fn descend_path(&self, key: &[u8]) -> Result<Vec<PageId>> {
+        let metrics = self.pool.metrics();
         let mut path = Vec::with_capacity(4);
         let mut page_id = self.root();
         loop {
             path.push(page_id);
             let frame = self.pool.fetch(page_id)?;
-            let g = frame.read();
-            match g.page_type()? {
-                PageType::Leaf => return Ok(path),
-                PageType::Index => page_id = Self::pick_child(&g, key)?,
-                other => {
-                    return Err(Error::Corruption(format!(
-                        "descent hit {other:?} page {page_id:?}"
-                    )))
-                }
+            let step = frame.read_optimistic(metrics, |g| match g.page_type()? {
+                PageType::Leaf => Ok(None),
+                PageType::Index => Ok(Some(Self::pick_child(g, key)?)),
+                other => Err(Error::Corruption(format!(
+                    "descent hit {other:?} page {page_id:?}"
+                ))),
+            })?;
+            match step {
+                None => return Ok(path),
+                Some(child) => page_id = child,
             }
         }
     }
 
     /// Leftmost current leaf (scan start).
     pub(crate) fn leftmost_leaf(&self) -> Result<FrameRef> {
+        let metrics = self.pool.metrics();
         let mut page_id = self.root();
         loop {
             let frame = self.pool.fetch(page_id)?;
-            let g = frame.read();
-            match g.page_type()? {
-                PageType::Leaf => {
-                    drop(g);
-                    return Ok(frame);
-                }
-                PageType::Index => {
-                    page_id = Self::index_child(&g, 0);
-                }
-                other => {
-                    return Err(Error::Corruption(format!(
-                        "descent hit {other:?} page {page_id:?}"
-                    )))
-                }
+            let step = frame.read_optimistic(metrics, |g| match g.page_type()? {
+                PageType::Leaf => Ok(None),
+                PageType::Index => Ok(Some(Self::index_child(g, 0))),
+                other => Err(Error::Corruption(format!(
+                    "descent hit {other:?} page {page_id:?}"
+                ))),
+            })?;
+            match step {
+                None => return Ok(frame),
+                Some(child) => page_id = child,
             }
         }
     }
@@ -428,24 +426,25 @@ impl BTree {
     ) -> Result<HeadVersion> {
         let _s = self.structure.read();
         let frame = self.descend(key)?;
-        let g = frame.read();
-        let Ok(i) = g.find_slot(key) else {
-            return Ok(HeadVersion::NotFound);
-        };
-        let off = g.slot(i);
-        let stub = g.rec_is_stub(off);
-        if g.rec_is_tid_marked(off) {
-            let owner = g.rec_tid(off);
-            match resolver.resolve(owner) {
-                Some(ts) => Ok(HeadVersion::Committed { ts, stub }),
-                None => Ok(HeadVersion::Uncommitted { tid: owner, stub }),
+        frame.read_optimistic(self.pool.metrics(), |g| {
+            let Ok(i) = g.find_slot(key) else {
+                return Ok(HeadVersion::NotFound);
+            };
+            let off = g.slot(i);
+            let stub = g.rec_is_stub(off);
+            if g.rec_is_tid_marked(off) {
+                let owner = g.rec_tid(off);
+                match resolver.resolve(owner) {
+                    Some(ts) => Ok(HeadVersion::Committed { ts, stub }),
+                    None => Ok(HeadVersion::Uncommitted { tid: owner, stub }),
+                }
+            } else {
+                Ok(HeadVersion::Committed {
+                    ts: g.rec_timestamp(off),
+                    stub,
+                })
             }
-        } else {
-            Ok(HeadVersion::Committed {
-                ts: g.rec_timestamp(off),
-                stub,
-            })
-        }
+        })
     }
 
     // -- unversioned (conventional) operations -----------------------------
@@ -549,10 +548,11 @@ impl BTree {
         debug_assert!(!self.versioned);
         let _s = self.structure.read();
         let frame = self.descend(key)?;
-        let g = frame.read();
-        Ok(g.find_slot(key)
-            .ok()
-            .map(|i| g.rec_data(g.slot(i)).to_vec()))
+        Ok(frame.read_optimistic(self.pool.metrics(), |g| {
+            g.find_slot(key)
+                .ok()
+                .map(|i| g.rec_data(g.slot(i)).to_vec())
+        }))
     }
 
     /// Number of live records in a conventional table (scans leaves).

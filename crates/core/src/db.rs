@@ -40,6 +40,9 @@ pub struct DbConfig {
     pub dir: PathBuf,
     /// Buffer pool capacity in pages.
     pub pool_pages: usize,
+    /// Buffer-pool frame-table shards (rounded up to a power of two);
+    /// 0 picks an automatic count from the host's parallelism.
+    pub pool_shards: usize,
     /// Commit durability (fsync vs OS-buffered).
     pub durability: Durability,
     /// Group-commit barrier tuning (leader/follower shared fsyncs at
@@ -71,6 +74,7 @@ impl DbConfig {
         DbConfig {
             dir: dir.as_ref().to_path_buf(),
             pool_pages: 1024,
+            pool_shards: 0,
             durability: Durability::Buffered,
             group_commit: GroupCommitConfig::default(),
             timestamping: TimestampingMode::Lazy,
@@ -89,6 +93,11 @@ impl DbConfig {
 
     pub fn pool_pages(mut self, n: usize) -> Self {
         self.pool_pages = n;
+        self
+    }
+
+    pub fn pool_shards(mut self, n: usize) -> Self {
+        self.pool_shards = n;
         self
     }
 
@@ -208,10 +217,11 @@ impl Database {
         )?;
         wal.set_group_commit(config.group_commit);
         let wal = Arc::new(wal);
-        let pool = Arc::new(BufferPool::with_metrics(
+        let pool = Arc::new(BufferPool::with_config(
             Arc::clone(&disk),
             Arc::clone(&wal),
             config.pool_pages,
+            config.pool_shards,
             metrics.clone(),
         ));
         pool.set_page_image_logging(config.page_image_logging);
@@ -408,6 +418,11 @@ impl Database {
     /// Point-in-time snapshot of every metric (what `SHOW STATS` renders).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.pool.metrics().snapshot()
+    }
+
+    /// Number of frame-table shards the buffer pool resolved to.
+    pub fn pool_shards(&self) -> usize {
+        self.pool.shard_count()
     }
 
     /// Current wall-clock time (through the injected clock).

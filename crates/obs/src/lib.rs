@@ -227,6 +227,37 @@ pub struct BufferMetrics {
     /// Write-backs that failed (WAL flush or page write error); the frame
     /// stays dirty and cached.
     pub flush_errors: Counter,
+    /// Shard-table lock acquisitions that found the shard mutex already
+    /// held (a `try_lock` failed and the caller had to block).
+    pub shard_conflicts: Counter,
+    /// Fetch misses that piggybacked on another thread's in-flight disk
+    /// read for the same page instead of issuing their own.
+    pub singleflight_waits: Counter,
+}
+
+/// Page-latch instruments (optimistic version-counter reads on the
+/// B+tree / TSB-tree read paths).
+#[derive(Debug, Default)]
+pub struct LatchMetrics {
+    /// Page reads served by the optimistic (latch-free) protocol: the
+    /// version was validated after the copy with no writer interleaved.
+    pub optimistic_reads: Counter,
+    /// Optimistic read attempts invalidated by a concurrent writer
+    /// (version moved or was odd) and retried.
+    pub optimistic_retries: Counter,
+    /// Reads that exhausted the retry bound and fell back to the
+    /// pessimistic shared latch.
+    pub pessimistic_fallbacks: Counter,
+}
+
+/// Disk-manager instruments (physical page I/O under the buffer pool).
+#[derive(Debug, Default)]
+pub struct DiskMetrics {
+    /// Page reads issued to the VFS (buffer-pool misses after
+    /// singleflight collapsing).
+    pub reads: Counter,
+    /// Page writes issued to the VFS.
+    pub writes: Counter,
 }
 
 /// Write-ahead-log instruments.
@@ -435,6 +466,8 @@ pub struct Metrics {
     pub server: ServerMetrics,
     pub repl: ReplMetrics,
     pub temporal: TemporalMetrics,
+    pub latch: LatchMetrics,
+    pub disk: DiskMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

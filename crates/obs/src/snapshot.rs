@@ -51,6 +51,28 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("buffer.evictions".into(), m.buffer.evictions.get()),
         ("buffer.flushes".into(), m.buffer.flushes.get()),
         ("buffer.flush_errors".into(), m.buffer.flush_errors.get()),
+        (
+            "buffer.shard_conflicts".into(),
+            m.buffer.shard_conflicts.get(),
+        ),
+        (
+            "buffer.singleflight_waits".into(),
+            m.buffer.singleflight_waits.get(),
+        ),
+        (
+            "latch.optimistic_reads".into(),
+            m.latch.optimistic_reads.get(),
+        ),
+        (
+            "latch.optimistic_retries".into(),
+            m.latch.optimistic_retries.get(),
+        ),
+        (
+            "latch.pessimistic_fallbacks".into(),
+            m.latch.pessimistic_fallbacks.get(),
+        ),
+        ("disk.reads".into(), m.disk.reads.get()),
+        ("disk.writes".into(), m.disk.writes.get()),
         ("wal.appends".into(), m.wal.appends.get()),
         ("wal.bytes".into(), m.wal.bytes.get()),
         ("wal.fsyncs".into(), m.wal.fsyncs.get()),
@@ -331,6 +353,26 @@ mod tests {
         assert_eq!(s.get("temporal.versions_returned"), Some(40));
         assert_eq!(s.get("temporal.diff_rows"), Some(7));
         assert_eq!(s.get("catalog.snapshots"), Some(2));
+    }
+
+    #[test]
+    fn latch_and_disk_metrics_have_stable_names() {
+        let r = MetricsRegistry::new();
+        r.buffer.shard_conflicts.add(4);
+        r.buffer.singleflight_waits.add(3);
+        r.latch.optimistic_reads.add(100);
+        r.latch.optimistic_retries.add(5);
+        r.latch.pessimistic_fallbacks.inc();
+        r.disk.reads.add(8);
+        r.disk.writes.add(2);
+        let s = r.snapshot();
+        assert_eq!(s.get("buffer.shard_conflicts"), Some(4));
+        assert_eq!(s.get("buffer.singleflight_waits"), Some(3));
+        assert_eq!(s.get("latch.optimistic_reads"), Some(100));
+        assert_eq!(s.get("latch.optimistic_retries"), Some(5));
+        assert_eq!(s.get("latch.pessimistic_fallbacks"), Some(1));
+        assert_eq!(s.get("disk.reads"), Some(8));
+        assert_eq!(s.get("disk.writes"), Some(2));
     }
 
     #[test]

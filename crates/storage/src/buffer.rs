@@ -2,19 +2,39 @@
 //! the lazy-timestamping flush hook.
 //!
 //! Every cached page lives in a [`Frame`] holding the page image behind a
-//! `RwLock` (the page latch). Fetching returns a [`FrameRef`]; the frame
-//! stays resident at least as long as any reference exists. Eviction is a
-//! second-chance sweep over unreferenced frames; dirty victims are written
-//! back, after (a) flushing the WAL up to the page LSN and (b) running the
-//! flush hook — which is how Immortal DB timestamps non-timestamped
-//! records of committed transactions "just before a cached page is
-//! flushed to disk" (§2.2).
+//! latch plus a seqlock-style version counter. Fetching returns a
+//! [`FrameRef`]; the frame stays resident at least as long as any
+//! reference exists.
+//!
+//! Concurrency (DESIGN.md §11):
+//!
+//! * The frame table is **sharded**: a power-of-two number of shards,
+//!   each a `Mutex<HashMap>`, keyed by a fibonacci hash of the page id,
+//!   so concurrent readers of distinct pages never contend on one lock.
+//! * Misses use **singleflight**: the first thread to miss a page posts
+//!   an in-flight token in the shard and reads disk; concurrent misses
+//!   on the same page wait on the shard's condvar instead of issuing
+//!   duplicate reads.
+//! * Readers may use the **optimistic latch protocol**
+//!   ([`Frame::read_optimistic`]): load the version counter, copy the
+//!   page image without taking the latch, and revalidate the counter —
+//!   retrying (and finally falling back to the shared latch) when a
+//!   writer interleaved. Writers make the counter odd while they hold
+//!   the write latch and bump it even again on release.
+//!
+//! Eviction is a second-chance sweep over unreferenced frames across
+//! shards; dirty victims are written back, after (a) flushing the WAL up
+//! to the page LSN and (b) running the flush hook — which is how
+//! Immortal DB timestamps non-timestamped records of committed
+//! transactions "just before a cached page is flushed to disk" (§2.2).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::collections::{HashMap, HashSet};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use immortaldb_common::{Lsn, PageId, Result, NULL_LSN};
 use immortaldb_obs::MetricsRegistry;
@@ -34,10 +54,25 @@ pub trait FlushHook: Send + Sync {
     fn before_flush(&self, page: &mut Page);
 }
 
+/// Optimistic read attempts before [`Frame::read_optimistic`] falls back
+/// to the pessimistic shared latch.
+pub const OPTIMISTIC_RETRIES: u32 = 3;
+
 /// A cached page frame.
+///
+/// The page image lives in an `UnsafeCell` guarded by two cooperating
+/// mechanisms: a conventional reader-writer latch (`latch`) and a
+/// seqlock version counter (`version`, odd while a writer holds the
+/// write latch). Pessimistic readers/writers go through the latch;
+/// optimistic readers copy the image latch-free and discard the copy if
+/// the counter moved.
 pub struct Frame {
     id: PageId,
-    data: Arc<RwLock<Page>>,
+    latch: RwLock<()>,
+    page: UnsafeCell<Page>,
+    /// Seqlock word: even = no writer, odd = writer active. Bumped twice
+    /// per write-latch hold (acquire and release).
+    version: AtomicU64,
     dirty: AtomicBool,
     /// LSN of the first record that dirtied this page since it was last
     /// clean (recLSN in ARIES; drives the dirty-page table).
@@ -46,29 +81,142 @@ pub struct Frame {
     referenced: AtomicBool,
 }
 
+// The UnsafeCell is only written under the exclusive latch; racy reads
+// happen only in `try_read_optimistic`, which validates the version
+// counter before the copy is used.
+unsafe impl Send for Frame {}
+unsafe impl Sync for Frame {}
+
 /// Shared handle to a cached page. Holding one pins the frame.
 pub type FrameRef = Arc<Frame>;
 
-/// Owned read latch on a page.
-pub type PageReadGuard = parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, Page>;
-/// Owned write latch on a page.
-pub type PageWriteGuard = parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, Page>;
+/// Shared (pessimistic) latch on a page.
+pub struct PageReadGuard<'a> {
+    frame: &'a Frame,
+    _latch: std::sync::RwLockReadGuard<'a, ()>,
+}
+
+impl Deref for PageReadGuard<'_> {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        unsafe { &*self.frame.page.get() }
+    }
+}
+
+/// Exclusive latch on a page. Acquiring one makes the frame's version
+/// counter odd; dropping it makes the counter even again, invalidating
+/// any optimistic copy taken in between.
+pub struct PageWriteGuard<'a> {
+    frame: &'a Frame,
+    _latch: std::sync::RwLockWriteGuard<'a, ()>,
+}
+
+impl Deref for PageWriteGuard<'_> {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        unsafe { &*self.frame.page.get() }
+    }
+}
+
+impl DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Page {
+        unsafe { &mut *self.frame.page.get() }
+    }
+}
+
+impl Drop for PageWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Back to even: publish the writes to optimistic readers.
+        self.frame.version.fetch_add(1, Ordering::Release);
+    }
+}
 
 impl Frame {
+    fn new(id: PageId, page: Page, dirty: bool) -> Frame {
+        Frame {
+            id,
+            latch: RwLock::new(()),
+            page: UnsafeCell::new(page),
+            version: AtomicU64::new(0),
+            dirty: AtomicBool::new(dirty),
+            rec_lsn: AtomicU64::new(0),
+            referenced: AtomicBool::new(true),
+        }
+    }
+
     pub fn page_id(&self) -> PageId {
         self.id
     }
 
     /// Acquire the page read latch.
-    pub fn read(&self) -> PageReadGuard {
+    pub fn read(&self) -> PageReadGuard<'_> {
         self.referenced.store(true, Ordering::Relaxed);
-        RwLock::read_arc(&self.data)
+        PageReadGuard {
+            frame: self,
+            _latch: self.latch.read(),
+        }
     }
 
-    /// Acquire the page write latch.
-    pub fn write(&self) -> PageWriteGuard {
+    /// Acquire the page write latch and mark a writer active.
+    pub fn write(&self) -> PageWriteGuard<'_> {
         self.referenced.store(true, Ordering::Relaxed);
-        RwLock::write_arc(&self.data)
+        let latch = self.latch.write();
+        // Odd: optimistic readers that load the counter now (or revalidate
+        // against a pre-acquire value) will discard their copy. AcqRel so
+        // the bump is ordered before the page writes that follow.
+        self.version.fetch_add(1, Ordering::AcqRel);
+        PageWriteGuard {
+            frame: self,
+            _latch: latch,
+        }
+    }
+
+    /// Current seqlock version (even = no writer active). Exposed for
+    /// latch-protocol tests.
+    pub fn latch_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// One optimistic read attempt: copy the page image without taking
+    /// the latch and run `f` on the copy only if the version counter
+    /// proves no writer interleaved. Returns `None` on conflict.
+    pub fn try_read_optimistic<R>(&self, f: impl FnOnce(&Page) -> R) -> Option<R> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 & 1 != 0 {
+            return None; // writer active right now
+        }
+        // Racy copy: a writer may be mutating the image while we copy.
+        // The torn copy is never observed — validation below rejects it.
+        let copy = unsafe {
+            let mut copy = std::mem::MaybeUninit::<Page>::uninit();
+            std::ptr::copy_nonoverlapping(self.page.get() as *const Page, copy.as_mut_ptr(), 1);
+            copy.assume_init()
+        };
+        // Order the copy before the validating load.
+        fence(Ordering::Acquire);
+        if self.version.load(Ordering::Relaxed) != v1 {
+            return None; // a writer interleaved; copy may be torn
+        }
+        Some(f(&copy))
+    }
+
+    /// Read the page via the optimistic protocol: up to
+    /// [`OPTIMISTIC_RETRIES`] latch-free attempts, then a pessimistic
+    /// shared-latch fallback. `f` runs on a validated (never torn) page
+    /// image either way.
+    pub fn read_optimistic<R>(&self, metrics: &MetricsRegistry, f: impl Fn(&Page) -> R) -> R {
+        self.referenced.store(true, Ordering::Relaxed);
+        for _ in 0..OPTIMISTIC_RETRIES {
+            if let Some(r) = self.try_read_optimistic(&f) {
+                metrics.latch.optimistic_reads.inc();
+                return r;
+            }
+            metrics.latch.optimistic_retries.inc();
+            std::hint::spin_loop();
+        }
+        metrics.latch.pessimistic_fallbacks.inc();
+        let g = self.read();
+        f(&g)
     }
 
     /// Record that a logged mutation at `lsn` dirtied this page. Callers
@@ -97,12 +245,44 @@ impl Frame {
     }
 }
 
+/// One frame-table shard: resident frames plus the in-flight miss
+/// tokens for singleflight.
+struct ShardState {
+    frames: HashMap<PageId, FrameRef>,
+    inflight: HashSet<PageId>,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Signalled when an in-flight load completes (either way).
+    loaded: Condvar,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            state: Mutex::new(ShardState {
+                frames: HashMap::new(),
+                inflight: HashSet::new(),
+            }),
+            loaded: Condvar::new(),
+        }
+    }
+}
+
 /// Buffer pool over a disk manager and WAL.
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     wal: Arc<Wal>,
     capacity: usize,
-    table: Mutex<HashMap<PageId, FrameRef>>,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: usize,
+    /// Total resident frames across shards; drives eviction.
+    len: AtomicUsize,
+    /// Rotating start shard for the eviction sweep, so one shard is not
+    /// always drained first.
+    clock: AtomicUsize,
     flush_hook: RwLock<Option<Arc<dyn FlushHook>>>,
     /// When set, every page write-back first logs the full page image
     /// (and flushes the WAL), so a torn data-page write — detected by the
@@ -119,22 +299,52 @@ impl BufferPool {
         Self::with_metrics(disk, wal, capacity, MetricsRegistry::new())
     }
 
-    /// Pool recording into a shared engine-wide registry.
+    /// Pool recording into a shared engine-wide registry, with the
+    /// automatic shard count.
     pub fn with_metrics(
         disk: Arc<DiskManager>,
         wal: Arc<Wal>,
         capacity: usize,
         metrics: MetricsRegistry,
     ) -> BufferPool {
+        Self::with_config(disk, wal, capacity, 0, metrics)
+    }
+
+    /// Full control: `shards` is rounded up to a power of two; 0 picks
+    /// an automatic count from the host's parallelism.
+    pub fn with_config(
+        disk: Arc<DiskManager>,
+        wal: Arc<Wal>,
+        capacity: usize,
+        shards: usize,
+        metrics: MetricsRegistry,
+    ) -> BufferPool {
+        let shards = if shards == 0 {
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            (cores * 4).clamp(8, 64)
+        } else {
+            shards
+        }
+        .next_power_of_two();
         BufferPool {
             disk,
             wal,
             capacity: capacity.max(8),
-            table: Mutex::new(HashMap::new()),
+            shard_mask: shards - 1,
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            len: AtomicUsize::new(0),
+            clock: AtomicUsize::new(0),
             flush_hook: RwLock::new(None),
             page_image_logging: AtomicBool::new(false),
             metrics,
         }
+    }
+
+    /// Number of frame-table shards (power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Enable or disable full-page-image logging on write-back.
@@ -173,63 +383,72 @@ impl BufferPool {
         self.metrics.buffer.flushes.get()
     }
 
-    /// Fetch a page, reading it from disk on a miss.
+    /// Fibonacci-hash a page id into its shard.
+    fn shard_for(&self, id: PageId) -> &Shard {
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize & self.shard_mask]
+    }
+
+    /// Lock a shard, counting contention: a failed `try_lock` means
+    /// another thread holds this shard right now.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
+        match shard.state.try_lock() {
+            Some(g) => g,
+            None => {
+                self.metrics.buffer.shard_conflicts.inc();
+                shard.state.lock()
+            }
+        }
+    }
+
+    /// Fetch a page, reading it from disk on a miss. Concurrent misses
+    /// on the same page collapse into one disk read (singleflight).
     pub fn fetch(&self, id: PageId) -> Result<FrameRef> {
         self.metrics.buffer.fetches.inc();
-        {
-            let table = self.table.lock();
-            if let Some(f) = table.get(&id) {
+        let shard = self.shard_for(id);
+        let mut state = self.lock_shard(shard);
+        let mut waited = false;
+        loop {
+            if let Some(f) = state.frames.get(&id) {
                 f.referenced.store(true, Ordering::Relaxed);
                 self.metrics.buffer.hits.inc();
                 return Ok(Arc::clone(f));
             }
+            if state.inflight.contains(&id) {
+                // Another thread is already reading this page from disk;
+                // wait for it instead of issuing a duplicate read.
+                if !waited {
+                    self.metrics.buffer.singleflight_waits.inc();
+                    waited = true;
+                }
+                shard.loaded.wait(&mut state);
+                continue;
+            }
+            break;
         }
+        // We are the loader: post the token and read outside the lock.
+        state.inflight.insert(id);
+        drop(state);
         self.metrics.buffer.misses.inc();
-        // Read outside the table lock; racing readers may both load, the
-        // second insert wins the check below and reuses the first frame.
-        let page = self.disk.read_page(id)?;
-        let mut table = self.table.lock();
-        if let Some(f) = table.get(&id) {
+        self.metrics.disk.reads.inc();
+        let loaded = self.disk.read_page(id);
+        let mut state = self.lock_shard(shard);
+        state.inflight.remove(&id);
+        shard.loaded.notify_all();
+        // On error, waiters woken by the notify find neither frame nor
+        // token and retry their own load, surfacing their own error.
+        let page = loaded?;
+        if let Some(f) = state.frames.get(&id) {
+            // Raced with fetch_or_reset / new_page; reuse the resident
+            // frame rather than shadowing it.
             return Ok(Arc::clone(f));
         }
-        let frame = Arc::new(Frame {
-            id,
-            data: Arc::new(RwLock::new(page)),
-            dirty: AtomicBool::new(false),
-            rec_lsn: AtomicU64::new(0),
-            referenced: AtomicBool::new(true),
-        });
-        table.insert(id, Arc::clone(&frame));
-        let over = table.len().saturating_sub(self.capacity);
-        if over > 0 {
-            // Two-phase eviction: pick victims under the lock, but write
-            // them back WITHOUT it — the flush hook resolves timestamps
-            // through the PTT, which lives in this same pool, so holding
-            // the table mutex across write_back would self-deadlock on a
-            // PTT page miss (and would serialize all fetches behind I/O).
-            let victims = Self::pick_victims(&mut table, over);
-            drop(table);
-            for victim in victims {
-                // The victim is still in the table while we flush, so a
-                // concurrent fetch shares this frame instead of reading a
-                // stale image from disk.
-                //
-                // A failed write-back must NOT fail this fetch or drop the
-                // victim: the frame stays dirty and cached (write_back
-                // only clears the dirty bit on success), the pool simply
-                // runs over capacity until a later flush succeeds.
-                if let Err(_e) = self.write_back(&victim) {
-                    self.metrics.buffer.flush_errors.inc();
-                    continue;
-                }
-                let mut table = self.table.lock();
-                // Only unmap if nobody re-dirtied or re-pinned it
-                // meanwhile (strong count: table + our clone).
-                if !victim.is_dirty() && Arc::strong_count(&victim) == 2 {
-                    table.remove(&victim.id);
-                    self.metrics.buffer.evictions.inc();
-                }
-            }
+        let frame = Arc::new(Frame::new(id, page, false));
+        state.frames.insert(id, Arc::clone(&frame));
+        drop(state);
+        let total = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+        if total > self.capacity {
+            self.evict(total - self.capacity);
         }
         Ok(frame)
     }
@@ -242,31 +461,71 @@ impl BufferPool {
         match self.fetch(id) {
             Ok(f) => Ok((f, false)),
             Err(Error::Corruption(_)) => {
-                let mut table = self.table.lock();
-                if let Some(f) = table.get(&id) {
+                let shard = self.shard_for(id);
+                let mut state = self.lock_shard(shard);
+                if let Some(f) = state.frames.get(&id) {
                     return Ok((Arc::clone(f), false));
                 }
-                let frame = Arc::new(Frame {
-                    id,
-                    data: Arc::new(RwLock::new(Page::zeroed())),
-                    dirty: AtomicBool::new(false),
-                    rec_lsn: AtomicU64::new(0),
-                    referenced: AtomicBool::new(true),
-                });
-                table.insert(id, Arc::clone(&frame));
+                let frame = Arc::new(Frame::new(id, Page::zeroed(), false));
+                state.frames.insert(id, Arc::clone(&frame));
+                self.len.fetch_add(1, Ordering::Relaxed);
                 Ok((frame, true))
             }
             Err(e) => Err(e),
         }
     }
 
-    /// Select up to `want` eviction victims (unpinned, second-chance) and
-    /// return owned handles. Must be called with the table lock held.
-    fn pick_victims(table: &mut HashMap<PageId, FrameRef>, want: usize) -> Vec<FrameRef> {
+    /// Evict up to `want` frames: sweep shards starting at the clock
+    /// hand, picking unpinned second-chance victims, then write them
+    /// back WITHOUT any shard lock held — the flush hook resolves
+    /// timestamps through the PTT, which lives in this same pool, so
+    /// holding a shard mutex across write_back could self-deadlock on a
+    /// PTT page miss mapping to the same shard (and would serialize
+    /// fetches behind I/O).
+    fn evict(&self, want: usize) {
+        let n = self.shards.len();
+        let start = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut victims: Vec<FrameRef> = Vec::new();
+        for i in 0..n {
+            if victims.len() >= want {
+                break;
+            }
+            let shard = &self.shards[(start + i) % n];
+            let mut state = self.lock_shard(shard);
+            Self::pick_victims(&mut state.frames, want - victims.len(), &mut victims);
+        }
+        for victim in victims {
+            // The victim is still in its shard while we flush, so a
+            // concurrent fetch shares this frame instead of reading a
+            // stale image from disk.
+            //
+            // A failed write-back must NOT fail the triggering fetch or
+            // drop the victim: the frame stays dirty and cached
+            // (write_back only clears the dirty bit on success), the pool
+            // simply runs over capacity until a later flush succeeds.
+            if self.write_back(&victim).is_err() {
+                self.metrics.buffer.flush_errors.inc();
+                continue;
+            }
+            let shard = self.shard_for(victim.id);
+            let mut state = self.lock_shard(shard);
+            // Only unmap if nobody re-dirtied or re-pinned it meanwhile
+            // (strong count: shard table + our clone).
+            if !victim.is_dirty() && Arc::strong_count(&victim) == 2 {
+                state.frames.remove(&victim.id);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.buffer.evictions.inc();
+            }
+        }
+    }
+
+    /// Select up to `want` eviction victims from one shard (unpinned,
+    /// second-chance) into `out`. Must be called with the shard locked.
+    fn pick_victims(table: &mut HashMap<PageId, FrameRef>, want: usize, out: &mut Vec<FrameRef>) {
+        let base = out.len();
         for pass in 0..2 {
             for frame in table.values() {
-                if victims.len() >= want {
+                if out.len() - base >= want {
                     break;
                 }
                 if Arc::strong_count(frame) > 1 {
@@ -275,13 +534,12 @@ impl BufferPool {
                 if pass == 0 && frame.referenced.swap(false, Ordering::Relaxed) {
                     continue;
                 }
-                victims.push(Arc::clone(frame));
+                out.push(Arc::clone(frame));
             }
-            if victims.len() >= want {
+            if out.len() - base >= want {
                 break;
             }
         }
-        victims
     }
 
     /// Allocate a brand-new page, format it and cache it (dirty).
@@ -289,15 +547,11 @@ impl BufferPool {
         let id = self.disk.allocate()?;
         let mut page = Page::zeroed();
         page.format(id, ptype, flags, level);
-        let frame = Arc::new(Frame {
-            id,
-            data: Arc::new(RwLock::new(page)),
-            dirty: AtomicBool::new(true),
-            rec_lsn: AtomicU64::new(0),
-            referenced: AtomicBool::new(true),
-        });
-        let mut table = self.table.lock();
-        table.insert(id, Arc::clone(&frame));
+        let frame = Arc::new(Frame::new(id, page, true));
+        let shard = self.shard_for(id);
+        let mut state = self.lock_shard(shard);
+        state.frames.insert(id, Arc::clone(&frame));
+        self.len.fetch_add(1, Ordering::Relaxed);
         Ok(frame)
     }
 
@@ -338,6 +592,7 @@ impl BufferPool {
         } else {
             self.wal.flush_to(guard.page_lsn())?;
         }
+        self.metrics.disk.writes.inc();
         self.disk.write_page(&guard)?;
         frame.dirty.store(false, Ordering::SeqCst);
         frame.rec_lsn.store(NULL_LSN.0, Ordering::SeqCst);
@@ -347,12 +602,14 @@ impl BufferPool {
 
     /// Write back every dirty page (checkpoint). Frames stay cached.
     pub fn flush_all(&self) -> Result<()> {
-        let frames: Vec<FrameRef> = {
-            let table = self.table.lock();
-            table.values().cloned().collect()
-        };
-        for frame in frames {
-            self.write_back(&frame)?;
+        for shard in &self.shards {
+            let frames: Vec<FrameRef> = {
+                let state = self.lock_shard(shard);
+                state.frames.values().cloned().collect()
+            };
+            for frame in frames {
+                self.write_back(&frame)?;
+            }
         }
         Ok(())
     }
@@ -360,23 +617,37 @@ impl BufferPool {
     /// Current dirty-page table: `(page, recLSN)` pairs, for fuzzy
     /// checkpoint records.
     pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
-        let table = self.table.lock();
-        table
-            .values()
-            .filter(|f| f.is_dirty())
-            .map(|f| (f.id, f.rec_lsn()))
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let state = self.lock_shard(shard);
+            out.extend(
+                state
+                    .frames
+                    .values()
+                    .filter(|f| f.is_dirty())
+                    .map(|f| (f.id, f.rec_lsn())),
+            );
+        }
+        out
     }
 
     /// Drop every cached frame without writing anything (crash
     /// simulation in tests).
     pub fn drop_all_dirty(&self) {
-        self.table.lock().clear();
+        for shard in &self.shards {
+            let mut state = self.lock_shard(shard);
+            let n = state.frames.len();
+            state.frames.clear();
+            self.len.fetch_sub(n, Ordering::Relaxed);
+        }
     }
 
     /// Number of cached frames.
     pub fn cached(&self) -> usize {
-        self.table.lock().len()
+        self.shards
+            .iter()
+            .map(|s| self.lock_shard(s).frames.len())
+            .sum()
     }
 }
 
@@ -430,6 +701,67 @@ mod tests {
             assert_eq!(g.rec_data(g.slot(0)), b"v");
         }
         assert!(f.is_dirty());
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn optimistic_read_sees_committed_writes() {
+        let (_d, _w, pool, db, wal) = setup("optread", 16);
+        let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+        {
+            let mut g = f.write();
+            g.insert_sorted(b"k", b"v", 0).unwrap();
+        }
+        let v = f
+            .try_read_optimistic(|p| p.rec_data(p.slot(0)).to_vec())
+            .expect("no writer active");
+        assert_eq!(v, b"v");
+        // A held write latch makes the counter odd and fails the attempt.
+        let g = f.write();
+        assert!(f.try_read_optimistic(|_| ()).is_none());
+        drop(g);
+        assert!(f.try_read_optimistic(|_| ()).is_some());
+        assert_eq!(f.latch_version() % 2, 0);
+        let _ = std::fs::remove_file(db);
+        let _ = std::fs::remove_file(wal);
+    }
+
+    #[test]
+    fn read_optimistic_falls_back_under_writer() {
+        let (_d, _w, pool, db, wal) = setup("optfall", 16);
+        let f = pool.new_page(PageType::Leaf, 0, 0).unwrap();
+        {
+            let mut g = f.write();
+            g.insert_sorted(b"k", b"v", 0).unwrap();
+        }
+        let metrics = MetricsRegistry::new();
+        // No writer: first attempt validates.
+        let v = f.read_optimistic(&metrics, |p| p.rec_data(p.slot(0)).to_vec());
+        assert_eq!(v, b"v");
+        assert_eq!(metrics.latch.optimistic_reads.get(), 1);
+        assert_eq!(metrics.latch.pessimistic_fallbacks.get(), 0);
+        // Writer holds the latch in another thread: every optimistic
+        // attempt fails and the reader must fall back to the shared
+        // latch, which blocks until the writer releases.
+        let f2 = Arc::clone(&f);
+        let m2 = metrics.clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let writer = std::thread::spawn(move || {
+            let mut g = f2.write();
+            tx.send(()).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            g.insert_sorted(b"k2", b"v2", 0).unwrap();
+        });
+        rx.recv().unwrap();
+        let v = f.read_optimistic(&m2, |p| p.slot_count());
+        assert_eq!(v, 2, "fallback read must see the completed write");
+        assert_eq!(
+            metrics.latch.optimistic_retries.get(),
+            OPTIMISTIC_RETRIES as u64
+        );
+        assert_eq!(metrics.latch.pessimistic_fallbacks.get(), 1);
+        writer.join().unwrap();
         let _ = std::fs::remove_file(db);
         let _ = std::fs::remove_file(wal);
     }

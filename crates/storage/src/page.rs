@@ -91,23 +91,23 @@ impl PageType {
 }
 
 /// An in-memory page image. Always exactly [`PAGE_SIZE`] bytes.
+///
+/// The byte array is stored inline (not boxed) so that a whole-struct
+/// assignment (`*guard = new_page`) rewrites bytes in place instead of
+/// swapping heap allocations — a stability requirement for the buffer
+/// pool's optimistic (seqlock-style) readers, which may race a copy of
+/// the frame's page image against a writer and rely on version
+/// validation (not pointer liveness) to discard torn copies.
+#[derive(Clone)]
 pub struct Page {
-    bytes: Box<[u8; PAGE_SIZE]>,
-}
-
-impl Clone for Page {
-    fn clone(&self) -> Self {
-        Page {
-            bytes: Box::new(*self.bytes),
-        }
-    }
+    bytes: [u8; PAGE_SIZE],
 }
 
 impl Page {
     /// A zeroed page (type `Meta`/0 until formatted).
     pub fn zeroed() -> Page {
         Page {
-            bytes: Box::new([0u8; PAGE_SIZE]),
+            bytes: [0u8; PAGE_SIZE],
         }
     }
 

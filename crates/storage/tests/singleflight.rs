@@ -1,0 +1,215 @@
+//! Singleflight regression tests: concurrent misses on one cold page
+//! must collapse into exactly one disk read, and eviction/re-fetch races
+//! across shards must never surface a stale or torn page image.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use immortaldb_common::{PageId, Result};
+use immortaldb_obs::MetricsRegistry;
+use immortaldb_storage::buffer::BufferPool;
+use immortaldb_storage::disk::DiskManager;
+use immortaldb_storage::page::{Page, PageType};
+use immortaldb_storage::vfs::{StdFs, Vfs, VfsFile};
+use immortaldb_storage::wal::Wal;
+
+/// A VFS whose data-file reads, once armed, stall until the pool's
+/// `buffer.singleflight_waits` counter reaches a target. This pins the
+/// race deterministically: the loader thread cannot complete its disk
+/// read until every other fetcher has parked on the in-flight token.
+struct GateVfs {
+    inner: StdFs,
+    armed: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
+    target_waits: u64,
+}
+
+struct GateFile {
+    inner: Arc<dyn VfsFile>,
+    armed: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
+    target_waits: u64,
+}
+
+impl VfsFile for GateFile {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        if self.armed.load(Ordering::SeqCst) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while self.metrics.buffer.singleflight_waits.get() < self.target_waits {
+                assert!(
+                    Instant::now() < deadline,
+                    "fetchers never parked on the in-flight token"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        self.inner.read_exact_at(buf, offset)
+    }
+    fn write_all_at(&self, data: &[u8], offset: u64) -> Result<()> {
+        self.inner.write_all_at(data, offset)
+    }
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+}
+
+impl Vfs for GateVfs {
+    fn open(&self, path: &Path) -> Result<Arc<dyn VfsFile>> {
+        Ok(Arc::new(GateFile {
+            inner: self.inner.open(path)?,
+            armed: Arc::clone(&self.armed),
+            metrics: self.metrics.clone(),
+            target_waits: self.target_waits,
+        }))
+    }
+    fn read_file(&self, path: &Path) -> Result<Option<Vec<u8>>> {
+        self.inner.read_file(path)
+    }
+    fn write_file_atomic(&self, path: &Path, data: &[u8]) -> Result<()> {
+        self.inner.write_file_atomic(path, data)
+    }
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+fn temp_pair(name: &str) -> (PathBuf, PathBuf) {
+    let mut db = std::env::temp_dir();
+    db.push(format!("immortal-sf-{name}-{}.db", std::process::id()));
+    let mut wal = std::env::temp_dir();
+    wal.push(format!("immortal-sf-{name}-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&wal);
+    (db, wal)
+}
+
+/// Allocate a page on disk whose single record identifies it (data =
+/// page id, repeated), bypassing the pool so it starts cold.
+fn write_cold_page(disk: &DiskManager) -> PageId {
+    let id = disk.allocate().unwrap();
+    let mut page = Page::zeroed();
+    page.format(id, PageType::Leaf, 0, 0);
+    let tag = (id.0 as u8).wrapping_add(1);
+    page.insert_sorted(b"id", &[tag; 32], 0).unwrap();
+    disk.write_page(&page).unwrap();
+    id
+}
+
+fn check_frame(frame: &immortaldb_storage::buffer::Frame, id: PageId) {
+    let g = frame.read();
+    assert_eq!(g.page_id(), id);
+    let tag = (id.0 as u8).wrapping_add(1);
+    assert_eq!(g.rec_data(g.slot(0)), &[tag; 32][..]);
+}
+
+/// K threads fetching one cold page produce exactly one disk read; the
+/// other K-1 park on the singleflight token and share the loaded frame.
+#[test]
+fn concurrent_cold_fetch_issues_one_disk_read() {
+    const K: usize = 8;
+    let (db, wal) = temp_pair("cold");
+    let metrics = MetricsRegistry::new();
+    let armed = Arc::new(AtomicBool::new(false));
+    let vfs = Arc::new(GateVfs {
+        inner: StdFs,
+        armed: Arc::clone(&armed),
+        metrics: metrics.clone(),
+        target_waits: (K - 1) as u64,
+    });
+    let (disk, _) = DiskManager::open_with(vfs, &db).unwrap();
+    let disk = Arc::new(disk);
+    let w = Arc::new(Wal::open(&wal).unwrap());
+    let id = write_cold_page(&disk);
+    let pool = BufferPool::with_config(Arc::clone(&disk), Arc::clone(&w), 16, 4, metrics.clone());
+
+    let reads_before = metrics.disk.reads.get();
+    armed.store(true, Ordering::SeqCst);
+    let frames: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let pool = &pool;
+                scope.spawn(move || pool.fetch(id).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    armed.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        metrics.disk.reads.get() - reads_before,
+        1,
+        "K concurrent misses must collapse into one disk read"
+    );
+    assert_eq!(metrics.buffer.misses.get(), 1);
+    assert_eq!(metrics.buffer.singleflight_waits.get(), (K - 1) as u64);
+    for f in &frames {
+        assert!(Arc::ptr_eq(f, &frames[0]), "all fetchers share one frame");
+        check_frame(f, id);
+    }
+    drop(frames);
+    drop(pool);
+    let _ = std::fs::remove_file(db);
+    let _ = std::fs::remove_file(wal);
+}
+
+/// Eviction/re-fetch race: a tiny pool thrashing over many clean pages
+/// from several threads. Every fetch — whether it hit, waited on an
+/// in-flight load, or re-read an evicted page — must return that page's
+/// own image, and the pool must stay within capacity bounds.
+#[test]
+fn eviction_refetch_race_returns_correct_images() {
+    const PAGES: u32 = 64;
+    const THREADS: u64 = 4;
+    const OPS: u32 = 4_000;
+    let (db, wal) = temp_pair("evict-race");
+    let metrics = MetricsRegistry::new();
+    let (disk, _) = DiskManager::open(&db).unwrap();
+    let disk = Arc::new(disk);
+    let w = Arc::new(Wal::open(&wal).unwrap());
+    let ids: Vec<PageId> = (0..PAGES).map(|_| write_cold_page(&disk)).collect();
+    // Capacity far below the working set: almost every fetch evicts a
+    // clean frame from some shard while other threads re-fetch it.
+    let pool = BufferPool::with_config(Arc::clone(&disk), Arc::clone(&w), 8, 8, metrics.clone());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let ids = &ids;
+            scope.spawn(move || {
+                let mut rng = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..OPS {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let id = ids[(rng % ids.len() as u64) as usize];
+                    let frame = pool.fetch(id).unwrap();
+                    check_frame(&frame, id);
+                }
+            });
+        }
+    });
+
+    assert!(
+        metrics.disk.reads.get() > PAGES as u64,
+        "thrashing must have re-read evicted pages"
+    );
+    assert_eq!(
+        metrics.buffer.fetches.get(),
+        THREADS * OPS as u64,
+        "every fetch accounted"
+    );
+    drop(pool);
+    let _ = std::fs::remove_file(db);
+    let _ = std::fs::remove_file(wal);
+}

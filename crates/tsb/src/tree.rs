@@ -199,7 +199,8 @@ impl TsbTree {
     /// nodes reachable for current-time descents (diagnostics).
     pub fn height(&self) -> Result<u16> {
         let frame = self.pool.fetch(self.root())?;
-        Ok(frame.read().level() + 1)
+        let levels = frame.read().level() + 1;
+        Ok(levels)
     }
 
     // -- descent ------------------------------------------------------------
@@ -223,34 +224,40 @@ impl TsbTree {
 
     /// Descend to the data page covering `(key, t)`, recording the path.
     fn descend(&self, key: &[u8], t: Timestamp) -> Result<(FrameRef, Vec<Step>)> {
+        let metrics = self.pool.metrics();
         let mut steps = Vec::new();
         let mut page_id = self.root();
         loop {
             let frame = self.pool.fetch(page_id)?;
-            let g = frame.read();
-            match g.page_type()? {
-                PageType::Leaf => {
-                    drop(g);
-                    return Ok((frame, steps));
-                }
+            // Optimistic step: validate the version counter around a
+            // latch-free copy; a racing split retries or falls back.
+            let step = frame.read_optimistic(metrics, |g| match g.page_type()? {
+                PageType::Leaf => Ok(None),
                 PageType::Index => {
-                    let i = Self::pick_entry(&g, key, t).ok_or_else(|| {
+                    let i = Self::pick_entry(g, key, t).ok_or_else(|| {
                         Error::Corruption(format!(
                             "TSB index {page_id:?} has no entry covering the key/time"
                         ))
                     })?;
-                    let e = decode_entry(&g, i);
-                    steps.push(Step {
-                        node: page_id,
-                        slot: i,
-                        entry_t_low: e.t_low,
-                    });
-                    page_id = e.child;
-                }
-                other => {
-                    return Err(Error::Corruption(format!(
-                        "TSB descent hit {other:?} page {page_id:?}"
+                    let e = decode_entry(g, i);
+                    Ok(Some((
+                        Step {
+                            node: page_id,
+                            slot: i,
+                            entry_t_low: e.t_low,
+                        },
+                        e.child,
                     )))
+                }
+                other => Err(Error::Corruption(format!(
+                    "TSB descent hit {other:?} page {page_id:?}"
+                ))),
+            })?;
+            match step {
+                None => return Ok((frame, steps)),
+                Some((s, child)) => {
+                    steps.push(s);
+                    page_id = child;
                 }
             }
         }
@@ -272,34 +279,36 @@ impl TsbTree {
         // (time splits keep them there); a temporal descent at `as_of`
         // would route past them after a concurrent time split, so check
         // the current page first when reading on behalf of a transaction.
+        let metrics = self.pool.metrics();
         if let Some(own) = own_tid {
             let (frame, _) = self.descend(key, Timestamp::MAX)?;
-            let g = frame.read();
-            if let Ok(i) = g.find_slot(key) {
-                let has_own = version::chain_offsets(&g, i)
+            let own_read = frame.read_optimistic(metrics, |g| {
+                let i = g.find_slot(key).ok()?;
+                let has_own = version::chain_offsets(g, i)
                     .iter()
                     .any(|&off| g.rec_is_tid_marked(off) && g.rec_tid(off) == own);
-                if has_own {
-                    return Ok(
-                        match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
-                            Visible::Version(off) => Some(g.rec_data(off).to_vec()),
-                            Visible::Deleted | Visible::NotHere => None,
-                        },
-                    );
+                if !has_own {
+                    return None;
                 }
+                Some(
+                    match version::visible_as_of(g, i, as_of, own_tid, resolver) {
+                        Visible::Version(off) => Some(g.rec_data(off).to_vec()),
+                        Visible::Deleted | Visible::NotHere => None,
+                    },
+                )
+            });
+            if let Some(r) = own_read {
+                return Ok(r);
             }
         }
         let (frame, _) = self.descend(key, as_of)?;
-        let g = frame.read();
-        let Ok(i) = g.find_slot(key) else {
-            return Ok(None);
-        };
-        Ok(
-            match version::visible_as_of(&g, i, as_of, own_tid, resolver) {
+        Ok(frame.read_optimistic(metrics, |g| {
+            let i = g.find_slot(key).ok()?;
+            match version::visible_as_of(g, i, as_of, own_tid, resolver) {
                 Visible::Version(off) => Some(g.rec_data(off).to_vec()),
                 Visible::Deleted | Visible::NotHere => None,
-            },
-        )
+            }
+        }))
     }
 
     /// Current version of `key`.
@@ -822,6 +831,16 @@ impl TsbTree {
 
     fn split_for(&self, key: &[u8], need: usize, resolver: &dyn TimestampResolver) -> Result<()> {
         let _s = self.structure.write();
+        // Sample the split-time bound BEFORE the stamping pass below: a
+        // transaction still in flight while we stamp leaves TID-marked
+        // versions in the page, and sampling afterwards could observe it
+        // retired and lift the bound above its commit timestamp — the
+        // time split would then set the fresh page's start past versions
+        // that stay current (case 4), stranding them from every AS OF
+        // read at their commit time. Sampling first pins the bound at or
+        // below any commit the stamping pass can leave unstamped.
+        let mut split_ts = self.split_time.current_split_ts();
+        let max_safe_ts = self.split_time.max_safe_split_ts();
         let (leaf_frame, steps) = self.descend(key, Timestamp::MAX)?;
         let leaf_id = leaf_frame.page_id();
         let mut leaf: Page = {
@@ -846,14 +865,13 @@ impl TsbTree {
         let leaf_key_low = self.region_low(&steps)?;
 
         // 1. time split (sheds history to a new historical page).
-        let mut split_ts = self.split_time.current_split_ts();
         if split_ts <= leaf.start_ts() {
             split_ts = Timestamp::new(leaf.start_ts().ttime, leaf.start_ts().sn + 1);
         }
         // Never split past the source's safe bound: an in-flight commit's
         // TID-marked versions stay in the current page and must not end
         // up below its start timestamp.
-        let safe = split_ts <= self.split_time.max_safe_split_ts();
+        let safe = split_ts <= max_safe_ts;
         if safe && version::time_split_gain(&leaf, split_ts) > 0 {
             let hist_id = self.pool.disk().allocate()?;
             let (hist, fresh) = version::time_split(&leaf, split_ts, hist_id)?;
@@ -1040,7 +1058,8 @@ impl TsbTree {
             return Ok(p.level());
         }
         let frame = self.pool.fetch(id)?;
-        Ok(frame.read().level())
+        let level = frame.read().level();
+        Ok(level)
     }
 
     /// Split a full index node held in `halves.current`. Returns the

@@ -98,6 +98,27 @@ impl CommitHorizon {
     pub fn min_in_flight(&self) -> Option<Timestamp> {
         self.inner.lock().in_flight.front().map(|(t, _)| *t)
     }
+
+    /// Time-split boundary that no commit timestamp — issued or future —
+    /// can undercut: the oldest in-flight commit timestamp, or the
+    /// authority's next-timestamp lower bound when the pipeline is empty.
+    ///
+    /// The two reads must be one atomic sample: checking `min_in_flight`
+    /// and *then* consulting the authority leaves a window where a commit
+    /// issues its timestamp in between, so the authority's bound lands
+    /// *above* that in-flight commit. A time split using such a boundary
+    /// keeps the commit's TID-marked versions in the current page (split
+    /// case 4) while pushing the page's start time past their eventual
+    /// commit timestamp — stranding them from every future AS OF read at
+    /// that time. Holding the horizon lock here closes the window, because
+    /// `issue` registers new commits under the same lock.
+    pub fn safe_split_ts(&self, authority: &TimestampAuthority) -> Timestamp {
+        let g = self.inner.lock();
+        match g.in_flight.front() {
+            Some((t, _)) => *t,
+            None => authority.current_split_ts(),
+        }
+    }
 }
 
 /// Split-time source that respects the commit pipeline: a time split must
@@ -121,10 +142,7 @@ impl HorizonSplitSource {
     }
 
     fn safe_split_ts(&self) -> Timestamp {
-        match self.horizon.min_in_flight() {
-            Some(t) => t,
-            None => self.authority.current_split_ts(),
-        }
+        self.horizon.safe_split_ts(&self.authority)
     }
 }
 
@@ -197,6 +215,26 @@ mod tests {
         h.retire(t2);
         assert_eq!(h.min_in_flight(), None);
         assert!(src.current_split_ts() > t2);
+    }
+
+    #[test]
+    fn safe_split_ts_pins_to_oldest_in_flight() {
+        let auth = authority();
+        let h = CommitHorizon::new();
+        // Empty pipeline: the authority's bound, above everything issued.
+        let t1 = h.issue(&auth);
+        h.retire(t1);
+        assert!(h.safe_split_ts(&auth) > t1);
+        // In flight: clamped to the oldest unretired commit, in one
+        // atomic sample (issue shares the lock, so no commit can slip
+        // between the emptiness check and the authority read).
+        let t2 = h.issue(&auth);
+        let t3 = h.issue(&auth);
+        assert_eq!(h.safe_split_ts(&auth), t2);
+        h.retire(t2);
+        assert_eq!(h.safe_split_ts(&auth), t3);
+        h.retire(t3);
+        assert!(h.safe_split_ts(&auth) > t3);
     }
 
     #[test]

@@ -72,8 +72,17 @@ fn open(name: &str, grouped: bool) -> (Arc<Database>, std::path::PathBuf) {
 }
 
 /// Run the workload for one seed and return every violation found.
-fn check_one(seed: u64, grouped: bool) -> Vec<String> {
-    let (db, dir) = open(&format!("{seed}-{grouped}"), grouped);
+///
+/// `readers` adds that many dedicated read-only threads running
+/// concurrently with the writers: snapshot transactions doing multi-read
+/// batches plus `AS OF` transactions replaying a random already-logged
+/// commit timestamp. Their reads are logged like everyone else's (an
+/// `AS OF` transaction is logged with the pinned timestamp as its
+/// snapshot) and verified by the same offline snapshot-read rule. This
+/// drives the optimistic read path of DESIGN.md §11 underneath the
+/// timestamp checker.
+fn check_one(seed: u64, grouped: bool, readers: usize) -> Vec<String> {
+    let (db, dir) = open(&format!("{seed}-{grouped}-{readers}"), grouped);
     {
         let mut s = Session::new(&db);
         s.execute(&format!(
@@ -94,11 +103,107 @@ fn check_one(seed: u64, grouped: bool) -> Vec<String> {
 
     let logs: Arc<Mutex<Vec<TxnLog>>> = Arc::new(Mutex::new(Vec::new()));
     let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let writers_left = Arc::new(std::sync::atomic::AtomicU64::new(THREADS));
+    let reader_reads = Arc::new(std::sync::atomic::AtomicU64::new(0));
     std::thread::scope(|scope| {
+        for r in 0..readers {
+            let db = Arc::clone(&db);
+            let logs = Arc::clone(&logs);
+            let seq = Arc::clone(&seq);
+            let writers_left = Arc::clone(&writers_left);
+            let reader_reads = Arc::clone(&reader_reads);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(r as u64));
+                while writers_left.load(std::sync::atomic::Ordering::Acquire) > 0 {
+                    // A read-only snapshot transaction with a batch of
+                    // point reads, logged like any writer transaction.
+                    let mut txn = db.begin(Isolation::Snapshot);
+                    let seq_begin = seq.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let mut events = Vec::new();
+                    let mut seq_events = Vec::new();
+                    for _ in 0..rng.gen_range(4..9) {
+                        let k = rng.gen_range(0..KEYS);
+                        let row = db.get_row(&mut txn, TABLE, &Value::Int(k)).unwrap();
+                        let v = row.map(|r| match r[1] {
+                            Value::BigInt(v) => v,
+                            ref other => panic!("bad value {other:?}"),
+                        });
+                        events.push(Event::Read(k, v));
+                        seq_events.push(seq.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
+                    }
+                    reader_reads
+                        .fetch_add(events.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                    let snapshot = txn.snapshot();
+                    let tid = txn.tid().0;
+                    let ts = db.commit(&mut txn).unwrap();
+                    let seq_commit = seq.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    logs.lock().unwrap().push(TxnLog {
+                        tid,
+                        snapshot,
+                        commit_ts: ts,
+                        events,
+                        seq_begin,
+                        seq_events,
+                        seq_commit,
+                    });
+
+                    // An AS OF replay pinned at a random commit timestamp
+                    // observed so far; the pinned timestamp plays the role
+                    // of the snapshot in the offline read check. Only
+                    // timestamps at or below the snapshot watermark just
+                    // observed are eligible: commits complete out of
+                    // timestamp order under group commit, so a logged
+                    // timestamp above the watermark may still have
+                    // in-flight commits below it whose versions an AS OF
+                    // read cannot see yet.
+                    let as_of = {
+                        let logs = logs.lock().unwrap();
+                        let eligible: Vec<Timestamp> = logs
+                            .iter()
+                            .map(|l| l.commit_ts)
+                            .filter(|ts| *ts <= snapshot)
+                            .collect();
+                        if eligible.is_empty() {
+                            continue;
+                        }
+                        eligible[rng.gen_range(0..eligible.len())]
+                    };
+                    let mut txn = db.begin_as_of_ts(as_of);
+                    let seq_begin = seq.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let mut events = Vec::new();
+                    let mut seq_events = Vec::new();
+                    for _ in 0..rng.gen_range(2..5) {
+                        let k = rng.gen_range(0..KEYS);
+                        let row = db.get_row(&mut txn, TABLE, &Value::Int(k)).unwrap();
+                        let v = row.map(|r| match r[1] {
+                            Value::BigInt(v) => v,
+                            ref other => panic!("bad value {other:?}"),
+                        });
+                        events.push(Event::Read(k, v));
+                        seq_events.push(seq.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
+                    }
+                    reader_reads
+                        .fetch_add(events.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                    let tid = txn.tid().0;
+                    db.commit(&mut txn).unwrap();
+                    let seq_commit = seq.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    logs.lock().unwrap().push(TxnLog {
+                        tid,
+                        snapshot: as_of,
+                        commit_ts: as_of,
+                        events,
+                        seq_begin,
+                        seq_events,
+                        seq_commit,
+                    });
+                }
+            });
+        }
         for t in 0..THREADS {
             let db = Arc::clone(&db);
             let logs = Arc::clone(&logs);
             let seq = Arc::clone(&seq);
+            let writers_left = Arc::clone(&writers_left);
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(1009).wrapping_add(t));
                 // Monotone per thread so every write attempt carries a
@@ -181,9 +286,16 @@ fn check_one(seed: u64, grouped: bool) -> Vec<String> {
                         Err(e) => panic!("commit failed: {e}"),
                     }
                 }
+                writers_left.fetch_sub(1, std::sync::atomic::Ordering::Release);
             });
         }
     });
+    if readers > 0 {
+        assert!(
+            reader_reads.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "concurrent readers never read"
+        );
+    }
 
     let logs = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
     let mut violations = Vec::new();
@@ -362,7 +474,7 @@ fn check_one(seed: u64, grouped: bool) -> Vec<String> {
 #[test]
 fn isolation_checker_group_commit_enabled() {
     for seed in [11u64, 22, 33] {
-        let violations = check_one(seed, true);
+        let violations = check_one(seed, true, 0);
         assert!(
             violations.is_empty(),
             "seed {seed} (grouped): {} violations:\n{}",
@@ -375,10 +487,26 @@ fn isolation_checker_group_commit_enabled() {
 #[test]
 fn isolation_checker_per_commit_fsync() {
     for seed in [44u64, 55] {
-        let violations = check_one(seed, false);
+        let violations = check_one(seed, false, 0);
         assert!(
             violations.is_empty(),
             "seed {seed} (per-commit): {} violations:\n{}",
+            violations.len(),
+            violations.join("\n")
+        );
+    }
+}
+
+/// Concurrent-readers mode: dedicated snapshot/AS OF reader threads race
+/// the writer workload through the optimistic page-latch read path while
+/// the offline timestamp checker audits every observation.
+#[test]
+fn isolation_checker_concurrent_readers() {
+    for seed in [66u64, 77] {
+        let violations = check_one(seed, true, 3);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} (concurrent readers): {} violations:\n{}",
             violations.len(),
             violations.join("\n")
         );
