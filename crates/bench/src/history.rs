@@ -1,0 +1,249 @@
+//! **History sweep** — bytes/version and deep `AS OF` latency before and
+//! after a history-compaction pass, at several chain depths.
+//!
+//! Each depth builds a chain-indexed table whose keys are updated
+//! `depth` times with a mostly-stable ~120-byte payload, with time-split
+//! packing disabled so the version store holds full record images — the
+//! engine's behaviour before delta chains existed. One
+//! [`immortaldb::Database::compact_history`] pass then rewrites the
+//! history pages as delta chains (anchor every 8 versions) and merges
+//! single-referrer chain pages.
+//!
+//! The artifact records, per depth, the bytes/version of the version
+//! store and the per-read latency of point-in-time lookups sampled
+//! across the whole history, for both states. Acceptance (ISSUE 9): at
+//! depth ≥ 100, compaction must cut bytes/version by ≥ 2x without an
+//! AS OF latency regression.
+
+use std::sync::Arc;
+
+use immortaldb::{Database, DbConfig, Durability, Session, SimClock, Timestamp, Value};
+
+use crate::harness::print_table;
+
+pub struct DepthRow {
+    pub depth: u32,
+    pub keys: u32,
+    /// Committed versions in the version store (history + current).
+    pub versions: u64,
+    pub baseline_bpv: f64,
+    pub packed_bpv: f64,
+    pub baseline_pages: u64,
+    pub packed_pages: u64,
+    pub pages_rewritten: u64,
+    pub pages_freed: u64,
+    pub baseline_asof_us: f64,
+    pub packed_asof_us: f64,
+}
+
+impl DepthRow {
+    pub fn reduction(&self) -> f64 {
+        self.baseline_bpv / self.packed_bpv.max(f64::EPSILON)
+    }
+
+    pub fn latency_ratio(&self) -> f64 {
+        self.packed_asof_us / self.baseline_asof_us.max(f64::EPSILON)
+    }
+}
+
+pub struct HistoryResult {
+    pub rows: Vec<DepthRow>,
+}
+
+fn payload(seq: u32, oid: u32) -> String {
+    // Mostly-stable payload: only the leading counter changes between
+    // versions, so consecutive versions share a long common suffix.
+    format!("{seq:06}-{oid:02}-{}", "p".repeat(120))
+}
+
+/// Point-in-time reads sampled uniformly across the commit history;
+/// returns mean µs/read.
+fn asof_sweep(db: &Database, commits: &[(Timestamp, u32)], reads: usize) -> f64 {
+    let t0 = std::time::Instant::now();
+    for i in 0..reads {
+        let (ts, oid) = commits[i * (commits.len() - 1) / (reads - 1).max(1)];
+        let mut txn = db.begin_as_of_ts(ts);
+        let row = db
+            .get_row(&mut txn, "Hist", &Value::Int(oid as i32))
+            .expect("as of read");
+        db.rollback(&mut txn).expect("rollback");
+        assert!(row.is_some(), "AS OF read at {ts:?} found nothing");
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reads as f64
+}
+
+fn run_depth(depth: u32, keys: u32, reads: usize) -> DepthRow {
+    let dir = std::env::temp_dir().join(format!(
+        "immortal-bench-history-{depth}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Small pool: deep history does not stay resident, so both read
+    // sweeps pay real page fetches.
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let db = Database::open(
+        DbConfig::new(&dir)
+            .pool_pages(64)
+            .durability(Durability::Buffered)
+            .clock(clock.clone()),
+    )
+    .expect("open bench db");
+    let mut s = Session::new(&db);
+    s.execute("CREATE IMMORTAL TABLE Hist (Oid INT PRIMARY KEY, Seq INT, Pad VARCHAR(160))")
+        .expect("create table");
+
+    // Build with time-split packing off: history pages keep full record
+    // images, exactly what the engine wrote before delta chains.
+    let was = immortaldb_storage::version::set_history_packing(false);
+
+    let mut txn = db.begin(immortaldb::Isolation::Serializable);
+    let rows: Vec<Vec<Value>> = (0..keys)
+        .map(|oid| {
+            vec![
+                Value::Int(oid as i32),
+                Value::Int(0),
+                Value::Varchar(payload(0, oid)),
+            ]
+        })
+        .collect();
+    db.insert_rows(&mut txn, "Hist", rows).expect("seed rows");
+    let seed_ts = db.commit(&mut txn).expect("commit seed");
+    clock.advance(20);
+
+    let mut commits: Vec<(Timestamp, u32)> = (0..keys).map(|oid| (seed_ts, oid)).collect();
+    for seq in 1..=depth {
+        for oid in 0..keys {
+            let mut txn = db.begin(immortaldb::Isolation::Serializable);
+            db.update_row(
+                &mut txn,
+                "Hist",
+                vec![
+                    Value::Int(oid as i32),
+                    Value::Int(seq as i32),
+                    Value::Varchar(payload(seq, oid)),
+                ],
+            )
+            .expect("update");
+            commits.push((db.commit(&mut txn).expect("commit"), oid));
+            clock.advance(20);
+        }
+    }
+    // Stamp everything so the version store holds no TID-marked
+    // records (compaction skips pages with in-flight versions).
+    db.vacuum().expect("vacuum");
+    immortaldb_storage::version::set_history_packing(was);
+
+    let before = db.history_stats().expect("history stats");
+    let baseline_asof_us = asof_sweep(&db, &commits, reads);
+
+    let stats = db.compact_history().expect("compact");
+
+    let after = db.history_stats().expect("history stats");
+    let packed_asof_us = asof_sweep(&db, &commits, reads);
+
+    let row = DepthRow {
+        depth,
+        keys,
+        versions: after.versions,
+        baseline_bpv: before.bytes_per_version(),
+        packed_bpv: after.bytes_per_version(),
+        baseline_pages: before.history_pages,
+        packed_pages: after.history_pages,
+        pages_rewritten: stats.pages_rewritten,
+        pages_freed: stats.pages_freed,
+        baseline_asof_us,
+        packed_asof_us,
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    row
+}
+
+pub fn run(quick: bool) -> HistoryResult {
+    let depths: &[u32] = if quick { &[10, 100] } else { &[10, 100, 500] };
+    let keys = if quick { 6 } else { 8 };
+    let reads = if quick { 60 } else { 120 };
+    let rows = depths.iter().map(|&d| run_depth(d, keys, reads)).collect();
+    HistoryResult { rows }
+}
+
+pub fn report(r: &HistoryResult) {
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|d| {
+            vec![
+                format!("{}", d.depth),
+                format!("{}", d.versions),
+                format!("{:.1}", d.baseline_bpv),
+                format!("{:.1}", d.packed_bpv),
+                format!("{:.2}x", d.reduction()),
+                format!("{} -> {}", d.baseline_pages, d.packed_pages),
+                format!("{:.1}", d.baseline_asof_us),
+                format!("{:.1}", d.packed_asof_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "History sweep: version-store size and deep AS OF reads, before/after compaction",
+        &[
+            "depth",
+            "versions",
+            "bytes/ver",
+            "packed b/v",
+            "reduction",
+            "hist pages",
+            "as-of us",
+            "packed us",
+        ],
+        &rows,
+    );
+    for d in &r.rows {
+        println!(
+            "depth {:>4}: {} pages rewritten, {} freed; latency ratio {:.2} \
+             (acceptance at depth>=100: reduction >= 2x, no AS OF regression)",
+            d.depth,
+            d.pages_rewritten,
+            d.pages_freed,
+            d.latency_ratio()
+        );
+    }
+}
+
+pub fn result_json(r: &HistoryResult, quick: bool) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"depth\":{},\"keys\":{},\"versions\":{},\
+                 \"baseline_bpv\":{:.2},\"packed_bpv\":{:.2},\"reduction\":{:.2},\
+                 \"baseline_pages\":{},\"packed_pages\":{},\
+                 \"pages_rewritten\":{},\"pages_freed\":{},\
+                 \"baseline_asof_us\":{:.2},\"packed_asof_us\":{:.2},\
+                 \"latency_ratio\":{:.3}}}",
+                d.depth,
+                d.keys,
+                d.versions,
+                d.baseline_bpv,
+                d.packed_bpv,
+                d.reduction(),
+                d.baseline_pages,
+                d.packed_pages,
+                d.pages_rewritten,
+                d.pages_freed,
+                d.baseline_asof_us,
+                d.packed_asof_us,
+                d.latency_ratio()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"history\",\"quick\":{quick},\"rows\":[{}]}}\n",
+        rows.join(",")
+    )
+}

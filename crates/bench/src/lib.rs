@@ -10,6 +10,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod group_commit;
 pub mod harness;
+pub mod history;
 pub mod netbench;
 pub mod read_scaling;
 pub mod replbench;

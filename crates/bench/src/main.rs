@@ -2,7 +2,7 @@
 //! plus the ablations.
 //!
 //! ```text
-//! immortaldb-bench [--quick] [fig5|fig6|gc|net|repl|temporal|read-scaling|a1|a2|a3|a4|a5|all]
+//! immortaldb-bench [--quick] [fig5|fig6|gc|net|repl|temporal|history|read-scaling|a1|a2|a3|a4|a5|all]
 //! ```
 //!
 //! Figure runs additionally write machine-readable `BENCH_<figure>.json`
@@ -10,7 +10,7 @@
 //! directory.
 
 use immortaldb_bench::{
-    ablations, fig5, fig6, group_commit, netbench, read_scaling, replbench, temporal,
+    ablations, fig5, fig6, group_commit, history, netbench, read_scaling, replbench, temporal,
 };
 use immortaldb_obs::MetricsSnapshot;
 
@@ -111,6 +111,11 @@ fn main() {
         let r = temporal::run(quick);
         temporal::report(&r);
         write_artifact("BENCH_temporal.json", &temporal::result_json(&r, quick));
+    }
+    if wants("history") {
+        let r = history::run(quick);
+        history::report(&r);
+        write_artifact("BENCH_history.json", &history::result_json(&r, quick));
     }
     if wants("read-scaling") || wants("read_scaling") {
         let r = read_scaling::run(quick);

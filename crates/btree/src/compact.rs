@@ -1,0 +1,338 @@
+//! Background history compaction: rewrite cold historical pages with
+//! delta-packed version chains and merge under-filled chain neighbours,
+//! returning emptied pages to the disk manager's free list.
+//!
+//! History pages are immutable to the rest of the engine (time splits
+//! only ever *create* them), so the compactor is the single writer. A
+//! pass runs under the tree's structure **write** latch — the same
+//! exclusion splits use — so no reader can be mid-hop on a page the pass
+//! merges away, and every key→page routing it observes is stable. Two
+//! further rules keep merging safe:
+//!
+//! * an older chain page `Q` is merged into its newer neighbour `P` only
+//!   when `Q` has exactly ONE referrer (key splits make sibling leaves
+//!   share history chains; a shared page must keep its identity);
+//! * the surviving page keeps its page id, so nothing that points at it
+//!   (leaf history pointers, other chain pages) needs rewriting beyond
+//!   the one predecessor.
+//!
+//! Every page the pass changes — rewritten chain pages and the
+//! [`PageType::Free`] images of merged-away pages — goes into a single
+//! [`LogRecord::PageImages`] record per leaf chain, so recovery and
+//! replicas replay the compaction byte-for-byte, and a torn multi-page
+//! write is repaired from the log like any other structure modification.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use immortaldb_common::{PageId, Result, Tid, NULL_LSN, PAGE_SIZE};
+use immortaldb_storage::logrec::LogRecord;
+use immortaldb_storage::page::{Page, PageType, HEADER_SIZE};
+use immortaldb_storage::version::{self, ChainVersion, PackCounts};
+
+use crate::tree::BTree;
+
+/// What one compaction pass over a tree did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionStats {
+    /// Historical pages rewritten (in place or as merge survivors).
+    pub pages_rewritten: u64,
+    /// Historical pages emptied by merging and freed.
+    pub pages_freed: u64,
+    /// Bytes of page occupancy reclaimed (packing + merging).
+    pub bytes_reclaimed: u64,
+    /// Full / delta records written while packing.
+    pub counts: PackCounts,
+}
+
+impl CompactionStats {
+    pub fn add(&mut self, other: CompactionStats) {
+        self.pages_rewritten += other.pages_rewritten;
+        self.pages_freed += other.pages_freed;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+        self.counts.add(other.counts);
+    }
+}
+
+/// Shape of a tree's version store (for `version.bytes_per_version`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistoryStats {
+    /// Distinct historical pages reachable from current leaves.
+    pub history_pages: u64,
+    /// Versions stored on those pages.
+    pub versions: u64,
+    /// Bytes occupied on those pages (records + slots, not headers).
+    pub used_bytes: u64,
+}
+
+impl HistoryStats {
+    pub fn add(&mut self, other: HistoryStats) {
+        self.history_pages += other.history_pages;
+        self.versions += other.versions;
+        self.used_bytes += other.used_bytes;
+    }
+
+    /// Mean occupied bytes per stored version (0 when empty).
+    pub fn bytes_per_version(&self) -> f64 {
+        if self.versions == 0 {
+            0.0
+        } else {
+            self.used_bytes as f64 / self.versions as f64
+        }
+    }
+}
+
+/// Occupied bytes of a page: records plus slot array, headers excluded.
+pub fn page_used_bytes(p: &Page) -> usize {
+    PAGE_SIZE - HEADER_SIZE - p.total_free()
+}
+
+/// Does the page hold any TID-marked (not-yet-stamped) record? History
+/// pages never should — time splits move only stamped committed
+/// versions — but an unexpected one makes the page ineligible rather
+/// than corrupting a timestamp.
+pub fn page_has_tid_marked(p: &Page) -> bool {
+    for i in 0..p.slot_count() {
+        for off in version::chain_offsets(p, i) {
+            if p.rec_is_tid_marked(off) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Rebuild one historical page from the chains of `srcs` (newest page
+/// first), delta-packed, onto a fresh image that keeps `id`. Chains of
+/// the same key concatenate across pages; the boundary version a time
+/// split copied into both pages is deduplicated by timestamp. Fails with
+/// `PageFull` when the combined content does not fit.
+pub fn pack_history_pages(srcs: &[&Page], id: PageId) -> Result<(Page, PackCounts)> {
+    let newest = srcs[0];
+    let oldest = srcs[srcs.len() - 1];
+    let mut chains: BTreeMap<Vec<u8>, Vec<ChainVersion>> = BTreeMap::new();
+    for p in srcs {
+        for i in 0..p.slot_count() {
+            let key = p.rec_key(p.slot(i)).to_vec();
+            let (vers, _) = version::materialize_chain(p, i)?;
+            let chain = chains.entry(key).or_default();
+            for v in vers {
+                // Chains are newest-first and timestamps strictly
+                // decrease, so a spanning duplicate can only collide with
+                // the version appended immediately before it.
+                if chain
+                    .last()
+                    .is_some_and(|l| l.ttime == v.ttime && l.sn == v.sn)
+                {
+                    continue;
+                }
+                chain.push(v);
+            }
+        }
+    }
+    let mut dst = Page::zeroed();
+    dst.format(id, PageType::Leaf, newest.flags(), 0);
+    dst.set_start_ts(oldest.start_ts());
+    dst.set_end_ts(newest.end_ts());
+    dst.set_history_page(oldest.history_page());
+    dst.set_next_leaf(newest.next_leaf());
+    let mut counts = PackCounts::default();
+    for (key, vers) in &chains {
+        counts.add(version::pack_chain_into(&mut dst, key, vers)?);
+    }
+    Ok((dst, counts))
+}
+
+impl BTree {
+    /// Compact this tree's history chains: rewrite every reachable
+    /// historical page delta-packed and merge single-referrer older
+    /// pages into their newer neighbours, freeing the emptied pages.
+    /// Runs under the structure write latch; concurrent reads and writes
+    /// wait for the pass, exactly as they do for a split.
+    pub fn compact_history(&self) -> Result<CompactionStats> {
+        let mut stats = CompactionStats::default();
+        if !self.versioned {
+            return Ok(stats);
+        }
+        let _c = self.compacting.lock();
+        let _s = self.structure.write();
+        let leaves = self.leaves_with_bounds()?;
+
+        // Walk every chain once: count in-edges (a page referenced by two
+        // sibling leaves after a key split must survive with its id).
+        let mut in_edges: HashMap<PageId, u32> = HashMap::new();
+        let mut chains: Vec<Vec<PageId>> = Vec::new();
+        let mut visited: HashSet<PageId> = HashSet::new();
+        for (leaf_id, _) in &leaves {
+            let mut chain = Vec::new();
+            let mut h = {
+                let f = self.pool.fetch(*leaf_id)?;
+                let g = f.read();
+                g.history_page()
+            };
+            while h.is_valid() {
+                *in_edges.entry(h).or_default() += 1;
+                if !visited.insert(h) {
+                    break; // suffix already walked via a sibling leaf
+                }
+                chain.push(h);
+                let f = self.pool.fetch(h)?;
+                h = f.read().history_page();
+            }
+            if !chain.is_empty() {
+                chains.push(chain);
+            }
+        }
+
+        let mut processed: HashSet<PageId> = HashSet::new();
+        for chain in chains {
+            stats.add(self.compact_chain(&chain, &in_edges, &mut processed)?);
+        }
+
+        let m = self.pool.metrics();
+        m.compaction.pages_rewritten.add(stats.pages_rewritten);
+        m.compaction.pages_freed.add(stats.pages_freed);
+        m.compaction.bytes_reclaimed.add(stats.bytes_reclaimed);
+        m.version.anchors_written.add(stats.counts.anchors);
+        m.version.deltas_written.add(stats.counts.deltas);
+        Ok(stats)
+    }
+
+    /// Compact one leaf's history chain (newest page first). Caller holds
+    /// the structure write latch and the compacting mutex.
+    fn compact_chain(
+        &self,
+        chain: &[PageId],
+        in_edges: &HashMap<PageId, u32>,
+        processed: &mut HashSet<PageId>,
+    ) -> Result<CompactionStats> {
+        let mut stats = CompactionStats::default();
+        let mut images: Vec<Page> = Vec::new();
+        let mut freed: Vec<PageId> = Vec::new();
+
+        let mut idx = 0;
+        while idx < chain.len() {
+            let pid = chain[idx];
+            if !processed.insert(pid) {
+                break; // shared suffix: a sibling's pass already took it
+            }
+            let page = {
+                let f = self.pool.fetch(pid)?;
+                let g = f.read();
+                g.clone()
+            };
+            if page_has_tid_marked(&page) {
+                idx += 1;
+                continue;
+            }
+            let before = page_used_bytes(&page);
+            let (mut packed, mut counts) = pack_history_pages(&[&page], pid)?;
+            let mut absorbed_pages: Vec<Page> = Vec::new();
+            // Greedily pull in older single-referrer neighbours while the
+            // combined content still fits in one page.
+            let mut next = idx + 1;
+            while next < chain.len()
+                && in_edges.get(&chain[next]).copied().unwrap_or(0) == 1
+                && !processed.contains(&chain[next])
+            {
+                let q = {
+                    let f = self.pool.fetch(chain[next])?;
+                    let g = f.read();
+                    g.clone()
+                };
+                if page_has_tid_marked(&q) {
+                    break;
+                }
+                absorbed_pages.push(q);
+                let mut srcs: Vec<&Page> = vec![&page];
+                srcs.extend(absorbed_pages.iter());
+                match pack_history_pages(&srcs, pid) {
+                    Ok((merged, c)) => {
+                        packed = merged;
+                        counts = c;
+                        next += 1;
+                    }
+                    Err(immortaldb_common::Error::PageFull) => {
+                        absorbed_pages.pop();
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let merged_n = next - idx - 1;
+            let after = page_used_bytes(&packed);
+            let absorbed_before: usize = absorbed_pages.iter().map(page_used_bytes).sum();
+            if merged_n == 0 && after >= before {
+                idx += 1; // nothing to gain: leave the page untouched
+                continue;
+            }
+            stats.pages_rewritten += 1;
+            stats.pages_freed += merged_n as u64;
+            stats.bytes_reclaimed += (before + absorbed_before).saturating_sub(after) as u64;
+            stats.counts.add(counts);
+            images.push(packed);
+            for p in chain[idx + 1..next].iter() {
+                processed.insert(*p);
+                let mut free = Page::zeroed();
+                free.format(*p, PageType::Free, 0, 0);
+                images.push(free);
+                freed.push(*p);
+            }
+            idx = next;
+        }
+
+        if images.is_empty() {
+            return Ok(stats);
+        }
+        // One atomic multi-page image record per chain (same redo-only
+        // nested-top-action shape as a split).
+        let rec = LogRecord::PageImages {
+            pages: images
+                .iter()
+                .map(|p| (p.page_id(), p.as_bytes().to_vec()))
+                .collect(),
+        };
+        let lsn = self.wal.append(Tid::SYSTEM, NULL_LSN, &rec);
+        for mut image in images {
+            let id = image.page_id();
+            image.set_page_lsn(lsn);
+            let frame = self.pool.fetch(id)?;
+            let mut g = frame.write();
+            *g = image;
+            frame.mark_dirty(lsn);
+        }
+        for id in freed {
+            self.pool.disk().free_page(id);
+        }
+        Ok(stats)
+    }
+
+    /// Measure the version store: every historical page reachable from a
+    /// current leaf, its occupied bytes, and the versions stored there.
+    pub fn history_stats(&self) -> Result<HistoryStats> {
+        let mut out = HistoryStats::default();
+        if !self.versioned {
+            return Ok(out);
+        }
+        let _s = self.structure.read();
+        let leaves = self.leaves_with_bounds()?;
+        let mut visited: HashSet<PageId> = HashSet::new();
+        for (leaf_id, _) in &leaves {
+            let mut h = {
+                let f = self.pool.fetch(*leaf_id)?;
+                let g = f.read();
+                g.history_page()
+            };
+            while h.is_valid() && visited.insert(h) {
+                let f = self.pool.fetch(h)?;
+                let g = f.read();
+                out.history_pages += 1;
+                out.used_bytes += page_used_bytes(&g) as u64;
+                for i in 0..g.slot_count() {
+                    out.versions += version::chain_offsets(&g, i).len() as u64;
+                }
+                h = g.history_page();
+            }
+        }
+        Ok(out)
+    }
+}

@@ -16,10 +16,14 @@
 //! buffer pool. This favours simplicity and matches the single-writer
 //! experiments of the paper; latch crabbing would be the next step.
 
+mod compact;
 mod read;
 mod split;
 mod tree;
 
+pub use compact::{
+    pack_history_pages, page_has_tid_marked, page_used_bytes, CompactionStats, HistoryStats,
+};
 pub use read::{
     collect_chain_window, trim_version_window, HistoryVersion, ScanItem, StorageStats,
     TemporalVersion,

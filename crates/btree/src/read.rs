@@ -62,6 +62,8 @@ pub struct TemporalVersion {
 /// newest version below `lo` (the *base* — the state a reader at `lo`
 /// would see). Chains are newest-first, so the walk stops at the first
 /// below-window version. Unresolved (still-active) versions are skipped.
+/// Walks with a [`version::ChainWalker`] so delta-encoded records in
+/// historical pages materialize; returns the number of delta folds.
 pub fn collect_chain_window(
     page: &Page,
     i: usize,
@@ -69,9 +71,10 @@ pub fn collect_chain_window(
     hi: Timestamp,
     resolver: &dyn TimestampResolver,
     out: &mut Vec<TemporalVersion>,
-) {
+) -> Result<u64> {
     let key = page.rec_key(page.slot(i)).to_vec();
-    for off in version::chain_offsets(page, i) {
+    let mut walker = version::ChainWalker::new(page, i);
+    while let Some(off) = walker.step()? {
         let ts = if page.rec_is_tid_marked(off) {
             match resolver.resolve(page.rec_tid(off)) {
                 Some(ts) => ts,
@@ -89,13 +92,14 @@ pub fn collect_chain_window(
             data: if page.rec_is_stub(off) {
                 None
             } else {
-                Some(page.rec_data(off).to_vec())
+                Some(walker.data().to_vec())
             },
         });
         if ts < lo {
             break; // base version collected; older ones are irrelevant
         }
     }
+    Ok(walker.folds)
 }
 
 /// Normalise raw time-range scan output: sort by `(key, ts)`, remove
@@ -194,9 +198,12 @@ impl BTree {
         let _s = self.structure.read();
         let frame = self.descend(key)?;
         // One optimistic step per page of the chain. `Hop` carries the
-        // next history page to follow; `Done` the answer.
+        // next history page to follow; `Done` the answer. Errors ride in
+        // `Done` so a torn optimistic observation (which can make delta
+        // folding fail spuriously) is discarded by seqlock validation
+        // before it can surface.
         enum Step {
-            Done(Option<Vec<u8>>),
+            Done(Result<Option<(Vec<u8>, u64)>>),
             Hop(PageId),
         }
         let step = frame.read_optimistic(metrics, |g| {
@@ -217,12 +224,13 @@ impl BTree {
             Step::Hop(g.history_page())
         });
         let mut hist = match step {
-            Step::Done(r) => return Ok(r),
+            Step::Done(r) => return r.map(|v| count_folds(metrics, v)),
             Step::Hop(h) => h,
         };
-        // History pages are immutable once carved off by a time split —
-        // the ideal latch-free workload: optimistic reads here never see
-        // a writer and never retry.
+        // History pages are near-immutable once carved off by a time
+        // split — only the background compactor (which excludes readers
+        // via the structure write latch) ever rewrites one — so
+        // optimistic reads here essentially never retry.
         while hist.is_valid() {
             metrics.tree.asof_hops.inc();
             let hframe = self.pool.fetch(hist)?;
@@ -234,7 +242,7 @@ impl BTree {
                 }
             });
             match step {
-                Step::Done(r) => return Ok(r),
+                Step::Done(r) => return r.map(|v| count_folds(metrics, v)),
                 Step::Hop(h) => hist = h,
             }
         }
@@ -369,7 +377,8 @@ impl BTree {
             let f = self.pool.fetch(page_id)?;
             let g = f.read();
             if let Ok(i) = g.find_slot(key) {
-                for off in version::chain_offsets(&g, i) {
+                let mut walker = version::ChainWalker::new(&g, i);
+                while let Some(off) = walker.step()? {
                     let (ts, tid) = if g.rec_is_tid_marked(off) {
                         match resolver.resolve(g.rec_tid(off)) {
                             Some(ts) => (Some(ts), None),
@@ -390,9 +399,12 @@ impl BTree {
                         data: if g.rec_is_stub(off) {
                             None
                         } else {
-                            Some(g.rec_data(off).to_vec())
+                            Some(walker.data().to_vec())
                         },
                     });
+                }
+                if walker.folds > 0 {
+                    self.pool.metrics().version.delta_folds.add(walker.folds);
                 }
             }
             let hist = g.history_page();
@@ -440,7 +452,10 @@ impl BTree {
                             break;
                         }
                     }
-                    collect_chain_window(&g, i, lo, hi, resolver, &mut raw);
+                    let folds = collect_chain_window(&g, i, lo, hi, resolver, &mut raw)?;
+                    if folds > 0 {
+                        self.pool.metrics().version.delta_folds.add(folds);
+                    }
                 }
                 // The page covering `lo` holds every base version; older
                 // chain pages cannot contribute to the window.
@@ -634,9 +649,13 @@ impl BTree {
                     if let Visible::Version(voff) =
                         version::visible_as_of(&g, i, as_of, own_tid, resolver)
                     {
+                        let (data, folds) = version::materialize_at(&g, i, voff)?;
+                        if folds > 0 {
+                            self.pool.metrics().version.delta_folds.add(folds);
+                        }
                         out.push(ScanItem {
                             key: key.to_vec(),
-                            data: g.rec_data(voff).to_vec(),
+                            data,
                         });
                     }
                 }
@@ -667,17 +686,36 @@ fn chain_has_own(page: &Page, i: usize, own: Tid) -> bool {
         .any(|&off| page.rec_is_tid_marked(off) && page.rec_tid(off) == own)
 }
 
-/// Point lookup within a single (current or historical) page.
+/// Point lookup within a single (current or historical) page. Returns
+/// the materialized data plus the number of delta folds the
+/// materialization performed (0 for full records).
 fn lookup_in_page(
     page: &Page,
     key: &[u8],
     as_of: Timestamp,
     own_tid: Option<Tid>,
     resolver: &dyn TimestampResolver,
-) -> Option<Vec<u8>> {
-    let i = page.find_slot(key).ok()?;
+) -> Result<Option<(Vec<u8>, u64)>> {
+    let Ok(i) = page.find_slot(key) else {
+        return Ok(None);
+    };
     match version::visible_as_of(page, i, as_of, own_tid, resolver) {
-        Visible::Version(off) => Some(page.rec_data(off).to_vec()),
-        Visible::Deleted | Visible::NotHere => None,
+        Visible::Version(off) => Some(version::materialize_at(page, i, off)).transpose(),
+        Visible::Deleted | Visible::NotHere => Ok(None),
     }
+}
+
+/// Record delta folds from a [`lookup_in_page`] result and strip the
+/// fold count off. (Recorded outside the optimistic closure so retried
+/// attempts don't double-count.)
+fn count_folds(
+    metrics: &immortaldb_obs::MetricsRegistry,
+    v: Option<(Vec<u8>, u64)>,
+) -> Option<Vec<u8>> {
+    v.map(|(data, folds)| {
+        if folds > 0 {
+            metrics.version.delta_folds.add(folds);
+        }
+        data
+    })
 }

@@ -82,14 +82,17 @@ impl BTree {
             let safe = split_ts <= max_safe_ts;
             if safe && version::time_split_gain(&left, split_ts) > 0 {
                 let hist_id = self.pool.disk().allocate()?;
-                let (hist, fresh) = version::time_split(&left, split_ts, hist_id)?;
+                let (hist, fresh, packed) = version::time_split(&left, split_ts, hist_id)?;
                 images.push(hist);
                 left = fresh;
                 // Per-tree counter (tests depend on per-tree semantics)
                 // plus the engine-wide registry.
                 self.time_splits
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                self.pool.metrics().tree.time_splits.inc();
+                let m = self.pool.metrics();
+                m.tree.time_splits.inc();
+                m.version.anchors_written.add(packed.anchors);
+                m.version.deltas_written.add(packed.deltas);
             }
         }
 

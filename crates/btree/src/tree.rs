@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use immortaldb_common::codec::get_u32;
 use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId, NULL_LSN};
@@ -75,6 +75,9 @@ pub struct BTree {
     /// Metrics: number of time splits / key splits performed.
     pub(crate) time_splits: AtomicU32,
     pub(crate) key_splits: AtomicU32,
+    /// Serializes history-compaction passes over this tree (the
+    /// background compactor vs explicit `compact_history` calls).
+    pub(crate) compacting: Mutex<()>,
 }
 
 impl BTree {
@@ -131,6 +134,7 @@ impl BTree {
             split_time,
             time_splits: AtomicU32::new(0),
             key_splits: AtomicU32::new(0),
+            compacting: Mutex::new(()),
         })
     }
 
@@ -159,6 +163,7 @@ impl BTree {
             split_time,
             time_splits: AtomicU32::new(0),
             key_splits: AtomicU32::new(0),
+            compacting: Mutex::new(()),
         })
     }
 

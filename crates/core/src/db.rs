@@ -7,9 +7,9 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
-use immortaldb_btree::{BTree, HeadVersion, SplitTimeSource};
+use immortaldb_btree::{BTree, CompactionStats, HeadVersion, HistoryStats, SplitTimeSource};
 use immortaldb_common::{
     Clock, Error, Lsn, PageId, Result, SystemClock, Tid, Timestamp, TreeId, NULL_LSN,
 };
@@ -67,6 +67,10 @@ pub struct DbConfig {
     /// Chaos harnesses share a registry between the engine and the fault
     /// VFS so `faults.*` and `recovery.*` land in one snapshot.
     pub metrics: Option<MetricsRegistry>,
+    /// Background history-compaction interval; `None` (default) disables
+    /// the compactor thread. Ignored on replicas — compaction appends to
+    /// the WAL, and a replica's log must stay a prefix of the primary's.
+    pub compaction: Option<Duration>,
 }
 
 impl DbConfig {
@@ -83,6 +87,7 @@ impl DbConfig {
             vfs: std_fs(),
             page_image_logging: false,
             metrics: None,
+            compaction: None,
         }
     }
 
@@ -130,6 +135,11 @@ impl DbConfig {
         self.metrics = Some(metrics);
         self
     }
+
+    pub fn compaction_interval(mut self, every: Duration) -> Self {
+        self.compaction = Some(every);
+        self
+    }
 }
 
 /// The database engine.
@@ -154,7 +164,9 @@ pub struct Database {
     /// Named snapshots (`CREATE SNAPSHOT`): catalog-persisted pins of a
     /// transaction-time timestamp, usable anywhere an AS OF operand is.
     named_snapshots: RwLock<HashMap<String, SnapshotDef>>,
-    trees: RwLock<HashMap<TreeId, TableIndex>>,
+    /// Tree registry, shared with the background compactor thread (which
+    /// holds its own `Arc` so it can snapshot the handles each pass).
+    trees: Arc<RwLock<HashMap<TreeId, TableIndex>>>,
     next_tid: AtomicU64,
     next_tree: AtomicU32,
     /// Active-transaction table: tid → last LSN (for fuzzy checkpoints).
@@ -173,8 +185,30 @@ pub struct Database {
     /// timestamp whose transaction is known fully applied locally. The
     /// visibility horizon of every replica read.
     repl_horizon: Mutex<Timestamp>,
+    /// Background history compactor (when configured): stop flag +
+    /// condvar shared with the thread, and its handle, joined on drop.
+    compactor_stop: Option<Arc<(Mutex<bool>, Condvar)>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
     /// Losers rolled back during the last open (metrics/tests).
     pub recovered_losers: usize,
+}
+
+/// One history-compaction pass over a set of tree handles, recording the
+/// pass counter and refreshing the `version.bytes_per_version` gauge
+/// (fixed-point, ×100) from the post-pass store shape.
+fn compaction_pass(trees: &[TableIndex], metrics: &MetricsRegistry) -> Result<CompactionStats> {
+    let mut stats = CompactionStats::default();
+    let mut shape = HistoryStats::default();
+    for t in trees {
+        stats.add(t.compact_history()?);
+        shape.add(t.history_stats()?);
+    }
+    metrics.compaction.runs.inc();
+    metrics
+        .version
+        .bytes_per_version
+        .set((shape.bytes_per_version() * 100.0) as u64);
+    Ok(stats)
 }
 
 /// Base of the TID range replicas hand to their (read-only) local
@@ -366,7 +400,7 @@ impl Database {
             catalog_tree,
             tables: RwLock::new(tables),
             named_snapshots: RwLock::new(named_snapshots),
-            trees: RwLock::new(trees),
+            trees: Arc::new(RwLock::new(trees)),
             next_tid: AtomicU64::new(next_tid),
             next_tree: AtomicU32::new(max_tree),
             active: Mutex::new(HashMap::new()),
@@ -375,6 +409,8 @@ impl Database {
             durability: config.durability,
             replica,
             repl_horizon: Mutex::new(Timestamp::ZERO),
+            compactor_stop: None,
+            compactor: None,
             recovered_losers: 0,
         };
 
@@ -401,7 +437,46 @@ impl Database {
         }
         // Post-recovery checkpoint establishes a fresh redo scan start.
         db.checkpoint()?;
+        // The checkpoint flushed every dirty page, so the data file now
+        // reflects any `Free` images a pre-crash compaction logged —
+        // rebuild the allocator's free list from it.
+        db.pool.disk().reload_free_list()?;
+        if let Some(every) = config.compaction {
+            db.start_compactor(every);
+        }
         Ok(db)
+    }
+
+    /// Spawn the background history compactor: every `every`, snapshot
+    /// the tree registry and run one compaction pass over each table.
+    /// Per-pass errors are dropped — compaction is advisory maintenance
+    /// and the next pass retries from scratch.
+    fn start_compactor(&mut self, every: Duration) {
+        let trees = Arc::clone(&self.trees);
+        let metrics = self.metrics().clone();
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("immortal-compactor".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop2;
+                loop {
+                    let mut stopped = lock.lock();
+                    if *stopped {
+                        break;
+                    }
+                    cvar.wait_for(&mut stopped, every);
+                    if *stopped {
+                        break;
+                    }
+                    drop(stopped);
+                    let handles: Vec<TableIndex> = trees.read().values().cloned().collect();
+                    let _ = compaction_pass(&handles, &metrics);
+                }
+            })
+            .expect("spawn compactor thread");
+        self.compactor_stop = Some(stop);
+        self.compactor = Some(handle);
     }
 
     // -- accessors ---------------------------------------------------------
@@ -880,6 +955,49 @@ impl Database {
         Ok(())
     }
 
+    /// Insert many full rows in one call (batched ingest). Rows are
+    /// encoded, locked, sorted by key and handed to the index as one
+    /// batch; on a TSB table, runs landing on the same leaf are applied
+    /// under a single latch acquisition and dirty marking. Atomicity is
+    /// the transaction's, as with per-row inserts: a mid-batch error
+    /// (duplicate key, write conflict) leaves earlier rows applied and
+    /// the caller rolls the transaction back.
+    pub fn insert_rows(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<()> {
+        let def = self.table(table)?;
+        self.ensure_writable(txn)?;
+        let mut encoded: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(rows.len());
+        for values in rows {
+            let values = def.schema.check_row(&values)?;
+            let key = def.schema.key_of_row(&values)?;
+            let data = def.schema.encode_row(&values);
+            encoded.push((key, data));
+        }
+        encoded.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, _) in &encoded {
+            self.locks.lock_write(txn.tid, def.tree, key)?;
+        }
+        self.ensure_begin_logged(txn);
+        let handle = self.tree_handle(def.tree)?;
+        if def.kind.is_versioned() {
+            txn.last_lsn =
+                handle.insert_batch(txn.tid, txn.last_lsn, &encoded, self.resolver.as_ref())?;
+            for (key, _) in encoded {
+                self.note_write(txn, &def, key);
+            }
+        } else {
+            for (key, data) in &encoded {
+                txn.last_lsn = handle.u_insert(txn.tid, txn.last_lsn, key, data)?;
+            }
+        }
+        self.active.lock().insert(txn.tid, txn.last_lsn);
+        Ok(())
+    }
+
     /// Replace the row with primary key `values[pk]` by `values`.
     pub fn update_row(&self, txn: &mut Transaction, table: &str, values: Vec<Value>) -> Result<()> {
         let def = self.table(table)?;
@@ -1189,6 +1307,31 @@ impl Database {
         Ok(reclaimed)
     }
 
+    /// Run one history-compaction pass over every table now: rewrite
+    /// historical pages delta-packed, merge single-referrer chain pages
+    /// (chain indexes), and free emptied pages. The background thread
+    /// (see [`DbConfig::compaction_interval`]) runs this same pass on its
+    /// timer; this is the synchronous entry point for maintenance and
+    /// tests. Returns the aggregate stats.
+    pub fn compact_history(&self) -> Result<CompactionStats> {
+        if self.replica {
+            return Err(Error::ReplicaReadOnly);
+        }
+        let handles: Vec<TableIndex> = self.trees.read().values().cloned().collect();
+        compaction_pass(&handles, self.metrics())
+    }
+
+    /// Aggregate version-store shape across every table (historical
+    /// pages, versions stored, occupied bytes).
+    pub fn history_stats(&self) -> Result<HistoryStats> {
+        let mut out = HistoryStats::default();
+        let handles: Vec<TableIndex> = self.trees.read().values().cloned().collect();
+        for t in &handles {
+            out.add(t.history_stats()?);
+        }
+        Ok(out)
+    }
+
     // -- replication ---------------------------------------------------------
 
     /// The write-ahead log (the replication shipper reads raw frames off
@@ -1395,6 +1538,14 @@ impl Drop for Database {
     /// here and the write is *supposed* to fail, which preserves the
     /// crash semantics torture tests rely on.
     fn drop(&mut self) {
+        if let Some(stop) = self.compactor_stop.take() {
+            let (lock, cvar) = &*stop;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.compactor.take() {
+            let _ = handle.join();
+        }
         let _ = self.wal.flush(self.durability);
     }
 }

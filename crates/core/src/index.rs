@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use immortaldb_btree::{BTree, HeadVersion, HistoryVersion, ScanItem, TemporalVersion};
+use immortaldb_btree::{
+    BTree, CompactionStats, HeadVersion, HistoryStats, HistoryVersion, ScanItem, TemporalVersion,
+};
 use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId};
 use immortaldb_storage::TimestampResolver;
 use immortaldb_tsb::TsbTree;
@@ -70,6 +72,30 @@ impl TableIndex {
         match self {
             TableIndex::Chain(t) => t.insert(tid, prev, key, data, r),
             TableIndex::Tsb(t) => t.insert(tid, prev, key, data, r),
+        }
+    }
+
+    /// Insert many rows in one call. On a TSB table, runs of rows landing
+    /// on the same leaf are applied under one latch acquisition and one
+    /// dirty marking (batched ingest); on a chain table it degrades to a
+    /// per-row loop. Rows must be sorted by the caller for the batching
+    /// to find runs.
+    pub fn insert_batch(
+        &self,
+        tid: Tid,
+        prev: Lsn,
+        rows: &[(Vec<u8>, Vec<u8>)],
+        r: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        match self {
+            TableIndex::Chain(t) => {
+                let mut last = prev;
+                for (key, data) in rows {
+                    last = t.insert(tid, last, key, data, r)?;
+                }
+                Ok(last)
+            }
+            TableIndex::Tsb(t) => t.insert_batch(tid, prev, rows, r),
         }
     }
 
@@ -206,6 +232,24 @@ impl TableIndex {
         match self {
             TableIndex::Chain(t) => t.stamp_all(r),
             TableIndex::Tsb(t) => t.stamp_all(r),
+        }
+    }
+
+    // -- history compaction ---------------------------------------------------
+
+    /// One compaction pass over this table's historical pages.
+    pub fn compact_history(&self) -> Result<CompactionStats> {
+        match self {
+            TableIndex::Chain(t) => t.compact_history(),
+            TableIndex::Tsb(t) => t.compact_history(),
+        }
+    }
+
+    /// Shape of this table's version store.
+    pub fn history_stats(&self) -> Result<HistoryStats> {
+        match self {
+            TableIndex::Chain(t) => t.history_stats(),
+            TableIndex::Tsb(t) => t.history_stats(),
         }
     }
 

@@ -362,6 +362,9 @@ pub struct LockMetrics {
     pub deadlocks: Counter,
     /// Requests denied by the lock-wait timeout backstop.
     pub timeouts: Counter,
+    /// Lock-table shard mutex acquisitions that found the shard already
+    /// held (a `try_lock` failed and the caller had to block).
+    pub shard_conflicts: Counter,
 }
 
 /// Lazy-timestamping instruments (VTT / PTT / stamping triggers).
@@ -409,6 +412,36 @@ pub struct TreeMetrics {
     pub asof_hops: Counter,
     /// Version-chain length observed when a chain is stamped or read.
     pub version_chain_len: Histogram,
+}
+
+/// Version-encoding instruments (delta chains in historical pages).
+#[derive(Debug, Default)]
+pub struct VersionMetrics {
+    /// Delta records folded onto their base during reconstruction
+    /// (AS OF reads, scans, compaction walks).
+    pub delta_folds: Counter,
+    /// Delta-encoded records written while packing chains (time splits
+    /// and compaction).
+    pub deltas_written: Counter,
+    /// Full (anchor) records written while packing chains.
+    pub anchors_written: Counter,
+    /// Live history bytes per stored version (×100, fixed-point), as
+    /// measured by the most recent compaction pass.
+    pub bytes_per_version: Gauge,
+}
+
+/// Background history-compactor instruments.
+#[derive(Debug, Default)]
+pub struct CompactionMetrics {
+    /// Compaction passes completed (background or explicit).
+    pub runs: Counter,
+    /// Historical pages rewritten delta-packed in place or merged.
+    pub pages_rewritten: Counter,
+    /// Historical pages emptied by merging and returned to the free list.
+    pub pages_freed: Counter,
+    /// Net page bytes reclaimed by packing (pre-pack minus post-pack
+    /// occupancy).
+    pub bytes_reclaimed: Counter,
 }
 
 /// Temporal query-subsystem instruments (VERSIONS BETWEEN / DIFF /
@@ -468,6 +501,8 @@ pub struct Metrics {
     pub temporal: TemporalMetrics,
     pub latch: LatchMetrics,
     pub disk: DiskMetrics,
+    pub version: VersionMetrics,
+    pub compaction: CompactionMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

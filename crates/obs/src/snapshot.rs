@@ -110,6 +110,10 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("locks.waits".into(), m.locks.waits.get()),
         ("locks.deadlocks".into(), m.locks.deadlocks.get()),
         ("locks.timeouts".into(), m.locks.timeouts.get()),
+        (
+            "locks.shard_conflicts".into(),
+            m.locks.shard_conflicts.get(),
+        ),
         ("ts.vtt_hits".into(), m.ts.vtt_hits.get()),
         ("ts.vtt_misses".into(), m.ts.vtt_misses.get()),
         ("ts.ptt_lookups".into(), m.ts.ptt_lookups.get()),
@@ -125,6 +129,32 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ("tree.time_splits".into(), m.tree.time_splits.get()),
         ("tree.key_splits".into(), m.tree.key_splits.get()),
         ("tree.asof_hops".into(), m.tree.asof_hops.get()),
+        ("version.delta_folds".into(), m.version.delta_folds.get()),
+        (
+            "version.deltas_written".into(),
+            m.version.deltas_written.get(),
+        ),
+        (
+            "version.anchors_written".into(),
+            m.version.anchors_written.get(),
+        ),
+        (
+            "version.bytes_per_version".into(),
+            m.version.bytes_per_version.get(),
+        ),
+        ("compaction.runs".into(), m.compaction.runs.get()),
+        (
+            "compaction.pages_rewritten".into(),
+            m.compaction.pages_rewritten.get(),
+        ),
+        (
+            "compaction.pages_freed".into(),
+            m.compaction.pages_freed.get(),
+        ),
+        (
+            "compaction.bytes_reclaimed".into(),
+            m.compaction.bytes_reclaimed.get(),
+        ),
         ("faults.torn_writes".into(), m.faults.torn_writes.get()),
         ("faults.fsync_errors".into(), m.faults.fsync_errors.get()),
         ("faults.read_errors".into(), m.faults.read_errors.get()),
@@ -353,6 +383,30 @@ mod tests {
         assert_eq!(s.get("temporal.versions_returned"), Some(40));
         assert_eq!(s.get("temporal.diff_rows"), Some(7));
         assert_eq!(s.get("catalog.snapshots"), Some(2));
+    }
+
+    #[test]
+    fn version_and_compaction_metrics_have_stable_names() {
+        let r = MetricsRegistry::new();
+        r.version.delta_folds.add(15);
+        r.version.deltas_written.add(9);
+        r.version.anchors_written.add(3);
+        r.version.bytes_per_version.set(2750);
+        r.compaction.runs.inc();
+        r.compaction.pages_rewritten.add(6);
+        r.compaction.pages_freed.add(2);
+        r.compaction.bytes_reclaimed.add(4096);
+        r.locks.shard_conflicts.add(5);
+        let s = r.snapshot();
+        assert_eq!(s.get("version.delta_folds"), Some(15));
+        assert_eq!(s.get("version.deltas_written"), Some(9));
+        assert_eq!(s.get("version.anchors_written"), Some(3));
+        assert_eq!(s.get("version.bytes_per_version"), Some(2750));
+        assert_eq!(s.get("compaction.runs"), Some(1));
+        assert_eq!(s.get("compaction.pages_rewritten"), Some(6));
+        assert_eq!(s.get("compaction.pages_freed"), Some(2));
+        assert_eq!(s.get("compaction.bytes_reclaimed"), Some(4096));
+        assert_eq!(s.get("locks.shard_conflicts"), Some(5));
     }
 
     #[test]

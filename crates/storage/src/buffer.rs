@@ -556,10 +556,11 @@ impl BufferPool {
     }
 
     /// Make sure `id` is allocated on disk (recovery may redo page images
-    /// for pages past the crashed file's end).
+    /// for pages past the crashed file's end). Extends strictly — taking
+    /// from the free list would not raise the high-water mark.
     pub fn ensure_allocated(&self, id: PageId) -> Result<()> {
         while self.disk.num_pages() <= id.0 {
-            self.disk.allocate()?;
+            self.disk.extend()?;
         }
         Ok(())
     }
@@ -592,8 +593,10 @@ impl BufferPool {
         } else {
             self.wal.flush_to(guard.page_lsn())?;
         }
-        self.metrics.disk.writes.inc();
         self.disk.write_page(&guard)?;
+        // Count only successful writes: a failed write-back left nothing
+        // on disk and the frame stays dirty for a retry.
+        self.metrics.disk.writes.inc();
         frame.dirty.store(false, Ordering::SeqCst);
         frame.rec_lsn.store(NULL_LSN.0, Ordering::SeqCst);
         self.metrics.buffer.flushes.inc();
@@ -938,6 +941,7 @@ mod tests {
             ids.push(f.page_id());
         }
         fail.store(true, Ordering::SeqCst);
+        let writes_before = pool.metrics().disk.writes.get();
         assert!(pool.flush_all().is_err(), "flush must report the I/O error");
         assert_eq!(
             pool.dirty_page_table().len(),
@@ -952,10 +956,20 @@ mod tests {
         assert_eq!(pf.read().rec_key(pf.read().slot(0)), b"probe");
         assert!(pool.metrics().buffer.flush_errors.get() > before);
         assert_eq!(pool.dirty_page_table().len(), 12);
+        assert_eq!(
+            pool.metrics().disk.writes.get(),
+            writes_before,
+            "disk.writes counts successes only; failed write-backs must not move it"
+        );
         // Fault clears: everything drains to disk intact.
         fail.store(false, Ordering::SeqCst);
         pool.flush_all().unwrap();
         assert!(pool.dirty_page_table().is_empty());
+        assert_eq!(
+            pool.metrics().disk.writes.get(),
+            writes_before + 12,
+            "each successful write-back counts exactly once"
+        );
         for (i, id) in ids.iter().enumerate() {
             let p = disk.read_page(*id).unwrap();
             assert_eq!(p.rec_key(p.slot(0)), &[i as u8]);

@@ -4,8 +4,13 @@
 //! through the [`crate::vfs`] seam; allocation is a monotonic high-water
 //! mark derived from the file length, so it needs no logging — a page
 //! allocated but orphaned by a crash is merely leaked space (documented
-//! trade-off; nothing in this engine frees pages, historical pages are
-//! immortal by design).
+//! trade-off). The history compactor *does* free pages: it rewrites them
+//! as formatted `PageType::Free` images (logged like any other page
+//! rewrite, so recovery and replicas agree) and returns their ids to an
+//! in-memory free list that [`DiskManager::allocate`] reuses before
+//! extending the file. The list is rebuilt at open by scanning for Free
+//! pages; a crash between the free and the rescan merely leaks until the
+//! next open.
 //!
 //! Every page image is stamped with a whole-page CRC on write and
 //! verified on read, so a torn 8 KB write (some sectors old, some new)
@@ -33,6 +38,9 @@ pub struct DiskManager {
     /// Serializes file extension so concurrent allocations don't race the
     /// high-water mark against the write that materializes the page.
     alloc_lock: Mutex<()>,
+    /// Page ids reclaimed by the history compactor, reused by
+    /// [`Self::allocate`] before the file is extended.
+    free_list: Mutex<Vec<PageId>>,
 }
 
 impl DiskManager {
@@ -65,6 +73,7 @@ impl DiskManager {
             path,
             next_page: AtomicU32::new((len / PAGE_SIZE as u64) as u32),
             alloc_lock: Mutex::new(()),
+            free_list: Mutex::new(Vec::new()),
         };
         let fresh = !existed || len == 0;
         if fresh {
@@ -131,14 +140,57 @@ impl DiskManager {
         Ok(())
     }
 
-    /// Allocate a fresh page by extending the file with zeroes.
+    /// Allocate a page: reuse a compactor-freed page when one is
+    /// available, otherwise extend the file with zeroes. Callers install a
+    /// full logged image into the page before use, so stale Free-page
+    /// content never survives reallocation.
     pub fn allocate(&self) -> Result<PageId> {
+        if let Some(id) = self.free_list.lock().pop() {
+            return Ok(id);
+        }
+        self.extend()
+    }
+
+    /// Allocate strictly by extending the file (never reuses freed pages).
+    /// Recovery uses this to grow the file up to a logged page id — taking
+    /// from the free list there would not raise the high-water mark.
+    pub fn extend(&self) -> Result<PageId> {
         let _guard = self.alloc_lock.lock();
         let id = PageId(self.next_page.load(Ordering::SeqCst));
         let zero = [0u8; PAGE_SIZE];
         self.file.write_all_at(&zero, id.file_offset(PAGE_SIZE))?;
         self.next_page.store(id.0 + 1, Ordering::SeqCst);
         Ok(id)
+    }
+
+    /// Return a page to the free list. The caller must already have
+    /// installed (and logged) a `PageType::Free` image for it so the free
+    /// survives recovery and replication.
+    pub fn free_page(&self, id: PageId) {
+        debug_assert!(id.0 != 0 && id.0 < self.num_pages());
+        self.free_list.lock().push(id);
+    }
+
+    /// Number of pages currently on the free list.
+    pub fn free_pages(&self) -> usize {
+        self.free_list.lock().len()
+    }
+
+    /// Rebuild the free list by scanning the file for `PageType::Free`
+    /// pages (called once at open, after recovery redo). Unreadable pages
+    /// are skipped — they are certainly not reusable.
+    pub fn reload_free_list(&self) -> Result<usize> {
+        let mut found = Vec::new();
+        for n in 1..self.num_pages() {
+            if let Ok(p) = self.read_page(PageId(n)) {
+                if matches!(p.page_type(), Ok(crate::page::PageType::Free)) {
+                    found.push(PageId(n));
+                }
+            }
+        }
+        let count = found.len();
+        *self.free_list.lock() = found;
+        Ok(count)
     }
 
     /// Flush file contents to stable storage.
@@ -236,6 +288,38 @@ mod tests {
             std::fs::metadata(&path).unwrap().len(),
             2 * PAGE_SIZE as u64
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn free_list_reuse_and_reload() {
+        let path = tmp("free");
+        {
+            let (d, _) = DiskManager::open(&path).unwrap();
+            let a = d.allocate().unwrap();
+            let b = d.allocate().unwrap();
+            let mut f = Page::zeroed();
+            f.format(a, PageType::Free, 0, 0);
+            d.write_page(&f).unwrap();
+            d.free_page(a);
+            assert_eq!(d.free_pages(), 1);
+            // Reuse comes before extension and does not grow the file.
+            assert_eq!(d.allocate().unwrap(), a);
+            assert_eq!(d.num_pages(), 3);
+            // Free it again, durably, for the reload half of the test.
+            d.write_page(&f).unwrap();
+            d.free_page(a);
+            let mut p = Page::zeroed();
+            p.format(b, PageType::Leaf, 0, 0);
+            d.write_page(&p).unwrap();
+            d.sync().unwrap();
+        }
+        let (d, _) = DiskManager::open(&path).unwrap();
+        assert_eq!(d.free_pages(), 0, "free list is rebuilt only on demand");
+        assert_eq!(d.reload_free_list().unwrap(), 1);
+        assert_eq!(d.allocate().unwrap(), PageId(1));
+        // extend() never reuses freed pages.
+        assert_eq!(d.extend().unwrap(), PageId(3));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -55,6 +55,12 @@ pub const RFLAG_DELETE_STUB: u8 = 0b0000_0001;
 /// The record was logically removed (e.g. popped by transaction rollback)
 /// and its bytes await compaction.
 pub const RFLAG_DEAD: u8 = 0b0000_0010;
+/// The record's data is a prefix/suffix delta against the next *newer*
+/// version of the same chain (its walk-order predecessor), not a full
+/// image. Only ever set on non-head records of historical pages; delta
+/// records store no key bytes (`key_len == 0`). See
+/// [`crate::version::apply_delta`].
+pub const RFLAG_DELTA: u8 = 0b0000_0100;
 
 /// What a page is used for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -344,6 +350,10 @@ impl Page {
         self.rec_flags(off) & RFLAG_DELETE_STUB != 0
     }
 
+    pub fn rec_is_delta(&self, off: usize) -> bool {
+        self.rec_flags(off) & RFLAG_DELTA != 0
+    }
+
     pub fn rec_key(&self, off: usize) -> &[u8] {
         let kl = self.rec_key_len(off);
         &self.bytes[off + REC_HDR..off + REC_HDR + kl]
@@ -426,6 +436,14 @@ impl Page {
         let t = self.tail_off(off);
         put_u64(&mut self.bytes[..], t + 2, ts.ttime);
         put_u32(&mut self.bytes[..], t + 10, ts.sn);
+    }
+
+    /// Copy a raw `(Ttime, SN)` tail verbatim — committed stamp or TID
+    /// mark alike (chain rebuilds during packing must not reinterpret).
+    pub(crate) fn set_rec_tail_raw(&mut self, off: usize, ttime: u64, sn: u32) {
+        let t = self.tail_off(off);
+        put_u64(&mut self.bytes[..], t + 2, ttime);
+        put_u32(&mut self.bytes[..], t + 10, sn);
     }
 
     // -- heap allocation ---------------------------------------------------

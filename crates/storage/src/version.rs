@@ -12,11 +12,249 @@
 //! * page key splits (whole chains move).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use immortaldb_common::{Error, PageId, Result, Tid, Timestamp, VERSION_TAIL};
 
-use crate::page::{Page, FLAG_HISTORICAL, RFLAG_DELETE_STUB};
+use crate::page::{Page, FLAG_HISTORICAL, RFLAG_DELETE_STUB, RFLAG_DELTA};
 use crate::TimestampResolver;
+
+// -- delta-encoded history chains --------------------------------------
+//
+// Historical pages are immutable except for whole-page rewrites (time
+// splits create them; the compactor repacks them), so their version
+// chains can afford a denser encoding than current pages: every K-th
+// version is a full "anchor" image and the versions between anchors are
+// prefix/suffix deltas against their newer neighbour. Current pages never
+// hold deltas — `pop_newest` must be able to re-head a chain on rollback,
+// which a delta head-successor would break.
+
+/// Anchor interval K of a packed history chain: the head and every K-th
+/// version are stored as full images, so reconstructing any version folds
+/// at most `K - 1` deltas.
+pub const DELTA_ANCHOR_EVERY: usize = 8;
+
+static HISTORY_PACKING: AtomicBool = AtomicBool::new(true);
+
+/// Toggle delta-packing of the history side of time splits (process-wide;
+/// the history bench disables it to measure the unpacked baseline before
+/// compaction). Returns the previous setting. The compactor packs
+/// regardless of this switch.
+pub fn set_history_packing(on: bool) -> bool {
+    HISTORY_PACKING.swap(on, Ordering::SeqCst)
+}
+
+/// Whether time splits delta-pack the history page (default: on).
+pub fn history_packing() -> bool {
+    HISTORY_PACKING.load(Ordering::Relaxed)
+}
+
+/// Encode `new` as a delta against `base` (the next *newer* version):
+/// `[prefix:u16][suffix:u16][mid bytes]`, where the reconstruction is
+/// `base[..prefix] ++ mid ++ base[base_len-suffix..]`.
+pub fn encode_delta(base: &[u8], new: &[u8]) -> Vec<u8> {
+    let shorter = base.len().min(new.len());
+    let mut prefix = 0usize;
+    while prefix < shorter && base[prefix] == new[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0usize;
+    let max_suffix = shorter - prefix;
+    while suffix < max_suffix && base[base.len() - 1 - suffix] == new[new.len() - 1 - suffix] {
+        suffix += 1;
+    }
+    let mid = &new[prefix..new.len() - suffix];
+    let mut out = Vec::with_capacity(4 + mid.len());
+    out.extend_from_slice(&(prefix as u16).to_be_bytes());
+    out.extend_from_slice(&(suffix as u16).to_be_bytes());
+    out.extend_from_slice(mid);
+    out
+}
+
+/// Reconstruct a version from its delta payload and the materialized data
+/// of the next newer chain version.
+pub fn apply_delta(base: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
+    if delta.len() < 4 {
+        return Err(Error::Corruption(
+            "delta payload shorter than header".into(),
+        ));
+    }
+    let prefix = u16::from_be_bytes([delta[0], delta[1]]) as usize;
+    let suffix = u16::from_be_bytes([delta[2], delta[3]]) as usize;
+    if prefix + suffix > base.len() {
+        return Err(Error::Corruption(format!(
+            "delta prefix {prefix} + suffix {suffix} exceed base length {}",
+            base.len()
+        )));
+    }
+    let mid = &delta[4..];
+    let mut out = Vec::with_capacity(prefix + mid.len() + suffix);
+    out.extend_from_slice(&base[..prefix]);
+    out.extend_from_slice(mid);
+    out.extend_from_slice(&base[base.len() - suffix..]);
+    Ok(out)
+}
+
+/// Cursor over one version chain (newest first) that materializes each
+/// version's data incrementally, folding deltas from the nearest newer
+/// anchor as it walks. Amortized O(1) fold work per step.
+pub struct ChainWalker<'a> {
+    page: &'a Page,
+    next: Option<usize>,
+    data: Vec<u8>,
+    /// Number of delta folds performed so far (feeds `version.delta_folds`).
+    pub folds: u64,
+}
+
+impl<'a> ChainWalker<'a> {
+    pub fn new(page: &'a Page, slot_i: usize) -> ChainWalker<'a> {
+        ChainWalker {
+            page,
+            next: Some(page.slot(slot_i)),
+            data: Vec::new(),
+            folds: 0,
+        }
+    }
+
+    /// Advance to the next (older) version and return its heap offset, or
+    /// `None` at the end of the chain. After a `Some` return,
+    /// [`Self::data`] is that version's materialized data.
+    pub fn step(&mut self) -> Result<Option<usize>> {
+        let Some(off) = self.next else {
+            return Ok(None);
+        };
+        if self.page.rec_is_delta(off) {
+            self.data = apply_delta(&self.data, self.page.rec_data(off))?;
+            self.folds += 1;
+        } else {
+            self.data.clear();
+            self.data.extend_from_slice(self.page.rec_data(off));
+        }
+        let vp = self.page.rec_vp(off);
+        self.next = if vp == 0 { None } else { Some(vp) };
+        Ok(Some(off))
+    }
+
+    /// Materialized data of the version most recently returned by
+    /// [`Self::step`].
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Materialize the data of the chain record at heap offset `target` on the
+/// chain anchored at slot `slot_i`. Full records return their bytes
+/// directly; delta records fold from the nearest newer anchor. Returns the
+/// data and the number of delta folds performed.
+pub fn materialize_at(page: &Page, slot_i: usize, target: usize) -> Result<(Vec<u8>, u64)> {
+    if !page.rec_is_delta(target) {
+        return Ok((page.rec_data(target).to_vec(), 0));
+    }
+    let mut w = ChainWalker::new(page, slot_i);
+    while let Some(off) = w.step()? {
+        if off == target {
+            return Ok((w.data, w.folds));
+        }
+    }
+    Err(Error::Corruption(
+        "delta record unreachable from its slot head".into(),
+    ))
+}
+
+/// One fully materialized version, carried between pages during packing.
+/// The tail is raw `(Ttime, SN)` bytes — committed stamp or TID mark
+/// alike, copied verbatim.
+#[derive(Clone)]
+pub struct ChainVersion {
+    pub data: Vec<u8>,
+    pub flags: u8,
+    pub ttime: u64,
+    pub sn: u32,
+}
+
+/// Records written by a packing pass, split by encoding.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PackCounts {
+    pub anchors: u64,
+    pub deltas: u64,
+}
+
+impl PackCounts {
+    pub fn add(&mut self, other: PackCounts) {
+        self.anchors += other.anchors;
+        self.deltas += other.deltas;
+    }
+}
+
+/// Append one whole chain (newest first, already materialized) to `dst`
+/// in delta-packed form: the head and every [`DELTA_ANCHOR_EVERY`]-th
+/// version are full anchors, the rest become deltas against their newer
+/// neighbour when that is actually smaller. Only the head carries the key;
+/// stubs are never delta-encoded. Adds the slot for the head.
+pub fn pack_chain_into(dst: &mut Page, key: &[u8], vers: &[ChainVersion]) -> Result<PackCounts> {
+    debug_assert!(dst.is_versioned());
+    let mut counts = PackCounts::default();
+    let mut prev_new: Option<usize> = None;
+    let mut head: Option<usize> = None;
+    for (idx, v) in vers.iter().enumerate() {
+        let is_head = idx == 0;
+        let stub = v.flags & RFLAG_DELETE_STUB != 0;
+        let mut enc = Vec::new();
+        let mut use_delta = false;
+        if !is_head && idx % DELTA_ANCHOR_EVERY != 0 && !stub {
+            enc = encode_delta(&vers[idx - 1].data, &v.data);
+            use_delta = enc.len() < v.data.len();
+        }
+        let dead_mask = !(crate::page::RFLAG_DEAD | RFLAG_DELTA);
+        let off = if use_delta {
+            dst.alloc_record(&[], &enc, (v.flags & dead_mask) | RFLAG_DELTA, is_head)?
+        } else {
+            let k: &[u8] = if is_head { key } else { &[] };
+            dst.alloc_record(k, &v.data, v.flags & dead_mask, is_head)?
+        };
+        dst.set_rec_tail_raw(off, v.ttime, v.sn);
+        dst.set_rec_vp(off, 0);
+        if use_delta {
+            counts.deltas += 1;
+        } else {
+            counts.anchors += 1;
+        }
+        match prev_new {
+            None => head = Some(off),
+            Some(p) => dst.set_rec_vp(p, off),
+        }
+        prev_new = Some(off);
+    }
+    if let Some(h) = head {
+        let pos = match dst.find_slot(key) {
+            Ok(_) => {
+                return Err(Error::Internal(
+                    "duplicate slot while packing a chain".into(),
+                ))
+            }
+            Err(pos) => pos,
+        };
+        dst.add_slot_for(pos, h);
+    }
+    Ok(counts)
+}
+
+/// Materialize every version of the chain at slot `i`, newest first
+/// (folding deltas as needed). The building block of the compactor's
+/// page rewrites.
+pub fn materialize_chain(page: &Page, i: usize) -> Result<(Vec<ChainVersion>, u64)> {
+    let mut out = Vec::new();
+    let mut w = ChainWalker::new(page, i);
+    while let Some(off) = w.step()? {
+        out.push(ChainVersion {
+            data: w.data().to_vec(),
+            flags: page.rec_flags(off),
+            ttime: page.rec_ttime(off),
+            sn: page.rec_sn(off),
+        });
+    }
+    Ok((out, w.folds))
+}
 
 /// Push a new version for `key` onto the page: a plain insert if the key
 /// has no chain, otherwise a new chain head whose VP points at the old
@@ -303,12 +541,18 @@ pub fn time_split_gain(cur: &Page, split_ts: Timestamp) -> usize {
 }
 
 /// Time-split `cur` at `split_ts` (§3.3): returns `(history page, new
-/// current page)` images. The history page receives the time range
-/// `[cur.start_ts, split_ts)` and inherits the old history pointer; the
-/// rebuilt current page covers `[split_ts, ∞)` and points at the new
-/// history page. The caller must have stamped all committed versions
-/// first ([`stamp_committed`]) and installs/logs both images atomically.
-pub fn time_split(cur: &Page, split_ts: Timestamp, hist_id: PageId) -> Result<(Page, Page)> {
+/// current page, pack counts)` images. The history page receives the time
+/// range `[cur.start_ts, split_ts)` and inherits the old history pointer;
+/// the rebuilt current page covers `[split_ts, ∞)` and points at the new
+/// history page. When [`history_packing`] is on (the default) the history
+/// side is written delta-packed. The caller must have stamped all
+/// committed versions first ([`stamp_committed`]) and installs/logs both
+/// images atomically.
+pub fn time_split(
+    cur: &Page,
+    split_ts: Timestamp,
+    hist_id: PageId,
+) -> Result<(Page, Page, PackCounts)> {
     debug_assert!(cur.is_versioned());
     debug_assert!(split_ts > cur.start_ts());
 
@@ -330,17 +574,38 @@ pub fn time_split(cur: &Page, split_ts: Timestamp, hist_id: PageId) -> Result<(P
     fresh.set_history_page(hist_id);
     fresh.set_next_leaf(cur.next_leaf());
 
+    let pack = history_packing();
+    let mut counts = PackCounts::default();
+    let pick_hist = |f| matches!(f, SplitFate::HistoryOnly | SplitFate::Both);
     for i in 0..cur.slot_count() {
         let chain = chain_offsets(cur, i);
         let fates = chain_fates(cur, &chain, split_ts);
         copy_chain(cur, &chain, &fates, &mut fresh, |f| {
             matches!(f, SplitFate::CurrentOnly | SplitFate::Both)
         })?;
-        copy_chain(cur, &chain, &fates, &mut hist, |f| {
-            matches!(f, SplitFate::HistoryOnly | SplitFate::Both)
-        })?;
+        if pack {
+            // Current pages never hold deltas, so the picked records are
+            // already materialized.
+            let vers: Vec<ChainVersion> = chain
+                .iter()
+                .enumerate()
+                .filter(|&(idx, _)| pick_hist(fates[idx]))
+                .map(|(_, &off)| ChainVersion {
+                    data: cur.rec_data(off).to_vec(),
+                    flags: cur.rec_flags(off),
+                    ttime: cur.rec_ttime(off),
+                    sn: cur.rec_sn(off),
+                })
+                .collect();
+            if !vers.is_empty() {
+                let key = cur.rec_key(chain[0]).to_vec();
+                counts.add(pack_chain_into(&mut hist, &key, &vers)?);
+            }
+        } else {
+            copy_chain(cur, &chain, &fates, &mut hist, pick_hist)?;
+        }
     }
-    Ok((hist, fresh))
+    Ok((hist, fresh, counts))
 }
 
 /// Copy the subset of `chain` selected by `pick` into `dst`, preserving
@@ -630,7 +895,7 @@ mod tests {
         p.stamp_rec(c3, ts(200, 0));
 
         let split = ts(100, 0);
-        let (hist, cur) = time_split(&p, split, PageId(99)).unwrap();
+        let (hist, cur, _) = time_split(&p, split, PageId(99)).unwrap();
 
         // History page: time range [0, 100).
         assert!(hist.is_historical());
@@ -676,7 +941,7 @@ mod tests {
         p.stamp_rec(o1, ts(20, 0));
         let o2 = add_version(&mut p, b"k", b"", true, Tid(2)).unwrap();
         p.stamp_rec(o2, ts(40, 0));
-        let (hist, cur) = time_split(&p, ts(100, 0), PageId(9)).unwrap();
+        let (hist, cur, _) = time_split(&p, ts(100, 0), PageId(9)).unwrap();
         // Whole chain ended before the split: key vanishes from current.
         assert!(cur.find_slot(b"k").is_err());
         let h = hist.find_slot(b"k").unwrap();
@@ -691,7 +956,7 @@ mod tests {
         let o1 = add_version(&mut p, b"k", b"v1", false, Tid(1)).unwrap();
         p.stamp_rec(o1, ts(20, 0));
         add_version(&mut p, b"k", b"v2", false, Tid(7)).unwrap(); // uncommitted
-        let (hist, cur) = time_split(&p, ts(100, 0), PageId(9)).unwrap();
+        let (hist, cur, _) = time_split(&p, ts(100, 0), PageId(9)).unwrap();
         let c = cur.find_slot(b"k").unwrap();
         let chain = chain_offsets(&cur, c);
         assert_eq!(chain.len(), 2);
@@ -746,6 +1011,172 @@ mod tests {
         let a = add_version(&mut q, b"k", b"x", false, Tid(1)).unwrap();
         q.stamp_rec(a, ts(20, 0));
         assert_eq!(prune_chain(&mut q, 0, ts(10, 0)), 0);
+    }
+
+    #[test]
+    fn delta_encode_apply_roundtrip() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"hello world", b"hello brave world"),
+            (b"same", b"same"),
+            (b"", b"fresh"),
+            (b"gone", b""),
+            (b"abcdef", b"xyz"),
+            (b"aaaa", b"aaaaaaaa"),
+            (b"aaaaaaaa", b"aaaa"),
+        ];
+        for (base, new) in cases {
+            let enc = encode_delta(base, new);
+            let dec = apply_delta(base, &enc).unwrap();
+            assert_eq!(&dec, new, "base={base:?} new={new:?}");
+        }
+        assert!(apply_delta(b"short", &[0, 9, 0, 9]).is_err());
+        assert!(apply_delta(b"x", &[0]).is_err());
+    }
+
+    fn big(val: u8, tag: u8) -> Vec<u8> {
+        // 120 mostly-stable bytes with a small mutating tail — the shape
+        // delta encoding exists for.
+        let mut v = vec![val; 120];
+        v[118] = tag;
+        v[119] = tag.wrapping_mul(7);
+        v
+    }
+
+    #[test]
+    fn pack_chain_writes_deltas_and_anchors_every_k() {
+        let depth = 2 * DELTA_ANCHOR_EVERY + 3;
+        let vers: Vec<ChainVersion> = (0..depth)
+            .map(|i| ChainVersion {
+                data: big(9, i as u8),
+                flags: 0,
+                ttime: 1000 - i as u64,
+                sn: 0,
+            })
+            .collect();
+        let mut hist = Page::zeroed();
+        hist.format(
+            PageId(3),
+            PageType::Leaf,
+            FLAG_VERSIONED | FLAG_HISTORICAL,
+            0,
+        );
+        let counts = pack_chain_into(&mut hist, b"key", &vers).unwrap();
+        // Head + one anchor per K boundary; everything else deltas.
+        let expect_anchors = 1 + (depth - 1) / DELTA_ANCHOR_EVERY;
+        assert_eq!(counts.anchors as usize, expect_anchors);
+        assert_eq!(counts.deltas as usize, depth - expect_anchors);
+
+        // The walker reproduces every version, newest first.
+        let i = hist.find_slot(b"key").unwrap();
+        let mut w = ChainWalker::new(&hist, i);
+        let mut seen = 0usize;
+        while let Some(off) = w.step().unwrap() {
+            assert_eq!(w.data(), &big(9, seen as u8)[..], "version {seen}");
+            assert_eq!(hist.rec_ttime(off), 1000 - seen as u64);
+            if hist.rec_is_delta(off) {
+                assert!(hist.rec_key(off).is_empty());
+            }
+            seen += 1;
+        }
+        assert_eq!(seen, depth);
+        assert!(w.folds > 0);
+
+        // materialize_at agrees for a mid-chain delta record.
+        let chain = chain_offsets(&hist, i);
+        let target = chain[3];
+        assert!(hist.rec_is_delta(target));
+        let (data, folds) = materialize_at(&hist, i, target).unwrap();
+        assert_eq!(data, big(9, 3));
+        assert!(folds >= 3 && folds < DELTA_ANCHOR_EVERY as u64);
+    }
+
+    #[test]
+    fn pack_falls_back_to_full_when_delta_not_smaller() {
+        let vers: Vec<ChainVersion> = (0..3)
+            .map(|i| ChainVersion {
+                data: vec![i as u8; 2], // tiny values: 4-byte delta header loses
+                flags: 0,
+                ttime: 100 - i as u64,
+                sn: 0,
+            })
+            .collect();
+        let mut hist = Page::zeroed();
+        hist.format(
+            PageId(3),
+            PageType::Leaf,
+            FLAG_VERSIONED | FLAG_HISTORICAL,
+            0,
+        );
+        let counts = pack_chain_into(&mut hist, b"k", &vers).unwrap();
+        assert_eq!(counts.deltas, 0);
+        assert_eq!(counts.anchors, 3);
+    }
+
+    #[test]
+    fn time_split_packs_history_side() {
+        let mut p = vleaf();
+        let depth = 12;
+        for i in 0..depth {
+            let o =
+                add_version(&mut p, b"obj", &big(5, i as u8), false, Tid(i as u64 + 1)).unwrap();
+            p.stamp_rec(o, ts(10 * (i as u64 + 1), 0));
+        }
+        let split = ts(10 * depth as u64 + 5, 0);
+        let (hist, cur, counts) = time_split(&p, split, PageId(40)).unwrap();
+        assert!(counts.deltas > 0, "large stable payloads must delta-pack");
+        // History holds the full chain (newest spans the split -> Both);
+        // the walker reproduces every payload.
+        let hi = hist.find_slot(b"obj").unwrap();
+        let (vers, folds) = materialize_chain(&hist, hi).unwrap();
+        assert_eq!(vers.len(), depth);
+        assert!(folds > 0);
+        for (idx, v) in vers.iter().enumerate() {
+            assert_eq!(v.data, big(5, (depth - 1 - idx) as u8));
+        }
+        // Packed history is denser than the unpacked current-page bytes.
+        let was = set_history_packing(false);
+        let (unpacked, _, c2) = time_split(&p, split, PageId(40)).unwrap();
+        set_history_packing(was);
+        assert_eq!(c2, PackCounts::default());
+        assert!(hist.free_lower() < unpacked.free_lower());
+        // Current side keeps only the spanning newest version, full-image.
+        let ci = cur.find_slot(b"obj").unwrap();
+        assert_eq!(chain_offsets(&cur, ci).len(), 1);
+        assert!(!cur.rec_is_delta(cur.slot(ci)));
+    }
+
+    #[test]
+    fn page_compact_preserves_packed_chains() {
+        let depth = 10;
+        let vers: Vec<ChainVersion> = (0..depth)
+            .map(|i| ChainVersion {
+                data: big(1, i as u8),
+                flags: 0,
+                ttime: 500 - i as u64,
+                sn: 0,
+            })
+            .collect();
+        let mut hist = Page::zeroed();
+        hist.format(
+            PageId(3),
+            PageType::Leaf,
+            FLAG_VERSIONED | FLAG_HISTORICAL,
+            0,
+        );
+        pack_chain_into(&mut hist, b"a", &vers).unwrap();
+        // A dead sibling chain gives compact() something to reclaim.
+        let o = add_version(&mut hist, b"zz", b"junk", false, Tid(1)).unwrap();
+        hist.stamp_rec(o, ts(1, 0));
+        let zi = hist.find_slot(b"zz").unwrap();
+        hist.remove_record_at(zi);
+        hist.compact().unwrap();
+
+        let i = hist.find_slot(b"a").unwrap();
+        let (out, _) = materialize_chain(&hist, i).unwrap();
+        assert_eq!(out.len(), depth);
+        for (idx, v) in out.iter().enumerate() {
+            assert_eq!(v.data, big(1, idx as u8));
+        }
     }
 
     #[test]

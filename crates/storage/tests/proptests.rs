@@ -152,7 +152,7 @@ proptest! {
         if split_ts <= page.start_ts() {
             return Ok(());
         }
-        let (hist, cur) = version::time_split(&page, split_ts, PageId(99)).unwrap();
+        let (hist, cur, _) = version::time_split(&page, split_ts, PageId(99)).unwrap();
 
         // Probe every (key, tick) instant against the pre-split truth.
         for probe_tick in 0..12u64 {
@@ -228,5 +228,71 @@ proptest! {
             .collect();
         prop_assert_eq!(before, after);
         prop_assert_eq!(page.frag_space(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Prefix/suffix delta encoding round-trips for arbitrary byte pairs,
+    /// including pathological overlaps (empty, identical, contained).
+    #[test]
+    fn delta_encoding_round_trips(
+        base in proptest::collection::vec(any::<u8>(), 0..300),
+        new in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let delta = version::encode_delta(&base, &new);
+        let back = version::apply_delta(&base, &delta).unwrap();
+        prop_assert_eq!(back, new);
+    }
+
+    /// Deltas against a shared prefix/suffix shrink to (roughly) the size
+    /// of the differing middle, and still round-trip.
+    #[test]
+    fn delta_encoding_exploits_overlap(
+        prefix in proptest::collection::vec(any::<u8>(), 0..120),
+        mid_a in proptest::collection::vec(any::<u8>(), 1..40),
+        mid_b in proptest::collection::vec(any::<u8>(), 1..40),
+        suffix in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let base: Vec<u8> = [prefix.clone(), mid_a, suffix.clone()].concat();
+        let new: Vec<u8> = [prefix, mid_b.clone(), suffix].concat();
+        let delta = version::encode_delta(&base, &new);
+        prop_assert!(
+            delta.len() <= mid_b.len() + 20,
+            "delta {} bytes vs middle {}", delta.len(), mid_b.len()
+        );
+        prop_assert_eq!(version::apply_delta(&base, &delta).unwrap(), new);
+    }
+
+    /// Packing a chain delta-encoded and materializing it back is
+    /// lossless: every version's bytes, timestamp and flags survive.
+    #[test]
+    fn pack_chain_round_trips(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..120), 1..20),
+    ) {
+        use immortaldb_storage::version::ChainVersion;
+        // Newest-first chain with strictly decreasing timestamps.
+        let n = payloads.len() as u64;
+        let vers: Vec<ChainVersion> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ChainVersion {
+                data: p.clone(),
+                flags: 0,
+                ttime: (n - i as u64) * 10,
+                sn: 0,
+            })
+            .collect();
+        let mut page = Page::zeroed();
+        page.format(PageId(9), PageType::Leaf, FLAG_VERSIONED, 0);
+        version::pack_chain_into(&mut page, b"key", &vers).unwrap();
+        let (back, _) = version::materialize_chain(&page, 0).unwrap();
+        prop_assert_eq!(back.len(), vers.len());
+        for (a, b) in back.iter().zip(vers.iter()) {
+            prop_assert_eq!(&a.data, &b.data);
+            prop_assert_eq!(a.ttime, b.ttime);
+        }
     }
 }

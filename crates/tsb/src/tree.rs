@@ -1,11 +1,15 @@
 //! TSB-tree implementation: structure, temporal descent, writes, splits.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use immortaldb_btree::SplitTimeSource;
+use immortaldb_btree::{
+    pack_history_pages, page_has_tid_marked, page_used_bytes, CompactionStats, HistoryStats,
+    SplitTimeSource,
+};
 use immortaldb_common::codec::{get_u32, get_u64, put_u32, put_u64};
 use immortaldb_common::{Error, Lsn, PageId, Result, Tid, Timestamp, TreeId, NULL_LSN};
 use immortaldb_storage::buffer::{BufferPool, FrameRef};
@@ -102,6 +106,9 @@ pub struct TsbTree {
     split_threshold: f64,
     time_splits: AtomicU32,
     key_splits: AtomicU32,
+    /// Serializes compaction passes; the pass itself additionally runs
+    /// under the structure write latch.
+    compacting: Mutex<()>,
 }
 
 impl TsbTree {
@@ -176,6 +183,7 @@ impl TsbTree {
             split_threshold: 0.7,
             time_splits: AtomicU32::new(0),
             key_splits: AtomicU32::new(0),
+            compacting: Mutex::new(()),
         }
     }
 
@@ -302,12 +310,23 @@ impl TsbTree {
             }
         }
         let (frame, _) = self.descend(key, as_of)?;
-        Ok(frame.read_optimistic(metrics, |g| {
-            let i = g.find_slot(key).ok()?;
+        // Errors ride inside the closure result: a torn optimistic
+        // observation can make delta folding fail spuriously, and seqlock
+        // validation discards it before it can surface.
+        let r = frame.read_optimistic(metrics, |g| -> Result<Option<(Vec<u8>, u64)>> {
+            let Ok(i) = g.find_slot(key) else {
+                return Ok(None);
+            };
             match version::visible_as_of(g, i, as_of, own_tid, resolver) {
-                Visible::Version(off) => Some(g.rec_data(off).to_vec()),
-                Visible::Deleted | Visible::NotHere => None,
+                Visible::Version(off) => Some(version::materialize_at(g, i, off)).transpose(),
+                Visible::Deleted | Visible::NotHere => Ok(None),
             }
+        })?;
+        Ok(r.map(|(data, folds)| {
+            if folds > 0 {
+                metrics.version.delta_folds.add(folds);
+            }
+            data
         }))
     }
 
@@ -363,7 +382,11 @@ impl TsbTree {
                     if let Visible::Version(voff) =
                         version::visible_as_of(&g, i, as_of, own_tid, resolver)
                     {
-                        out.push((key.to_vec(), g.rec_data(voff).to_vec()));
+                        let (data, folds) = version::materialize_at(&g, i, voff)?;
+                        if folds > 0 {
+                            self.pool.metrics().version.delta_folds.add(folds);
+                        }
+                        out.push((key.to_vec(), data));
                     }
                 }
                 Ok(())
@@ -467,7 +490,11 @@ impl TsbTree {
                             break;
                         }
                     }
-                    immortaldb_btree::collect_chain_window(&g, i, lo, hi, resolver, out);
+                    let folds =
+                        immortaldb_btree::collect_chain_window(&g, i, lo, hi, resolver, out)?;
+                    if folds > 0 {
+                        self.pool.metrics().version.delta_folds.add(folds);
+                    }
                 }
                 Ok(())
             }
@@ -567,7 +594,8 @@ impl TsbTree {
                 break; // same page again: no older slice exists
             }
             if let Ok(i) = g.find_slot(key) {
-                for off in version::chain_offsets(&g, i) {
+                let mut walker = version::ChainWalker::new(&g, i);
+                while let Some(off) = walker.step()? {
                     let (ts, tid) = if g.rec_is_tid_marked(off) {
                         match resolver.resolve(g.rec_tid(off)) {
                             Some(ts) => (Some(ts), None),
@@ -588,9 +616,12 @@ impl TsbTree {
                         data: if g.rec_is_stub(off) {
                             None
                         } else {
-                            Some(g.rec_data(off).to_vec())
+                            Some(walker.data().to_vec())
                         },
                     });
+                }
+                if walker.folds > 0 {
+                    self.pool.metrics().version.delta_folds.add(walker.folds);
                 }
             }
             // Step into the previous time slice of this key's region.
@@ -827,6 +858,114 @@ impl TsbTree {
         }
     }
 
+    /// Batched bulk insert: apply a run of key-ordered rows that land on
+    /// the same current data page under ONE write latch and one
+    /// dirty-page marking, instead of a latch/dirty round-trip per row.
+    /// Each row still gets its own `AddVersion` log record (same
+    /// `prev_lsn` chain as single-row inserts), so undo, CLRs and logical
+    /// replica replay are unchanged. Returns the last LSN appended.
+    ///
+    /// Rows are `(key, data)` inserts with the same conflict semantics as
+    /// [`TsbTree::insert`]; an error (e.g. `DuplicateKey`) aborts the
+    /// remainder of the batch — rows already applied stay, tied to `tid`,
+    /// and roll back with the transaction as usual.
+    pub fn insert_batch(
+        &self,
+        tid: Tid,
+        prev_lsn: Lsn,
+        rows: &[(Vec<u8>, Vec<u8>)],
+        resolver: &dyn TimestampResolver,
+    ) -> Result<Lsn> {
+        for (key, data) in rows {
+            if key.len() + data.len() > immortaldb_btree::MAX_RECORD {
+                return Err(Error::RecordTooLarge(key.len() + data.len()));
+            }
+        }
+        let mut last_lsn = prev_lsn;
+        let mut i = 0;
+        while i < rows.len() {
+            let mut full_at: Option<usize> = None;
+            {
+                // Holding the structure latch across the run pins every
+                // key→leaf routing: the latch-free descents below cannot
+                // be invalidated by a concurrent split before the run is
+                // applied. Run discovery happens BEFORE the write latch is
+                // taken (descents read-latch the leaf they land on).
+                let _s = self.structure.read();
+                let (frame, _) = self.descend(&rows[i].0, Timestamp::MAX)?;
+                let leaf_id = frame.page_id();
+                let mut end = i + 1;
+                while end < rows.len() {
+                    let (f2, _) = self.descend(&rows[end].0, Timestamp::MAX)?;
+                    if f2.page_id() != leaf_id {
+                        break;
+                    }
+                    end += 1;
+                }
+                // Apply the whole run under one write latch.
+                let mut g = frame.write();
+                let mut first_in_run = true;
+                while i < end {
+                    let (key, data) = &rows[i];
+                    if let Ok(s) = g.find_slot(key) {
+                        let head = g.slot(s);
+                        let head_live = if g.rec_is_tid_marked(head) {
+                            let owner = g.rec_tid(head);
+                            if owner != tid && resolver.resolve(owner).is_none() {
+                                return Err(Error::WriteConflict(tid));
+                            }
+                            !g.rec_is_stub(head)
+                        } else {
+                            !g.rec_is_stub(head)
+                        };
+                        if head_live {
+                            return Err(Error::DuplicateKey);
+                        }
+                        for (t, n) in version::stamp_chain(&mut g, s, resolver) {
+                            resolver.note_stamped(t, n);
+                        }
+                    }
+                    match version::add_version(&mut g, key, data, false, tid) {
+                        Ok(_) => {
+                            let rec = LogRecord::AddVersion {
+                                tree: self.tree_id,
+                                page: leaf_id,
+                                key: key.clone(),
+                                data: data.clone(),
+                                stub: false,
+                            };
+                            last_lsn = self.wal.append(tid, last_lsn, &rec);
+                            if first_in_run {
+                                // Enter the dirty-page table with the run's
+                                // FIRST lsn so a concurrent checkpoint's
+                                // recLSN covers every record of the run.
+                                g.set_page_lsn(last_lsn);
+                                frame.mark_dirty(last_lsn);
+                                first_in_run = false;
+                            }
+                            i += 1;
+                        }
+                        Err(Error::PageFull) => {
+                            full_at = Some(i);
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                if !first_in_run {
+                    g.set_page_lsn(last_lsn);
+                    frame.mark_dirty(last_lsn);
+                }
+            }
+            if let Some(at) = full_at {
+                let (key, data) = &rows[at];
+                let need = REC_HDR + key.len() + data.len() + immortaldb_common::VERSION_TAIL + 2;
+                self.split_for(key, need, resolver)?;
+            }
+        }
+        Ok(last_lsn)
+    }
+
     // -- splits ---------------------------------------------------------------
 
     fn split_for(&self, key: &[u8], need: usize, resolver: &dyn TimestampResolver) -> Result<()> {
@@ -874,7 +1013,10 @@ impl TsbTree {
         let safe = split_ts <= max_safe_ts;
         if safe && version::time_split_gain(&leaf, split_ts) > 0 {
             let hist_id = self.pool.disk().allocate()?;
-            let (hist, fresh) = version::time_split(&leaf, split_ts, hist_id)?;
+            let (hist, fresh, packed) = version::time_split(&leaf, split_ts, hist_id)?;
+            let m = self.pool.metrics();
+            m.version.anchors_written.add(packed.anchors);
+            m.version.deltas_written.add(packed.deltas);
             images.push(hist);
             adds.push(Entry {
                 key_low: leaf_key_low.clone(),
@@ -1147,6 +1289,106 @@ impl TsbTree {
             ));
         }
         Ok((posted, new_t_low))
+    }
+
+    // -- compaction -----------------------------------------------------------
+
+    /// Every data page reachable from the root (both current and
+    /// historical regions), deduplicated.
+    fn data_pages(&self) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<PageId> = HashSet::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let frame = self.pool.fetch(id)?;
+            let g = frame.read();
+            match g.page_type()? {
+                PageType::Leaf => out.push(id),
+                PageType::Index => {
+                    for e in entries(&g) {
+                        stack.push(e.child);
+                    }
+                }
+                other => {
+                    return Err(Error::Corruption(format!(
+                        "TSB walk hit {other:?} page {id:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rewrite every historical data page delta-packed, in place. Unlike
+    /// the chain B-tree, TSB index entries address historical pages by
+    /// id, so pages keep their identity and are never merged or freed —
+    /// the win is the packing itself. Runs under the structure write
+    /// latch; rewrites are logged as `PageImages` in small batches so a
+    /// long pass does not build one giant log record.
+    pub fn compact_history(&self) -> Result<CompactionStats> {
+        const BATCH: usize = 8;
+        let _c = self.compacting.lock();
+        let _s = self.structure.write();
+        let mut stats = CompactionStats::default();
+        let mut batch: Vec<Page> = Vec::new();
+        for pid in self.data_pages()? {
+            let page = {
+                let f = self.pool.fetch(pid)?;
+                let g = f.read();
+                if !g.is_historical() {
+                    continue;
+                }
+                g.clone()
+            };
+            if page_has_tid_marked(&page) {
+                continue;
+            }
+            let before = page_used_bytes(&page);
+            let (packed, counts) = pack_history_pages(&[&page], pid)?;
+            let after = page_used_bytes(&packed);
+            if after >= before {
+                continue;
+            }
+            stats.pages_rewritten += 1;
+            stats.bytes_reclaimed += (before - after) as u64;
+            stats.counts.add(counts);
+            batch.push(packed);
+            if batch.len() >= BATCH {
+                self.install(std::mem::take(&mut batch), None)?;
+            }
+        }
+        if !batch.is_empty() {
+            self.install(batch, None)?;
+        }
+        let m = self.pool.metrics();
+        m.compaction.pages_rewritten.add(stats.pages_rewritten);
+        m.compaction.bytes_reclaimed.add(stats.bytes_reclaimed);
+        m.version.anchors_written.add(stats.counts.anchors);
+        m.version.deltas_written.add(stats.counts.deltas);
+        Ok(stats)
+    }
+
+    /// Measure the version store: every historical data page, its
+    /// occupied bytes, and the versions stored there.
+    pub fn history_stats(&self) -> Result<HistoryStats> {
+        let _s = self.structure.read();
+        let mut out = HistoryStats::default();
+        for pid in self.data_pages()? {
+            let f = self.pool.fetch(pid)?;
+            let g = f.read();
+            if !g.is_historical() {
+                continue;
+            }
+            out.history_pages += 1;
+            out.used_bytes += page_used_bytes(&g) as u64;
+            for i in 0..g.slot_count() {
+                out.versions += version::chain_offsets(&g, i).len() as u64;
+            }
+        }
+        Ok(out)
     }
 
     fn install(&self, mut images: Vec<Page>, new_root: Option<PageId>) -> Result<()> {

@@ -9,8 +9,17 @@
 //! A blocked request first checks the wait-for graph for a cycle (the
 //! requester aborts as the victim) and otherwise waits with a timeout
 //! backstop.
+//!
+//! The lock table is split into [`LOCK_SHARDS`] independently-latched
+//! shards (fibonacci-hashed by target) so concurrent transactions
+//! touching different keys do not serialize on one mutex; contended
+//! shard acquisitions are counted in `locks.shard_conflicts`. Deadlock
+//! detection is the one cross-shard operation: the would-be waiter
+//! releases its shard, takes every shard in index order, and walks the
+//! combined wait-for graph.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -94,35 +103,18 @@ struct LockTable {
     held: HashMap<Tid, HashSet<LockTarget>>,
 }
 
-impl LockTable {
-    fn deadlocks(&self, tid: Tid, target: &LockTarget, mode: LockMode) -> bool {
-        let mut stack: Vec<Tid> = self
-            .granted
-            .get(target)
-            .map(|g| g.blockers(tid, mode))
-            .unwrap_or_default();
-        let mut seen: HashSet<Tid> = HashSet::new();
-        while let Some(t) = stack.pop() {
-            if t == tid {
-                return true;
-            }
-            if !seen.insert(t) {
-                continue;
-            }
-            if let Some((wtarget, wmode)) = self.waiting.get(&t) {
-                if let Some(g) = self.granted.get(wtarget) {
-                    stack.extend(g.blockers(t, *wmode));
-                }
-            }
-        }
-        false
-    }
+/// Number of lock-table shards (power of two).
+pub const LOCK_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct Shard {
+    table: Mutex<LockTable>,
+    cond: Condvar,
 }
 
 /// The lock manager.
 pub struct LockManager {
-    table: Mutex<LockTable>,
-    cond: Condvar,
+    shards: Vec<Shard>,
     timeout: Duration,
     metrics: MetricsRegistry,
 }
@@ -142,11 +134,48 @@ impl LockManager {
     /// Manager recording into a shared engine-wide registry.
     pub fn with_metrics(timeout: Duration, metrics: MetricsRegistry) -> LockManager {
         LockManager {
-            table: Mutex::new(LockTable::default()),
-            cond: Condvar::new(),
+            shards: (0..LOCK_SHARDS).map(|_| Shard::default()).collect(),
             timeout,
             metrics,
         }
+    }
+
+    /// Shard index of a target: fibonacci-spread hash, top bits.
+    fn shard_of(target: &LockTarget) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        target.hash(&mut h);
+        (h.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (LOCK_SHARDS - 1)
+    }
+
+    /// Walk the combined wait-for graph for a cycle through `tid`. Takes
+    /// every shard in index order (the caller must hold none) so the
+    /// graph is a consistent snapshot even when the cycle spans shards.
+    fn detect_deadlock(&self, tid: Tid) -> bool {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.table.lock()).collect();
+        let Some((target, mode)) = guards.iter().find_map(|g| g.waiting.get(&tid)) else {
+            return false;
+        };
+        let blockers = |t: Tid, target: &LockTarget, mode: LockMode| -> Vec<Tid> {
+            guards[Self::shard_of(target)]
+                .granted
+                .get(target)
+                .map(|g| g.blockers(t, mode))
+                .unwrap_or_default()
+        };
+        let mut stack = blockers(tid, target, *mode);
+        let mut seen: HashSet<Tid> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == tid {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some((wt, wm)) = guards.iter().find_map(|g| g.waiting.get(&t)) {
+                stack.extend(blockers(t, wt, *wm));
+            }
+        }
+        false
     }
 
     /// Acquire `mode` on `target` for `tid`, blocking if necessary.
@@ -162,7 +191,14 @@ impl LockManager {
                     .observe(t0.elapsed().as_nanos() as u64);
             }
         };
-        let mut table = self.table.lock();
+        let shard = &self.shards[Self::shard_of(&target)];
+        let mut table = match shard.table.try_lock() {
+            Some(g) => g,
+            None => {
+                self.metrics.locks.shard_conflicts.inc();
+                shard.table.lock()
+            }
+        };
         loop {
             let granted = table.granted.entry(target.clone()).or_default();
             if granted.compatible(tid, mode) {
@@ -178,18 +214,32 @@ impl LockManager {
                 observe_wait(wait_start);
                 return Ok(());
             }
-            if table.deadlocks(tid, &target, mode) {
-                table.waiting.remove(&tid);
+            // Blocked. Publish the wait edge, then detect with the shard
+            // released (detection takes every shard in index order).
+            table.waiting.insert(tid, (target.clone(), mode));
+            drop(table);
+            if self.detect_deadlock(tid) {
+                shard.table.lock().waiting.remove(&tid);
                 self.metrics.locks.deadlocks.inc();
                 observe_wait(wait_start);
                 return Err(Error::Deadlock(tid));
+            }
+            table = shard.table.lock();
+            // The holder may have released while we were detecting — the
+            // loop head re-checks under the re-taken shard latch before
+            // the condvar wait, so the wakeup cannot be lost.
+            if table
+                .granted
+                .get(&target)
+                .is_none_or(|g| g.compatible(tid, mode))
+            {
+                continue;
             }
             if wait_start.is_none() {
                 wait_start = Some(Instant::now());
                 self.metrics.locks.waits.inc();
             }
-            table.waiting.insert(tid, (target.clone(), mode));
-            let timed_out = self.cond.wait_for(&mut table, self.timeout).timed_out();
+            let timed_out = shard.cond.wait_for(&mut table, self.timeout).timed_out();
             if timed_out {
                 table.waiting.remove(&tid);
                 self.metrics.locks.timeouts.inc();
@@ -220,26 +270,38 @@ impl LockManager {
         self.lock(tid, LockTarget::Table(tree), LockMode::Shared)
     }
 
-    /// Release every lock of `tid` and wake waiters.
+    /// Release every lock of `tid` and wake waiters (all shards: a
+    /// transaction's locks spread across them).
     pub fn release_all(&self, tid: Tid) {
-        let mut table = self.table.lock();
-        if let Some(targets) = table.held.remove(&tid) {
-            for target in targets {
-                if let Some(g) = table.granted.get_mut(&target) {
-                    g.holders.remove(&tid);
-                    if g.is_free() {
-                        table.granted.remove(&target);
+        for shard in &self.shards {
+            let mut table = shard.table.lock();
+            if let Some(targets) = table.held.remove(&tid) {
+                for target in targets {
+                    if let Some(g) = table.granted.get_mut(&target) {
+                        g.holders.remove(&tid);
+                        if g.is_free() {
+                            table.granted.remove(&target);
+                        }
                     }
                 }
             }
+            table.waiting.remove(&tid);
+            drop(table);
+            shard.cond.notify_all();
         }
-        table.waiting.remove(&tid);
-        self.cond.notify_all();
     }
 
     /// Number of targets currently locked (tests/metrics).
     pub fn locked_targets(&self) -> usize {
-        self.table.lock().granted.len()
+        self.shards
+            .iter()
+            .map(|s| s.table.lock().granted.len())
+            .sum()
+    }
+
+    /// Number of lock-table shards (diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -379,6 +441,53 @@ mod tests {
         let r = lm.lock(t(2), key(b"k"), LockMode::Exclusive);
         assert!(matches!(r, Err(Error::Deadlock(_))));
         lm.release_all(t(1));
+    }
+
+    #[test]
+    fn shards_spread_targets_and_release_visits_all() {
+        let lm = LockManager::default();
+        for i in 0..64u32 {
+            let k = format!("k{i}");
+            lm.lock(t(1), key(k.as_bytes()), LockMode::Shared).unwrap();
+        }
+        assert_eq!(lm.locked_targets(), 64);
+        let used: HashSet<usize> = (0..64u32)
+            .map(|i| LockManager::shard_of(&key(format!("k{i}").as_bytes())))
+            .collect();
+        assert!(used.len() > 1, "hash must spread targets across shards");
+        lm.release_all(t(1));
+        assert_eq!(lm.locked_targets(), 0);
+    }
+
+    #[test]
+    fn cross_shard_deadlock_detected() {
+        // Force the two keys onto different shards so the wait-for cycle
+        // spans them.
+        let a = b"a".to_vec();
+        let b = (0..1000u32)
+            .map(|i| format!("x{i}").into_bytes())
+            .find(|k| {
+                LockManager::shard_of(&LockTarget::Key(TREE, k.clone()))
+                    != LockManager::shard_of(&LockTarget::Key(TREE, a.clone()))
+            })
+            .expect("some key must hash to a different shard");
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock(t(1), key(&a), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = thread::spawn(move || {
+            lm2.lock(t(2), key(&b2), LockMode::Exclusive).unwrap();
+            let r = lm2.lock(t(2), key(&a2), LockMode::Exclusive);
+            lm2.release_all(t(2));
+            r
+        });
+        thread::sleep(Duration::from_millis(100));
+        let r1 = lm.lock(t(1), key(&b), LockMode::Exclusive);
+        lm.release_all(t(1));
+        let r2 = h.join().unwrap();
+        let deadlocks =
+            matches!(r1, Err(Error::Deadlock(_))) || matches!(r2, Err(Error::Deadlock(_)));
+        assert!(deadlocks, "cross-shard cycle must be detected");
     }
 
     #[test]
