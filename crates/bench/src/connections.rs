@@ -1,0 +1,457 @@
+//! Connection scaling: thread-per-connection vs the readiness reactor.
+//!
+//! For each fleet size (64 / 256 / 1024 connections, ≥90% idle) both
+//! serving models hold the whole fleet while the active minority drives
+//! autocommit commits. Measured per configuration:
+//!
+//! * **process threads** while the fleet is parked — the headline
+//!   number. Thread-per-connection must hold one worker thread per open
+//!   connection (its `workers` knob *is* its connection capacity), so
+//!   its thread count tracks the fleet; the reactor holds every fleet on
+//!   the same fixed budget (one event loop + `REACTOR_WORKERS` cores).
+//! * resident memory with the fleet parked (thread stacks are the
+//!   dominant per-connection cost of the baseline),
+//! * commit throughput and client-observed p50/p99 from the active
+//!   clients — idle fleets must not tax the hot path in either model.
+//!
+//! Client-side load threads are identical across models, so the
+//! thread/RSS deltas between rows isolate the server's share.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use immortaldb::{Database, DbConfig, Durability, EventTap, Sentinel, Session};
+use immortaldb_net::{Client, Server, ServerConfig, ServerModel};
+
+use crate::harness::print_table;
+
+/// Execution cores for the reactor model — fixed across fleet sizes.
+const REACTOR_WORKERS: usize = 4;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ConnRow {
+    pub model: &'static str,
+    pub conns: usize,
+    pub active: usize,
+    /// `Threads:` from /proc/self/status with the fleet parked
+    /// (0 where procfs is unavailable).
+    pub threads: u64,
+    /// `VmRSS:` (KiB) with the fleet parked.
+    pub rss_kib: u64,
+    pub commits: u64,
+    pub secs: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+}
+
+impl ConnRow {
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.secs
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("immortal-bench-conns-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn proc_status(field: &str) -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    text.lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|rest| rest.trim_start_matches(':').split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    sorted_us[((sorted_us.len() - 1) as f64 * p).round() as usize]
+}
+
+fn run_one(model: ServerModel, conns: usize, commits_per_active: u64) -> ConnRow {
+    let (name, cfg) = match model {
+        ServerModel::Reactor => (
+            "reactor",
+            ServerConfig::new("127.0.0.1:0")
+                .workers(REACTOR_WORKERS)
+                .max_connections(conns + 16),
+        ),
+        ServerModel::ThreadPerConn => (
+            // The baseline can only hold a connection by parking a
+            // worker thread on it, so its pool must cover the fleet.
+            "thread-per-conn",
+            ServerConfig::new("127.0.0.1:0")
+                .model(ServerModel::ThreadPerConn)
+                .workers(conns + 16)
+                .accept_queue(16),
+        ),
+    };
+    let active = (conns / 16).max(2); // ≤ 6.25% active, ≥ 90% idle
+    let dir = scratch_dir(&format!("{name}-{conns}"));
+    let db = Arc::new(
+        Database::open(
+            DbConfig::new(&dir)
+                .pool_pages(4 * 1024)
+                .durability(Durability::Fsync),
+        )
+        .expect("open bench db"),
+    );
+    {
+        let mut s = Session::new(&db);
+        s.execute("CREATE IMMORTAL TABLE Conns (Id INT PRIMARY KEY, V INT)")
+            .expect("create table");
+    }
+    let server = Server::start(Arc::clone(&db), cfg).expect("start server");
+    let addr = server.local_addr();
+
+    // Park the idle fleet, then sample what holding it costs.
+    let idle: Vec<Client> = (0..conns - active)
+        .map(|_| Client::connect(addr).expect("connect idle"))
+        .collect();
+    let threads = proc_status("Threads");
+    let rss_kib = proc_status("VmRSS");
+
+    // Commit load from the active minority.
+    let start = std::sync::Barrier::new(active + 1);
+    let (results, secs) = std::thread::scope(|scope| {
+        let start = &start;
+        let handles: Vec<_> = (0..active)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect active");
+                    let mut lat = Vec::with_capacity(commits_per_active as usize);
+                    start.wait();
+                    for i in 0..commits_per_active {
+                        let id = (w as u64 * commits_per_active + i) as i32;
+                        let t0 = Instant::now();
+                        c.query_with_backoff(&format!("INSERT INTO Conns VALUES ({id}, {w})"), 64)
+                            .expect("insert");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        let results: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (results, t0.elapsed().as_secs_f64())
+    });
+
+    let mut latencies: Vec<u64> = results.into_iter().flatten().collect();
+    let commits = latencies.len() as u64;
+    latencies.sort_unstable();
+    let row = ConnRow {
+        model: name,
+        conns,
+        active,
+        threads,
+        rss_kib,
+        commits,
+        secs,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    };
+
+    drop(idle);
+    server.shutdown().expect("shutdown");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    row
+}
+
+/// The idle-fleet-tax experiment (the PR's acceptance numbers): the
+/// reactor serving 8 active commit clients, measured alone, with a
+/// 1016-connection idle fleet parked beside them, and with the fleet
+/// AND the isolation sentinel armed. The fleet must not tax the hot
+/// path (within 10%) and the sentinel must cost < 5%.
+#[derive(Debug, Clone)]
+pub struct IdleTaxRow {
+    pub label: &'static str,
+    pub idle: usize,
+    pub sentinel: bool,
+    pub commits: u64,
+    pub secs: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    /// Sentinel totals for the armed row (0 otherwise).
+    pub events_checked: u64,
+    pub violations: u64,
+}
+
+impl IdleTaxRow {
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.secs
+    }
+}
+
+const TAX_ACTIVE: usize = 8;
+
+fn run_tax(label: &'static str, idle: usize, arm: bool, commits_per_active: u64) -> IdleTaxRow {
+    let dir = scratch_dir(&format!("tax-{idle}-{arm}"));
+    let tap = arm.then(|| EventTap::new(1 << 18));
+    let mut db_cfg = DbConfig::new(&dir)
+        .pool_pages(4 * 1024)
+        .durability(Durability::Fsync);
+    if let Some(tap) = &tap {
+        db_cfg = db_cfg.sentinel(Arc::clone(tap));
+    }
+    let db = Arc::new(Database::open(db_cfg).expect("open bench db"));
+    let sentinel = tap.map(|tap| Sentinel::spawn(tap, db.metrics().clone()));
+    {
+        let mut s = Session::new(&db);
+        s.execute("CREATE IMMORTAL TABLE Conns (Id INT PRIMARY KEY, V INT)")
+            .expect("create table");
+    }
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig::new("127.0.0.1:0")
+            .workers(REACTOR_WORKERS)
+            .max_connections(idle + TAX_ACTIVE + 16),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    let fleet: Vec<Client> = (0..idle)
+        .map(|_| Client::connect(addr).expect("connect idle"))
+        .collect();
+
+    let start = std::sync::Barrier::new(TAX_ACTIVE + 1);
+    let (results, secs) = std::thread::scope(|scope| {
+        let start = &start;
+        let handles: Vec<_> = (0..TAX_ACTIVE)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect active");
+                    let mut lat = Vec::with_capacity(commits_per_active as usize);
+                    start.wait();
+                    for i in 0..commits_per_active {
+                        let id = (w as u64 * commits_per_active + i) as i32;
+                        let t0 = Instant::now();
+                        c.query_with_backoff(&format!("INSERT INTO Conns VALUES ({id}, {w})"), 64)
+                            .expect("insert");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        let results: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (results, t0.elapsed().as_secs_f64())
+    });
+
+    let mut latencies: Vec<u64> = results.into_iter().flatten().collect();
+    let commits = latencies.len() as u64;
+    latencies.sort_unstable();
+    let (p50_us, p99_us) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+
+    drop(fleet);
+    server.shutdown().expect("shutdown");
+    let (events_checked, violations) = match sentinel {
+        Some(s) => {
+            let r = s.stop();
+            (r.events, r.violation_count)
+        }
+        None => (0, 0),
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    IdleTaxRow {
+        label,
+        idle,
+        sentinel: arm,
+        commits,
+        secs,
+        p50_us,
+        p99_us,
+        events_checked,
+        violations,
+    }
+}
+
+pub fn idle_tax(quick: bool) -> Vec<IdleTaxRow> {
+    let per_active: u64 = if quick { 400 } else { 2000 };
+    // Interleaved rounds, best-of-N per configuration: single runs on a
+    // shared host carry +/- 25% noise and the host drifts over a sweep,
+    // so configs run round-robin (drift hits all three equally) and the
+    // best round approximates each configuration's capability.
+    let reps = if quick { 2 } else { 3 };
+    let configs: [(&'static str, usize, bool); 3] = [
+        ("8 clients alone", 0, false),
+        ("+1016 idle conns", 1016, false),
+        ("+1016 idle, sentinel armed", 1016, true),
+    ];
+    let mut best: Vec<Option<IdleTaxRow>> = vec![None, None, None];
+    for _ in 0..reps {
+        for (i, &(label, idle, arm)) in configs.iter().enumerate() {
+            let row = run_tax(label, idle, arm, per_active);
+            if best[i]
+                .as_ref()
+                .map(|b| row.throughput() > b.throughput())
+                .unwrap_or(true)
+            {
+                best[i] = Some(row);
+            }
+        }
+    }
+    best.into_iter().map(|r| r.expect("one rep ran")).collect()
+}
+
+pub fn report_idle_tax(rows: &[IdleTaxRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.idle.to_string(),
+                if r.sentinel { "yes" } else { "no" }.to_string(),
+                format!("{:.0}", r.throughput()),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+                r.events_checked.to_string(),
+                r.violations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "connections — idle-fleet tax on the reactor hot path (8 active clients)",
+        &[
+            "configuration",
+            "idle",
+            "sentinel",
+            "commits/s",
+            "p50 us",
+            "p99 us",
+            "checked",
+            "violations",
+        ],
+        &table,
+    );
+    if let [base, fleet, armed] = rows {
+        println!(
+            "  idle-fleet tax: {:.1}% (acceptance: within 10%); sentinel overhead: {:.1}% \
+             (acceptance: < 5%)",
+            (1.0 - fleet.throughput() / base.throughput()) * 100.0,
+            (1.0 - armed.throughput() / fleet.throughput()) * 100.0,
+        );
+    }
+}
+
+pub fn idle_tax_json(rows: &[IdleTaxRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\":\"{}\",\"idle\":{},\"sentinel\":{},\"commits\":{},\
+                 \"secs\":{:.6},\"commits_per_sec\":{:.1},\"p50_us\":{},\"p99_us\":{},\
+                 \"events_checked\":{},\"violations\":{}}}",
+                r.label,
+                r.idle,
+                r.sentinel,
+                r.commits,
+                r.secs,
+                r.throughput(),
+                r.p50_us,
+                r.p99_us,
+                r.events_checked,
+                r.violations
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The fleet sweep, both models.
+pub fn run(quick: bool) -> Vec<ConnRow> {
+    let per_active: u64 = if quick { 150 } else { 600 };
+    let mut rows = Vec::new();
+    for &conns in &[64usize, 256, 1024] {
+        for model in [ServerModel::ThreadPerConn, ServerModel::Reactor] {
+            rows.push(run_one(model, conns, per_active));
+        }
+    }
+    rows
+}
+
+pub fn report(rows: &[ConnRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                r.conns.to_string(),
+                r.active.to_string(),
+                r.threads.to_string(),
+                format!("{:.0}", r.rss_kib as f64 / 1024.0),
+                format!("{:.0}", r.throughput()),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "connections — fleet scaling, thread-per-conn vs reactor",
+        &[
+            "model",
+            "conns",
+            "active",
+            "threads",
+            "RSS MiB",
+            "commits/s",
+            "p50 us",
+            "p99 us",
+        ],
+        &table,
+    );
+    for &conns in &[64usize, 256, 1024] {
+        let tpc = rows
+            .iter()
+            .find(|r| r.model == "thread-per-conn" && r.conns == conns);
+        let rea = rows
+            .iter()
+            .find(|r| r.model == "reactor" && r.conns == conns);
+        if let (Some(t), Some(r)) = (tpc, rea) {
+            println!(
+                "  {conns:>4} conns: {} vs {} threads ({:.0}x fewer), throughput {:.2}x of baseline",
+                t.threads,
+                r.threads,
+                t.threads as f64 / (r.threads.max(1)) as f64,
+                r.throughput() / t.throughput().max(1e-9),
+            );
+        }
+    }
+}
+
+pub fn rows_json(rows: &[ConnRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"model\":\"{}\",\"conns\":{},\"active\":{},\"threads\":{},\
+                 \"rss_kib\":{},\"commits\":{},\"secs\":{:.6},\"commits_per_sec\":{:.1},\
+                 \"p50_us\":{},\"p99_us\":{}}}",
+                r.model,
+                r.conns,
+                r.active,
+                r.threads,
+                r.rss_kib,
+                r.commits,
+                r.secs,
+                r.throughput(),
+                r.p50_us,
+                r.p99_us
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}

@@ -6,6 +6,7 @@
 //! records paper-vs-measured.
 
 pub mod ablations;
+pub mod connections;
 pub mod fig5;
 pub mod fig6;
 pub mod group_commit;

@@ -2,7 +2,7 @@
 //! plus the ablations.
 //!
 //! ```text
-//! immortaldb-bench [--quick] [fig5|fig6|gc|net|repl|temporal|history|read-scaling|a1|a2|a3|a4|a5|all]
+//! immortaldb-bench [--quick] [fig5|fig6|gc|net|connections|repl|temporal|history|read-scaling|a1|a2|a3|a4|a5|all]
 //! ```
 //!
 //! Figure runs additionally write machine-readable `BENCH_<figure>.json`
@@ -10,7 +10,8 @@
 //! directory.
 
 use immortaldb_bench::{
-    ablations, fig5, fig6, group_commit, history, netbench, read_scaling, replbench, temporal,
+    ablations, connections, fig5, fig6, group_commit, history, netbench, read_scaling, replbench,
+    temporal,
 };
 use immortaldb_obs::MetricsSnapshot;
 
@@ -97,6 +98,18 @@ fn main() {
             netbench::rows_json(&rows)
         );
         write_artifact("BENCH_server.json", &body);
+    }
+    if wants("connections") {
+        let rows = connections::run(quick);
+        connections::report(&rows);
+        let tax = connections::idle_tax(quick);
+        connections::report_idle_tax(&tax);
+        let body = format!(
+            "{{\"figure\":\"connections\",\"quick\":{quick},\"rows\":{},\"idle_tax\":{}}}\n",
+            connections::rows_json(&rows),
+            connections::idle_tax_json(&tax)
+        );
+        write_artifact("BENCH_connections.json", &body);
     }
     if wants("repl") {
         let rows = replbench::run(quick);

@@ -134,9 +134,11 @@ pub enum Error {
     /// Temporal-query misuse: reversed bounds, duplicate snapshot name,
     /// and similar semantic failures of the temporal surface.
     Temporal(String),
-    /// The server shed this connection/request under load (accept-queue
-    /// overflow). Clients should back off and retry.
-    ServerBusy,
+    /// The server shed this connection/request under load (connection
+    /// cap, accept-queue overflow, or in-flight request cap). Clients
+    /// should back off — for at least `retry_after_ms` when the server
+    /// supplied a hint — and retry.
+    ServerBusy { retry_after_ms: Option<u32> },
     /// An error reported by a remote server over the wire protocol,
     /// reconstructed client-side from an ERROR frame.
     Remote {
@@ -184,7 +186,10 @@ impl fmt::Display for Error {
             }
             Error::UnknownSnapshot(name) => write!(f, "unknown snapshot {name}"),
             Error::Temporal(m) => write!(f, "temporal error: {m}"),
-            Error::ServerBusy => write!(f, "server busy: connection shed, retry later"),
+            Error::ServerBusy { retry_after_ms } => match retry_after_ms {
+                Some(ms) => write!(f, "server busy: shed under load, retry in {ms} ms"),
+                None => write!(f, "server busy: connection shed, retry later"),
+            },
             Error::Remote {
                 code,
                 offset,
@@ -244,7 +249,7 @@ impl Error {
             Error::ReadOnlyTransaction | Error::ReplicaReadOnly => ErrorCode::ReadOnly,
             Error::Sql(_) | Error::Parse { .. } => ErrorCode::Parse,
             Error::UnknownSnapshot(_) | Error::Temporal(_) => ErrorCode::Temporal,
-            Error::ServerBusy => ErrorCode::Busy,
+            Error::ServerBusy { .. } => ErrorCode::Busy,
             Error::Remote { code, .. } => *code,
         }
     }
@@ -306,7 +311,18 @@ mod tests {
             .code(),
             ErrorCode::Parse
         );
-        assert_eq!(Error::ServerBusy.code(), ErrorCode::Busy);
+        assert_eq!(
+            Error::ServerBusy {
+                retry_after_ms: None
+            }
+            .code(),
+            ErrorCode::Busy
+        );
+        assert!(Error::ServerBusy {
+            retry_after_ms: Some(25)
+        }
+        .to_string()
+        .contains("25 ms"));
         assert_eq!(Error::ReadOnlyTransaction.code(), ErrorCode::ReadOnly);
         assert_eq!(Error::ReplicaReadOnly.code(), ErrorCode::ReadOnly);
         assert_eq!(Error::Internal("x".into()).code(), ErrorCode::Internal);

@@ -71,6 +71,12 @@ pub struct DbConfig {
     /// the compactor thread. Ignored on replicas — compaction appends to
     /// the WAL, and a replica's log must stay a prefix of the primary's.
     pub compaction: Option<Duration>,
+    /// Isolation-sentinel event tap (see `immortaldb-check`). When set,
+    /// the engine records per-transaction read/write observations and
+    /// publishes one event per transaction outcome into the ring, plus a
+    /// visibility watermark for checker-state pruning. `None` (default)
+    /// compiles the taps down to a branch on a never-set option.
+    pub sentinel: Option<Arc<immortaldb_check::EventTap>>,
 }
 
 impl DbConfig {
@@ -88,6 +94,7 @@ impl DbConfig {
             page_image_logging: false,
             metrics: None,
             compaction: None,
+            sentinel: None,
         }
     }
 
@@ -140,6 +147,11 @@ impl DbConfig {
         self.compaction = Some(every);
         self
     }
+
+    pub fn sentinel(mut self, tap: Arc<immortaldb_check::EventTap>) -> Self {
+        self.sentinel = Some(tap);
+        self
+    }
 }
 
 /// The database engine.
@@ -174,6 +186,13 @@ pub struct Database {
     /// Active snapshot reads: snapshot timestamp → count (oldest bounds
     /// snapshot-version GC).
     snapshots: Mutex<std::collections::BTreeMap<Timestamp, usize>>,
+    /// Active `AS OF` pins: as-of timestamp → count. Does not feed
+    /// `oldest_snapshot` (AS OF reads never block version GC — history is
+    /// immortal), but it does bound the sentinel watermark so the checker
+    /// keeps enough history to judge in-flight historical readers.
+    asof_pins: Mutex<std::collections::BTreeMap<Timestamp, usize>>,
+    /// Isolation-sentinel event tap, when armed via [`DbConfig::sentinel`].
+    sentinel: Option<Arc<immortaldb_check::EventTap>>,
     timestamping: TimestampingMode,
     durability: Durability,
     /// Read-replica mode: the engine only ever applies a log shipped from
@@ -405,6 +424,8 @@ impl Database {
             next_tree: AtomicU32::new(max_tree),
             active: Mutex::new(HashMap::new()),
             snapshots: Mutex::new(std::collections::BTreeMap::new()),
+            asof_pins: Mutex::new(std::collections::BTreeMap::new()),
+            sentinel: config.sentinel.clone(),
             timestamping: config.timestamping,
             durability: config.durability,
             replica,
@@ -493,6 +514,11 @@ impl Database {
     /// Point-in-time snapshot of every metric (what `SHOW STATS` renders).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.pool.metrics().snapshot()
+    }
+
+    /// The armed sentinel event tap, if any (see [`DbConfig::sentinel`]).
+    pub fn sentinel_tap(&self) -> Option<&Arc<immortaldb_check::EventTap>> {
+        self.sentinel.as_ref()
     }
 
     /// Number of frame-table shards the buffer pool resolved to.
@@ -765,6 +791,7 @@ impl Database {
         if isolation == Isolation::Snapshot {
             *self.snapshots.lock().entry(snapshot).or_insert(0) += 1;
         }
+        self.publish_watermark();
         Transaction::new(tid, isolation, snapshot)
     }
 
@@ -781,7 +808,15 @@ impl Database {
     /// the visibility horizon like [`Self::begin_as_of`]).
     pub fn begin_as_of_ts(&self, as_of: Timestamp) -> Transaction {
         let tid = Tid(self.next_tid.fetch_add(1, Ordering::SeqCst));
-        Transaction::new_as_of(tid, as_of.min(self.visible_horizon()))
+        let txn = Transaction::new_as_of(tid, as_of.min(self.visible_horizon()));
+        if self.sentinel.is_some() {
+            // Pin the as-of instant so the sentinel watermark cannot
+            // advance past a running historical reader (the checker would
+            // prune the history needed to judge its reads).
+            *self.asof_pins.lock().entry(txn.snapshot).or_insert(0) += 1;
+            self.publish_watermark();
+        }
+        txn
     }
 
     fn ensure_begin_logged(&self, txn: &mut Transaction) {
@@ -816,6 +851,7 @@ impl Database {
         if txn.last_lsn.is_null() {
             // Read-only (or no-op): nothing logged, nothing to make
             // durable.
+            self.tap_event(txn, None, false);
             self.finish_bookkeeping(txn);
             self.vtt.remove(txn.tid);
             return Ok(txn.snapshot);
@@ -825,6 +861,11 @@ impl Database {
         let ts = self.horizon.issue(&self.authority);
         match self.commit_inner(txn, ts) {
             Ok(()) => {
+                // Publish the commit event *before* retiring: any reader
+                // whose snapshot covers `ts` samples the horizon after
+                // the retire, so its event lands later in ring order and
+                // the checker always knows this version first.
+                self.tap_event(txn, Some(ts), false);
                 // Visible (VTT entry made after the group fsync): let the
                 // horizon advance past us.
                 self.horizon.retire(ts);
@@ -839,6 +880,7 @@ impl Database {
                 self.vtt.abort(txn.tid);
                 let _ = recovery::rollback_txn(&self.wal, &self.pool, self, txn.tid, txn.last_lsn);
                 self.vtt.remove(txn.tid);
+                self.tap_event(txn, None, true);
                 self.finish_bookkeeping(txn);
                 self.horizon.retire(ts);
                 Err(e)
@@ -903,8 +945,45 @@ impl Database {
             recovery::rollback_txn(&self.wal, &self.pool, self, txn.tid, txn.last_lsn)?;
         }
         self.vtt.remove(txn.tid);
+        self.tap_event(txn, None, true);
         self.finish_bookkeeping(txn);
         Ok(())
+    }
+
+    /// Publish this transaction's outcome (plus its recorded read/write
+    /// observations) to the sentinel tap, if one is armed. Skipped when
+    /// nothing was observed — an empty event carries no checkable facts.
+    fn tap_event(&self, txn: &mut Transaction, commit: Option<Timestamp>, aborted: bool) {
+        if let Some(tap) = &self.sentinel {
+            if txn.ops.is_empty() {
+                return;
+            }
+            tap.push(immortaldb_check::TxnEvent {
+                tid: txn.tid.0,
+                si: txn.isolation == Isolation::Snapshot,
+                snapshot: txn.snapshot,
+                commit,
+                aborted,
+                ops: std::mem::take(&mut txn.ops),
+            });
+        }
+    }
+
+    /// Advance the sentinel watermark to the oldest instant any live
+    /// reader can still consult: the minimum of the visibility horizon,
+    /// the oldest registered SI snapshot, and the oldest AS OF pin. The
+    /// tap keeps it monotonic, so racing publishers are harmless.
+    fn publish_watermark(&self) {
+        if let Some(tap) = &self.sentinel {
+            let mut wm = self.visible_horizon();
+            if let Some(s) = self.snapshots.lock().keys().next() {
+                wm = wm.min(*s);
+            }
+            if let Some(p) = self.asof_pins.lock().keys().next() {
+                wm = wm.min(*p);
+            }
+            tap.set_watermark(wm);
+        }
     }
 
     fn finish_bookkeeping(&self, txn: &Transaction) {
@@ -918,6 +997,18 @@ impl Database {
                     snaps.remove(&txn.snapshot);
                 }
             }
+        }
+        if self.sentinel.is_some() {
+            if txn.as_of.is_some() {
+                let mut pins = self.asof_pins.lock();
+                if let Some(n) = pins.get_mut(&txn.snapshot) {
+                    *n -= 1;
+                    if *n == 0 {
+                        pins.remove(&txn.snapshot);
+                    }
+                }
+            }
+            self.publish_watermark();
         }
     }
 
@@ -947,6 +1038,7 @@ impl Database {
         if def.kind.is_versioned() {
             txn.last_lsn =
                 handle.insert(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
+            self.tap_write(txn, def.tree, &key, &data);
             self.note_write(txn, &def, key);
         } else {
             txn.last_lsn = handle.u_insert(txn.tid, txn.last_lsn, &key, &data)?;
@@ -986,7 +1078,8 @@ impl Database {
         if def.kind.is_versioned() {
             txn.last_lsn =
                 handle.insert_batch(txn.tid, txn.last_lsn, &encoded, self.resolver.as_ref())?;
-            for (key, _) in encoded {
+            for (key, data) in encoded {
+                self.tap_write(txn, def.tree, &key, &data);
                 self.note_write(txn, &def, key);
             }
         } else {
@@ -1012,6 +1105,7 @@ impl Database {
             self.check_first_committer(txn, &handle, &key)?;
             txn.last_lsn =
                 handle.update(txn.tid, txn.last_lsn, &key, &data, self.resolver.as_ref())?;
+            self.tap_write(txn, def.tree, &key, &data);
             self.note_write(txn, &def, key.clone());
             if def.kind == TableKind::SnapshotEnabled {
                 handle.prune_snapshot_versions(&key, self.oldest_snapshot())?;
@@ -1035,12 +1129,45 @@ impl Database {
         if def.kind.is_versioned() {
             self.check_first_committer(txn, &handle, &key)?;
             txn.last_lsn = handle.delete(txn.tid, txn.last_lsn, &key, self.resolver.as_ref())?;
+            if self.sentinel.is_some() {
+                txn.ops.push(immortaldb_check::Op::Delete {
+                    key: immortaldb_check::hash_key(def.tree.0, &key),
+                });
+            }
             self.note_write(txn, &def, key);
         } else {
             txn.last_lsn = handle.u_delete(txn.tid, txn.last_lsn, &key)?;
         }
         self.active.lock().insert(txn.tid, txn.last_lsn);
         Ok(())
+    }
+
+    /// Record a versioned-table write in the sentinel observation log
+    /// (hashes only — the tap never retains row payloads).
+    fn tap_write(&self, txn: &mut Transaction, tree: TreeId, key: &[u8], data: &[u8]) {
+        if self.sentinel.is_some() {
+            txn.ops.push(immortaldb_check::Op::Write {
+                key: immortaldb_check::hash_key(tree.0, key),
+                value: immortaldb_check::hash_value(data),
+            });
+        }
+    }
+
+    /// Record a snapshot-governed read (point or scan element) in the
+    /// sentinel observation log. Serializable reads are excluded — they
+    /// observe the locked current state, which the begin snapshot says
+    /// nothing about.
+    fn tap_read(&self, txn: &mut Transaction, tree: TreeId, key: &[u8], data: Option<&[u8]>) {
+        if self.sentinel.is_some() {
+            let kh = immortaldb_check::hash_key(tree.0, key);
+            txn.ops.push(match data {
+                Some(d) => immortaldb_check::Op::Read {
+                    key: kh,
+                    value: immortaldb_check::hash_value(d),
+                },
+                None => immortaldb_check::Op::ReadMiss { key: kh },
+            });
+        }
     }
 
     fn note_write(&self, txn: &mut Transaction, def: &TableDef, key: Vec<u8>) {
@@ -1108,6 +1235,10 @@ impl Database {
             }
             handle.u_get(&key)?
         };
+        if def.kind.is_versioned() && (txn.as_of.is_some() || txn.isolation == Isolation::Snapshot)
+        {
+            self.tap_read(txn, def.tree, &key, data.as_deref());
+        }
         data.map(|d| def.schema.decode_row(&d)).transpose()
     }
 
@@ -1135,6 +1266,12 @@ impl Database {
             }
             handle.u_scan()?
         };
+        if def.kind.is_versioned() && (txn.as_of.is_some() || txn.isolation == Isolation::Snapshot)
+        {
+            for item in &items {
+                self.tap_read(txn, def.tree, &item.key, Some(&item.data));
+            }
+        }
         items
             .into_iter()
             .map(|item| def.schema.decode_row(&item.data))

@@ -65,5 +65,6 @@ pub use txn::{Isolation, TimestampingMode, Transaction};
 
 // Re-exports for downstream crates (benches, examples).
 pub use immortaldb_btree::{CompactionStats, HistoryStats, TemporalVersion};
+pub use immortaldb_check::{EventTap, Sentinel, SentinelReport};
 pub use immortaldb_common::{Clock, Error, ErrorCode, Result, SimClock, SystemClock, Timestamp};
 pub use immortaldb_storage::wal::{Durability, GroupCommitConfig};

@@ -59,6 +59,22 @@ impl<'a> Session<'a> {
         Session { db, current: None }
     }
 
+    /// Rebuild a session around a previously detached transaction (see
+    /// [`Session::into_txn`]). The reactor server keeps each connection's
+    /// open transaction in the connection state machine and materializes
+    /// a `Session` only for the duration of one request dispatch.
+    pub fn attach(db: &'a Database, current: Option<Transaction>) -> Session<'a> {
+        Session { db, current }
+    }
+
+    /// Detach the open transaction (if any) from this session without
+    /// finishing it, for storage across request dispatches. The caller
+    /// owns cleanup: a transaction never re-attached must be rolled back
+    /// through [`Database::rollback`] or it leaks its locks.
+    pub fn into_txn(mut self) -> Option<Transaction> {
+        self.current.take()
+    }
+
     /// Whether an explicit transaction is open.
     pub fn in_transaction(&self) -> bool {
         self.current.is_some()

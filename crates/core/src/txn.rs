@@ -51,6 +51,10 @@ pub struct Transaction {
     /// Versioned-table keys touched, for the eager baseline's revisit.
     pub(crate) touched: Vec<(TreeId, Vec<u8>)>,
     pub(crate) finished: bool,
+    /// Sentinel observation log: hashed reads/writes in execution order,
+    /// recorded only when the engine was opened with an event tap armed
+    /// (empty and never pushed to otherwise).
+    pub(crate) ops: Vec<immortaldb_check::Op>,
 }
 
 impl Transaction {
@@ -65,6 +69,7 @@ impl Transaction {
             wrote_immortal: false,
             touched: Vec::new(),
             finished: false,
+            ops: Vec::new(),
         }
     }
 
@@ -79,6 +84,7 @@ impl Transaction {
             wrote_immortal: false,
             touched: Vec::new(),
             finished: false,
+            ops: Vec::new(),
         }
     }
 

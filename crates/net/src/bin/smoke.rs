@@ -6,13 +6,18 @@
 //! checking the byte offset), shuts the server down gracefully, then
 //! reopens the store and verifies the shutdown was clean: recovery must
 //! replay nothing (`recovery.crash_recoveries` stays 0) and the data must
-//! survive. Exits non-zero on any failure.
+//! survive.
+//!
+//! The isolation sentinel is armed for the whole run: every commit and
+//! every snapshot/AS OF read streams through the event tap, and the run
+//! FAILS if the checker confirms a single snapshot-isolation violation.
+//! Exits non-zero on any failure.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::thread;
 
-use immortaldb::{Database, DbConfig, Durability, Session, Value};
+use immortaldb::{Database, DbConfig, Durability, EventTap, Sentinel, Session, Value};
 use immortaldb_common::Error;
 use immortaldb_net::{Client, Server, ServerConfig};
 
@@ -49,9 +54,13 @@ fn run() -> immortaldb_common::Result<()> {
         });
     let _ = std::fs::remove_dir_all(&dir);
 
+    let tap = EventTap::new(1 << 16);
     let db = Arc::new(Database::open(
-        DbConfig::new(&dir).durability(Durability::Fsync),
+        DbConfig::new(&dir)
+            .durability(Durability::Fsync)
+            .sentinel(Arc::clone(&tap)),
     )?);
+    let sentinel = Sentinel::spawn(Arc::clone(&tap), db.metrics().clone());
     let server = Server::start(
         Arc::clone(&db),
         ServerConfig::new("127.0.0.1:0").workers(CLIENTS),
@@ -152,6 +161,29 @@ fn run() -> immortaldb_common::Result<()> {
             "expected {expect_rows} rows before shutdown, found {}",
             count.rows.len()
         )));
+    }
+
+    // The sentinel watched the whole run: it must have processed events
+    // and confirmed no isolation violation.
+    let report = sentinel.stop();
+    println!(
+        "net-smoke: sentinel checked {} events ({} reads, {} commits, {} unverifiable, {} dropped)",
+        report.events,
+        report.reads_checked,
+        report.commits_checked,
+        report.unverifiable,
+        report.dropped,
+    );
+    if report.violation_count != 0 {
+        return Err(Error::Internal(format!(
+            "sentinel confirmed {} isolation violations: {:?}",
+            report.violation_count, report.violations
+        )));
+    }
+    if report.events == 0 {
+        return Err(Error::Internal(
+            "sentinel was armed but saw no events".into(),
+        ));
     }
 
     drop(admin);

@@ -139,10 +139,11 @@ impl Client {
                 code,
                 offset,
                 message,
+                retry_after_ms,
             } => {
                 self.txn_open = txn_open;
                 if code == ErrorCode::Busy {
-                    Err(Error::ServerBusy)
+                    Err(Error::ServerBusy { retry_after_ms })
                 } else {
                     Err(Error::Remote {
                         code,
@@ -150,6 +151,32 @@ impl Client {
                         message,
                     })
                 }
+            }
+        }
+    }
+
+    /// Run `query`, backing off and retrying on SERVER_BUSY responses.
+    /// The wait honors the server's `retry_after_ms` hint when present
+    /// (falling back to a doubling schedule from 10 ms) and gives up
+    /// with the last busy error after `max_retries` sheds.
+    pub fn query_with_backoff(&mut self, sql: &str, max_retries: u32) -> Result<Response> {
+        let mut fallback_ms = 10u64;
+        let mut attempt = 0;
+        loop {
+            match self.query(sql) {
+                Err(Error::ServerBusy { retry_after_ms }) if attempt < max_retries => {
+                    attempt += 1;
+                    let wait = match retry_after_ms {
+                        Some(ms) => u64::from(ms),
+                        None => {
+                            let w = fallback_ms;
+                            fallback_ms = (fallback_ms * 2).min(1000);
+                            w
+                        }
+                    };
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+                other => return other,
             }
         }
     }

@@ -10,16 +10,22 @@
 //!   OK, ROWS and ERROR. ERROR frames carry the engine's stable
 //!   [`ErrorCode`](immortaldb_common::ErrorCode) plus the byte offset of
 //!   parse errors, never matched-on strings.
-//! * [`server`] — a TCP server owning one [`Database`](immortaldb::Database)
-//!   and a **fixed worker pool**. Each connection gets a session wrapping
-//!   the SQL [`Session`](immortaldb::Session) (one open transaction,
-//!   explicit or autocommit; AS OF sessions route through
-//!   `Database::begin_as_of_ts`). Connections beyond the pool wait in a
-//!   bounded accept queue; overflow is shed with a typed SERVER_BUSY
-//!   error. Idle sessions are rolled back and closed; shutdown drains
+//! * [`server`] — a TCP server owning one [`Database`](immortaldb::Database).
+//!   Each connection gets a session wrapping the SQL
+//!   [`Session`](immortaldb::Session) (one open transaction, explicit or
+//!   autocommit; AS OF sessions route through `Database::begin_as_of_ts`).
+//!   Two serving models share one wire behavior: the default
+//!   [`ServerModel::Reactor`] multiplexes all connections over a
+//!   readiness event loop ([`sys`] + [`reactor`]) with a fixed pool of
+//!   execution cores — idle connections cost no thread — while
+//!   [`ServerModel::ThreadPerConn`] keeps the classic
+//!   one-worker-per-connection baseline. Overload is shed with a typed
+//!   SERVER_BUSY error carrying a `retry_after_ms` back-off hint
+//!   (connection-level and, under the reactor, per-request). Idle
+//!   sessions are rolled back from timer-wheel ticks; shutdown drains
 //!   in-flight commits before the final WAL force. Requests are read
-//!   through a streaming frame buffer, so pipelined clients keep a worker
-//!   busy back-to-back and group commit batches across connections.
+//!   through a streaming frame buffer, so pipelined clients are served
+//!   back-to-back and group commit batches across connections.
 //! * [`client`] — [`Client`]: connect/handshake, `query()` with typed row
 //!   decoding, native BEGIN/COMMIT/ROLLBACK returning real
 //!   [`Timestamp`](immortaldb_common::Timestamp)s, and a split
@@ -34,7 +40,11 @@
 
 pub mod client;
 pub mod proto;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
+#[cfg(unix)]
+pub mod sys;
 
 pub use client::{Client, Response, WalSubscription};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerModel};

@@ -35,7 +35,12 @@
 //! |----|-------|---------|
 //! | 80 | OK    | `u8 txn_open` + `u8 has_ts` \[+ `u64 ttime` + `u32 sn`\] + `u64 affected` + `str message` |
 //! | 81 | ROWS  | `u8 txn_open` + `u16 ncols` + cols + `u32 nrows` + rows + `str message` |
-//! | 82 | ERROR | `u8 txn_open` + `u8 code` + `u8 has_offset` \[+ `u32 offset`\] + `str message` |
+//! | 82 | ERROR | `u8 txn_open` + `u8 code` + `u8 has_offset` \[+ `u32 offset`\] + `str message` \[+ `u8 has_retry` + `u32 retry_after_ms`\] |
+//!
+//! The trailing retry-hint on ERROR is a protocol-compatible extension:
+//! strings are length-prefixed, so a version-1 decoder stops after
+//! `message` and ignores the extra bytes, while the extended decoder
+//! treats a missing tail as "no hint".
 //!
 //! Row values are tagged: `1` SMALLINT (`i16`), `2` INT (`i32`),
 //! `3` BIGINT (`i64`), `4` VARCHAR (`u32 len + bytes`).
@@ -147,6 +152,29 @@ impl FrameBuffer {
         let payload = self.buf[5..total].to_vec();
         self.buf.drain(..total);
         Ok(Some((opcode, payload)))
+    }
+
+    /// Whether at least one complete frame is buffered, without consuming
+    /// it. Surfaces the same hostile-length error as [`next_frame`]
+    /// (`next_frame`: [`FrameBuffer::next_frame`]), so a reactor can
+    /// reject a bad connection before scheduling any work for it.
+    pub fn has_complete_frame(&self) -> io::Result<bool> {
+        if self.buf.len() < 4 {
+            return Ok(false);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        Ok(self.buf.len() >= 4 + len as usize)
+    }
+
+    /// Bytes buffered but not yet consumed (partial-frame residue).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
     }
 }
 
@@ -370,6 +398,10 @@ pub enum Reply {
         /// Byte offset into the statement for parse errors.
         offset: Option<u32>,
         message: String,
+        /// Back-off hint for `Busy`-coded sheds: how long the client
+        /// should wait before retrying. Encoded as a trailing extension
+        /// so old peers interoperate.
+        retry_after_ms: Option<u32>,
     },
 }
 
@@ -458,6 +490,7 @@ impl Reply {
                 code,
                 offset,
                 message,
+                retry_after_ms,
             } => {
                 let mut w = Writer::new();
                 w.u8(*txn_open as u8).u8(*code as u8);
@@ -470,6 +503,14 @@ impl Reply {
                     }
                 }
                 put_str(&mut w, message);
+                match retry_after_ms {
+                    Some(ms) => {
+                        w.u8(1).u32(*ms);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
                 (op::ERROR, w.finish())
             }
         }
@@ -524,11 +565,19 @@ impl Reply {
                 let code = ErrorCode::from_u8(r.u8()?);
                 let offset = if r.u8()? != 0 { Some(r.u32()?) } else { None };
                 let message = get_str(&mut r)?;
+                // Trailing retry-hint extension: absent entirely in
+                // frames from older peers.
+                let retry_after_ms = if r.remaining() > 0 && r.u8()? != 0 {
+                    Some(r.u32()?)
+                } else {
+                    None
+                };
                 Ok(Reply::Error {
                     txn_open,
                     code,
                     offset,
                     message,
+                    retry_after_ms,
                 })
             }
             other => Err(Error::Corruption(format!(
@@ -544,6 +593,10 @@ impl Reply {
             code: e.code(),
             offset: e.parse_offset(),
             message: e.to_string(),
+            retry_after_ms: match e {
+                Error::ServerBusy { retry_after_ms } => *retry_after_ms,
+                _ => None,
+            },
         }
     }
 }
@@ -626,17 +679,46 @@ mod tests {
                 code: ErrorCode::Parse,
                 offset: Some(9),
                 message: "expected FROM".into(),
+                retry_after_ms: None,
             },
             Reply::Error {
                 txn_open: false,
                 code: ErrorCode::Busy,
                 offset: None,
                 message: "server busy".into(),
+                retry_after_ms: Some(40),
             },
         ] {
             let (op, payload) = reply.encode();
             assert_eq!(Reply::decode(op, &payload).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn error_retry_hint_is_a_compatible_extension() {
+        // A version-1 ERROR payload ends at the message; the extended
+        // decoder must read it as "no hint".
+        let mut w = Writer::new();
+        w.u8(0).u8(ErrorCode::Busy as u8).u8(0);
+        put_str(&mut w, "server busy");
+        let legacy = w.finish();
+        match Reply::decode(op::ERROR, &legacy).unwrap() {
+            Reply::Error { retry_after_ms, .. } => assert_eq!(retry_after_ms, None),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // And an old decoder (which stops after the message) stays
+        // correct on extended frames because the tail is appended.
+        let (op, extended) = Reply::Error {
+            txn_open: false,
+            code: ErrorCode::Busy,
+            offset: None,
+            message: "server busy".into(),
+            retry_after_ms: Some(25),
+        }
+        .encode();
+        assert_eq!(op, op::ERROR);
+        assert!(extended.len() == legacy.len() + 5);
+        assert_eq!(&extended[..legacy.len()], &legacy[..]);
     }
 
     #[test]

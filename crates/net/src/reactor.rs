@@ -1,0 +1,771 @@
+//! Readiness-based connection reactor: one event-loop thread multiplexes
+//! every connection over [`sys::Poller`] (epoll on Linux), and a fixed
+//! worker-core pool executes only connections that have a complete
+//! request buffered. Idle connections cost a registration and a few
+//! hundred bytes — no thread, no stack — so thousands of mostly-idle
+//! sessions fit on a fixed thread budget.
+//!
+//! Life of a request:
+//!
+//! 1. The reactor reads readable sockets into each connection's
+//!    [`FrameBuffer`] (bounded burst per event, so one firehose client
+//!    cannot starve the loop).
+//! 2. When a connection holds a complete frame it is *dispatched*: its
+//!    poll interest drops to silent, the token goes on the bounded work
+//!    queue, and a worker drains every buffered frame through the
+//!    session — which is what lets group commit batch across
+//!    connections, exactly as in the thread-per-connection model.
+//! 3. The worker flushes what it can, then posts a completion; the
+//!    reactor re-arms the socket (read-, write-, or both-interest
+//!    depending on the unflushed tail).
+//!
+//! Admission control is two-level and typed: beyond `max_connections`
+//! new sockets get one SERVER_BUSY frame carrying a `retry_after_ms`
+//! hint and are closed; beyond `max_inflight` dispatched connections,
+//! buffered requests are answered SERVER_BUSY *per frame* without being
+//! decoded (`server.shed_requests`). Backpressure is per-session: a
+//! connection whose reply backlog passes [`OUT_CAP`] stops being read
+//! until the peer drains it.
+//!
+//! Idle sessions are reaped from a coarse timer wheel advanced on the
+//! reactor tick — an abandoned transaction is rolled back (releasing
+//! its locks) within one tick of the deadline, never waiting on a
+//! blocked read. `SUBSCRIBE_WAL` hands the socket off to a dedicated
+//! blocking shipper thread, since replication is a long-lived push
+//! stream that would otherwise squat a worker core.
+
+#![cfg(unix)]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use immortaldb::{Database, Session};
+use immortaldb_common::{Error, Result};
+
+use crate::proto::{FrameBuffer, Reply, Request, VERSION};
+use crate::server::{handle_request, ship_wal, ServerConfig};
+use crate::sys::{self, Interest};
+
+const TOK_WAKER: u64 = 0;
+const TOK_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Reply bytes a connection may buffer before the reactor stops reading
+/// from it (per-session backpressure ahead of the group-commit barrier).
+const OUT_CAP: usize = 4 * 1024 * 1024;
+
+/// Max bytes read from one socket per readiness event (fairness bound).
+const READ_BURST: usize = 256 * 1024;
+
+/// Per-connection state. The mutex is held by the reactor for socket
+/// I/O and by exactly one worker while the connection is dispatched;
+/// the two never contend because a dispatched connection's poll
+/// interest is silent until the worker's completion is processed.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    /// Unflushed reply bytes (encoded frames).
+    out: Vec<u8>,
+    /// Open transaction parked between dispatches.
+    txn: Option<immortaldb::Transaction>,
+    greeted: bool,
+    last_activity: Instant,
+    /// Owned by a worker right now (poll interest is silent).
+    dispatched: bool,
+    /// Close as soon as `out` flushes; no further reads or dispatches.
+    closing: bool,
+    /// Peer sent FIN: serve what is buffered, then close.
+    eof: bool,
+    /// Set by a worker on SUBSCRIBE_WAL: hand off to a shipper thread.
+    subscribe: Option<u64>,
+    interest: Interest,
+}
+
+impl Conn {
+    fn desired_interest(&self) -> Interest {
+        if self.dispatched {
+            Interest::None
+        } else if self.closing || (self.eof && !self.out.is_empty()) {
+            Interest::Write
+        } else if self.out.is_empty() {
+            Interest::Read
+        } else if self.out.len() >= OUT_CAP {
+            Interest::Write
+        } else {
+            Interest::Both
+        }
+    }
+}
+
+/// What [`Reactor::settle`] decided about a connection.
+#[derive(PartialEq)]
+enum Settled {
+    Keep,
+    Close,
+}
+
+/// Append one encoded reply frame to a connection's output buffer.
+fn append_reply(out: &mut Vec<u8>, reply: &Reply) {
+    let (op, payload) = reply.encode();
+    let len = (payload.len() + 1) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(&payload);
+}
+
+/// Write as much of `out` as the socket accepts right now.
+/// `Ok(true)` = fully flushed, `Ok(false)` = kernel buffer full.
+fn flush_out(c: &mut Conn) -> std::io::Result<bool> {
+    while !c.out.is_empty() {
+        match (&c.stream).write(&c.out) {
+            Ok(0) => return Err(std::io::Error::from(ErrorKind::WriteZero)),
+            Ok(n) => {
+                c.out.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// State shared between the reactor thread, the worker cores and the
+/// public [`ReactorServer`] handle.
+struct RShared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<Mutex<Conn>>>>,
+    /// Tokens with buffered requests, awaiting a worker core.
+    work: Mutex<VecDeque<u64>>,
+    work_cv: Condvar,
+    /// Dispatched-but-unfinished connections (admission-control gauge).
+    inflight: AtomicUsize,
+    /// Tokens whose worker finished; drained by the reactor on wake.
+    completions: Mutex<Vec<u64>>,
+    waker: sys::Waker,
+    /// WAL shipper threads spawned from SUBSCRIBE_WAL hand-offs.
+    shippers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RShared {
+    fn max_inflight(&self) -> usize {
+        if self.cfg.max_inflight == 0 {
+            self.cfg.workers * 16
+        } else {
+            self.cfg.max_inflight
+        }
+    }
+}
+
+/// The reactor-model server: one event-loop thread plus `cfg.workers`
+/// worker cores. Constructed through `Server::start` when
+/// `ServerConfig::model` is `ServerModel::Reactor` (the default).
+pub(crate) struct ReactorServer {
+    shared: Arc<RShared>,
+    local_addr: SocketAddr,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    pub(crate) fn start(db: Arc<Database>, cfg: ServerConfig) -> Result<ReactorServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let poller = sys::Poller::new().map_err(Error::Io)?;
+        let waker = sys::Waker::new().map_err(Error::Io)?;
+        poller
+            .add(waker.fd(), TOK_WAKER, Interest::Read)
+            .map_err(Error::Io)?;
+        poller
+            .add(listener.as_raw_fd(), TOK_LISTENER, Interest::Read)
+            .map_err(Error::Io)?;
+
+        let shared = Arc::new(RShared {
+            db,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            work: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker,
+            shippers: Mutex::new(Vec::new()),
+        });
+
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let sh = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("imdb-core-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .map_err(Error::Io)?,
+            );
+        }
+        let sh = Arc::clone(&shared);
+        let reactor = thread::Builder::new()
+            .name("imdb-reactor".into())
+            .spawn(move || Reactor::new(sh, poller, listener).run())
+            .map_err(Error::Io)?;
+
+        Ok(ReactorServer {
+            shared,
+            local_addr,
+            reactor: Some(reactor),
+            workers,
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop the event loop, let worker cores drain
+    /// every already-dispatched connection (in-flight commits finish and
+    /// their replies flush), roll back abandoned transactions, then
+    /// close the database — the final WAL force.
+    pub(crate) fn shutdown(mut self) -> Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
+        }
+        // Workers drain the remaining queue before exiting.
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for s in self.shared.shippers.lock().unwrap().drain(..) {
+            let _ = s.join();
+        }
+        // Abandon whatever connections remain: locks and uncommitted
+        // versions must not outlive the server.
+        let conns: Vec<_> = self.shared.conns.lock().unwrap().drain().collect();
+        for (_, conn) in conns {
+            let mut c = conn.lock().unwrap();
+            let _ = flush_out(&mut c);
+            if let Some(mut txn) = c.txn.take() {
+                let _ = self.shared.db.rollback(&mut txn);
+            }
+            self.shared.db.metrics().server.connections_closed.inc();
+        }
+        self.shared.db.metrics().server.open_connections.set(0);
+        self.shared.db.close()
+    }
+}
+
+fn worker_loop(sh: &Arc<RShared>) {
+    loop {
+        let token = {
+            let mut q = sh.work.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.work_cv.wait(q).unwrap();
+            }
+        };
+        let conn = sh.conns.lock().unwrap().get(&token).cloned();
+        if let Some(conn) = conn {
+            let mut c = conn.lock().unwrap();
+            serve_buffered(sh, &mut c);
+            let _ = flush_out(&mut c);
+            c.dispatched = false;
+        }
+        let now = sh.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        sh.db.metrics().server.active_sessions.set(now as u64);
+        sh.completions.lock().unwrap().push(token);
+        sh.waker.wake();
+    }
+}
+
+/// Drain every complete frame buffered on a dispatched connection
+/// through its session, appending replies to `out`. Mirrors the
+/// thread-per-connection serve loop's semantics exactly (HELLO gating,
+/// version check, hostile-framing hangup, SUBSCRIBE_WAL interception).
+fn serve_buffered(sh: &RShared, c: &mut Conn) {
+    let m = &sh.db.metrics().server;
+    let mut session = Session::attach(sh.db.as_ref(), c.txn.take());
+    loop {
+        if c.closing || c.subscribe.is_some() {
+            break;
+        }
+        let (opcode, payload) = match c.frames.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => {
+                // Hostile framing: hang up without a reply — the stream
+                // state is untrustworthy.
+                c.closing = true;
+                break;
+            }
+        };
+        m.requests.inc();
+        let timer = m.request_ns.start_timer();
+        let reply = match Request::decode(opcode, &payload) {
+            Ok(Request::Hello { version }) if !c.greeted => {
+                if version == VERSION {
+                    c.greeted = true;
+                    Reply::Ok {
+                        txn_open: false,
+                        ts: None,
+                        affected: 0,
+                        message: format!("immortaldb protocol {VERSION}"),
+                    }
+                } else {
+                    let e = Error::Sql(format!(
+                        "protocol version mismatch: client {version}, server {VERSION}"
+                    ));
+                    m.errors.inc();
+                    append_reply(&mut c.out, &Reply::from_error(&e, false));
+                    c.closing = true;
+                    break;
+                }
+            }
+            Ok(Request::SubscribeWal { from_lsn }) => {
+                if !c.greeted {
+                    m.errors.inc();
+                    append_reply(
+                        &mut c.out,
+                        &Reply::from_error(&Error::Sql("expected HELLO first".into()), false),
+                    );
+                    c.closing = true;
+                    break;
+                }
+                // The connection leaves the reactor: the completion
+                // handler hands the socket to a blocking shipper thread.
+                c.subscribe = Some(from_lsn);
+                break;
+            }
+            Ok(req) => {
+                if !c.greeted {
+                    m.errors.inc();
+                    append_reply(
+                        &mut c.out,
+                        &Reply::from_error(&Error::Sql("expected HELLO first".into()), false),
+                    );
+                    c.closing = true;
+                    break;
+                }
+                handle_request(sh.db.as_ref(), &mut session, req)
+            }
+            Err(e) => {
+                // Undecodable payload: answer, then hang up.
+                m.errors.inc();
+                append_reply(&mut c.out, &Reply::from_error(&e, session.in_transaction()));
+                c.closing = true;
+                break;
+            }
+        };
+        timer.stop();
+        if matches!(reply, Reply::Error { .. }) {
+            m.errors.inc();
+        }
+        append_reply(&mut c.out, &reply);
+    }
+    c.txn = session.into_txn();
+}
+
+/// Coarse hashed timer wheel advanced once per reactor tick. Deadlines
+/// are lazy: expiry re-checks `last_activity` and reschedules the
+/// remainder, so activity never has to remove a timer.
+struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    cursor: usize,
+}
+
+impl TimerWheel {
+    fn new(idle_timeout: Duration, tick: Duration) -> TimerWheel {
+        let n = (idle_timeout.as_millis() / tick.as_millis().max(1)) as usize + 2;
+        TimerWheel {
+            slots: vec![Vec::new(); n],
+            cursor: 0,
+        }
+    }
+
+    fn schedule(&mut self, token: u64, delay_ticks: usize) {
+        let n = self.slots.len();
+        let d = delay_ticks.clamp(1, n - 1);
+        let slot = (self.cursor + d) % n;
+        self.slots[slot].push(token);
+    }
+
+    fn advance(&mut self) -> Vec<u64> {
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        std::mem::take(&mut self.slots[self.cursor])
+    }
+}
+
+struct Reactor {
+    sh: Arc<RShared>,
+    poller: sys::Poller,
+    listener: TcpListener,
+    next_token: u64,
+    wheel: TimerWheel,
+    idle_ticks: usize,
+}
+
+impl Reactor {
+    fn new(sh: Arc<RShared>, poller: sys::Poller, listener: TcpListener) -> Reactor {
+        let tick = sh.cfg.tick;
+        let idle = sh.cfg.idle_timeout;
+        let idle_ticks = (idle.as_millis() / tick.as_millis().max(1)) as usize + 1;
+        Reactor {
+            wheel: TimerWheel::new(idle, tick),
+            sh,
+            poller,
+            listener,
+            next_token: FIRST_CONN_TOKEN,
+            idle_ticks,
+        }
+    }
+
+    fn run(mut self) {
+        let tick = self.sh.cfg.tick;
+        let mut events: Vec<sys::Event> = Vec::new();
+        let mut next_tick = Instant::now() + tick;
+        loop {
+            if self.sh.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let timeout = next_tick.saturating_duration_since(Instant::now());
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                return;
+            }
+            if self.sh.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOK_WAKER => self.sh.waker.drain(),
+                    TOK_LISTENER => self.accept_ready(),
+                    token => self.conn_event(token, ev),
+                }
+            }
+            events = batch;
+            self.apply_completions();
+            let now = Instant::now();
+            while now >= next_tick {
+                self.advance_timers();
+                next_tick += tick;
+            }
+        }
+    }
+
+    fn conn(&self, token: u64) -> Option<Arc<Mutex<Conn>>> {
+        self.sh.conns.lock().unwrap().get(&token).cloned()
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            let m = &self.sh.db.metrics().server;
+            m.connections_accepted.inc();
+            let open = self.sh.conns.lock().unwrap().len();
+            if open >= self.sh.cfg.max_connections {
+                m.shed_connections.inc();
+                crate::server::shed(stream, Some(self.sh.cfg.shed_retry_ms));
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let token = self.next_token;
+            self.next_token += 1;
+            let conn = Arc::new(Mutex::new(Conn {
+                stream,
+                frames: FrameBuffer::new(),
+                out: Vec::new(),
+                txn: None,
+                greeted: false,
+                last_activity: Instant::now(),
+                dispatched: false,
+                closing: false,
+                eof: false,
+                subscribe: None,
+                interest: Interest::Read,
+            }));
+            let mut conns = self.sh.conns.lock().unwrap();
+            conns.insert(token, conn);
+            if self.poller.add(fd, token, Interest::Read).is_err() {
+                conns.remove(&token);
+                continue;
+            }
+            m.open_connections.set(conns.len() as u64);
+            drop(conns);
+            self.wheel.schedule(token, self.idle_ticks);
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: &sys::Event) {
+        let Some(conn) = self.conn(token) else { return };
+        let mut c = conn.lock().unwrap();
+        if c.dispatched {
+            return; // stale event raced a dispatch; the completion re-arms
+        }
+        if ev.writable || (c.closing && ev.closed) {
+            match flush_out(&mut c) {
+                Ok(true) => {
+                    if c.closing || (c.eof && c.frames.buffered() == 0) {
+                        drop(c);
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    drop(c);
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        if ev.readable && !c.closing {
+            let mut chunk = [0u8; 16 * 1024];
+            let mut total = 0;
+            loop {
+                match (&c.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        c.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.frames.extend(&chunk[..n]);
+                        total += n;
+                        if total >= READ_BURST {
+                            break; // fairness: level-triggered epoll re-fires
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        c.eof = true;
+                        break;
+                    }
+                }
+            }
+            if total > 0 {
+                c.last_activity = Instant::now();
+            }
+        } else if ev.closed && !ev.readable {
+            c.eof = true;
+        }
+        let settled = self.settle(token, &mut c);
+        drop(c);
+        if settled == Settled::Close {
+            self.close_conn(token);
+        }
+    }
+
+    /// Decide a non-dispatched connection's fate: dispatch it, shed its
+    /// requests, update its poll interest, or ask the caller to close it
+    /// (the caller drops the conn lock first — `close_conn` re-locks).
+    fn settle(&mut self, token: u64, c: &mut Conn) -> Settled {
+        debug_assert!(!c.dispatched);
+        let has_frame = match c.frames.has_complete_frame() {
+            Ok(b) => b,
+            // Hostile framing noticed before any work was scheduled.
+            Err(_) => return Settled::Close,
+        };
+        if has_frame && !c.closing {
+            if self.sh.inflight.load(Ordering::SeqCst) >= self.sh.max_inflight() {
+                self.shed_requests(c);
+            } else {
+                c.dispatched = true;
+                c.last_activity = Instant::now();
+                let now = self.sh.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.sh.db.metrics().server.active_sessions.set(now as u64);
+                self.update_interest(token, c);
+                let mut q = self.sh.work.lock().unwrap();
+                q.push_back(token);
+                drop(q);
+                self.sh.work_cv.notify_one();
+                return Settled::Keep;
+            }
+        }
+        if flush_out(c).is_err() {
+            return Settled::Close;
+        }
+        let has_frame = c.frames.has_complete_frame().unwrap_or(false);
+        if (c.closing || (c.eof && !has_frame)) && c.out.is_empty() {
+            return Settled::Close;
+        }
+        self.update_interest(token, c);
+        Settled::Keep
+    }
+
+    /// Over the in-flight cap: answer every buffered frame SERVER_BUSY
+    /// (with the retry hint) without decoding or scheduling anything.
+    fn shed_requests(&self, c: &mut Conn) {
+        let m = &self.sh.db.metrics().server;
+        let busy = Reply::Error {
+            txn_open: c.txn.is_some(),
+            code: immortaldb_common::ErrorCode::Busy,
+            offset: None,
+            message: Error::ServerBusy {
+                retry_after_ms: Some(self.sh.cfg.shed_retry_ms),
+            }
+            .to_string(),
+            retry_after_ms: Some(self.sh.cfg.shed_retry_ms),
+        };
+        loop {
+            match c.frames.next_frame() {
+                Ok(Some(_)) => {
+                    m.shed_requests.inc();
+                    append_reply(&mut c.out, &busy);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    c.closing = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn update_interest(&self, token: u64, c: &mut Conn) {
+        let want = c.desired_interest();
+        if want != c.interest {
+            c.interest = want;
+            let _ = self.poller.modify(c.stream.as_raw_fd(), token, want);
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        let done: Vec<u64> = std::mem::take(&mut *self.sh.completions.lock().unwrap());
+        for token in done {
+            let Some(conn) = self.conn(token) else {
+                continue;
+            };
+            let mut c = conn.lock().unwrap();
+            if c.dispatched {
+                continue; // already re-dispatched (shouldn't happen)
+            }
+            if let Some(from_lsn) = c.subscribe.take() {
+                drop(c);
+                self.hand_off_subscription(token, from_lsn);
+                continue;
+            }
+            let settled = self.settle(token, &mut c);
+            drop(c);
+            if settled == Settled::Close {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Move a SUBSCRIBE_WAL connection out of the reactor onto a
+    /// dedicated blocking shipper thread (replication is a long-lived
+    /// push stream; parking it on a worker core would squat the pool).
+    fn hand_off_subscription(&mut self, token: u64, from_lsn: u64) {
+        let Some(conn) = self.sh.conns.lock().unwrap().remove(&token) else {
+            return;
+        };
+        let m = &self.sh.db.metrics().server;
+        m.open_connections
+            .set(self.sh.conns.lock().unwrap().len() as u64);
+        let c = conn.lock().unwrap();
+        let _ = self.poller.delete(c.stream.as_raw_fd());
+        let stream = match c.stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                m.connections_closed.inc();
+                return;
+            }
+        };
+        drop(c);
+        drop(conn); // closes the reactor's fd; the shipper owns the dup
+        if stream.set_nonblocking(false).is_err()
+            || stream.set_read_timeout(Some(self.sh.cfg.tick)).is_err()
+        {
+            m.connections_closed.inc();
+            return;
+        }
+        let sh = Arc::clone(&self.sh);
+        let handle = thread::Builder::new()
+            .name(format!("imdb-shipper-{token}"))
+            .spawn(move || {
+                ship_wal(sh.db.as_ref(), &sh.shutdown, &stream, from_lsn);
+                sh.db.metrics().server.connections_closed.inc();
+            });
+        match handle {
+            Ok(h) => self.sh.shippers.lock().unwrap().push(h),
+            Err(_) => m.connections_closed.inc(),
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.sh.conns.lock().unwrap().remove(&token) else {
+            return;
+        };
+        let mut c = conn.lock().unwrap();
+        let _ = self.poller.delete(c.stream.as_raw_fd());
+        if let Some(mut txn) = c.txn.take() {
+            let _ = self.sh.db.rollback(&mut txn);
+        }
+        let m = &self.sh.db.metrics().server;
+        m.connections_closed.inc();
+        m.open_connections
+            .set(self.sh.conns.lock().unwrap().len() as u64);
+    }
+
+    /// One tick: expire due timers. Deadlines are lazy — a timer firing
+    /// for a recently-active connection just reschedules the remainder.
+    fn advance_timers(&mut self) {
+        let due = self.wheel.advance();
+        if due.is_empty() {
+            return;
+        }
+        let idle_timeout = self.sh.cfg.idle_timeout;
+        let tick_ms = self.sh.cfg.tick.as_millis().max(1);
+        for token in due {
+            let Some(conn) = self.conn(token) else {
+                continue;
+            };
+            // A dispatched connection's lock is held by its worker; it
+            // is by definition not idle. Skip without blocking.
+            let Ok(c) = conn.try_lock() else {
+                self.wheel.schedule(token, self.idle_ticks);
+                continue;
+            };
+            if c.dispatched {
+                self.wheel.schedule(token, self.idle_ticks);
+                continue;
+            }
+            let idle = c.last_activity.elapsed();
+            if idle >= idle_timeout {
+                if c.txn.is_some() {
+                    self.sh.db.metrics().server.idle_rollbacks.inc();
+                }
+                drop(c);
+                drop(conn);
+                self.close_conn(token);
+            } else {
+                let remaining = idle_timeout - idle;
+                let ticks = (remaining.as_millis() / tick_ms) as usize + 1;
+                self.wheel.schedule(token, ticks);
+            }
+        }
+    }
+}

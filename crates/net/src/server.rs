@@ -1,22 +1,30 @@
-//! TCP server: acceptor, fixed worker pool, per-connection sessions.
+//! TCP server front door with two serving models behind one config:
 //!
-//! One acceptor thread pushes connections into a bounded queue; `workers`
-//! threads pop them and serve one connection at a time. When every worker
-//! is busy and the queue is full, new connections are shed immediately
-//! with a typed SERVER_BUSY error instead of queueing unboundedly — the
-//! client sees the rejection in one round trip and can back off.
+//! * [`ServerModel::Reactor`] (default) — a readiness-based event loop
+//!   ([`crate::reactor`]): one reactor thread multiplexes every
+//!   connection over epoll/poll and a fixed worker-core pool executes
+//!   only connections with a complete request buffered. Idle
+//!   connections cost no thread, so thousands of mostly-idle sessions
+//!   run on a fixed thread budget. Admission control is two-level
+//!   (`max_connections` at accept, `max_inflight` per request) and shed
+//!   replies carry a `retry_after_ms` hint.
+//! * [`ServerModel::ThreadPerConn`] — the original design, kept as the
+//!   comparison baseline for `immortaldb-bench connections`: one
+//!   acceptor pushes connections into a bounded queue and `workers`
+//!   threads serve one connection each, shedding when the pool and
+//!   queue are both full.
 //!
-//! Each worker reads with a short timeout ("tick") so it can notice
-//! shutdown and idle sessions between frames. Bytes accumulate in a
-//! [`FrameBuffer`], so pipelined requests (many frames in one burst) are
-//! served back-to-back without extra socket reads — which is what lets
-//! group commit batch log forces across connections.
+//! Both models share the request execution path ([`handle_request`]),
+//! the WAL-subscription shipper ([`ship_wal`]) and the framing layer,
+//! so wire behavior is identical; they differ only in how sockets are
+//! waited on. In both, pipelined requests (many frames in one burst)
+//! are served back-to-back, which is what lets group commit batch log
+//! forces across connections.
 //!
-//! Shutdown is graceful: the accept loop stops, workers finish the
-//! requests already buffered on their connection (draining in-flight
-//! commits), abandoned transactions are rolled back, and finally
-//! [`Database::close`] forces the WAL so a subsequent open replays
-//! nothing.
+//! Shutdown is graceful in both models: accepting stops, buffered
+//! requests drain (in-flight commits finish), abandoned transactions
+//! are rolled back, and finally [`Database::close`] forces the WAL so a
+//! subsequent open replays nothing.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read};
@@ -36,17 +44,41 @@ use crate::proto::{self, FrameBuffer, Reply, Request, WalBatch, VERSION};
 /// alone.
 const SHIP_BATCH_BYTES: usize = 256 * 1024;
 
+/// How the server waits on its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerModel {
+    /// Readiness-based reactor (default): one event-loop thread plus
+    /// `workers` execution cores; idle connections cost no thread.
+    Reactor,
+    /// One worker thread per concurrently-served connection (the
+    /// original model; kept as the scaling-comparison baseline).
+    ThreadPerConn,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
     pub addr: String,
-    /// Fixed number of worker threads (= max concurrently served
-    /// connections).
+    /// Connection-waiting strategy (see [`ServerModel`]).
+    pub model: ServerModel,
+    /// Fixed number of worker threads. Under [`ServerModel::Reactor`]
+    /// this is the execution-core count (connections can far exceed
+    /// it); under [`ServerModel::ThreadPerConn`] it is also the max
+    /// number of concurrently served connections.
     pub workers: usize,
-    /// Connections allowed to wait for a worker before new ones are shed
-    /// with SERVER_BUSY.
+    /// ThreadPerConn only: connections allowed to wait for a worker
+    /// before new ones are shed with SERVER_BUSY.
     pub accept_queue: usize,
+    /// Reactor only: open-connection cap; accepts beyond it are shed
+    /// with one SERVER_BUSY frame (`server.shed_connections`).
+    pub max_connections: usize,
+    /// Reactor only: dispatched-connection cap; buffered requests
+    /// beyond it are answered SERVER_BUSY without being decoded
+    /// (`server.shed_requests`). `0` = auto (`workers * 16`).
+    pub max_inflight: usize,
+    /// Back-off hint carried in SERVER_BUSY replies (`retry_after_ms`).
+    pub shed_retry_ms: u32,
     /// Sessions idle longer than this are rolled back and disconnected.
     pub idle_timeout: Duration,
     /// Poll granularity for shutdown/idle checks between frames.
@@ -57,11 +89,20 @@ impl ServerConfig {
     pub fn new(addr: impl Into<String>) -> ServerConfig {
         ServerConfig {
             addr: addr.into(),
+            model: ServerModel::Reactor,
             workers: 8,
             accept_queue: 16,
+            max_connections: 4096,
+            max_inflight: 0,
+            shed_retry_ms: 25,
             idle_timeout: Duration::from_secs(300),
             tick: Duration::from_millis(25),
         }
+    }
+
+    pub fn model(mut self, m: ServerModel) -> Self {
+        self.model = m;
+        self
     }
 
     pub fn workers(mut self, n: usize) -> Self {
@@ -71,6 +112,21 @@ impl ServerConfig {
 
     pub fn accept_queue(mut self, n: usize) -> Self {
         self.accept_queue = n;
+        self
+    }
+
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    pub fn shed_retry_ms(mut self, ms: u32) -> Self {
+        self.shed_retry_ms = ms;
         self
     }
 
@@ -106,19 +162,41 @@ impl Shared {
     }
 }
 
-/// A running wire-protocol server. Dropping it without calling
-/// [`Server::shutdown`] aborts the threads non-gracefully (the test
-/// harness should always shut down).
+/// A running wire-protocol server (either [`ServerModel`]). Dropping it
+/// without calling [`Server::shutdown`] aborts the threads
+/// non-gracefully (the test harness should always shut down).
 pub struct Server {
-    shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    inner: Inner,
+}
+
+enum Inner {
+    Threaded {
+        shared: Arc<Shared>,
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorServer),
 }
 
 impl Server {
-    /// Bind `cfg.addr` and start the accept loop plus the worker pool.
+    /// Bind `cfg.addr` and start serving under the configured model.
+    /// (On non-unix targets `ServerModel::Reactor` falls back to the
+    /// thread-per-connection model.)
     pub fn start(db: Arc<Database>, cfg: ServerConfig) -> Result<Server> {
+        #[cfg(unix)]
+        if cfg.model == ServerModel::Reactor {
+            let r = crate::reactor::ReactorServer::start(db, cfg)?;
+            return Ok(Server {
+                local_addr: r.local_addr(),
+                inner: Inner::Reactor(r),
+            });
+        }
+        Server::start_threaded(db, cfg)
+    }
+
+    fn start_threaded(db: Arc<Database>, cfg: ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -147,10 +225,12 @@ impl Server {
             .map_err(Error::Io)?;
 
         Ok(Server {
-            shared,
             local_addr,
-            acceptor: Some(acceptor),
-            workers,
+            inner: Inner::Threaded {
+                shared,
+                acceptor: Some(acceptor),
+                workers,
+            },
         })
     }
 
@@ -164,18 +244,29 @@ impl Server {
     /// transactions), then close the database — the final WAL force. The
     /// store is cleanly recoverable afterwards: reopening it replays no
     /// log and does not count as a crash recovery.
-    pub fn shutdown(mut self) -> Result<()> {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of `accept()` with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+    pub fn shutdown(self) -> Result<()> {
+        match self.inner {
+            Inner::Threaded {
+                shared,
+                mut acceptor,
+                mut workers,
+            } => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor out of `accept()` with a throwaway
+                // connection.
+                let _ = TcpStream::connect(self.local_addr);
+                if let Some(a) = acceptor.take() {
+                    let _ = a.join();
+                }
+                shared.queued.notify_all();
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                shared.db.close()
+            }
+            #[cfg(unix)]
+            Inner::Reactor(r) => r.shutdown(),
         }
-        self.shared.queued.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        self.shared.db.close()
     }
 }
 
@@ -200,7 +291,8 @@ fn accept_loop(sh: &Shared, listener: TcpListener) {
         if busy && q.len() >= sh.cfg.accept_queue {
             drop(q);
             m.connections_rejected.inc();
-            shed(stream);
+            m.shed_connections.inc();
+            shed(stream, Some(sh.cfg.shed_retry_ms));
             continue;
         }
         q.push_back(stream);
@@ -209,13 +301,15 @@ fn accept_loop(sh: &Shared, listener: TcpListener) {
     }
 }
 
-/// Tell an overflowing connection to go away, politely and in one frame.
-fn shed(stream: TcpStream) {
+/// Tell an overflowing connection to go away, politely and in one frame
+/// carrying the back-off hint.
+pub(crate) fn shed(stream: TcpStream, retry_after_ms: Option<u32>) {
     let reply = Reply::Error {
         txn_open: false,
         code: immortaldb_common::ErrorCode::Busy,
         offset: None,
-        message: Error::ServerBusy.to_string(),
+        message: Error::ServerBusy { retry_after_ms }.to_string(),
+        retry_after_ms,
     };
     let (op, payload) = reply.encode();
     let _ = proto::write_frame(&mut &stream, op, &payload);
@@ -303,7 +397,7 @@ fn serve_connection(sh: &Shared, stream: TcpStream) {
                     }
                     // The connection becomes a one-way push stream (it
                     // keeps this worker until the subscriber goes away).
-                    ship_wal(sh, &stream, from_lsn);
+                    ship_wal(sh.db.as_ref(), &sh.shutdown, &stream, from_lsn);
                     break 'conn;
                 }
                 Ok(req) => {
@@ -315,7 +409,7 @@ fn serve_connection(sh: &Shared, stream: TcpStream) {
                         );
                         break 'conn;
                     }
-                    handle_request(sh, &mut session, req)
+                    handle_request(sh.db.as_ref(), &mut session, req)
                 }
                 Err(e) => {
                     // Undecodable payload: answer, then hang up — the
@@ -371,8 +465,12 @@ fn serve_connection(sh: &Shared, stream: TcpStream) {
 /// bytes read afterwards — the follower may safely serve `AS OF ts` for
 /// any `ts ≤` that horizon once the batch is applied. An empty batch is
 /// still sent when only the horizon moved (the idle-primary heartbeat).
-fn ship_wal(sh: &Shared, stream: &TcpStream, from_lsn: u64) {
-    let m = &sh.db.metrics().repl;
+///
+/// Shared by both serving models: the thread-per-connection worker calls
+/// it in place, the reactor hands the socket to a dedicated shipper
+/// thread first.
+pub(crate) fn ship_wal(db: &Database, shutdown: &AtomicBool, stream: &TcpStream, from_lsn: u64) {
+    let m = &db.metrics().repl;
     let mut from = from_lsn;
     let mut last_horizon = None;
     // An empty batch is the explicit "caught up" signal (bootstrap stops
@@ -383,11 +481,11 @@ fn ship_wal(sh: &Shared, stream: &TcpStream, from_lsn: u64) {
     let mut chunk = [0u8; 4 * 1024];
     let mut reader = stream;
     loop {
-        if sh.shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let horizon = sh.db.visible_horizon();
-        let (bytes, next) = match sh.db.wal().read_raw(Lsn(from), SHIP_BATCH_BYTES) {
+        let horizon = db.visible_horizon();
+        let (bytes, next) = match db.wal().read_raw(Lsn(from), SHIP_BATCH_BYTES) {
             Ok(r) => r,
             Err(_) => return,
         };
@@ -449,9 +547,10 @@ fn send(stream: &TcpStream, reply: &Reply) -> bool {
     proto::write_frame(&mut &*stream, op, &payload).is_ok()
 }
 
-/// Execute one request against the connection's session.
-fn handle_request(sh: &Shared, session: &mut Session<'_>, req: Request) -> Reply {
-    let m = &sh.db.metrics().server;
+/// Execute one request against the connection's session (shared by both
+/// serving models).
+pub(crate) fn handle_request(db: &Database, session: &mut Session<'_>, req: Request) -> Reply {
+    let m = &db.metrics().server;
     let result: Result<Reply> = (|| match req {
         Request::Hello { .. } => Err(Error::Sql("unexpected HELLO".into())),
         Request::Query(sql) => {

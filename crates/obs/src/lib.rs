@@ -469,6 +469,16 @@ pub struct ServerMetrics {
     pub connections_rejected: Counter,
     /// Connections closed (client disconnect, idle timeout, shutdown).
     pub connections_closed: Counter,
+    /// Connections shed at accept by the connection cap (reactor
+    /// admission control; disjoint from `connections_rejected`, which
+    /// counts the thread-per-connection accept-queue path).
+    pub shed_connections: Counter,
+    /// Individual request frames answered SERVER_BUSY because the
+    /// in-flight request cap was hit (the connection stays open).
+    pub shed_requests: Counter,
+    /// Connections currently registered with the reactor (idle or
+    /// active).
+    pub open_connections: Gauge,
     /// Sessions currently being served by a worker.
     pub active_sessions: Gauge,
     /// Request frames processed (all opcodes).
@@ -483,6 +493,31 @@ pub struct ServerMetrics {
     /// Server-side latency of commit requests (explicit COMMIT frames and
     /// autocommitted statements), nanoseconds.
     pub commit_ns: Histogram,
+}
+
+/// Online isolation-sentinel instruments (populated by `crates/check`
+/// when a sentinel is armed; always zero otherwise). Totals are gauges
+/// mirrored from the single checker thread's running report, so they
+/// are exact, not racy sums.
+#[derive(Debug, Default)]
+pub struct CheckMetrics {
+    /// Transaction events consumed from the tap ring.
+    pub events: Counter,
+    /// Events lost to ring overflow (mirrored from the tap's counter;
+    /// any nonzero value puts the checker in degraded mode).
+    pub dropped_gauge: Gauge,
+    /// Individual reads validated against the committed-version map.
+    pub reads_checked_gauge: Gauge,
+    /// Committed writer transactions folded into the version map.
+    pub commits_checked_gauge: Gauge,
+    /// Isolation violations found since arming. Nonzero is an engine
+    /// bug; CI gates on this staying zero.
+    pub violations_gauge: Gauge,
+    /// Reads the checker had no committed knowledge to judge (pre-arm
+    /// rows, pruned history, post-drop mismatches).
+    pub unverifiable_gauge: Gauge,
+    /// Events currently buffered in the tap ring awaiting the checker.
+    pub backlog: Gauge,
 }
 
 /// Every instrument in the engine, grouped by layer. Constructed once
@@ -503,6 +538,7 @@ pub struct Metrics {
     pub disk: DiskMetrics,
     pub version: VersionMetrics,
     pub compaction: CompactionMetrics,
+    pub check: CheckMetrics,
 }
 
 /// Cloneable handle to a shared [`Metrics`] tree. Cloning is one `Arc`

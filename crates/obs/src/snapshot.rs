@@ -172,6 +172,15 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
             m.server.connections_closed.get(),
         ),
         (
+            "server.shed_connections".into(),
+            m.server.shed_connections.get(),
+        ),
+        ("server.shed_requests".into(), m.server.shed_requests.get()),
+        (
+            "server.open_connections".into(),
+            m.server.open_connections.get(),
+        ),
+        (
             "server.active_sessions".into(),
             m.server.active_sessions.get(),
         ),
@@ -198,6 +207,22 @@ pub fn take(reg: &MetricsRegistry) -> MetricsSnapshot {
         ),
         ("temporal.diff_rows".into(), m.temporal.diff_rows.get()),
         ("catalog.snapshots".into(), m.temporal.snapshots.get()),
+        ("check.events".into(), m.check.events.get()),
+        ("check.dropped".into(), m.check.dropped_gauge.get()),
+        (
+            "check.reads_checked".into(),
+            m.check.reads_checked_gauge.get(),
+        ),
+        (
+            "check.commits_checked".into(),
+            m.check.commits_checked_gauge.get(),
+        ),
+        ("check.violations".into(), m.check.violations_gauge.get()),
+        (
+            "check.unverifiable".into(),
+            m.check.unverifiable_gauge.get(),
+        ),
+        ("check.backlog".into(), m.check.backlog.get()),
     ];
     let histograms = vec![
         ("wal.fsync_ns".into(), m.wal.fsync_ns.snapshot()),
@@ -427,6 +452,32 @@ mod tests {
         assert_eq!(s.get("latch.pessimistic_fallbacks"), Some(1));
         assert_eq!(s.get("disk.reads"), Some(8));
         assert_eq!(s.get("disk.writes"), Some(2));
+    }
+
+    #[test]
+    fn check_and_shed_metrics_have_stable_names() {
+        let r = MetricsRegistry::new();
+        r.server.shed_connections.add(4);
+        r.server.shed_requests.add(9);
+        r.server.open_connections.set(128);
+        r.check.events.add(1000);
+        r.check.violations_gauge.set(1);
+        r.check.reads_checked_gauge.set(800);
+        r.check.commits_checked_gauge.set(150);
+        r.check.unverifiable_gauge.set(3);
+        r.check.dropped_gauge.set(2);
+        r.check.backlog.set(17);
+        let s = r.snapshot();
+        assert_eq!(s.get("server.shed_connections"), Some(4));
+        assert_eq!(s.get("server.shed_requests"), Some(9));
+        assert_eq!(s.get("server.open_connections"), Some(128));
+        assert_eq!(s.get("check.events"), Some(1000));
+        assert_eq!(s.get("check.violations"), Some(1));
+        assert_eq!(s.get("check.reads_checked"), Some(800));
+        assert_eq!(s.get("check.commits_checked"), Some(150));
+        assert_eq!(s.get("check.unverifiable"), Some(3));
+        assert_eq!(s.get("check.dropped"), Some(2));
+        assert_eq!(s.get("check.backlog"), Some(17));
     }
 
     #[test]

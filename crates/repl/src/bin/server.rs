@@ -3,12 +3,23 @@
 //!
 //! ```text
 //! immortaldb-server [--dir DIR] [--addr HOST:PORT] [--workers N]
+//!                   [--thread-per-conn] [--max-connections N]
 //!                   [--accept-queue N] [--idle-timeout-secs N] [--buffered]
-//!                   [--replica-of HOST:PORT]
+//!                   [--sentinel] [--replica-of HOST:PORT]
 //! ```
 //!
 //! Commits are fsync-durable by default (group commit amortizes the log
 //! forces across connections); `--buffered` trades durability for speed.
+//!
+//! The default serving model is the readiness reactor (thousands of
+//! mostly-idle connections on `--workers` execution cores);
+//! `--thread-per-conn` selects the classic one-thread-per-connection
+//! baseline.
+//!
+//! `--sentinel` arms the always-on isolation checker: every commit and
+//! snapshot read streams through a lock-free tap into an online checker
+//! (`check.*` in SHOW STATS). On shutdown the server prints the
+//! sentinel's report and exits non-zero if any violation was confirmed.
 //!
 //! With `--replica-of`, the server bootstraps a replica of the given
 //! primary into `--dir` (shipping its WAL over the replication frames),
@@ -26,8 +37,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use immortaldb::{Database, DbConfig, Durability};
-use immortaldb_net::{Server, ServerConfig};
+use immortaldb::{Database, DbConfig, Durability, EventTap, Sentinel};
+use immortaldb_net::{Server, ServerConfig, ServerModel};
 use immortaldb_repl::{Replica, ReplicaConfig};
 
 fn main() -> ExitCode {
@@ -35,8 +46,11 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:5433".to_string();
     let mut workers = 8usize;
     let mut accept_queue = 16usize;
+    let mut max_connections = 4096usize;
     let mut idle_secs = 300u64;
     let mut durability = Durability::Fsync;
+    let mut model = ServerModel::Reactor;
+    let mut arm_sentinel = false;
     let mut replica_of: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -59,12 +73,20 @@ fn main() -> ExitCode {
                     .parse()
                     .expect("--idle-timeout-secs: number")
             }
+            "--max-connections" => {
+                max_connections = take("--max-connections")
+                    .parse()
+                    .expect("--max-connections: number")
+            }
+            "--thread-per-conn" => model = ServerModel::ThreadPerConn,
             "--buffered" => durability = Durability::Buffered,
+            "--sentinel" => arm_sentinel = true,
             "--replica-of" => replica_of = Some(take("--replica-of")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: immortaldb-server [--dir DIR] [--addr HOST:PORT] [--workers N] \
-                     [--accept-queue N] [--idle-timeout-secs N] [--buffered] \
+                     [--thread-per-conn] [--max-connections N] [--accept-queue N] \
+                     [--idle-timeout-secs N] [--buffered] [--sentinel] \
                      [--replica-of HOST:PORT]"
                 );
                 return ExitCode::SUCCESS;
@@ -76,26 +98,44 @@ fn main() -> ExitCode {
         }
     }
 
+    let tap = arm_sentinel.then(|| EventTap::new(1 << 16));
     let (db, replica): (Arc<Database>, Option<Replica>) = match &replica_of {
-        Some(primary) => match Replica::start(ReplicaConfig::new(&dir, primary.clone())) {
-            Ok(r) => (Arc::clone(r.db()), Some(r)),
-            Err(e) => {
-                eprintln!("failed to start replica of {primary} at {dir}: {e}");
-                return ExitCode::FAILURE;
+        Some(primary) => {
+            let mut rcfg = ReplicaConfig::new(&dir, primary.clone());
+            if let Some(tap) = &tap {
+                rcfg = rcfg.sentinel(Arc::clone(tap));
             }
-        },
-        None => match Database::open(DbConfig::new(&dir).durability(durability)) {
-            Ok(db) => (Arc::new(db), None),
-            Err(e) => {
-                eprintln!("failed to open database at {dir}: {e}");
-                return ExitCode::FAILURE;
+            match Replica::start(rcfg) {
+                Ok(r) => (Arc::clone(r.db()), Some(r)),
+                Err(e) => {
+                    eprintln!("failed to start replica of {primary} at {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
+        None => {
+            let mut dcfg = DbConfig::new(&dir).durability(durability);
+            if let Some(tap) = &tap {
+                dcfg = dcfg.sentinel(Arc::clone(tap));
+            }
+            match Database::open(dcfg) {
+                Ok(db) => (Arc::new(db), None),
+                Err(e) => {
+                    eprintln!("failed to open database at {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     };
+    let sentinel = tap
+        .as_ref()
+        .map(|tap| Sentinel::spawn(Arc::clone(tap), db.metrics().clone()));
 
     let cfg = ServerConfig::new(addr)
+        .model(model)
         .workers(workers)
         .accept_queue(accept_queue)
+        .max_connections(max_connections)
         .idle_timeout(Duration::from_secs(idle_secs));
     let server = match Server::start(db, cfg) {
         Ok(s) => s,
@@ -127,14 +167,35 @@ fn main() -> ExitCode {
     if let Some(r) = replica {
         r.stop();
     }
-    match server.shutdown() {
-        Ok(()) => {
-            eprintln!("clean shutdown");
-            ExitCode::SUCCESS
-        }
+    let clean = match server.shutdown() {
+        Ok(()) => true,
         Err(e) => {
             eprintln!("shutdown error: {e}");
-            ExitCode::FAILURE
+            false
         }
+    };
+    let mut verified = true;
+    if let Some(s) = sentinel {
+        let report = s.stop();
+        eprintln!(
+            "sentinel: {} events, {} reads checked, {} commits checked, \
+             {} unverifiable, {} dropped, {} violations",
+            report.events,
+            report.reads_checked,
+            report.commits_checked,
+            report.unverifiable,
+            report.dropped,
+            report.violation_count,
+        );
+        for v in &report.violations {
+            eprintln!("sentinel violation: {v}");
+        }
+        verified = report.violation_count == 0;
+    }
+    if clean && verified {
+        eprintln!("clean shutdown");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -76,7 +76,7 @@ fn with_retries(mut f: impl FnMut() -> Result<(), Error>) {
     for _ in 0..50 {
         match f() {
             Ok(()) => return,
-            Err(e) if e.is_transient() || matches!(e, Error::ServerBusy) => {
+            Err(e) if e.is_transient() || matches!(e, Error::ServerBusy { .. }) => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) => panic!("non-transient failure: {e}"),

@@ -54,6 +54,12 @@ pub struct ReplicaConfig {
     pub backoff_max: Duration,
     /// Metrics registry to share; `None` creates a private one.
     pub metrics: Option<MetricsRegistry>,
+    /// Isolation-sentinel event tap to arm on the replica engine. Share
+    /// one tap with the primary and the checker verifies replica reads
+    /// against the primary's commit history online (the replication
+    /// horizon guarantees a commit's event precedes any replica read
+    /// that could see it).
+    pub sentinel: Option<Arc<immortaldb::EventTap>>,
 }
 
 impl ReplicaConfig {
@@ -66,6 +72,7 @@ impl ReplicaConfig {
             backoff_min: Duration::from_millis(100),
             backoff_max: Duration::from_secs(5),
             metrics: None,
+            sentinel: None,
         }
     }
 
@@ -87,6 +94,11 @@ impl ReplicaConfig {
 
     pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    pub fn sentinel(mut self, tap: Arc<immortaldb::EventTap>) -> Self {
+        self.sentinel = Some(tap);
         self
     }
 }
@@ -129,11 +141,13 @@ impl Replica {
         };
 
         // Phase 2: open the engine over the shipped prefix (full redo).
-        let db = Arc::new(Database::open_replica(
-            DbConfig::new(&cfg.dir)
-                .pool_pages(cfg.pool_pages)
-                .metrics(metrics.clone()),
-        )?);
+        let mut db_cfg = DbConfig::new(&cfg.dir)
+            .pool_pages(cfg.pool_pages)
+            .metrics(metrics.clone());
+        if let Some(tap) = cfg.sentinel.clone() {
+            db_cfg = db_cfg.sentinel(tap);
+        }
+        let db = Arc::new(Database::open_replica(db_cfg)?);
         db.set_replication_horizon(horizon);
 
         // Phase 3: follow continuously.

@@ -4,7 +4,7 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally:
 #
 #   scripts/ci.sh          # everything
-#   scripts/ci.sh fmt      # one stage: fmt | clippy | test | chaos | serve | repl | temporal | history | read-scaling
+#   scripts/ci.sh fmt      # one stage: fmt | clippy | test | chaos | serve | serve-scale | repl | temporal | history | read-scaling
 #
 # The build environment has no route to crates.io (external deps come
 # from shims/), so everything runs offline.
@@ -65,6 +65,17 @@ run_serve() {
     # writes, explicit transactions and AS OF reads; then a graceful
     # shutdown and a reopen that must NOT count as a crash recovery.
     cargo run --release -q -p immortaldb-net --bin net-smoke
+}
+
+run_serve_scale() {
+    echo "== serve scale (500 mostly-idle connections on a fixed core pool, sentinel armed) =="
+    # Reactor model: 500 connections (>= 90% idle) over 4 worker cores;
+    # 50 active clients drive autocommit writes, snapshot transactions
+    # and AS OF reads while the isolation sentinel checks every commit
+    # and read online. Fails on any shed connection, any unanswered idle
+    # connection, thread-per-conn thread counts, unbounded RSS, or a
+    # single confirmed isolation violation.
+    cargo run --release -q -p immortaldb-net --bin serve-scale
 }
 
 run_repl() {
@@ -154,6 +165,7 @@ case "$stage" in
     test) run_test ;;
     chaos) run_chaos ;;
     serve) run_serve ;;
+    serve-scale) run_serve_scale ;;
     repl) run_repl ;;
     temporal) run_temporal ;;
     history) run_history ;;
@@ -164,13 +176,14 @@ case "$stage" in
         run_test
         run_chaos
         run_serve
+        run_serve_scale
         run_repl
         run_temporal
         run_history
         run_read_scaling
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve|repl|temporal|history|read-scaling]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|test|all|chaos|serve|serve-scale|repl|temporal|history|read-scaling]" >&2
         exit 2
         ;;
 esac

@@ -8,6 +8,15 @@
 //! for each key must be the newest committed write at or below the
 //! read's effective timestamp, with zero exceptions.
 //!
+//! The isolation sentinel is armed across BOTH engines through one
+//! shared event tap: the primary's commits and the replica's AS OF
+//! reads land in the same ring, so the checker verifies the replica
+//! reads online against the primary's commit history — the same
+//! property the offline replay below proves, but caught live. Ring
+//! order is sound because the replication horizon the replica serves
+//! under never passes the primary's visible horizon, and every commit's
+//! event is pushed before its timestamp becomes visible.
+//!
 //! Also locks in the typed READ_ONLY rejection over the wire (satellite:
 //! `ErrorCode::ReadOnly` must survive the ERROR frame round trip).
 
@@ -15,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use immortaldb::{Database, DbConfig, Durability, Isolation, Value};
+use immortaldb::{Database, DbConfig, Durability, EventTap, Isolation, Sentinel, Value};
 use immortaldb_common::{Error, ErrorCode, Timestamp};
 use immortaldb_net::{Client, Server, ServerConfig};
 use immortaldb_repl::{Replica, ReplicaConfig};
@@ -42,9 +51,18 @@ fn now_ms() -> u64 {
 
 #[test]
 fn replica_as_of_reads_match_the_primary_commit_history() {
+    // One tap shared by the primary and the replica engines; one checker
+    // watching both sides of the replication boundary.
+    let tap = EventTap::new(1 << 16);
     let db = Arc::new(
-        Database::open(DbConfig::new(tempdir("primary")).durability(Durability::Buffered)).unwrap(),
+        Database::open(
+            DbConfig::new(tempdir("primary"))
+                .durability(Durability::Buffered)
+                .sentinel(Arc::clone(&tap)),
+        )
+        .unwrap(),
     );
+    let sentinel = Sentinel::spawn(Arc::clone(&tap), db.metrics().clone());
     let server =
         Server::start(Arc::clone(&db), ServerConfig::new("127.0.0.1:0").workers(4)).unwrap();
     let addr = server.local_addr().to_string();
@@ -86,7 +104,10 @@ fn replica_as_of_reads_match_the_primary_commit_history() {
 
     // Give the writer a head start, then bootstrap the replica mid-load.
     std::thread::sleep(Duration::from_millis(60));
-    let replica = Replica::start(ReplicaConfig::new(tempdir("replica"), addr.clone())).unwrap();
+    let replica = Replica::start(
+        ReplicaConfig::new(tempdir("replica"), addr.clone()).sentinel(Arc::clone(&tap)),
+    )
+    .unwrap();
     let replica_server = Server::start(
         Arc::clone(replica.db()),
         ServerConfig::new("127.0.0.1:0").workers(2),
@@ -164,4 +185,21 @@ fn replica_as_of_reads_match_the_primary_commit_history() {
     replica_server.shutdown().unwrap();
     replica.stop();
     server.shutdown().unwrap();
+
+    // The online checker must agree with the offline replay: it watched
+    // the primary's commits and the replica's reads and found nothing.
+    let report = sentinel.stop();
+    assert!(
+        report.commits_checked > 0,
+        "sentinel saw no commits; the online check never engaged"
+    );
+    assert!(
+        report.reads_checked > 0,
+        "sentinel saw no replica reads; the online check never engaged"
+    );
+    assert_eq!(
+        report.violation_count, 0,
+        "online sentinel found violations the replay did not: {:?}",
+        report.violations
+    );
 }
